@@ -1,0 +1,110 @@
+"""Ablation: cache behaviour of the movement orders (Figure 9).
+
+Replays *real* gather access streams from a MinkUNet layer through the
+set-associative LRU cache simulator, at several cache sizes, to verify
+the mechanism behind the locality-aware ordering rather than just its
+modeled cost:
+
+* weight-stationary order (per-offset traces with the cache polluted
+  between offsets) gets almost no reuse;
+* the fused input-stationary order reaches near-optimal reuse (one
+  miss per distinct input row) once the cache is non-trivial;
+* the gap shrinks as the cache grows — the paper's observation that
+  the baseline only fails because the working set (> 40 MB) exceeds
+  the L2 (~5.5 MB).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import LRUCache, simulate_row_trace
+from repro.mapping.kmap import CoordIndex, build_kmap
+from repro.profiling import format_table
+
+from conftest import dataset_input, emit
+
+ROW_BYTES = 64  # 32 channels x FP16
+CACHE_SIZES = (64 * 1024, 512 * 1024, 4 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def gather_maps():
+    """Per-offset input-index arrays of a real layer (sub-sampled so the
+    Python cache simulator stays fast)."""
+    x = dataset_input("nuscenes", scale=0.25)
+    coords = x.coords
+    index = CoordIndex.build(coords, backend="hash")
+    kmap = build_kmap(coords, index, coords, 3)
+    center = kmap.center_index
+    maps = [
+        kmap.in_indices[n]
+        for n in range(kmap.volume)
+        if n != center and len(kmap.in_indices[n])
+    ]
+    return maps, kmap.n_in
+
+
+def _hit_rates(maps, cache_bytes):
+    # weight-stationary: one trace per offset, cache flushed between
+    # offsets by the interleaved scatter traffic
+    ws = LRUCache(capacity_bytes=cache_bytes)
+    h = m = 0
+    for trace in maps:
+        st = simulate_row_trace(ws, trace, ROW_BYTES)
+        h, m = h + st.hits, m + st.misses
+        ws.flush()
+    ws_rate = h / max(1, h + m)
+
+    la = LRUCache(capacity_bytes=cache_bytes)
+    fused = np.sort(np.concatenate(maps), kind="stable")
+    la_st = simulate_row_trace(la, fused, ROW_BYTES)
+    return ws_rate, la_st.hit_rate, la_st.misses
+
+
+class TestCacheAblation:
+    def test_emit_table(self, gather_maps):
+        maps, _ = gather_maps
+        rows = []
+        for cb in CACHE_SIZES:
+            ws, la, _ = _hit_rates(maps, cb)
+            rows.append([f"{cb // 1024} KiB", f"{ws:.2%}", f"{la:.2%}"])
+        emit(
+            "ablation_cache",
+            format_table(
+                ["cache size", "weight-stationary hits", "locality-aware hits"],
+                rows,
+                title="Figure 9 mechanism: gather hit rates by access order",
+            ),
+        )
+
+    def test_locality_wins_at_every_cache_size(self, gather_maps):
+        maps, _ = gather_maps
+        for cb in CACHE_SIZES:
+            ws, la, _ = _hit_rates(maps, cb)
+            assert la > ws + 0.2, f"cache {cb}: {la:.2%} vs {ws:.2%}"
+
+    def test_locality_misses_near_optimal(self, gather_maps):
+        """Input-stationary order: ~one miss per distinct input row."""
+        maps, n_in = gather_maps
+        _, _, misses = _hit_rates(maps, CACHE_SIZES[-1])
+        distinct = np.unique(np.concatenate(maps)).shape[0]
+        lines_per_row = max(1, ROW_BYTES // 128) or 1
+        assert misses <= distinct * 1.3 * max(1, lines_per_row)
+
+    def test_weight_stationary_only_incidental_hits(self, gather_maps):
+        """Within one offset every row index is unique, so the only hits
+        are incidental line sharing (two 64-byte rows per 128-byte
+        line) — well below 50% and far below the locality-aware rate."""
+        maps, _ = gather_maps
+        ws, _, _ = _hit_rates(maps, CACHE_SIZES[0])
+        assert ws < 0.35
+
+    def test_bench_cache_simulation(self, benchmark, gather_maps):
+        maps, _ = gather_maps
+        trace = maps[0][:2000]
+        cache = LRUCache(capacity_bytes=512 * 1024)
+        benchmark.pedantic(
+            lambda: simulate_row_trace(cache, trace, ROW_BYTES),
+            rounds=1,
+            iterations=1,
+        )

@@ -1,0 +1,122 @@
+"""Ablation: INT8 feature quantization (Section 4.3.1).
+
+Paper claim: quantizing features below FP16 offers *diminishing
+returns* — the multi-way reduction in scatter needs more than 8 bits,
+so scatter (60% of movement time) stays at 16 bits and only gather
+shrinks.  This bench quantifies the gap between INT8's theoretical 2x
+over FP16 and what the pipeline actually delivers.
+"""
+
+import pytest
+
+from repro.core.dataflow import MovementConfig, gather_record, scatter_record
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+from repro.models import MinkUNet
+from repro.profiling import format_table
+
+from conftest import emit
+
+CONFIGS = (
+    ("FP16 vectorized", MovementConfig(DType.FP16, True, True, True)),
+    ("INT8 vectorized", MovementConfig(DType.INT8, True, True, True)),
+)
+
+
+@pytest.fixture(scope="module")
+def movement_times(kitti_tensor_large):
+    from repro.core.engine import ExecutionContext, TorchSparseEngine
+
+    model = MinkUNet(width=1.0)
+    ctx = ExecutionContext(engine=TorchSparseEngine())
+    model(kitti_tensor_large, ctx)
+    kmaps = list(ctx.kmap_cache.values())
+
+    per_cfg = {}
+    for label, cfg in CONFIGS:
+        g = s = 0.0
+        for (name, k, st, c_in, c_out, sizes) in ctx.layer_workloads:
+            cands = [km for km in kmaps
+                     if km.kernel_size == k and km.stride == st
+                     and tuple(km.sizes) == sizes]
+            if not cands:
+                continue
+            km = cands[0]
+            skip = st == 1 and k % 2 == 1
+            g += gather_record(km, c_in, cfg, RTX_2080TI, skip).time
+            s += scatter_record(km, c_out, cfg, RTX_2080TI, skip).time
+        per_cfg[label] = (g, s)
+    return per_cfg
+
+
+class TestInt8Ablation:
+    def test_emit(self, movement_times):
+        f16_g, f16_s = movement_times["FP16 vectorized"]
+        i8_g, i8_s = movement_times["INT8 vectorized"]
+        rows = [
+            ["gather", f"{f16_g / i8_g:.2f}x"],
+            ["scatter", f"{f16_s / i8_s:.2f}x"],
+            ["combined", f"{(f16_g + f16_s) / (i8_g + i8_s):.2f}x"],
+        ]
+        emit(
+            "ablation_int8",
+            format_table(
+                ["stage", "INT8 speedup over FP16"],
+                rows,
+                title="INT8 quantization: diminishing returns (Section 4.3.1)",
+            ),
+        )
+
+    def test_gather_shrinks(self, movement_times):
+        f16_g, _ = movement_times["FP16 vectorized"]
+        i8_g, _ = movement_times["INT8 vectorized"]
+        assert f16_g / i8_g > 1.3, "gather traffic should nearly halve"
+
+    def test_scatter_unchanged(self, movement_times):
+        _, f16_s = movement_times["FP16 vectorized"]
+        _, i8_s = movement_times["INT8 vectorized"]
+        assert f16_s / i8_s == pytest.approx(1.0, abs=0.02), (
+            "scatter stays 16-bit: no speedup"
+        )
+
+    def test_combined_far_below_theoretical(self, movement_times):
+        f16 = sum(movement_times["FP16 vectorized"])
+        i8 = sum(movement_times["INT8 vectorized"])
+        assert f16 / i8 < 1.5, "the paper's 'limited overall speedup'"
+
+    def test_int8_numerics_degrade_gracefully(self, benchmark):
+        """INT8 quantization error visible but bounded on a real conv."""
+        import numpy as np
+
+        from repro.core.engine import (
+            BaseEngine,
+            BaselineEngine,
+            EngineConfig,
+            ExecutionContext,
+        )
+        from repro.core.sparse_tensor import SparseTensor
+
+        rng = np.random.default_rng(0)
+        xyz = np.unique(rng.integers(0, 30, size=(800, 3)), axis=0)
+        coords = np.concatenate(
+            [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+        ).astype(np.int32)
+        x = SparseTensor(
+            coords, rng.standard_normal((xyz.shape[0], 16)).astype(np.float32)
+        )
+        w = (rng.standard_normal((27, 16, 16)) * 0.2).astype(np.float32)
+
+        ctx32 = ExecutionContext(engine=BaselineEngine())
+        ref = ctx32.engine.convolution(x, w, ctx32).feats
+        int8_engine = BaseEngine(EngineConfig.torchsparse(dtype=DType.INT8))
+        ctx8 = ExecutionContext(engine=int8_engine)
+        got = benchmark.pedantic(
+            lambda: int8_engine.convolution(
+                x, w, ExecutionContext(engine=int8_engine)
+            ).feats,
+            rounds=1,
+            iterations=1,
+        )
+        got = ctx8.engine.convolution(x, w, ctx8).feats
+        err = np.abs(got - ref).max() / max(1e-9, np.abs(ref).max())
+        assert 0 < err < 0.15, f"relative error {err:.3f}"

@@ -1,0 +1,76 @@
+"""Ablation: multi-GPU inference scaling (Section 4.1's multi-GPU claim).
+
+Shards a stream of point clouds across 1/2/4 modeled GPUs and reports
+throughput scaling, plus a heterogeneous-fleet case where greedy (LPT)
+placement beats round-robin.
+"""
+
+import pytest
+
+from repro.core.engine import TorchSparseEngine
+from repro.gpu.device import GTX_1080TI, RTX_2080TI, RTX_3090
+from repro.models import MinkUNet
+from repro.profiling import format_table
+from repro.profiling.parallel import shard_inference
+
+from conftest import dataset_input, emit
+
+
+@pytest.fixture(scope="module")
+def workload():
+    xs = [dataset_input("nuscenes", seed=i, scale=0.35) for i in range(6)]
+    return MinkUNet(width=0.5, num_classes=16), xs
+
+
+class TestMultiDeviceScaling:
+    def test_homogeneous_scaling(self, workload):
+        model, xs = workload
+        engine = TorchSparseEngine()
+        rows = []
+        base = None
+        for n in (1, 2, 4):
+            r = shard_inference(model, xs, engine, [RTX_2080TI] * n)
+            if base is None:
+                base = r.makespan
+            rows.append(
+                [n, f"{r.makespan * 1e3:.2f}", f"{r.throughput:.0f}",
+                 f"{base / r.makespan:.2f}x"]
+            )
+        emit(
+            "ablation_multidevice",
+            format_table(
+                ["GPUs", "makespan (ms)", "inputs/s", "scaling"],
+                rows,
+                title="Multi-GPU inference scaling (6 nuScenes-like scans, 2080Ti)",
+            ),
+        )
+        # 2 GPUs should deliver >= 1.6x, 4 GPUs >= 2.4x on 6 inputs
+        assert float(rows[1][3][:-1]) > 1.6
+        assert float(rows[2][3][:-1]) > 2.4
+
+    def test_scaling_bounded_by_device_count(self, workload):
+        model, xs = workload
+        engine = TorchSparseEngine()
+        one = shard_inference(model, xs, engine, [RTX_2080TI])
+        four = shard_inference(model, xs, engine, [RTX_2080TI] * 4)
+        assert one.makespan / four.makespan <= 4.0 + 1e-9
+
+    def test_heterogeneous_fleet(self, workload):
+        model, xs = workload
+        engine = TorchSparseEngine()
+        fleet = [RTX_3090, RTX_2080TI, GTX_1080TI]
+        greedy = shard_inference(model, xs, engine, fleet, policy="greedy")
+        rr = shard_inference(model, xs, engine, fleet, policy="round_robin")
+        assert greedy.makespan <= rr.makespan * 1.001
+        # the 3090 should carry at least as many inputs as the 1080Ti
+        counts = {k: len(v) for k, v in greedy.assignments.items()}
+        assert counts["RTX 3090"] >= counts["GTX 1080Ti"]
+
+    def test_bench_sharding(self, benchmark, workload):
+        model, xs = workload
+        engine = TorchSparseEngine()
+        benchmark.pedantic(
+            lambda: shard_inference(model, xs[:2], engine, [RTX_2080TI] * 2),
+            rounds=1,
+            iterations=1,
+        )

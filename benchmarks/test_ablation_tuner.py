@@ -1,0 +1,91 @@
+"""Ablation: the (epsilon, S) search surface of Algorithm 5.
+
+Not a paper table, but the design choice DESIGN.md calls out: how
+sensitive is matmul latency to the two tuner knobs, and is the searched
+optimum meaningfully better than reasonable hand-picked points?
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import evaluate_config, tune_layer
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+from repro.models import MinkUNet
+from repro.profiling import collect_workloads, format_table
+
+from conftest import dataset_input, emit
+
+EPS_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+S_GRID = (0.0, 1e4, 1e5, math.inf)
+
+
+@pytest.fixture(scope="module")
+def layer(kitti_tensor_large):
+    ws = collect_workloads(MinkUNet(width=1.0), [kitti_tensor_large])
+    return next(w for w in ws if w.name == "minkunet.stem.0")
+
+
+class TestTunerSurface:
+    def test_emit_surface(self, layer):
+        rows = []
+        for eps in EPS_GRID:
+            row = [f"eps={eps}"]
+            for s in S_GRID:
+                t = evaluate_config(layer, eps, s, DType.FP16, RTX_2080TI)
+                row.append(f"{t * 1e6:.1f}")
+            rows.append(row)
+        emit(
+            "ablation_tuner_surface",
+            format_table(
+                ["", *(f"S={s:g}" for s in S_GRID)],
+                rows,
+                title="Matmul latency (us) over the (epsilon, S) surface — "
+                "minkunet.stem.0 on KITTI-like",
+            ),
+        )
+
+    def test_surface_is_not_flat(self, layer):
+        """The knobs matter: worst grid point >= 1.3x the best."""
+        times = [
+            evaluate_config(layer, e, s, DType.FP16, RTX_2080TI)
+            for e in EPS_GRID
+            for s in S_GRID
+        ]
+        assert max(times) / min(times) > 1.3
+
+    def test_search_finds_the_grid_optimum(self, layer):
+        best = tune_layer(layer, DType.FP16, RTX_2080TI,
+                          epsilons=EPS_GRID, thresholds=S_GRID)
+        times = [
+            evaluate_config(layer, e, s, DType.FP16, RTX_2080TI)
+            for e in EPS_GRID
+            for s in S_GRID
+        ]
+        assert best.expected_time == pytest.approx(min(times))
+
+    def test_optimum_is_input_adaptive(self, layer):
+        """Same (eps, S), different samples -> potentially different
+        partitions; at minimum the plan is recomputed per input."""
+        from repro.core.grouping import make_plan
+
+        best = tune_layer(layer, DType.FP16, RTX_2080TI)
+        plans = [
+            make_plan("adaptive", np.array(s), layer.kernel_size, layer.stride,
+                      epsilon=best.epsilon, s_threshold=best.s_threshold)
+            for s in layer.samples
+        ]
+        assert all(p.num_groups >= 1 for p in plans)
+
+    def test_bench_surface_evaluation(self, benchmark, layer):
+        benchmark.pedantic(
+            lambda: [
+                evaluate_config(layer, e, s, DType.FP16, RTX_2080TI)
+                for e in EPS_GRID
+                for s in S_GRID
+            ],
+            rounds=1,
+            iterations=1,
+        )

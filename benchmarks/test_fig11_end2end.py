@@ -1,0 +1,124 @@
+"""Figure 11: end-to-end normalized FPS across seven models, four
+engines and three GPUs.
+
+Paper result: TorchSparse achieves ~1.6x geomean speedup over
+MinkowskiEngine and ~1.5x over SpConv(FP16), with every per-model
+speedup >= 1 except near-parity on the smallest (1-frame nuScenes)
+model where MinkowskiEngine's fetch-on-demand specialization helps it.
+"""
+
+import pytest
+
+from repro.baselines import MinkowskiEngineLike, SpConvLike
+from repro.core.engine import BaselineEngine, TorchSparseEngine
+from repro.gpu.device import GPU_REGISTRY
+from repro.profiling import format_table, geomean, run_model
+
+from conftest import dataset_input, emit, model_instance
+
+#: (zoo label, model key, dataset key, input scale) for the paper's
+#: seven pairs.  The nuScenes segmentation models run at full sensor
+#: scale — they are small in reality, and MinkowskiEngine's
+#: fetch-on-demand story (Section 5.2) depends on their actual size;
+#: the heavy KITTI/Waymo inputs are scale-reduced.
+PAIRS = (
+    ("MinkUNet 0.5x / SK", "minkunet-0.5", "kitti", 0.35),
+    ("MinkUNet 1.0x / SK", "minkunet-1.0", "kitti", 0.35),
+    ("MinkUNet 1f / NS", "minkunet-nus", "nuscenes", 1.0),
+    ("MinkUNet 3f / NS", "minkunet-nus", "nuscenes-3f", 1.0),
+    ("CenterPoint 10f / NS", "centerpoint-nus", "nuscenes-10f", 0.5),
+    ("CenterPoint 1f / Waymo", "centerpoint-waymo", "waymo", 0.35),
+    ("CenterPoint 3f / Waymo", "centerpoint-waymo", "waymo-3f", 0.35),
+)
+
+ENGINES = (
+    ("torchsparse", TorchSparseEngine),
+    ("minkowski", MinkowskiEngineLike),
+    ("spconv", SpConvLike),
+    ("baseline", BaselineEngine),
+)
+
+
+@pytest.fixture(scope="module")
+def fps_grid():
+    """fps[device][model_label][engine]."""
+    grid = {}
+    for dev_key, dev in GPU_REGISTRY.items():
+        grid[dev_key] = {}
+        for label, mkey, dkey, scale in PAIRS:
+            x = dataset_input(dkey, scale=scale)
+            model = model_instance(mkey)
+            grid[dev_key][label] = {
+                ename: run_model(model, [x], ecls(), dev).fps
+                for ename, ecls in ENGINES
+            }
+    return grid
+
+
+class TestFigure11:
+    def test_normalized_fps_table(self, fps_grid):
+        blocks = []
+        for dev_key, per_model in fps_grid.items():
+            rows = []
+            for label, fps in per_model.items():
+                ts = fps["torchsparse"]
+                rows.append(
+                    [label] + [round(fps[e] / ts, 3) for e, _ in ENGINES]
+                )
+            blocks.append(
+                format_table(
+                    ["model", *(e for e, _ in ENGINES)],
+                    rows,
+                    title=f"Normalized FPS (TorchSparse = 1) on {dev_key}",
+                )
+            )
+        emit("fig11_normalized_fps", "\n\n".join(blocks))
+
+    def test_geomean_speedups_in_paper_band(self, fps_grid):
+        lines = []
+        for dev_key, per_model in fps_grid.items():
+            for rival in ("minkowski", "spconv", "baseline"):
+                g = geomean(
+                    [f["torchsparse"] / f[rival] for f in per_model.values()]
+                )
+                lines.append(f"{dev_key}: TorchSparse vs {rival}: {g:.2f}x")
+                assert 1.1 < g < 6.0, f"{rival} geomean speedup out of band"
+        emit("fig11_geomeans", "\n".join(lines))
+
+    def test_torchsparse_wins_every_model_on_3090(self, fps_grid):
+        """TorchSparse leads everywhere except the paper's own noted
+        exception: MinkowskiEngine's fetch-on-demand dataflow on the
+        smallest (1-frame nuScenes) model (Section 5.2)."""
+        for label, fps in fps_grid["3090"].items():
+            ts = fps["torchsparse"]
+            for ename, _ in ENGINES[1:]:
+                if ename == "minkowski" and label == "MinkUNet 1f / NS":
+                    continue
+                assert ts >= fps[ename] * 0.95, f"{label}: lost to {ename}"
+
+    def test_minkowski_closest_on_smallest_model(self, fps_grid):
+        """Fetch-on-demand makes ME most competitive on 1-frame nuScenes
+        (Section 5.2)."""
+        for dev_key, per_model in fps_grid.items():
+            ratios = {
+                label: f["torchsparse"] / f["minkowski"]
+                for label, f in per_model.items()
+            }
+            small = ratios["MinkUNet 1f / NS"]
+            seg_others = [
+                v for k, v in ratios.items()
+                if k.startswith("MinkUNet") and k != "MinkUNet 1f / NS"
+            ]
+            assert small <= max(seg_others) * 1.1
+
+    def test_bench_torchsparse_forward(self, benchmark):
+        x = dataset_input("nuscenes")
+        model = model_instance("minkunet-nus")
+
+        def fwd():
+            from repro.core.engine import ExecutionContext
+
+            ctx = ExecutionContext(engine=TorchSparseEngine())
+            model(x, ctx)
+
+        benchmark.pedantic(fwd, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Figure 13: mapping optimization ladder on the 3-frame CenterPoint.
+
+Paper result (end-to-end mapping speedups, cumulative): grid hashmap
+1.6x -> + fused downsample kernels 1.5x -> + simplified control logic
+1.8x -> + symmetry 1.1x, compounding to ~4.6x.
+"""
+
+import pytest
+
+from repro.core.engine import BaseEngine, EngineConfig, ExecutionContext
+from repro.models import CenterPoint
+from repro.profiling import format_table
+
+from conftest import emit
+
+#: Cumulative configurations, in the paper's Figure 13 order.
+LADDER = (
+    ("baseline (hash)", dict()),
+    ("+ grid map search", dict(map_backend="grid")),
+    ("+ fused downsample", dict(map_backend="grid", fused_downsample=True)),
+    (
+        "+ simplified logic",
+        dict(map_backend="grid", fused_downsample=True, simplified_logic=True),
+    ),
+    (
+        "+ map symmetry",
+        dict(
+            map_backend="grid",
+            fused_downsample=True,
+            simplified_logic=True,
+            use_map_symmetry=True,
+        ),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def mapping_times(waymo3f_tensor):
+    model = CenterPoint(num_classes=3)
+    times = []
+    for label, overrides in LADDER:
+        engine = BaseEngine(EngineConfig.baseline(**overrides))
+        ctx = ExecutionContext(engine=engine)
+        model(waymo3f_tensor, ctx)
+        times.append((label, ctx.profile.stage_times()["mapping"]))
+    return times
+
+
+class TestFigure13:
+    def test_ladder_monotone(self, mapping_times):
+        rows = []
+        base = mapping_times[0][1]
+        prev = base
+        for label, t in mapping_times:
+            rows.append([label, f"{t * 1e3:.3f} ms",
+                         f"{base / t:.2f}x", f"{prev / t:.2f}x"])
+            prev = t
+        emit(
+            "fig13_mapping_ladder",
+            format_table(
+                ["configuration", "mapping time", "cumulative", "step"],
+                rows,
+                title="CenterPoint (3f) / Waymo-like mapping optimizations",
+            ),
+        )
+        ts = [t for _, t in mapping_times]
+        for a, b in zip(ts, ts[1:]):
+            assert b <= a * 1.02, "each optimization must not regress mapping"
+
+    def test_total_mapping_speedup_band(self, mapping_times):
+        total = mapping_times[0][1] / mapping_times[-1][1]
+        assert 2.0 < total < 12.0, f"paper: ~4.6x, got {total:.2f}x"
+
+    def test_grid_step_significant(self, mapping_times):
+        base = mapping_times[0][1]
+        grid = mapping_times[1][1]
+        assert base / grid > 1.15, "grid search should give a clear gain (paper 1.6x)"
+
+    def test_logic_step_significant(self, mapping_times):
+        fused = mapping_times[2][1]
+        logic = mapping_times[3][1]
+        assert fused / logic > 1.3, "simplified logic is the paper's largest step (1.8x)"
+
+    def test_bench_map_search(self, benchmark, waymo3f_tensor):
+        from repro.mapping.kmap import CoordIndex, build_kmap
+
+        coords = waymo3f_tensor.coords
+        index = CoordIndex.build(coords, backend="grid", margin=2)
+        benchmark.pedantic(
+            lambda: build_kmap(coords, index, coords, 3, use_symmetry=True),
+            rounds=1,
+            iterations=1,
+        )

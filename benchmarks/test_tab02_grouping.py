@@ -1,0 +1,124 @@
+"""Table 2: grouping-strategy ablation on SemanticKITTI and nuScenes.
+
+Paper result (MinkUNet matmul stage, RTX 2080Ti, FP16):
+
+    strategy    SK TFLOP/s (speedup)   NS TFLOP/s (speedup)
+    separate    8.1  (1.00x)           10.4 (1.00x)
+    symmetric   8.2  (1.02x)           14.6 (1.39x)
+    fixed       8.7  (0.87x)           21.1 (1.50x)
+    adaptive    11.9 (1.39x)           16.9 (1.54x)
+
+Key shapes: adaptive is the latency winner on both datasets; fixed can
+post the best TFLOP/s while *losing* latency on SK (TFLOP/s counts its
+padding); symmetric helps NS far more than SK.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import make_plan, plan_matmul_cost
+from repro.core.tuner import tune_layer
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+from repro.models import MinkUNet
+from repro.profiling import collect_workloads, format_table
+
+from conftest import dataset_input, emit
+
+STRATEGIES = ("separate", "symmetric", "fixed", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def matmul_results():
+    """{dataset: {strategy: (total_time, achieved_tflops)}}.
+
+    Run near the real datasets' sizes: the paper's SK-vs-NS contrast
+    (fixed grouping *losing* on SK while winning on NS) only appears
+    when KITTI's maps are large enough that padding has real cost.
+    """
+    out = {}
+    for dkey, scale, model in (
+        ("kitti", 0.7, MinkUNet(width=0.5)),
+        ("nuscenes", 1.0, MinkUNet(width=1.0, num_classes=16)),
+    ):
+        ws = collect_workloads(model, [dataset_input(dkey, scale=scale)])
+        per_strategy = {}
+        for strat in STRATEGIES:
+            total_t = total_f = 0.0
+            for w in ws:
+                sizes = np.array(w.samples[0])
+                if strat == "adaptive":
+                    tuned = tune_layer(w, DType.FP16, RTX_2080TI)
+                    plan = make_plan(strat, sizes, w.kernel_size, w.stride,
+                                     epsilon=tuned.epsilon,
+                                     s_threshold=tuned.s_threshold)
+                else:
+                    plan = make_plan(strat, sizes, w.kernel_size, w.stride)
+                c = plan_matmul_cost(plan, sizes, w.c_in, w.c_out,
+                                     DType.FP16, RTX_2080TI)
+                total_t += c.time
+                total_f += c.flops
+            per_strategy[strat] = (total_t, total_f / total_t / 1e12)
+        out[dkey] = per_strategy
+    return out
+
+
+class TestTable2:
+    def test_emit_table(self, matmul_results):
+        rows = []
+        for strat in STRATEGIES:
+            row = [strat]
+            for dkey in ("kitti", "nuscenes"):
+                t, tflops = matmul_results[dkey][strat]
+                base_t = matmul_results[dkey]["separate"][0]
+                row += [f"{tflops:.1f} TFLOP/s", f"{base_t / t:.2f}x"]
+            rows.append(row)
+        emit(
+            "tab02_grouping",
+            format_table(
+                ["strategy", "SK TFLOP/s", "SK speedup", "NS TFLOP/s", "NS speedup"],
+                rows,
+                title="Table 2: matmul grouping ablation (modeled, 2080Ti FP16)",
+            ),
+        )
+
+    def test_adaptive_fastest_on_both_datasets(self, matmul_results):
+        for dkey in ("kitti", "nuscenes"):
+            times = {s: matmul_results[dkey][s][0] for s in STRATEGIES}
+            assert times["adaptive"] == min(times.values()), dkey
+
+    def test_adaptive_speedup_in_paper_band(self, matmul_results):
+        for dkey, lo, hi in (("kitti", 1.05, 2.5), ("nuscenes", 1.2, 3.0)):
+            t = matmul_results[dkey]
+            speedup = t["separate"][0] / t["adaptive"][0]
+            assert lo < speedup < hi, f"{dkey}: {speedup:.2f} (paper ~1.4-1.54)"
+
+    def test_symmetric_helps_nuscenes_more(self, matmul_results):
+        sk = matmul_results["kitti"]
+        ns = matmul_results["nuscenes"]
+        sk_gain = sk["separate"][0] / sk["symmetric"][0]
+        ns_gain = ns["separate"][0] / ns["symmetric"][0]
+        assert ns_gain > sk_gain, "paper: 1.39x on NS vs 1.02x on SK"
+
+    def test_tflops_and_latency_nonproportional(self, matmul_results):
+        """Fixed grouping's padded FLOPs inflate TFLOP/s without a
+        matching latency win (the paper's Table 2 caption)."""
+        for dkey in ("kitti", "nuscenes"):
+            r = matmul_results[dkey]
+            tflops_winner = max(STRATEGIES, key=lambda s: r[s][1])
+            latency_winner = min(STRATEGIES, key=lambda s: r[s][0])
+            if tflops_winner != latency_winner:
+                return  # non-proportionality observed on this dataset
+        pytest.fail("TFLOP/s and latency ranked identically on both datasets")
+
+    def test_bench_adaptive_planning(self, benchmark):
+        model = MinkUNet(width=0.5)
+        ws = collect_workloads(model, [dataset_input("nuscenes")])
+        sizes = [np.array(w.samples[0]) for w in ws]
+
+        def plan_all():
+            for w, s in zip(ws, sizes):
+                make_plan("adaptive", s, w.kernel_size, w.stride,
+                          epsilon=0.4, s_threshold=65536)
+
+        benchmark(plan_all)

@@ -1,0 +1,118 @@
+"""Table 3: data-movement optimization ladder on MinkUNet (1.0x) / SK.
+
+Paper result (gather / scatter / combined speedups over FP32):
+
+    FP16 quantization alone      1.17 / 1.48 / 1.32
+    + vectorized access          1.91 / 1.95 / 1.93
+    + fused gather/scatter       1.91 / 2.12 / 2.02
+    + locality-aware ordering    2.86 / 2.61 / 2.72
+"""
+
+import pytest
+
+from repro.core.dataflow import MovementConfig, gather_record, scatter_record
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+from repro.models import MinkUNet
+from repro.profiling import collect_workloads, format_table
+
+from conftest import dataset_input, emit
+
+LADDER = (
+    ("FP32 baseline", MovementConfig(DType.FP32, False, False, False)),
+    ("FP16", MovementConfig(DType.FP16, False, False, False)),
+    ("+ vectorized", MovementConfig(DType.FP16, True, False, False)),
+    ("+ fused", MovementConfig(DType.FP16, True, True, False)),
+    ("+ locality-aware", MovementConfig(DType.FP16, True, True, True)),
+)
+
+
+@pytest.fixture(scope="module")
+def movement_times(kitti_tensor_large):
+    """{config label: (gather_s, scatter_s)} over all MinkUNet layers."""
+    from repro.core.engine import ExecutionContext, TorchSparseEngine
+
+    model = MinkUNet(width=1.0)
+    ctx = ExecutionContext(engine=TorchSparseEngine())
+    model(kitti_tensor_large, ctx)
+
+    kmaps = list(ctx.kmap_cache.values())
+    # pair each executed conv layer back with its cached kernel map
+    per_cfg = {}
+    for label, cfg in LADDER:
+        g = s = 0.0
+        for (name, k, st, c_in, c_out, sizes) in ctx.layer_workloads:
+            key_candidates = [km for km in kmaps
+                              if km.kernel_size == k and km.stride == st
+                              and tuple(km.sizes) == sizes]
+            if not key_candidates:
+                continue
+            km = key_candidates[0]
+            skip = st == 1 and k % 2 == 1
+            g += gather_record(km, c_in, cfg, RTX_2080TI, skip).time
+            s += scatter_record(km, c_out, cfg, RTX_2080TI, skip).time
+        per_cfg[label] = (g, s)
+    return per_cfg
+
+
+class TestTable3:
+    def test_emit_ladder(self, movement_times):
+        base_g, base_s = movement_times["FP32 baseline"]
+        rows = []
+        for label, (g, s) in movement_times.items():
+            rows.append([
+                label,
+                f"{base_g / g:.2f}x",
+                f"{base_s / s:.2f}x",
+                f"{(base_g + base_s) / (g + s):.2f}x",
+            ])
+        emit(
+            "tab03_datamove",
+            format_table(
+                ["configuration", "gather", "scatter", "combined"],
+                rows,
+                title="Table 3: data-movement ladder (modeled, MinkUNet 1.0x / SK)",
+            ),
+        )
+
+    def test_ladder_monotone(self, movement_times):
+        totals = [sum(v) for v in movement_times.values()]
+        for a, b in zip(totals, totals[1:]):
+            assert b <= a * 1.01
+
+    def test_naive_fp16_disappoints(self, movement_times):
+        base = sum(movement_times["FP32 baseline"])
+        fp16 = sum(movement_times["FP16"])
+        assert base / fp16 < 1.6, "paper: only 1.32x without vectorization"
+
+    def test_vectorized_near_theoretical(self, movement_times):
+        base = sum(movement_times["FP32 baseline"])
+        vec = sum(movement_times["+ vectorized"])
+        assert 1.6 < base / vec < 2.1, "paper: 1.93x"
+
+    def test_full_stack_in_paper_band(self, movement_times):
+        base = sum(movement_times["FP32 baseline"])
+        full = sum(movement_times["+ locality-aware"])
+        assert 2.0 < base / full < 4.5, "paper: 2.72x"
+
+    def test_locality_is_largest_single_step(self, movement_times):
+        totals = [sum(v) for v in movement_times.values()]
+        steps = [a / b for a, b in zip(totals, totals[1:])]
+        # the locality step (last) should rank among the two largest
+        assert sorted(steps)[-2] <= max(steps[-1], sorted(steps)[-1])
+        assert steps[-1] > 1.2
+
+    def test_bench_gather_numerics(self, benchmark, kitti_tensor):
+        """Wall-clock of the actual gather indexing on a real map."""
+        import numpy as np
+
+        from repro.mapping.kmap import CoordIndex, build_kmap
+
+        coords = kitti_tensor.coords
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        feats = np.random.default_rng(0).standard_normal(
+            (kitti_tensor.num_points, 64)
+        ).astype(np.float32)
+        idx = np.concatenate([i for i in kmap.in_indices if len(i)])
+        benchmark(lambda: feats[idx])

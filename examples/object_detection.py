@@ -1,0 +1,78 @@
+"""3D object detection with CenterPoint on a synthetic Waymo-like scene.
+
+Runs the full detection pipeline the paper benchmarks: multi-frame
+LiDAR aggregation -> voxelization -> sparse 3D encoder -> BEV dense
+head -> heatmap decoding + NMS.  Compares the detected box centers
+against the scene's actual vehicle positions (the network is untrained,
+so this is a pipeline demonstration, not an accuracy claim) and prints
+the stage breakdown that motivates the paper's mapping optimizations.
+
+Run:  python examples/object_detection.py [--frames 3] [--scale 0.3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngine
+from repro.datasets import waymo_like
+from repro.datasets.scenes import CLASS_IDS, make_outdoor_scene
+from repro.datasets.voxelize import to_sparse_tensor
+from repro.gpu.device import RTX_2080TI
+from repro.models import CenterPoint
+from repro.profiling.breakdown import format_breakdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ds = waymo_like(frames=args.frames).cropped(-0.5, 6.0)
+    cloud = ds.sample(seed=args.seed, scale=args.scale)
+    x = to_sparse_tensor(cloud, ds.voxel_size)
+    print(
+        f"{args.frames}-frame sweep: {cloud.num_points:,} points -> "
+        f"{x.num_points:,} voxels"
+    )
+
+    # where the actual vehicles are, for eyeballing the pipeline output
+    scene = make_outdoor_scene(seed=args.seed, extent=ds.extent)
+    vehicle_mask = scene.box_class == CLASS_IDS["vehicle"]
+    centers = (scene.box_lo[vehicle_mask] + scene.box_hi[vehicle_mask]) / 2
+    print(f"scene contains {vehicle_mask.sum()} vehicles")
+
+    model = CenterPoint(in_channels=4, num_classes=3)
+    for engine in (TorchSparseEngine(), BaselineEngine()):
+        ctx = ExecutionContext(engine=engine, device=RTX_2080TI)
+        outputs = model(x, ctx)
+        dets = model.decode(
+            outputs, ctx, voxel_size=ds.voxel_size, score_threshold=0.3
+        )
+        print(f"\n--- {engine.config.name} ---")
+        print(
+            f"modeled latency {ctx.profile.total_time * 1e3:.2f} ms "
+            f"({1 / ctx.profile.total_time:.1f} FPS), {len(dets)} detections "
+            f"after NMS"
+        )
+        print(format_breakdown(ctx.profile))
+
+    # note: detections live in the voxel grid's frame (shifted so all
+    # coordinates are non-negative); scene centers are in metric world
+    # coordinates.  With an untrained head the boxes are illustrative.
+    print("\nfirst detections (untrained head - positions are illustrative):")
+    for d in dets[:5]:
+        print(
+            f"  label={d.label} score={d.score:.2f} "
+            f"center=({d.x:6.1f}, {d.y:6.1f}) size=({d.w:.1f} x {d.l:.1f})"
+        )
+    if len(centers):
+        print("\nactual vehicle centers (for comparison):")
+        for c in centers[:5]:
+            print(f"  ({c[0]:6.1f}, {c[1]:6.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""SPVCNN: point-voxel fusion on a synthetic LiDAR sweep.
+
+Runs the Sparse Point-Voxel CNN — the architecture the TorchSparse
+authors built the engine for — demonstrating the three bridging ops
+(initial voxelize, trilinear devoxelize, point-to-voxel) and how the
+point branch preserves fine detail that voxelization destroys: points
+that share one voxel receive *different* logits thanks to trilinear
+interpolation and the per-point branch.
+
+Run:  python examples/point_voxel_fusion.py [--scale 0.2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngine
+from repro.datasets import semantic_kitti_like
+from repro.models import SPVCNN
+from repro.nn.point import PointTensor, initial_voxelize
+from repro.profiling.breakdown import format_breakdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--voxel", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ds = semantic_kitti_like()
+    cloud = ds.sample(seed=args.seed, scale=args.scale)
+    coords = np.concatenate(
+        [np.zeros((cloud.num_points, 1)), cloud.xyz / args.voxel], axis=1
+    )
+    coords[:, 1:] -= np.floor(coords[:, 1:].min(axis=0))
+    feats = np.concatenate(
+        [cloud.xyz, cloud.intensity[:, None]], axis=1
+    ).astype(np.float32)
+    pt = PointTensor(coords, feats)
+
+    probe = ExecutionContext(engine=BaselineEngine())
+    voxels, inverse = initial_voxelize(pt, probe)
+    print(
+        f"{pt.num_points:,} points -> {voxels.num_points:,} voxels "
+        f"({pt.num_points / voxels.num_points:.1f} points/voxel)"
+    )
+
+    model = SPVCNN(in_channels=4, num_classes=5, width=16)
+    for engine in (TorchSparseEngine(), BaselineEngine()):
+        ctx = ExecutionContext(engine=engine)
+        logits = model(pt, ctx)
+        print(f"\n--- {engine.config.name} ---")
+        print(
+            f"modeled latency {ctx.profile.total_time * 1e3:.2f} ms "
+            f"({1 / ctx.profile.total_time:.1f} FPS)"
+        )
+        print(format_breakdown(ctx.profile))
+
+    # detail preservation: co-voxel points get distinct predictions
+    counts = np.bincount(inverse)
+    crowded = np.nonzero(counts >= 3)[0]
+    if crowded.size:
+        members = np.nonzero(inverse == crowded[0])[0][:3]
+        print("\nper-point logits of three points sharing one voxel:")
+        for m in members:
+            with np.printoptions(precision=3, suppress=True):
+                print(f"  point {m}: {logits[m]}")
+        distinct = len({tuple(np.round(logits[m], 5)) for m in members})
+        print(
+            f"distinct logit rows: {distinct}/3 — the point branch sees "
+            "sub-voxel geometry a pure voxel CNN cannot."
+        )
+
+
+if __name__ == "__main__":
+    main()

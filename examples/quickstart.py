@@ -1,0 +1,80 @@
+"""Quickstart: define a sparse CNN, run it, and read the profile.
+
+Mirrors the first-contact experience of TorchSparse (Section 4.1): the
+API looks like plain PyTorch modules — no ``indice_key``, no
+``coordinate_manager`` — plus an execution context that carries the
+engine configuration and the simulated GPU.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SparseTensor, nn
+from repro.core.engine import (
+    BaselineEngine,
+    ExecutionContext,
+    TorchSparseEngine,
+)
+from repro.gpu.device import RTX_2080TI
+
+
+def random_point_cloud(n: int = 20_000, extent: int = 100, seed: int = 0):
+    """A toy input: unique voxel coordinates + 4-channel features."""
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    feats = rng.standard_normal((xyz.shape[0], 4)).astype(np.float32)
+    return SparseTensor(coords, feats)
+
+
+def build_model() -> nn.Module:
+    """A small encoder-decoder sparse CNN."""
+    net = nn.Sequential(
+        # submanifold stem
+        nn.Conv3d(4, 32, kernel_size=3),
+        nn.BatchNorm(32),
+        nn.ReLU(),
+        # downsample 2x (strided sparse conv)
+        nn.Conv3d(32, 64, kernel_size=2, stride=2),
+        nn.BatchNorm(64),
+        nn.ReLU(),
+        nn.Conv3d(64, 64, kernel_size=3),
+        nn.ReLU(),
+        # back up to full resolution (transposed / inverse conv)
+        nn.Conv3d(64, 32, kernel_size=2, stride=2, transposed=True),
+        nn.ReLU(),
+        nn.Linear(32, 16),
+    )
+    net.rename("demo")
+    return net
+
+
+def main() -> None:
+    x = random_point_cloud()
+    print(f"input: {x}")
+
+    model = build_model()
+    print(f"model parameters: {model.num_parameters():,}")
+
+    # Run under the full TorchSparse engine and the unoptimized baseline;
+    # both produce the same features (up to FP16 rounding), at very
+    # different modeled cost.
+    for engine in (TorchSparseEngine(), BaselineEngine()):
+        ctx = ExecutionContext(engine=engine, device=RTX_2080TI)
+        y = model(x, ctx)
+        print(f"\n--- {engine.config.name} on {RTX_2080TI.name} ---")
+        print(f"output: {y}")
+        print(ctx.profile.summary())
+
+    print(
+        "\nTorchSparse's advantage comes from adaptive matmul grouping, "
+        "FP16 vectorized fused locality-aware movement, and mapping "
+        "optimizations — flip them individually via EngineConfig."
+    )
+
+
+if __name__ == "__main__":
+    main()

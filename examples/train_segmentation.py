@@ -1,0 +1,115 @@
+"""Train a small sparse U-Net on synthetic LiDAR segmentation.
+
+TorchSparse supports training as well as inference (Section 4.1); this
+example exercises the training half of the reproduction: sparse-conv
+forward/backward on the same kernel maps the inference engine builds,
+Adam, cross-entropy, and per-class IoU on held-out scenes.
+
+The synthetic scenes have geometry-correlated classes (ground below,
+buildings tall, vehicles low boxes), so even a tiny U-Net learns a
+meaningful segmentation in under a minute.
+
+Run:  python examples/train_segmentation.py [--epochs 10] [--scale 0.08]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.datasets import semantic_kitti_like
+from repro.datasets.scenes import CLASSES
+from repro.datasets.voxelize import to_sparse_tensor, voxel_labels
+from repro.train.model import TrainUNet, prepare_sample
+from repro.train.modules import cross_entropy
+from repro.train.optim import Adam, mean_iou, train_epoch
+
+
+def load_split(scales, voxel, seeds):
+    ds = semantic_kitti_like()
+    out = []
+    for seed in seeds:
+        cloud = ds.sample(seed=seed, scale=scales)
+        x = to_sparse_tensor(cloud, voxel_size=voxel)
+        y = voxel_labels(cloud, voxel_size=voxel, num_classes=len(CLASSES))
+        var, maps = prepare_sample(x)
+        out.append((var, maps, y))
+    return out
+
+
+def evaluate(model, split):
+    ious, accs = [], []
+    for var, maps, y in split:
+        logits, _ = model(var, maps, 1)
+        pred = logits.data.argmax(axis=1)
+        ious.append(mean_iou(pred, y, len(CLASSES)))
+        accs.append(float((pred == y).mean()))
+    return float(np.mean(ious)), float(np.mean(accs))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--voxel", type=float, default=0.35)
+    parser.add_argument("--width", type=int, default=12)
+    parser.add_argument("--lr", type=float, default=3e-3)
+    args = parser.parse_args()
+
+    train = load_split(args.scale, args.voxel, seeds=range(4))
+    val = load_split(args.scale, args.voxel, seeds=range(100, 102))
+    n_train = sum(b[0].data.shape[0] for b in train)
+    print(f"train: {len(train)} scenes / {n_train:,} voxels; "
+          f"val: {len(val)} scenes")
+
+    model = TrainUNet(in_channels=4, num_classes=len(CLASSES), width=args.width)
+    n_params = sum(p.data.size for p in model.parameters())
+    print(f"model: {n_params:,} parameters")
+
+    opt = Adam(model.parameters(), lr=args.lr)
+    miou0, acc0 = evaluate(model, val)
+    print(f"before training: val mIoU {miou0:.3f}, acc {acc0:.3f}")
+
+    for epoch in range(args.epochs):
+        t0 = time.time()
+        loss = train_epoch(model, train, opt, cross_entropy)
+        miou, acc = evaluate(model, val)
+        print(
+            f"epoch {epoch + 1:2d}: loss {loss:.4f}  "
+            f"val mIoU {miou:.3f}  acc {acc:.3f}  ({time.time() - t0:.1f}s)"
+        )
+
+    print("\nper-class IoU on the first val scene:")
+    var, maps, y = val[0]
+    logits, _ = model(var, maps, 1)
+    pred = logits.data.argmax(axis=1)
+    for c, name in enumerate(CLASSES):
+        t = y == c
+        if not t.any():
+            continue
+        p = pred == c
+        iou = (p & t).sum() / max(1, (p | t).sum())
+        print(f"  {name:12s} IoU {iou:.3f}  ({t.sum()} voxels)")
+
+    # deploy: export the trained weights and serve them under the
+    # optimized inference engine with modeled GPU latency
+    from repro.core.engine import ExecutionContext, TorchSparseEngine
+    from repro.datasets.configs import semantic_kitti_like as _ds
+    from repro.datasets.voxelize import to_sparse_tensor as _tst
+    from repro.train.export import unet_to_inference
+
+    served = unet_to_inference(model)
+    cloud = _ds().sample(seed=100, scale=args.scale)
+    x_inf = _tst(cloud, voxel_size=args.voxel)
+    ctx = ExecutionContext(engine=TorchSparseEngine())
+    logits_inf = served(x_inf, ctx)
+    agreement = float((logits_inf.feats.argmax(axis=1) == pred).mean())
+    print(
+        f"\ndeployed under TorchSparse engine: modeled latency "
+        f"{ctx.profile.total_time * 1e3:.3f} ms; prediction agreement "
+        f"with the training stack {agreement:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` (and ``python setup.py
+develop``) works in offline environments whose setuptools predates
+PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

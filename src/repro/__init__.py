@@ -1,0 +1,36 @@
+"""repro: a reproduction of TorchSparse (MLSys 2022).
+
+TorchSparse is a high-performance inference engine for 3D sparse
+convolution on point clouds.  This package reimplements the full system
+in NumPy:
+
+* exact sparse-convolution numerics (``repro.core``, ``repro.nn``),
+* the paper's three optimization families — adaptive matmul grouping,
+  quantized/vectorized/fused/locality-aware data movement, and mapping
+  optimizations (grid hashmaps, kernel fusion, symmetry),
+* baseline engines modeled after MinkowskiEngine and SpConv
+  (``repro.baselines``),
+* a simulated-GPU cost model standing in for real CUDA hardware
+  (``repro.gpu``), and
+* synthetic LiDAR datasets standing in for SemanticKITTI / nuScenes /
+  Waymo (``repro.datasets``).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SparseTensor, nn
+    from repro.core.engine import ExecutionContext, TorchSparseEngine
+    from repro.gpu.device import RTX_2080TI
+
+    coords = np.array([[0, 0, 0, 0], [0, 1, 0, 0]], dtype=np.int32)
+    feats = np.random.randn(2, 4).astype(np.float32)
+    x = SparseTensor(coords, feats)
+    conv = nn.Conv3d(4, 16, kernel_size=3)
+    ctx = ExecutionContext(engine=TorchSparseEngine(), device=RTX_2080TI)
+    y = conv(x, ctx)
+"""
+
+from repro.core.sparse_tensor import SparseTensor
+from repro.version import __version__
+
+__all__ = ["SparseTensor", "__version__"]

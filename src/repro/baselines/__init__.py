@@ -1,0 +1,16 @@
+"""Baseline engines modeled after the systems compared in Figure 11.
+
+All baselines share the numerics of the core engine (outputs agree up to
+storage precision); they differ in which design decisions they make —
+exactly the decisions the paper attributes to each system.
+"""
+
+from repro.baselines.minkowski import MinkowskiEngineLike, minkowski_config
+from repro.baselines.spconv import SpConvLike, spconv_config
+
+__all__ = [
+    "MinkowskiEngineLike",
+    "minkowski_config",
+    "SpConvLike",
+    "spconv_config",
+]

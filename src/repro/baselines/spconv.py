@@ -1,0 +1,46 @@
+"""SpConv-like baseline (Yan et al., 2018, v1.2.1).
+
+Design decisions the paper ascribes to SpConv:
+
+* **grid**-based map search (SpConv introduced it);
+* the gather-matmul-scatter dataflow with **separate** per-offset GEMMs;
+* an FP16 mode whose scatter/gather stays **scalar** (non-vectorized) —
+  the paper's Figure 8a case, capping its movement speedup near 1.3x;
+* per-offset (unfused, weight-stationary) movement order.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import BaseEngine, EngineConfig
+from repro.gpu.memory import DType
+
+
+def spconv_config(fp16: bool = True, **overrides) -> EngineConfig:
+    """Configuration reproducing SpConv's design decisions.
+
+    Args:
+        fp16: the paper benchmarks SpConv's FP16 mode on tensor-core
+            GPUs; pass ``False`` for its FP32 mode.
+    """
+    from dataclasses import replace
+
+    cfg = EngineConfig(
+        name="spconv-like-fp16" if fp16 else "spconv-like-fp32",
+        dtype=DType.FP16 if fp16 else DType.FP32,
+        vectorized=False,
+        fused=False,
+        locality_aware=False,
+        grouping="separate",
+        map_backend="grid",
+        fused_downsample=False,
+        simplified_logic=False,
+        use_map_symmetry=False,
+    )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+class SpConvLike(BaseEngine):
+    """Engine preset mirroring SpConv v1.2.1."""
+
+    def __init__(self, config: EngineConfig | None = None, fp16: bool = True):
+        super().__init__(config=config or spconv_config(fp16=fp16))

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-bench info                      # list models, engines, devices
+    repro-bench bench --model minkunet_1.0x_kitti --engine torchsparse
+    repro-bench compare --model centerpoint_3f_waymo --device 3090
+    repro-bench tune --model minkunet_0.5x_kitti --out strategies.json
+
+All latencies are modeled on the selected device spec (see
+``repro.gpu``); wall-clock on the host is reported separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.baselines import MinkowskiEngineLike, SpConvLike
+from repro.core.engine import BaseEngine, BaselineEngine, TorchSparseEngine
+from repro.gpu.device import CPU_16C, GPU_REGISTRY, GPUSpec
+from repro.models import MODEL_ZOO
+from repro.profiling import format_table, run_model, tune_model
+from repro.profiling.breakdown import format_breakdown
+from repro.profiling.runner import tuned_engine_config
+
+ENGINE_FACTORIES = {
+    "torchsparse": TorchSparseEngine,
+    "minkowski": MinkowskiEngineLike,
+    "spconv": SpConvLike,
+    "spconv-fp32": lambda: SpConvLike(fp16=False),
+    "baseline": BaselineEngine,
+}
+
+DEVICES: dict[str, GPUSpec] = {**GPU_REGISTRY, "cpu": CPU_16C}
+
+
+def _zoo_entry(key: str):
+    for e in MODEL_ZOO:
+        if e.key == key:
+            return e
+    raise SystemExit(
+        f"unknown model {key!r}; run 'repro-bench info' for the list"
+    )
+
+
+def _inputs(entry, scale: float, samples: int, seed: int):
+    ds = entry.make_dataset()
+    return [ds.sample_tensor(seed=seed + i, scale=scale) for i in range(samples)]
+
+
+def cmd_info(_args) -> int:
+    print("models:")
+    for e in MODEL_ZOO:
+        print(f"  {e.key:26s} {e.label}")
+    print("engines: " + ", ".join(ENGINE_FACTORIES))
+    print("devices: " + ", ".join(DEVICES))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    entry = _zoo_entry(args.model)
+    device = DEVICES[args.device]
+    engine = ENGINE_FACTORIES[args.engine]()
+    xs = _inputs(entry, args.scale, args.samples, args.seed)
+    t0 = time.time()
+    result = run_model(entry.make_model(), xs, engine, device)
+    print(
+        f"{entry.label} | {engine.config.name} on {device.name} "
+        f"(scale {args.scale}, {len(xs)} samples)"
+    )
+    print(
+        f"modeled latency {result.latency * 1e3:.3f} ms "
+        f"({result.fps:.1f} FPS); host wall {time.time() - t0:.1f}s"
+    )
+    print(format_breakdown(result.profile))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    entry = _zoo_entry(args.model)
+    device = DEVICES[args.device]
+    xs = _inputs(entry, args.scale, args.samples, args.seed)
+    model = entry.make_model()
+    rows = []
+    base_fps = None
+    for name, factory in ENGINE_FACTORIES.items():
+        r = run_model(model, xs, factory(), device)
+        if base_fps is None:
+            base_fps = r.fps
+        rows.append(
+            [name, f"{r.latency * 1e3:.3f}", f"{r.fps:.1f}",
+             f"{r.fps / base_fps:.2f}"]
+        )
+    print(
+        format_table(
+            ["engine", "latency (ms)", "FPS", "vs torchsparse"],
+            rows,
+            title=f"{entry.label} on {device.name}",
+        )
+    )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    entry = _zoo_entry(args.model)
+    device = DEVICES[args.device]
+    xs = _inputs(entry, args.scale, args.samples, args.seed)
+    model = entry.make_model()
+    book = tune_model(model, xs, device)
+    with open(args.out, "w") as f:
+        f.write(book.dumps())
+    print(f"tuned {len(book.layers)} layers; strategies written to {args.out}")
+    tuned = run_model(model, xs, BaseEngine(tuned_engine_config(book)), device)
+    plain = run_model(model, xs, TorchSparseEngine(), device)
+    print(
+        f"modeled latency: tuned {tuned.latency * 1e3:.3f} ms vs "
+        f"default {plain.latency * 1e3:.3f} ms"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list models, engines and devices")
+
+    def common(p):
+        p.add_argument("--model", required=True)
+        p.add_argument("--device", choices=list(DEVICES), default="2080ti")
+        p.add_argument("--scale", type=float, default=0.3)
+        p.add_argument("--samples", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser("bench", help="run one model under one engine")
+    common(p_bench)
+    p_bench.add_argument(
+        "--engine", choices=list(ENGINE_FACTORIES), default="torchsparse"
+    )
+
+    p_cmp = sub.add_parser("compare", help="run one model under every engine")
+    common(p_cmp)
+
+    p_tune = sub.add_parser("tune", help="Algorithm 5 offline strategy search")
+    common(p_tune)
+    p_tune.add_argument("--out", default="strategies.json")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "info": cmd_info,
+        "bench": cmd_bench,
+        "compare": cmd_compare,
+        "tune": cmd_tune,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""TorchSparse core: sparse tensors, mapping, grouping, dataflow, engine.
+
+This subpackage is the paper's primary contribution.  The execution of
+one sparse convolution decomposes exactly as Figure 2 does:
+
+1. **mapping** — build/lookup coordinate tables and construct the
+   kernel maps (:mod:`repro.mapping`),
+2. **gather** — stage input rows per kernel offset,
+3. **matmul** — grouped matrix multiplication
+   (:mod:`repro.core.grouping`, :mod:`repro.core.tuner`),
+4. **scatter** — accumulate partial sums into output rows
+   (:mod:`repro.core.dataflow`).
+
+:mod:`repro.core.engine` wires the stages together under a configuration
+that switches each paper optimization on or off, and prices every stage
+with the :mod:`repro.gpu` device model.
+"""
+
+from repro.core.engine import EngineConfig, ExecutionContext, TorchSparseEngine
+from repro.core.kernel import kernel_offsets, kernel_volume, opposite_offset_index
+from repro.core.sparse_tensor import SparseTensor
+
+__all__ = [
+    "SparseTensor",
+    "kernel_offsets",
+    "kernel_volume",
+    "opposite_offset_index",
+    "EngineConfig",
+    "ExecutionContext",
+    "TorchSparseEngine",
+]

@@ -1,0 +1,383 @@
+"""Dataflow execution: gather-matmul-scatter and fetch-on-demand.
+
+Numerics here are exact NumPy; latency comes from the transaction model
+(:mod:`repro.gpu.memory`) and the GEMM model (:mod:`repro.gpu.gemm`).
+
+Access-order modeling (Figure 9).  Each movement kernel has a *point
+side* (rows of the feature tensors, indexed by the map) and a *buffer
+side* (the staging matrices fed to GEMM):
+
+* **weight-stationary** (baseline): the point side is visited in map
+  order — every index is unique within one offset, so there is no reuse
+  and the row accesses are random (``RANDOM_ROW_EFF``); the buffer side
+  streams.
+* **locality-aware** (TorchSparse): gather walks inputs in
+  input-stationary order (each input row read from DRAM exactly once,
+  fanned out from registers) and scatter walks outputs in
+  output-stationary order (partials reduced in registers, each output
+  row written once).  The point side becomes streaming; the buffer side
+  becomes random.
+
+The row *counts* therefore change from ``|M|`` to ``N`` on the point
+side — that, plus which side eats the random-access penalty, reproduces
+the paper's Table 3 ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.grouping import GroupingPlan
+from repro.gpu.device import GPUSpec
+from repro.gpu.gemm import bmm_cost, mm_cost
+from repro.gpu.memory import DType, MemoryAccessPattern, movement_time, traffic
+from repro.gpu.timeline import KernelRecord, Profile
+from repro.mapping.kmap import KernelMap
+
+#: Transaction efficiency of row-granular random access (rows usually
+#: shorter than / unaligned to 128-byte transactions).
+RANDOM_ROW_EFF = 0.75
+
+#: Efficiency penalty on the scatter buffer when gathers/scatters are
+#: interleaved per offset (unfused): the cache keeps evicting the buffer
+#: type it is about to need (Figure 9a discussion).
+UNFUSED_BUFFER_EFF = 0.92
+
+#: Compute efficiency of the fetch-on-demand dataflow *relative to a
+#: tiled GEMM at the same occupancy*: the multiply runs as per-entry dot
+#: products on CUDA cores with no staging/tiling reuse and no
+#: tensor-core path.  The occupancy factor itself is applied separately,
+#: which is what produces the small/large-workload crossover: at tiny
+#: sizes both paths are occupancy-bound and skipping the staging
+#: buffers wins; at scale the tiled GEMM pulls ahead.
+FETCH_ON_DEMAND_EFF = 0.45
+
+
+@dataclass(frozen=True)
+class MovementConfig:
+    """Data-movement optimization switches (Table 3's four columns)."""
+
+    dtype: DType = DType.FP32
+    vectorized: bool = False
+    fused: bool = False
+    locality_aware: bool = False
+
+    @property
+    def pattern(self) -> MemoryAccessPattern:
+        if self.vectorized and self.dtype is not DType.FP32:
+            return MemoryAccessPattern.VECTORIZED
+        return MemoryAccessPattern.SCALAR
+
+
+def _non_center_offsets(kmap: KernelMap, skip_center: bool) -> list:
+    center = kmap.center_index if skip_center else None
+    return [
+        n
+        for n in range(kmap.volume)
+        if n != center and len(kmap.in_indices[n]) > 0
+    ]
+
+
+def gather_record(
+    kmap: KernelMap,
+    c_in: int,
+    cfg: MovementConfig,
+    device: GPUSpec,
+    skip_center: bool,
+) -> KernelRecord:
+    """Price the gather stage of one layer."""
+    offsets = _non_center_offsets(kmap, skip_center)
+    total = int(sum(len(kmap.in_indices[n]) for n in offsets))
+    dtype = _movement_dtype(cfg.dtype, "gather")
+    if cfg.locality_aware:
+        # input-stationary: each input row read once (streaming), buffer
+        # writes land at neighbor positions (random)
+        reads = traffic(kmap.n_in, c_in, dtype, cfg.pattern)
+        writes = traffic(total, c_in, dtype, cfg.pattern)
+        t = movement_time(reads, device.dram_bandwidth) + movement_time(
+            writes, device.dram_bandwidth
+        ) / RANDOM_ROW_EFF
+    else:
+        # weight-stationary: random point-side reads, streaming buffer writes
+        reads = traffic(total, c_in, dtype, cfg.pattern)
+        writes = traffic(total, c_in, dtype, cfg.pattern)
+        t = (
+            movement_time(reads, device.dram_bandwidth) / RANDOM_ROW_EFF
+            + movement_time(writes, device.dram_bandwidth)
+        )
+    launches = 1 if cfg.fused else max(1, len(offsets))
+    t += launches * device.launch_overhead
+    return KernelRecord(
+        name="gather",
+        stage="gather",
+        time=t,
+        bytes_moved=reads.bytes_moved + writes.bytes_moved,
+        launches=launches,
+    )
+
+
+def scatter_record(
+    kmap: KernelMap,
+    c_out: int,
+    cfg: MovementConfig,
+    device: GPUSpec,
+    skip_center: bool,
+) -> KernelRecord:
+    """Price the scatter-accumulate stage of one layer."""
+    offsets = _non_center_offsets(kmap, skip_center)
+    total = int(sum(len(kmap.out_indices[n]) for n in offsets))
+    dtype = _movement_dtype(cfg.dtype, "scatter")
+    if cfg.locality_aware:
+        # output-stationary: random buffer reads, each output row written once
+        reads = traffic(total, c_out, dtype, cfg.pattern)
+        writes = traffic(kmap.n_out, c_out, dtype, cfg.pattern)
+        t = movement_time(reads, device.dram_bandwidth) / RANDOM_ROW_EFF + (
+            movement_time(writes, device.dram_bandwidth)
+        )
+    else:
+        # weight-stationary: streaming buffer reads (cache-polluted when
+        # unfused), random accumulating writes to the output rows
+        reads = traffic(total, c_out, dtype, cfg.pattern)
+        writes = traffic(total, c_out, dtype, cfg.pattern)
+        buffer_eff = 1.0 if cfg.fused else UNFUSED_BUFFER_EFF
+        t = (
+            movement_time(reads, device.dram_bandwidth) / buffer_eff
+            + movement_time(writes, device.dram_bandwidth) / RANDOM_ROW_EFF
+        )
+    launches = 1 if cfg.fused else max(1, len(offsets))
+    t += launches * device.launch_overhead
+    return KernelRecord(
+        name="scatter",
+        stage="scatter",
+        time=t,
+        bytes_moved=reads.bytes_moved + writes.bytes_moved,
+        launches=launches,
+    )
+
+
+def _cast(feats: np.ndarray, dtype: DType) -> np.ndarray:
+    """Apply the storage dtype's precision to the features.
+
+    FP16 values are round-tripped through half precision so quantization
+    error is observable (as on real hardware), but the array is returned
+    as float32 so GEMMs take NumPy's BLAS path — half-precision matmul
+    has no BLAS kernel and is orders of magnitude slower.  INT8 uses
+    symmetric per-tensor quantization (round-tripped the same way); the
+    scatter side still runs at 16 bits as the paper requires
+    (Section 4.3.1), which is handled by the cost model, not here.
+    """
+    if dtype is DType.FP32:
+        return feats.astype(np.float32, copy=False)
+    if dtype is DType.INT8:
+        scale = max(1e-12, float(np.abs(feats).max()) / 127.0)
+        q = np.clip(np.round(feats / scale), -127, 127)
+        return (q * scale).astype(np.float32)
+    return feats.astype(np.float16).astype(np.float32)
+
+
+def _movement_dtype(dtype: DType, side: str) -> DType:
+    """Storage dtype actually moved by one side of the pipeline.
+
+    INT8 only applies to gather: the multi-way reduction in scatter
+    needs more than 8 bits and CUDA requires aligned access, so all
+    scatter traffic stays at 16 bits (Section 4.3.1) — the reason INT8
+    offers diminishing returns end to end.
+    """
+    if dtype is DType.INT8 and side == "scatter":
+        return DType.FP16
+    return dtype
+
+
+def execute_gather_matmul_scatter(
+    feats: np.ndarray,
+    weights: np.ndarray,
+    kmap: KernelMap,
+    plan: GroupingPlan,
+    cfg: MovementConfig,
+    device: GPUSpec,
+    profile: Profile,
+    skip_center: bool = True,
+    exact_bmm: bool = False,
+) -> np.ndarray:
+    """Run one sparse convolution via Algorithm 2 with a grouping plan.
+
+    Args:
+        feats: ``(N_in, C_in)`` input features.
+        weights: ``(K^3, C_in, C_out)`` weight matrices.
+        kmap: the layer's kernel map.
+        plan: matmul grouping plan over the non-center offsets.
+        cfg: data-movement configuration.
+        device: GPU model that prices every stage.
+        profile: records are appended here.
+        skip_center: process the stride-1 center offset as a direct
+            ``mm`` without data movement (always true in the engines;
+            exposed for tests).
+        exact_bmm: materialize the padded batched matmul exactly as the
+            GPU would.  Zero-padding makes it numerically identical to
+            the default per-member path (a property the tests assert),
+            so by default only the *cost* reflects bmm and the numerics
+            take the faster per-member route.
+
+    Returns:
+        ``(N_out, C_out)`` output features (float32).
+    """
+    if weights.ndim != 3 or weights.shape[0] != kmap.volume:
+        raise ValueError(
+            f"weights must be (K^3={kmap.volume}, C_in, C_out), got {weights.shape}"
+        )
+    c_in, c_out = weights.shape[1], weights.shape[2]
+    if feats.shape != (kmap.n_in, c_in):
+        raise ValueError(
+            f"feats shape {feats.shape} does not match (n_in={kmap.n_in}, c_in={c_in})"
+        )
+    plan.validate(kmap.volume, kmap.center_index if skip_center else None)
+
+    x = _cast(feats, cfg.dtype)
+    w = _cast(weights, cfg.dtype)
+    acc = np.zeros((kmap.n_out, c_out), dtype=np.float32)
+
+    # -- center offset: direct mm, no data movement -------------------------
+    center = kmap.center_index
+    if skip_center and center is not None and len(kmap.in_indices[center]):
+        ci, co = kmap.in_indices[center], kmap.out_indices[center]
+        partial = (x[ci] @ w[center]).astype(np.float32)
+        # within one offset each output index appears at most once
+        # (p = s*q + delta is injective in q), so plain indexed add is safe
+        acc[co] += partial
+        cost = mm_cost(len(ci), c_in, c_out, cfg.dtype, device)
+        profile.log(
+            "matmul.center",
+            "matmul",
+            cost.time,
+            bytes_moved=cost.bytes_moved,
+            flops=cost.flops,
+            launches=cost.launches,
+        )
+
+    # -- movement pricing (numerics below do the actual indexing) -----------
+    profile.add(gather_record(kmap, c_in, cfg, device, skip_center))
+
+    # -- grouped matmul ------------------------------------------------------
+    for gi, group in enumerate(plan.groups):
+        sizes = [len(kmap.in_indices[n]) for n in group.members]
+        if group.use_bmm and exact_bmm:
+            # materialize the padded batch exactly as the GPU kernel would
+            m_pad = max(sizes)
+            batch = np.zeros((len(group.members), m_pad, c_in), dtype=x.dtype)
+            for bi, n in enumerate(group.members):
+                batch[bi, : sizes[bi]] = x[kmap.in_indices[n]]
+            stacked = np.stack([w[n] for n in group.members])
+            partial = np.matmul(batch, stacked).astype(np.float32)
+            for bi, n in enumerate(group.members):
+                acc[kmap.out_indices[n]] += partial[bi, : sizes[bi]]
+        else:
+            # zero-padding cannot change the products, so the per-member
+            # path is numerically identical to bmm and much faster here
+            for n in group.members:
+                idx = kmap.in_indices[n]
+                partial = (x[idx] @ w[n]).astype(np.float32)
+                acc[kmap.out_indices[n]] += partial
+        if group.use_bmm:
+            cost = bmm_cost(sizes, c_in, c_out, cfg.dtype, device)
+        else:
+            total_t = total_f = total_b = 0.0
+            launches = 0
+            for m in sizes:
+                c = mm_cost(m, c_in, c_out, cfg.dtype, device)
+                total_t += c.time
+                total_f += c.flops
+                total_b += c.bytes_moved
+                launches += c.launches
+            cost = SimpleNamespace(
+                time=total_t, flops=total_f, bytes_moved=total_b, launches=launches
+            )
+        profile.log(
+            f"matmul.group{gi}",
+            "matmul",
+            cost.time,
+            bytes_moved=cost.bytes_moved,
+            flops=cost.flops,
+            launches=cost.launches,
+        )
+
+    profile.add(scatter_record(kmap, c_out, cfg, device, skip_center))
+    return acc
+
+
+def fetch_on_demand_offset_cost(
+    m: int, c_in: int, c_out: int, dtype: DType, device: GPUSpec
+) -> tuple:
+    """(seconds, bytes, flops) of one offset's fetch-on-demand kernel.
+
+    Math runs on CUDA cores (FP32 rate regardless of storage dtype) at
+    ``occupancy * FETCH_ON_DEMAND_EFF``; all row accesses are random.
+    """
+    if m <= 0:
+        return 0.0, 0, 0.0
+    pattern = MemoryAccessPattern.SCALAR
+    reads = traffic(m, c_in, dtype, pattern)
+    writes = traffic(m, c_out, dtype, pattern)
+    t_mem = (
+        movement_time(reads, device.dram_bandwidth)
+        + movement_time(writes, device.dram_bandwidth)
+    ) / RANDOM_ROW_EFF
+    flops = 2.0 * m * c_in * c_out
+    blocks = -(-m // 64) * (-(-c_out // 64))
+    util = device.occupancy(blocks) * FETCH_ON_DEMAND_EFF
+    t_math = device.compute_time(flops, DType.FP32, utilization=util)
+    t = max(t_mem, t_math) + device.launch_overhead
+    return t, reads.bytes_moved + writes.bytes_moved, flops
+
+
+def fetch_on_demand_cost(
+    kmap: KernelMap, c_in: int, c_out: int, dtype: DType, device: GPUSpec
+) -> float:
+    """Total modeled latency of running a layer fetch-on-demand."""
+    return sum(
+        fetch_on_demand_offset_cost(len(idx), c_in, c_out, dtype, device)[0]
+        for idx in kmap.in_indices
+    )
+
+
+def execute_fetch_on_demand(
+    feats: np.ndarray,
+    weights: np.ndarray,
+    kmap: KernelMap,
+    device: GPUSpec,
+    profile: Profile,
+    dtype: DType = DType.FP32,
+) -> np.ndarray:
+    """MinkowskiEngine's fetch-on-demand dataflow (Lin et al., 2021).
+
+    No staging buffers: each offset's kernel reads its input rows, does
+    the multiply, and atomically accumulates outputs in one pass.  This
+    halves the point-side traffic relative to gather-matmul-scatter (no
+    buffer round-trip) but runs the math as fragmented matrix-vector
+    work — so it wins on *small* workloads (where the tiled GEMM is
+    occupancy-bound anyway) and loses on large ones, exactly the
+    Section 5.2 observation about 1-frame nuScenes models.
+    """
+    c_in, c_out = weights.shape[1], weights.shape[2]
+    x = _cast(feats, dtype)
+    w = _cast(weights, dtype)
+    acc = np.zeros((kmap.n_out, c_out), dtype=np.float32)
+    for n in range(kmap.volume):
+        idx = kmap.in_indices[n]
+        if not len(idx):
+            continue
+        partial = (x[idx] @ w[n]).astype(np.float32)
+        acc[kmap.out_indices[n]] += partial
+        t, nbytes, flops = fetch_on_demand_offset_cost(
+            len(idx), c_in, c_out, dtype, device
+        )
+        profile.log(
+            f"fetch_on_demand.{n}",
+            "matmul",
+            t,
+            bytes_moved=nbytes,
+            flops=flops,
+        )
+    return acc

@@ -1,0 +1,584 @@
+"""Execution engines and per-pass context.
+
+An :class:`EngineConfig` switches every paper optimization on or off;
+:class:`BaseEngine.convolution` runs the four-stage pipeline under that
+configuration, logging priced :class:`~repro.gpu.timeline.KernelRecord`
+entries.  The provided presets mirror the systems evaluated in Figure
+11:
+
+* :meth:`EngineConfig.torchsparse` — everything on (adaptive grouping,
+  FP16 vectorized fused locality-aware movement, auto grid/hash maps,
+  fused downsampling, simplified logic, map symmetry);
+* :meth:`EngineConfig.baseline` — the paper's unoptimized FP32 design;
+* baselines modeled after MinkowskiEngine and SpConv live in
+  :mod:`repro.baselines`.
+
+The :class:`ExecutionContext` owns the per-input caches (coordinates,
+coordinate tables and kernel maps per stride level) that real engines
+keep in their coordinate managers — built once on the way down the
+U-Net, reused by every later layer, including transposed convolutions
+on the way up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.dataflow import (
+    MovementConfig,
+    execute_fetch_on_demand,
+    execute_gather_matmul_scatter,
+)
+from repro.core.grouping import make_plan
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.kernel import is_all_odd, normalize, to_tuple
+from repro.core.tuner import StrategyBook
+from repro.gpu.device import GPUSpec, RTX_2080TI
+from repro.gpu.memory import DType
+from repro.gpu.timeline import Profile
+from repro.mapping.downsample import downsample_coords
+from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap
+
+#: Seconds of instruction work per table access in the map-search kernels.
+#: The baseline figure reflects un-specialized control flow; TorchSparse's
+#: simplified + unrolled kernels cut it ~4x (Section 6.3).
+MAPPING_INSTR_BASELINE = 0.22e-9
+MAPPING_INSTR_SIMPLIFIED = MAPPING_INSTR_BASELINE / 4.0
+
+#: Slot sizes priced per table access (key+value vs. value-only).
+HASH_SLOT_BYTES = 16
+GRID_SLOT_BYTES = 8
+
+#: Grid tables (even explicitly requested ones) fall back to hashmaps
+#: past this memory budget — mirroring the range-cropped spatial shapes
+#: real grid-based engines require.
+MAX_GRID_BYTES = 2 * 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every optimization knob of the engine.
+
+    Attributes:
+        name: label used in reports.
+        dtype: feature storage dtype (matmul runs in the same precision).
+        vectorized: vectorized (4-byte-per-thread) scatter/gather.
+        fused: fuse all gathers before matmul / scatters after.
+        locality_aware: input-/output-stationary movement order.
+        grouping: matmul strategy (``separate``/``symmetric``/``fixed``/
+            ``adaptive``).
+        epsilon, s_threshold: adaptive-grouping parameters used when no
+            tuned strategy book entry exists for a layer.
+        strategy_book: per-layer tuned ``(epsilon, S)`` (Algorithm 5).
+        map_backend: ``hash``, ``grid`` or ``auto`` (grid while affordable).
+        fused_downsample: fuse the 5-stage output-coordinate pipeline.
+        simplified_logic: simplified/unrolled map-search control flow.
+        use_map_symmetry: probe only half the offsets at stride 1.
+        fetch_on_demand_threshold: run the fetch-on-demand dataflow when
+            the layer's mean map size falls below this (MinkowskiEngine's
+            small-workload specialization); 0 disables it.
+    """
+
+    name: str = "torchsparse"
+    dtype: DType = DType.FP16
+    vectorized: bool = True
+    fused: bool = True
+    locality_aware: bool = True
+    grouping: str = "adaptive"
+    epsilon: float = 0.4
+    s_threshold: float = 65536.0
+    strategy_book: StrategyBook | None = None
+    map_backend: str = "auto"
+    fused_downsample: bool = True
+    simplified_logic: bool = True
+    use_map_symmetry: bool = True
+    fetch_on_demand_threshold: int = 0
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def torchsparse(cls, **overrides) -> "EngineConfig":
+        """The full TorchSparse system (all Section 4 optimizations)."""
+        return replace(cls(), **overrides) if overrides else cls()
+
+    @classmethod
+    def baseline(cls, **overrides) -> "EngineConfig":
+        """The paper's unoptimized FP32 reference design."""
+        cfg = cls(
+            name="baseline-fp32",
+            dtype=DType.FP32,
+            vectorized=False,
+            fused=False,
+            locality_aware=False,
+            grouping="separate",
+            map_backend="hash",
+            fused_downsample=False,
+            simplified_logic=False,
+            use_map_symmetry=False,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @property
+    def movement(self) -> MovementConfig:
+        return MovementConfig(
+            dtype=self.dtype,
+            vectorized=self.vectorized,
+            fused=self.fused,
+            locality_aware=self.locality_aware,
+        )
+
+
+class ExecutionContext:
+    """Per-input state: device, profile and the coordinate/map caches.
+
+    Create one context per point cloud (or reuse after :meth:`reset`).
+    """
+
+    def __init__(
+        self,
+        engine: "BaseEngine | None" = None,
+        device: GPUSpec = RTX_2080TI,
+        profile: Profile | None = None,
+    ):
+        self.engine = engine or TorchSparseEngine()
+        self.device = device
+        self.profile = profile if profile is not None else Profile()
+        self.coords_at_stride: dict[int, np.ndarray] = {}
+        self.index_at_stride: dict[int, CoordIndex] = {}
+        self.kmap_cache: dict[tuple, KernelMap] = {}
+        #: (layer_name, kernel_size, stride, c_in, c_out, map sizes) per
+        #: executed convolution — the tuner's training signal.
+        self.layer_workloads: list[tuple] = []
+
+    def reset(self) -> None:
+        """Drop caches and profiling for a fresh input."""
+        self.profile.clear()
+        self.coords_at_stride.clear()
+        self.index_at_stride.clear()
+        self.kmap_cache.clear()
+        self.layer_workloads.clear()
+
+    def register_coords(self, stride: int, coords: np.ndarray) -> None:
+        self.coords_at_stride.setdefault(stride, coords)
+
+
+@dataclass
+class BaseEngine:
+    """Configurable four-stage sparse convolution executor."""
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    # -- mapping helpers -----------------------------------------------------
+
+    def _choose_backend(self, coords: np.ndarray) -> str:
+        backend = self.config.map_backend
+        if backend == "hash":
+            return backend
+        if backend not in ("grid", "auto"):
+            raise ValueError(f"unknown map_backend {backend!r}")
+        c = coords.astype(np.int64)
+        if c.shape[0] == 0:
+            return "hash"
+        extent = c.max(axis=0) - c.min(axis=0) + 1
+        extent[1:] += 2  # probe margin
+        volume = int(np.prod(extent))
+        # Even a forced "grid" falls back to hash past the memory budget —
+        # the paper notes SpConv itself needed such changes "to avoid OOM
+        # in large-scale scenes" (Section 5.1).
+        return "grid" if volume * GRID_SLOT_BYTES <= MAX_GRID_BYTES else "hash"
+
+    def _mapping_instr(self) -> float:
+        return (
+            MAPPING_INSTR_SIMPLIFIED
+            if self.config.simplified_logic
+            else MAPPING_INSTR_BASELINE
+        )
+
+    def _price_table(self, index: CoordIndex, ctx: ExecutionContext, label: str):
+        """Convert a table's access counters into mapping-stage records."""
+        stats = index.stats
+        slot = (
+            GRID_SLOT_BYTES
+            if index.table.__class__.__name__ == "GridTable"
+            else HASH_SLOT_BYTES
+        )
+        accesses = stats.build_accesses + stats.query_accesses
+        t_mem = ctx.device.mem_time(accesses * slot, efficiency=0.5)
+        t_instr = accesses * self._mapping_instr()
+        ctx.profile.log(
+            label,
+            "mapping",
+            max(t_mem, t_instr) + ctx.device.launch_overhead,
+            bytes_moved=accesses * slot,
+        )
+        # reset so later reuse of the same table is not double-billed
+        stats.build_accesses = 0
+        stats.query_accesses = 0
+
+    def _get_index(
+        self, stride: int, coords: np.ndarray, ctx: ExecutionContext
+    ) -> CoordIndex:
+        index = ctx.index_at_stride.get(stride)
+        if index is None:
+            backend = self._choose_backend(coords)
+            index = CoordIndex.build(coords, backend=backend, margin=2)
+            ctx.index_at_stride[stride] = index
+            self._price_table(index, ctx, f"table.build.s{stride}.{backend}")
+        return index
+
+    def _get_kmap(
+        self,
+        x: SparseTensor,
+        out_coords: np.ndarray,
+        out_stride: int,
+        kernel_size: int,
+        stride: int,
+        ctx: ExecutionContext,
+    ) -> KernelMap:
+        key = (x.stride, out_stride, kernel_size)
+        kmap = ctx.kmap_cache.get(key)
+        if kmap is not None:
+            return kmap
+        index = self._get_index(x.stride, x.coords, ctx)
+        kmap = build_kmap(
+            x.coords,
+            index,
+            out_coords,
+            kernel_size,
+            stride=stride,
+            use_symmetry=self.config.use_map_symmetry,
+        )
+        self._price_table(index, ctx, f"kmap.search.k{kernel_size}.s{stride}")
+        self._price_map_write(kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}")
+        ctx.kmap_cache[key] = kmap
+        return kmap
+
+    def _price_map_write(self, kmap: KernelMap, ctx: ExecutionContext, label: str):
+        """Writing the searched map entries to DRAM.
+
+        Every entry is an (input index, output index) pair written once;
+        mirrored entries (symmetry path) additionally re-read their
+        source entry.  This cost does not shrink with symmetry, which is
+        what bounds the paper's symmetry gain to ~1.1x.
+        """
+        entry_bytes = kmap.total * 8 + kmap.mirrored_entries * 8
+        instr = (kmap.total + kmap.mirrored_entries) * self._mapping_instr()
+        ctx.profile.log(
+            label,
+            "mapping",
+            max(ctx.device.mem_time(entry_bytes, efficiency=0.7), instr),
+            bytes_moved=entry_bytes,
+        )
+
+    # -- the public op -------------------------------------------------------
+
+    def convolution(
+        self,
+        x: SparseTensor,
+        weights: np.ndarray,
+        ctx: ExecutionContext,
+        kernel_size: int = 3,
+        stride: int = 1,
+        transposed: bool = False,
+        bias: np.ndarray | None = None,
+        layer_name: str = "",
+    ) -> SparseTensor:
+        """One sparse convolution under this engine's configuration.
+
+        ``stride > 1`` with ``transposed=False`` downsamples (output
+        stride multiplies); ``transposed=True`` upsamples back onto the
+        cached coordinates of the finer level, reusing the cached kernel
+        map of the corresponding downsampling convolution.
+        """
+        if x.num_points == 0:
+            raise ValueError("cannot convolve an empty tensor")
+        ctx.register_coords(x.stride, x.coords)
+
+        stride = normalize(stride)
+        kernel_size = normalize(kernel_size)
+        if transposed:
+            return self._transposed(
+                x, weights, ctx, kernel_size, stride, bias, layer_name
+            )
+
+        if stride == 1:
+            out_coords, out_stride = x.coords, x.stride
+        else:
+            out_stride = normalize(
+                tuple(
+                    a * b
+                    for a, b in zip(to_tuple(x.stride), to_tuple(stride))
+                )
+            )
+            cached = ctx.coords_at_stride.get(out_stride)
+            if cached is not None:
+                out_coords = cached
+            else:
+                out_coords, ds_cost = downsample_coords(
+                    x.coords, kernel_size, stride
+                )
+                fused = self.config.fused_downsample
+                ctx.profile.log(
+                    f"downsample.coords.s{stride}",
+                    "mapping",
+                    ctx.device.mem_time(ds_cost.total_bytes(fused), efficiency=0.7)
+                    + ds_cost.launches(fused) * ctx.device.launch_overhead,
+                    bytes_moved=ds_cost.total_bytes(fused),
+                    launches=ds_cost.launches(fused),
+                )
+                ctx.register_coords(out_stride, out_coords)
+
+        kmap = self._get_kmap(x, out_coords, out_stride, kernel_size, stride, ctx)
+        feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+        if bias is not None:
+            feats = feats + bias.astype(np.float32)
+        return SparseTensor(out_coords, feats, stride=out_stride)
+
+    def _transposed(
+        self,
+        x: SparseTensor,
+        weights: np.ndarray,
+        ctx: ExecutionContext,
+        kernel_size: int,
+        stride: int,
+        bias: np.ndarray | None,
+        layer_name: str,
+    ) -> SparseTensor:
+        s3 = to_tuple(stride, name="stride")
+        if all(si == 1 for si in s3) or any(si < 1 for si in s3):
+            raise ValueError("transposed convolution requires stride > 1")
+        x3 = to_tuple(x.stride, name="stride")
+        if any(a % b for a, b in zip(x3, s3)):
+            raise ValueError(
+                f"cannot upsample stride {x.stride} by factor {stride}"
+            )
+        fine_stride = normalize(tuple(a // b for a, b in zip(x3, s3)))
+        fine_coords = ctx.coords_at_stride.get(fine_stride)
+        if fine_coords is None:
+            raise ValueError(
+                f"no cached coordinates at stride {fine_stride}; transposed "
+                "convolutions must mirror an earlier downsampling layer"
+            )
+        key = (fine_stride, x.stride, kernel_size)
+        fwd = ctx.kmap_cache.get(key)
+        if fwd is None:
+            index = self._get_index(fine_stride, fine_coords, ctx)
+            fwd = build_kmap(
+                fine_coords,
+                index,
+                x.coords,
+                kernel_size,
+                stride=stride,
+                use_symmetry=False,
+            )
+            self._price_table(index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}")
+            self._price_map_write(fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}")
+            ctx.kmap_cache[key] = fwd
+        kmap = fwd.transposed()
+        feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+        if bias is not None:
+            feats = feats + bias.astype(np.float32)
+        return SparseTensor(fine_coords, feats, stride=fine_stride)
+
+    # -- dataflow dispatch -----------------------------------------------------
+
+    def _run_dataflow(
+        self,
+        feats: np.ndarray,
+        weights: np.ndarray,
+        kmap: KernelMap,
+        ctx: ExecutionContext,
+        layer_name: str,
+    ) -> np.ndarray:
+        cfg = self.config
+        ctx.layer_workloads.append(
+            (
+                layer_name,
+                kmap.kernel_size,
+                kmap.stride,
+                weights.shape[1],
+                weights.shape[2],
+                tuple(int(s) for s in kmap.sizes),
+            )
+        )
+        mean_map = kmap.total / max(1, kmap.volume)
+        if (
+            cfg.fetch_on_demand_threshold > 0
+            and mean_map < cfg.fetch_on_demand_threshold
+            and self._fetch_on_demand_wins(kmap, weights, ctx.device)
+        ):
+            return execute_fetch_on_demand(
+                feats, weights, kmap, ctx.device, ctx.profile, dtype=cfg.dtype
+            )
+
+        eps, s_thr = cfg.epsilon, cfg.s_threshold
+        if cfg.strategy_book is not None and layer_name:
+            tuned = cfg.strategy_book.get(layer_name)
+            if tuned is not None:
+                eps, s_thr = tuned.epsilon, tuned.s_threshold
+        skip_center = kmap.is_submanifold
+        plan = make_plan(
+            cfg.grouping,
+            kmap.sizes,
+            kmap.kernel_size,
+            kmap.stride,
+            epsilon=eps,
+            s_threshold=s_thr if not math.isnan(s_thr) else math.inf,
+        )
+        return execute_gather_matmul_scatter(
+            feats,
+            weights,
+            kmap,
+            plan,
+            cfg.movement,
+            ctx.device,
+            ctx.profile,
+            skip_center=skip_center,
+        )
+
+    def pooling(
+        self,
+        x: SparseTensor,
+        ctx: ExecutionContext,
+        kernel_size=2,
+        stride=2,
+        mode: str = "max",
+    ) -> SparseTensor:
+        """Sparse pooling: reduce each output's kernel window.
+
+        Shares the convolution's mapping machinery (output coordinates,
+        kernel maps, caches); data movement is priced like a gather +
+        scatter with no matmul.
+
+        Args:
+            mode: ``"max"`` or ``"avg"`` over the *present* inputs of
+                each window (absent voxels are skipped, not zero-filled).
+        """
+        if mode not in ("max", "avg"):
+            raise ValueError(f"unknown pooling mode {mode!r}")
+        if x.num_points == 0:
+            raise ValueError("cannot pool an empty tensor")
+        stride = normalize(stride)
+        kernel_size = normalize(kernel_size)
+        ctx.register_coords(x.stride, x.coords)
+        if stride == 1:
+            out_coords, out_stride = x.coords, x.stride
+        else:
+            out_stride = normalize(
+                tuple(
+                    a * b for a, b in zip(to_tuple(x.stride), to_tuple(stride))
+                )
+            )
+            cached = ctx.coords_at_stride.get(out_stride)
+            if cached is not None:
+                out_coords = cached
+            else:
+                out_coords, ds_cost = downsample_coords(x.coords, kernel_size, stride)
+                fused = self.config.fused_downsample
+                ctx.profile.log(
+                    f"pool.downsample.coords.s{stride}",
+                    "mapping",
+                    ctx.device.mem_time(ds_cost.total_bytes(fused), efficiency=0.7)
+                    + ds_cost.launches(fused) * ctx.device.launch_overhead,
+                    bytes_moved=ds_cost.total_bytes(fused),
+                    launches=ds_cost.launches(fused),
+                )
+                ctx.register_coords(out_stride, out_coords)
+        kmap = self._get_kmap(x, out_coords, out_stride, kernel_size, stride, ctx)
+
+        c = x.num_channels
+        if mode == "max":
+            acc = np.full((kmap.n_out, c), -np.inf, dtype=np.float32)
+        else:
+            acc = np.zeros((kmap.n_out, c), dtype=np.float32)
+            counts = np.zeros(kmap.n_out, dtype=np.int64)
+        for n in range(kmap.volume):
+            i, o = kmap.in_indices[n], kmap.out_indices[n]
+            if not len(i):
+                continue
+            if mode == "max":
+                np.maximum.at(acc, o, x.feats[i])
+            else:
+                acc[o] += x.feats[i]
+                counts[o] += 1
+        if mode == "max":
+            acc[np.isneginf(acc)] = 0.0
+        else:
+            acc[counts > 0] /= counts[counts > 0, None]
+
+        from repro.core.dataflow import gather_record, scatter_record
+
+        ctx.profile.add(
+            gather_record(kmap, c, self.config.movement, ctx.device, False)
+        )
+        ctx.profile.add(
+            scatter_record(kmap, c, self.config.movement, ctx.device, False)
+        )
+        return SparseTensor(out_coords, acc, stride=out_stride)
+
+    def _fetch_on_demand_wins(
+        self, kmap: KernelMap, weights: np.ndarray, device: GPUSpec
+    ) -> bool:
+        """Cost comparison backing the small-workload dispatch.
+
+        Fetch-on-demand skips the staging buffers but runs its math as
+        unbatched dot products; whether that trade wins depends on both
+        map sizes and channel widths, so the dispatch estimates both
+        paths with the same models used for pricing.
+        """
+        from repro.core.dataflow import (
+            fetch_on_demand_cost,
+            gather_record,
+            scatter_record,
+        )
+        from repro.gpu.gemm import sequential_cost
+
+        c_in, c_out = weights.shape[1], weights.shape[2]
+        cfg = self.config
+        fod = fetch_on_demand_cost(kmap, c_in, c_out, cfg.dtype, device)
+        skip = kmap.is_submanifold
+        active = [s for s in kmap.sizes if s > 0]
+        gms = (
+            gather_record(kmap, c_in, cfg.movement, device, skip).time
+            + scatter_record(kmap, c_out, cfg.movement, device, skip).time
+            + sequential_cost(active, c_in, c_out, cfg.dtype, device).time
+        )
+        return fod < gms
+
+    # -- pointwise pricing helper ---------------------------------------------
+
+    def pointwise(
+        self,
+        x: SparseTensor,
+        feats: np.ndarray,
+        ctx: ExecutionContext,
+        name: str,
+        reads: int = 1,
+        writes: int = 1,
+    ) -> SparseTensor:
+        """Wrap an elementwise feature transform with an 'other'-stage cost."""
+        nbytes = (reads + writes) * x.num_points * x.num_channels * self.config.dtype.nbytes
+        ctx.profile.log(
+            name,
+            "other",
+            ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
+            bytes_moved=nbytes,
+        )
+        return x.replace_feats(feats)
+
+
+class TorchSparseEngine(BaseEngine):
+    """The paper's system: all optimizations enabled by default."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        super().__init__(config=config or EngineConfig.torchsparse())
+
+
+class BaselineEngine(BaseEngine):
+    """The unoptimized FP32 design TorchSparse is ablated against."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        super().__init__(config=config or EngineConfig.baseline())

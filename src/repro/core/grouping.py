@@ -1,0 +1,286 @@
+"""Matrix-multiplication grouping strategies (Section 4.2, Figure 6).
+
+The per-offset kernel maps of one layer have wildly different sizes, so
+running one GEMM per offset ("separate") under-utilizes the device.
+The strategies here partition the offsets into groups; each group is
+either batched into one padded ``bmm`` (regular, but pays padding FLOPs)
+or executed as per-member ``mm`` calls:
+
+* ``separate``  — one group per offset, always ``mm`` (Figure 6b);
+* ``symmetric`` — stride-1 odd kernels pair offset ``delta`` with
+  ``-delta`` (their maps provably have equal size), batch size 2;
+* ``fixed``     — the handcrafted 3-group split (Figure 6c);
+* ``adaptive``  — Algorithm 4: scan offsets, open a new group whenever
+  the padding-waste ratio ``1 - n_min/n_max`` would exceed ``epsilon``,
+  then pick ``bmm`` vs ``mm`` per group with the workload threshold
+  ``S``.
+
+The stride-1 center offset never appears in any group: it needs no data
+movement and is executed as one dense ``mm`` over all points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.kernel import (
+    center_offset_index,
+    is_all_odd,
+    normalize,
+    opposite_offset_index,
+)
+from repro.gpu.device import GPUSpec
+from repro.gpu.gemm import GemmCost, bmm_cost, sequential_cost
+from repro.gpu.memory import DType
+
+STRATEGIES = ("separate", "symmetric", "fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class Group:
+    """One matmul group: the offset indices batched together."""
+
+    members: tuple
+    use_bmm: bool
+
+
+@dataclass(frozen=True)
+class GroupingPlan:
+    """A full partition of a layer's non-center offsets."""
+
+    groups: tuple
+    strategy: str
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def member_offsets(self) -> list:
+        out: list = []
+        for g in self.groups:
+            out.extend(g.members)
+        return out
+
+    def validate(self, volume: int, center: int | None) -> None:
+        """Each non-center, non-empty offset appears exactly once."""
+        seen = self.member_offsets()
+        if len(seen) != len(set(seen)):
+            raise ValueError("an offset appears in more than one group")
+        for n in seen:
+            if n == center or not (0 <= n < volume):
+                raise ValueError(f"invalid offset {n} in plan")
+
+
+def _active(sizes: np.ndarray, center: int | None) -> list:
+    """Offsets with non-empty maps, excluding the stride-1 center."""
+    return [
+        n for n, s in enumerate(sizes) if s > 0 and n != center
+    ]
+
+
+def plan_separate(sizes: np.ndarray, center: int | None) -> GroupingPlan:
+    """One ``mm`` per offset — the existing-library baseline."""
+    groups = tuple(Group((n,), use_bmm=False) for n in _active(sizes, center))
+    return GroupingPlan(groups=groups, strategy="separate")
+
+
+def plan_symmetric(
+    sizes: np.ndarray, center: int | None, kernel_size
+) -> GroupingPlan:
+    """Pair each offset with its negation (batch size 2).
+
+    Only valid at stride 1 with all-odd kernels, where ``|M[delta]| ==
+    |M[-delta]|`` (Section 4.2.1) so the pair pads nothing.
+    """
+    if not is_all_odd(kernel_size):
+        raise ValueError("symmetric grouping needs an all-odd kernel")
+    active = set(_active(sizes, center))
+    groups = []
+    done = set()
+    for n in sorted(active):
+        if n in done:
+            continue
+        opp = opposite_offset_index(n, kernel_size)
+        if opp in active and opp != n:
+            groups.append(Group((n, opp), use_bmm=True))
+            done.update((n, opp))
+        else:
+            groups.append(Group((n,), use_bmm=False))
+            done.add(n)
+    return GroupingPlan(groups=tuple(groups), strategy="symmetric")
+
+
+def plan_fixed(
+    sizes: np.ndarray, center: int | None, kernel_size, downsample: bool
+) -> GroupingPlan:
+    """The handcrafted 3-group strategy (Figure 6c).
+
+    Submanifold layers: ``{W_0..W_3}`` + their symmetric partners in one
+    group, all remaining non-center offsets in a second.  Downsampling
+    layers: everything in a single batch (their maps are near-uniform).
+    """
+    active = _active(sizes, center)
+    if not active:
+        return GroupingPlan(groups=(), strategy="fixed")
+    if downsample or not is_all_odd(kernel_size):
+        return GroupingPlan(
+            groups=(Group(tuple(active), use_bmm=True),), strategy="fixed"
+        )
+    vol = len(sizes)
+    first = {n for n in range(min(4, vol))}
+    first |= {opposite_offset_index(n, kernel_size) for n in range(min(4, vol))}
+    g1 = tuple(n for n in active if n in first)
+    g2 = tuple(n for n in active if n not in first)
+    groups = tuple(
+        Group(g, use_bmm=True) for g in (g1, g2) if g
+    )
+    return GroupingPlan(groups=groups, strategy="fixed")
+
+
+def partition_adaptive(
+    sizes: np.ndarray,
+    epsilon: float,
+    center: int | None,
+    kernel_size,
+    symmetric: bool,
+) -> list:
+    """Algorithm 4's scan: contiguous groups bounded by padding waste.
+
+    Scans offsets in index order (pairs of symmetric offsets move as one
+    item when ``symmetric``), tracking the running ``n_min``/``n_max``;
+    a new group opens when ``1 - n_min/n_max > epsilon``.
+    Empty-map offsets are skipped entirely.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError("epsilon must be in [0, 1]")
+    vol = len(sizes)
+    if symmetric and is_all_odd(kernel_size):
+        half = [n for n in range(vol // 2)]
+        items = [
+            (n, opposite_offset_index(n, kernel_size)) for n in half
+        ]
+    else:
+        items = [(n,) for n in range(vol) if n != center]
+
+    items = [
+        it for it in items if any(sizes[m] > 0 and m != center for m in it)
+    ]
+    groups: list = []
+    cur: list = []
+    n_min = n_max = 0
+    for it in items:
+        size = max(int(sizes[m]) for m in it)
+        if not cur:
+            cur = [it]
+            n_min = n_max = size
+            continue
+        lo, hi = min(n_min, size), max(n_max, size)
+        if hi and 1 - lo / hi <= epsilon:
+            cur.append(it)
+            n_min, n_max = lo, hi
+        else:
+            groups.append(cur)
+            cur = [it]
+            n_min = n_max = size
+    if cur:
+        groups.append(cur)
+
+    flat_groups = []
+    for g in groups:
+        members = tuple(
+            m for it in g for m in it if sizes[m] > 0 and m != center
+        )
+        if members:
+            flat_groups.append(members)
+    return flat_groups
+
+
+def plan_adaptive(
+    sizes: np.ndarray,
+    center: int | None,
+    kernel_size,
+    symmetric: bool,
+    epsilon: float,
+    s_threshold: float,
+) -> GroupingPlan:
+    """Algorithm 4 in full: partition by ``epsilon``, decide ``bmm`` vs
+    ``mm`` per group by the workload threshold ``S``."""
+    partitions = partition_adaptive(sizes, epsilon, center, kernel_size, symmetric)
+    groups = []
+    for members in partitions:
+        n_max = max(int(sizes[m]) for m in members)
+        use_bmm = len(members) > 1 and n_max < s_threshold
+        groups.append(Group(members, use_bmm=use_bmm))
+    return GroupingPlan(groups=tuple(groups), strategy="adaptive")
+
+
+def make_plan(
+    strategy: str,
+    sizes: np.ndarray,
+    kernel_size,
+    stride,
+    epsilon: float = 0.5,
+    s_threshold: float = math.inf,
+) -> GroupingPlan:
+    """Build a plan for one layer's map sizes under a named strategy.
+
+    ``kernel_size`` and ``stride`` accept ints or per-axis tuples.
+    """
+    stride = normalize(stride)
+    submanifold = stride == 1 and is_all_odd(kernel_size)
+    center = center_offset_index(kernel_size) if submanifold else None
+    symmetric_ok = submanifold
+    if strategy == "separate":
+        return plan_separate(sizes, center)
+    if strategy == "symmetric":
+        if not symmetric_ok:
+            return plan_separate(sizes, center)
+        return plan_symmetric(sizes, center, kernel_size)
+    if strategy == "fixed":
+        return plan_fixed(sizes, center, kernel_size, downsample=not submanifold)
+    if strategy == "adaptive":
+        return plan_adaptive(
+            sizes, center, kernel_size, symmetric_ok, epsilon, s_threshold
+        )
+    raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+
+
+def plan_matmul_cost(
+    plan: GroupingPlan,
+    sizes: Sequence[int],
+    c_in: int,
+    c_out: int,
+    dtype: DType,
+    device: GPUSpec,
+) -> GemmCost:
+    """Total GEMM cost of executing a plan on given map sizes.
+
+    This is the cost function ``f`` of Algorithm 5 for the matmul stage;
+    the tuner minimizes it over ``(epsilon, S)``.
+    """
+    total_t = total_f = total_useful = total_b = 0.0
+    launches = 0
+    for g in plan.groups:
+        member_sizes = [int(sizes[m]) for m in g.members]
+        if g.use_bmm:
+            c = bmm_cost(member_sizes, c_in, c_out, dtype, device)
+        else:
+            c = sequential_cost(member_sizes, c_in, c_out, dtype, device)
+        total_t += c.time
+        total_f += c.flops
+        total_useful += c.useful_flops
+        total_b += c.bytes_moved
+        launches += c.launches
+    peak = device.math_throughput(dtype)
+    return GemmCost(
+        time=total_t,
+        flops=total_f,
+        useful_flops=total_useful,
+        bytes_moved=total_b,
+        launches=launches,
+        utilization=total_f / total_t / peak if total_t else 0.0,
+    )

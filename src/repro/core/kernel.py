@@ -1,0 +1,104 @@
+"""Kernel offset enumeration.
+
+The weight tensor of a sparse convolution with kernel size ``K`` in
+``D=3`` dimensions splits into ``K^3`` matrices, one per offset in
+``Delta^3(K)`` (Section 2).  Offsets are enumerated lexicographically,
+which gives the symmetry the paper exploits for free: for odd ``K`` the
+offset at index ``n`` is the negation of the offset at index
+``K^3 - 1 - n``, and the center ``(0,0,0)`` sits at index
+``(K^3 - 1) // 2``.
+
+Odd kernel axes use centered offsets ``{-(K-1)/2, ..., (K-1)/2}``; even
+axes (the classic ``K=2, s=2`` downsampler) use ``{0, ..., K-1}``.
+
+Kernel sizes and strides may be **anisotropic**: anywhere an ``int`` is
+accepted, a length-``ndim`` tuple works too (e.g. the ``(3, 3, 1)``
+kernels and ``(1, 1, 2)`` z-only strides of detection backbones).  The
+symmetry identities require every axis to be odd.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def to_tuple(value, ndim: int = 3, name: str = "kernel_size") -> tuple:
+    """Normalize an int-or-sequence size/stride to a length-ndim tuple."""
+    if isinstance(value, (int, np.integer)):
+        return (int(value),) * ndim
+    out = tuple(int(v) for v in value)
+    if len(out) != ndim:
+        raise ValueError(f"{name} must have {ndim} entries, got {out}")
+    return out
+
+
+def normalize(value, ndim: int = 3):
+    """Collapse an isotropic tuple back to an int (canonical form for
+    cache keys and equality with plain-int call sites)."""
+    t = to_tuple(value, ndim)
+    return t[0] if all(v == t[0] for v in t) else t
+
+
+def kernel_range(kernel_size: int) -> np.ndarray:
+    """Per-axis offset values for one axis size."""
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be >= 1")
+    if kernel_size % 2:
+        half = kernel_size // 2
+        return np.arange(-half, half + 1, dtype=np.int32)
+    return np.arange(kernel_size, dtype=np.int32)
+
+
+def kernel_offsets(kernel_size, ndim: int = 3) -> np.ndarray:
+    """All ``prod(K)`` offsets, shape ``(prod(K), ndim)``.
+
+    Lexicographic order over the per-axis ranges (first axis slowest),
+    matching the weight-index order used throughout the engine.
+    """
+    sizes = to_tuple(kernel_size, ndim)
+    grids = np.meshgrid(*[kernel_range(k) for k in sizes], indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1).astype(np.int32)
+
+
+def kernel_volume(kernel_size, ndim: int = 3) -> int:
+    """``prod(kernel_size)`` over the axes."""
+    return int(math.prod(to_tuple(kernel_size, ndim)))
+
+
+def is_all_odd(kernel_size, ndim: int = 3) -> bool:
+    """Every axis odd — the precondition for the symmetry identities."""
+    return all(k % 2 == 1 for k in to_tuple(kernel_size, ndim))
+
+
+def center_offset_index(kernel_size, ndim: int = 3) -> int | None:
+    """Index of the ``(0, ..., 0)`` offset, or ``None`` unless every
+    axis is odd."""
+    if not is_all_odd(kernel_size, ndim):
+        return None
+    return (kernel_volume(kernel_size, ndim) - 1) // 2
+
+
+def opposite_offset_index(n: int, kernel_size, ndim: int = 3) -> int:
+    """Index of the negated offset (all-odd kernels only).
+
+    Each axis range is symmetric, so reversing the flattened
+    lexicographic index negates every coordinate: the opposite of ``n``
+    is ``prod(K) - 1 - n`` — the identity behind symmetric grouping
+    (Section 4.2.1).
+    """
+    if not is_all_odd(kernel_size, ndim):
+        raise ValueError("kernels with an even axis have no symmetric offsets")
+    return kernel_volume(kernel_size, ndim) - 1 - n
+
+
+def is_symmetric_enumeration(kernel_size, ndim: int = 3) -> bool:
+    """True when offset ``n`` negates offset ``prod(K) - 1 - n``.
+
+    Verified property used by tests; holds whenever every axis is odd.
+    """
+    if not is_all_odd(kernel_size, ndim):
+        return False
+    offs = kernel_offsets(kernel_size, ndim)
+    return bool(np.array_equal(offs, -offs[::-1]))

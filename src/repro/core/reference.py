@@ -1,0 +1,84 @@
+"""Slow, obviously-correct reference implementations.
+
+These are the gold standards the optimized engine is validated against
+(the pattern the scikit-learn performance guide recommends: keep the
+easy-to-debug Python version around and test the fast path against it).
+
+* :func:`sparse_conv_reference` — literal Equation 1 with a Python dict.
+* :func:`dense_conv3d_reference` — materialize a dense volume, run a
+  dense 3D convolution, and read results back at the output coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import kernel_offsets
+
+
+def sparse_conv_reference(
+    in_coords: np.ndarray,
+    feats: np.ndarray,
+    weights: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Equation 1, literally: for every output q and offset delta, look
+    up the input at ``s*q + delta`` and accumulate ``x @ W_delta``."""
+    offsets = kernel_offsets(kernel_size)
+    table = {
+        tuple(int(v) for v in c): j
+        for j, c in enumerate(np.asarray(in_coords, dtype=np.int64))
+    }
+    c_out = weights.shape[2]
+    out = np.zeros((len(out_coords), c_out), dtype=np.float64)
+    for k, q in enumerate(np.asarray(out_coords, dtype=np.int64)):
+        for n, d in enumerate(offsets):
+            r = (int(q[0]), int(q[1] * stride + d[0]), int(q[2] * stride + d[1]),
+                 int(q[3] * stride + d[2]))
+            j = table.get(r)
+            if j is not None:
+                out[k] += feats[j].astype(np.float64) @ weights[n].astype(np.float64)
+    return out.astype(np.float32)
+
+
+def dense_conv3d_reference(
+    in_coords: np.ndarray,
+    feats: np.ndarray,
+    weights: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Dense-volume cross-check for small extents.
+
+    Scatters features into a dense ``(X, Y, Z, C)`` grid, evaluates the
+    convolution sum directly with array slicing, and samples the result
+    at the requested output coordinates.  Only batch 0 is supported
+    (tests slice batches beforehand).
+    """
+    in_coords = np.asarray(in_coords, dtype=np.int64)
+    out_coords = np.asarray(out_coords, dtype=np.int64)
+    if in_coords.size and in_coords[:, 0].max() > 0:
+        raise ValueError("dense reference supports a single batch element")
+    offsets = kernel_offsets(kernel_size)
+    c_in, c_out = weights.shape[1], weights.shape[2]
+
+    lo = in_coords[:, 1:].min(axis=0)
+    hi = in_coords[:, 1:].max(axis=0)
+    shape = hi - lo + 1
+    vol = np.zeros((*shape, c_in), dtype=np.float64)
+    rel = in_coords[:, 1:] - lo
+    vol[rel[:, 0], rel[:, 1], rel[:, 2]] = feats
+
+    out = np.zeros((len(out_coords), c_out), dtype=np.float64)
+    for n, d in enumerate(offsets):
+        # input position probed for each output: s*q + d (in grid units)
+        probe = out_coords[:, 1:] * stride + d - lo
+        ok = ((probe >= 0) & (probe < shape)).all(axis=1)
+        if not ok.any():
+            continue
+        p = probe[ok]
+        out[ok] += vol[p[:, 0], p[:, 1], p[:, 2]] @ weights[n].astype(np.float64)
+    return out.astype(np.float32)

@@ -1,0 +1,142 @@
+"""The sparse tensor container.
+
+A :class:`SparseTensor` pairs integer voxel coordinates with per-voxel
+feature rows, mirroring ``torchsparse.SparseTensor``.  Unlike SpConv or
+MinkowskiEngine, users never supply ``indice_key`` / ``spatial_shape`` /
+``coordinate_manager`` arguments (a usability point Section 4.1 makes);
+stride bookkeeping and map caching live in the execution context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hashmap.coords import pack_coords
+
+
+@dataclass
+class SparseTensor:
+    """Coordinates + features of an active-voxel set.
+
+    Attributes:
+        coords: ``(N, 4)`` ``int32`` rows of ``(batch, x, y, z)``; rows
+            must be unique (one feature row per active voxel).
+        feats: ``(N, C)`` float features.
+        stride: the tensor's voxel stride relative to the original
+            voxelization (doubles at every downsampling convolution);
+            an int when isotropic, a per-axis tuple otherwise.
+    """
+
+    coords: np.ndarray
+    feats: np.ndarray
+    stride: object = 1
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.coords = np.ascontiguousarray(self.coords, dtype=np.int32)
+        self.feats = np.ascontiguousarray(np.asarray(self.feats))
+        if self.feats.dtype not in (np.float32, np.float16, np.float64):
+            self.feats = self.feats.astype(np.float32)
+        if self.coords.ndim != 2 or self.coords.shape[1] != 4:
+            raise ValueError(f"coords must be (N, 4), got {self.coords.shape}")
+        if self.feats.ndim != 2:
+            raise ValueError(f"feats must be (N, C), got {self.feats.shape}")
+        if self.coords.shape[0] != self.feats.shape[0]:
+            raise ValueError(
+                f"coords ({self.coords.shape[0]}) and feats "
+                f"({self.feats.shape[0]}) disagree on N"
+            )
+        from repro.core.kernel import normalize, to_tuple
+
+        self.stride = normalize(self.stride)
+        if any(s < 1 for s in to_tuple(self.stride, name="stride")):
+            raise ValueError("stride must be >= 1")
+
+    def validate_unique(self) -> None:
+        """Assert coordinate rows are unique (O(N log N); opt-in)."""
+        if self._validated or self.num_points == 0:
+            return
+        keys = pack_coords(self.coords)
+        if np.unique(keys).shape[0] != keys.shape[0]:
+            raise ValueError("SparseTensor coordinates contain duplicates")
+        self._validated = True
+
+    # -- shape accessors -------------------------------------------------
+
+    @property
+    def num_points(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.feats.shape[1])
+
+    @property
+    def batch_size(self) -> int:
+        if self.num_points == 0:
+            return 0
+        return int(self.coords[:, 0].max()) + 1
+
+    # -- functional helpers ------------------------------------------------
+
+    def replace_feats(self, feats: np.ndarray) -> "SparseTensor":
+        """Same coordinates, new features (pointwise ops use this)."""
+        return SparseTensor(self.coords, feats, stride=self.stride)
+
+    def batch_slice(self, b: int) -> "SparseTensor":
+        """Extract one batch element (stride preserved)."""
+        mask = self.coords[:, 0] == b
+        return SparseTensor(self.coords[mask], self.feats[mask], stride=self.stride)
+
+    def dense(
+        self, origin: np.ndarray | None = None, shape: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize a dense ``(B, X, Y, Z, C)`` volume.
+
+        Returns ``(volume, origin)`` where ``origin`` is the spatial
+        lower bound used.  Only suitable for tests and BEV projection
+        of already-coarse tensors — it is exponential in extent.
+        """
+        if self.num_points == 0:
+            raise ValueError("cannot densify an empty tensor")
+        c = self.coords.astype(np.int64)
+        if origin is None:
+            origin = np.array([0, *c[:, 1:].min(axis=0)], dtype=np.int64)
+        origin = np.asarray(origin, dtype=np.int64)
+        rel = c - origin
+        if shape is None:
+            shape = rel.max(axis=0) + 1
+            shape[0] = self.batch_size
+        shape = np.asarray(shape, dtype=np.int64)
+        vol = np.zeros((*shape, self.num_channels), dtype=self.feats.dtype)
+        vol[rel[:, 0], rel[:, 1], rel[:, 2], rel[:, 3]] = self.feats
+        return vol, origin
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseTensor(n={self.num_points}, c={self.num_channels}, "
+            f"stride={self.stride})"
+        )
+
+
+def cat(tensors: list[SparseTensor]) -> SparseTensor:
+    """Concatenate feature channels of tensors sharing coordinates.
+
+    Used for U-Net skip connections.  Coordinates must match row-for-row
+    (the engine guarantees this when the decoder upsamples back onto a
+    cached coordinate set).
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor")
+    first = tensors[0]
+    for t in tensors[1:]:
+        if t.stride != first.stride:
+            raise ValueError("cannot cat tensors with different strides")
+        if t.coords.shape != first.coords.shape or not np.array_equal(
+            t.coords, first.coords
+        ):
+            raise ValueError("cat requires identical coordinate rows")
+    feats = np.concatenate([t.feats for t in tensors], axis=1)
+    return SparseTensor(first.coords, feats, stride=first.stride)

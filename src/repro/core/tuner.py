@@ -1,0 +1,162 @@
+"""Adaptive group search (Algorithm 5).
+
+For every layer the tuner grid-searches the redundant-computation
+tolerance ``epsilon`` and the ``mm``/``bmm`` workload threshold ``S``
+over a sample of real workloads (map-size vectors collected from ~100
+inputs in the paper; configurable here), minimizing the modeled matmul
+latency.  The resulting per-layer :class:`LayerStrategy` is stored in a
+:class:`StrategyBook`, keyed by layer name — this is the artifact that
+the paper's Table 1 shows is dataset-, model- and hardware-specific.
+
+Even with ``(epsilon, S)`` fixed, the emitted *plan* is still
+input-adaptive: group boundaries are recomputed from each sample's map
+sizes (Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.grouping import make_plan, plan_matmul_cost
+from repro.gpu.device import GPUSpec
+from repro.gpu.memory import DType
+
+#: Default search space: ~11 epsilon values x 8 thresholds < 1000 configs,
+#: matching the paper's "around 1,000 configurations" note.  The space
+#: covers the degenerate corners Section 4.2.3 lists: separate (S = 0),
+#: symmetric (eps = 0, S = inf) and dense-like (eps = 1, S = inf).
+DEFAULT_EPSILONS = tuple(round(float(e), 2) for e in np.linspace(0.0, 1.0, 11))
+DEFAULT_THRESHOLDS = (0.0, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, math.inf)
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """One layer's matmul shape plus sampled map-size vectors."""
+
+    name: str
+    kernel_size: int
+    stride: int
+    c_in: int
+    c_out: int
+    samples: tuple  # tuple of per-offset size tuples
+
+
+@dataclass(frozen=True)
+class LayerStrategy:
+    """Tuned ``(epsilon, S)`` for one layer."""
+
+    epsilon: float
+    s_threshold: float
+    expected_time: float = 0.0
+
+    def to_json(self) -> dict:
+        s = self.s_threshold
+        return {
+            "epsilon": self.epsilon,
+            "s_threshold": "inf" if math.isinf(s) else s,
+            "expected_time": self.expected_time,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "LayerStrategy":
+        s = d["s_threshold"]
+        return cls(
+            epsilon=float(d["epsilon"]),
+            s_threshold=math.inf if s == "inf" else float(s),
+            expected_time=float(d.get("expected_time", 0.0)),
+        )
+
+
+@dataclass
+class StrategyBook:
+    """Per-layer tuned strategies for one (model, dataset, device) triple."""
+
+    device_name: str = ""
+    layers: dict = field(default_factory=dict)
+
+    def get(self, layer_name: str) -> LayerStrategy | None:
+        return self.layers.get(layer_name)
+
+    def set(self, layer_name: str, strategy: LayerStrategy) -> None:
+        self.layers[layer_name] = strategy
+
+    def dumps(self) -> str:
+        return json.dumps(
+            {
+                "device": self.device_name,
+                "layers": {k: v.to_json() for k, v in self.layers.items()},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "StrategyBook":
+        d = json.loads(text)
+        book = cls(device_name=d.get("device", ""))
+        for k, v in d.get("layers", {}).items():
+            book.set(k, LayerStrategy.from_json(v))
+        return book
+
+
+def evaluate_config(
+    workload: LayerWorkload,
+    epsilon: float,
+    s_threshold: float,
+    dtype: DType,
+    device: GPUSpec,
+) -> float:
+    """Mean modeled matmul latency of one ``(epsilon, S)`` over samples."""
+    total = 0.0
+    for sizes in workload.samples:
+        plan = make_plan(
+            "adaptive",
+            np.asarray(sizes),
+            workload.kernel_size,
+            workload.stride,
+            epsilon=epsilon,
+            s_threshold=s_threshold,
+        )
+        total += plan_matmul_cost(
+            plan, sizes, workload.c_in, workload.c_out, dtype, device
+        ).time
+    return total / max(1, len(workload.samples))
+
+
+def tune_layer(
+    workload: LayerWorkload,
+    dtype: DType,
+    device: GPUSpec,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> LayerStrategy:
+    """Algorithm 5: exhaustive grid search for one layer."""
+    if not workload.samples:
+        raise ValueError(f"layer {workload.name!r} has no sampled workloads")
+    best: LayerStrategy | None = None
+    for eps in epsilons:
+        for s in thresholds:
+            t = evaluate_config(workload, eps, s, dtype, device)
+            if best is None or t < best.expected_time:
+                best = LayerStrategy(epsilon=eps, s_threshold=s, expected_time=t)
+    assert best is not None
+    return best
+
+
+def tune_workloads(
+    workloads: Iterable[LayerWorkload],
+    dtype: DType,
+    device: GPUSpec,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> StrategyBook:
+    """Tune every layer of a model; returns the strategy book."""
+    book = StrategyBook(device_name=device.name)
+    for w in workloads:
+        book.set(w.name, tune_layer(w, dtype, device, epsilons, thresholds))
+    return book

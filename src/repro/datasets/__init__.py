@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for SemanticKITTI / nuScenes / Waymo.
+
+The paper's dataset-dependent behaviour (Figure 12, Table 1a) comes from
+*map-size distributions*: a 64-beam close-range SemanticKITTI sweep
+produces far denser voxel neighborhoods than a 32-beam nuScenes sweep.
+We reproduce exactly that mechanism: a procedural outdoor scene
+(:mod:`repro.datasets.scenes`), a ray-cast LiDAR scanner with
+per-dataset beam/range/resolution settings (:mod:`repro.datasets.lidar`,
+:mod:`repro.datasets.configs`), and standard sparse voxelization with
+optional multi-frame aggregation (:mod:`repro.datasets.voxelize`).
+"""
+
+from repro.datasets.configs import (
+    DATASETS,
+    DatasetConfig,
+    nuscenes_like,
+    semantic_kitti_like,
+    waymo_like,
+)
+from repro.datasets.lidar import LidarConfig, scan
+from repro.datasets.scenes import Scene, make_outdoor_scene
+from repro.datasets.voxelize import sparse_quantize, to_sparse_tensor
+
+__all__ = [
+    "Scene",
+    "make_outdoor_scene",
+    "LidarConfig",
+    "scan",
+    "sparse_quantize",
+    "to_sparse_tensor",
+    "DatasetConfig",
+    "semantic_kitti_like",
+    "nuscenes_like",
+    "waymo_like",
+    "DATASETS",
+]

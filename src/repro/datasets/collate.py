@@ -1,0 +1,58 @@
+"""Batching utilities.
+
+Sparse tensors carry their batch index in the first coordinate column,
+so batched inference is just a coordinate-space concatenation — the
+engine's mapping step keeps batches separate for free (a property the
+test suite verifies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sparse_tensor import SparseTensor
+
+
+def batch_collate(tensors: list[SparseTensor]) -> SparseTensor:
+    """Merge single-sample tensors into one batched tensor.
+
+    Each input must be a batch-0 tensor (the usual output of
+    voxelization); sample ``i`` is assigned batch index ``i``.
+
+    Raises:
+        ValueError: on empty input, mismatched channel counts or
+            strides, or inputs that already span multiple batches.
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor to collate")
+    c = tensors[0].num_channels
+    stride = tensors[0].stride
+    coords_list = []
+    feats_list = []
+    for i, t in enumerate(tensors):
+        if t.num_channels != c:
+            raise ValueError("all tensors must share a channel count")
+        if t.stride != stride:
+            raise ValueError("all tensors must share a stride")
+        if t.num_points and t.coords[:, 0].max() > 0:
+            raise ValueError(f"tensor {i} already carries batch indices")
+        coords = t.coords.copy()
+        coords[:, 0] = i
+        coords_list.append(coords)
+        feats_list.append(t.feats)
+    return SparseTensor(
+        np.concatenate(coords_list, axis=0),
+        np.concatenate(feats_list, axis=0),
+        stride=stride,
+    )
+
+
+def batch_split(t: SparseTensor) -> list[SparseTensor]:
+    """Invert :func:`batch_collate`: one zero-indexed tensor per batch."""
+    out = []
+    for b in range(t.batch_size):
+        s = t.batch_slice(b)
+        coords = s.coords.copy()
+        coords[:, 0] = 0
+        out.append(SparseTensor(coords, s.feats, stride=t.stride))
+    return out

@@ -1,0 +1,96 @@
+"""Sparse voxelization.
+
+Quantizes a point cloud to integer voxel coordinates, deduplicates, and
+averages the per-voxel features — the standard preprocessing in front of
+every sparse CNN the paper evaluates.  Features follow the common
+convention ``(x, y, z, intensity)`` with xyz kept in metric units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sparse_tensor import SparseTensor
+from repro.datasets.lidar import PointCloud
+from repro.hashmap.coords import pack_coords
+
+
+def sparse_quantize(
+    xyz: np.ndarray,
+    features: np.ndarray,
+    voxel_size: float,
+    batch_index: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize points to voxels, averaging features of co-located points.
+
+    Returns:
+        ``(coords, feats)`` where coords are ``(N, 4)`` ``int32`` rows of
+        ``(batch, x, y, z)`` shifted to be non-negative, and feats are the
+        per-voxel feature means.
+    """
+    if voxel_size <= 0:
+        raise ValueError("voxel_size must be positive")
+    xyz = np.asarray(xyz, dtype=np.float64)
+    features = np.asarray(features, dtype=np.float32)
+    if xyz.ndim != 2 or xyz.shape[1] != 3:
+        raise ValueError(f"xyz must be (N, 3), got {xyz.shape}")
+    if features.shape[0] != xyz.shape[0]:
+        raise ValueError("features and xyz must have equal lengths")
+    if xyz.shape[0] == 0:
+        return np.empty((0, 4), dtype=np.int32), np.empty(
+            (0, features.shape[1] if features.ndim == 2 else 0), dtype=np.float32
+        )
+
+    grid = np.floor(xyz / voxel_size).astype(np.int64)
+    grid -= grid.min(axis=0)  # non-negative coordinates
+    coords = np.concatenate(
+        [np.full((grid.shape[0], 1), batch_index, dtype=np.int64), grid], axis=1
+    )
+    keys = pack_coords(coords)
+    uniq, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+
+    feats = np.zeros((uniq.shape[0], features.shape[1]), dtype=np.float64)
+    np.add.at(feats, inverse, features.astype(np.float64))
+    feats /= counts[:, None]
+
+    # representative coordinates per unique key (first occurrence)
+    first = np.full(uniq.shape[0], -1, dtype=np.int64)
+    order = np.argsort(inverse, kind="stable")
+    pos = np.searchsorted(inverse[order], np.arange(uniq.shape[0]))
+    first = order[pos]
+    out_coords = coords[first].astype(np.int32)
+    return out_coords, feats.astype(np.float32)
+
+
+def to_sparse_tensor(
+    cloud: PointCloud, voxel_size: float, batch_index: int = 0
+) -> SparseTensor:
+    """Voxelize a scanned cloud into a ready-to-run :class:`SparseTensor`.
+
+    Feature layout: ``(x, y, z, intensity)``.
+    """
+    features = np.concatenate(
+        [cloud.xyz, cloud.intensity[:, None]], axis=1
+    ).astype(np.float32)
+    coords, feats = sparse_quantize(cloud.xyz, features, voxel_size, batch_index)
+    return SparseTensor(coords, feats)
+
+
+def voxel_labels(
+    cloud: PointCloud, voxel_size: float, num_classes: int
+) -> np.ndarray:
+    """Majority-vote semantic label per voxel (for segmentation examples).
+
+    Voxel order matches :func:`to_sparse_tensor` for the same inputs.
+    """
+    xyz = cloud.xyz.astype(np.float64)
+    grid = np.floor(xyz / voxel_size).astype(np.int64)
+    grid -= grid.min(axis=0)
+    coords = np.concatenate(
+        [np.zeros((grid.shape[0], 1), dtype=np.int64), grid], axis=1
+    )
+    keys = pack_coords(coords)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    votes = np.zeros((uniq.shape[0], num_classes), dtype=np.int64)
+    np.add.at(votes, (inverse, cloud.labels), 1)
+    return votes.argmax(axis=1).astype(np.int32)

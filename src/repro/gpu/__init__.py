@@ -1,0 +1,37 @@
+"""Simulated-GPU cost model.
+
+The paper measures on three NVIDIA GPUs.  This environment has none, so
+every latency in this repository comes from an analytical device model
+that prices the same quantities the CUDA kernels are bound by:
+
+* **DRAM traffic** in 128-byte transactions, with per-access-pattern
+  efficiency (scalar vs. vectorized, FP32/FP16/INT8) —
+  :mod:`repro.gpu.memory`;
+* **cache reuse**, via a set-associative LRU simulator used by the
+  locality ablations — :mod:`repro.gpu.cache`;
+* **GEMM throughput**, a roofline with an occupancy curve that rewards
+  batched (regular) work — :mod:`repro.gpu.gemm`;
+* **kernel-launch overhead**, so fusing five small mapping kernels into
+  one is visible end to end — :mod:`repro.gpu.device`.
+
+Latency shapes (who wins, by what factor) follow from these ratios, not
+from silicon, which is what makes the substitution sound.
+"""
+
+from repro.gpu.device import GPU_REGISTRY, GTX_1080TI, RTX_2080TI, RTX_3090, GPUSpec
+from repro.gpu.memory import DType, MemoryAccessPattern, movement_time, traffic
+from repro.gpu.timeline import KernelRecord, Profile
+
+__all__ = [
+    "GPUSpec",
+    "GTX_1080TI",
+    "RTX_2080TI",
+    "RTX_3090",
+    "GPU_REGISTRY",
+    "DType",
+    "MemoryAccessPattern",
+    "traffic",
+    "movement_time",
+    "KernelRecord",
+    "Profile",
+]

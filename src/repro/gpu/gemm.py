@@ -1,0 +1,135 @@
+"""GEMM latency model: the regularity story.
+
+Matrix multiplication in sparse convolution is many skinny GEMMs, one
+per kernel offset, each ``(M_i x C_in) @ (C_in x C_out)``.  Two effects
+govern their speed on a GPU, and both are modeled mechanistically:
+
+1. **Roofline** — with small channel counts the arithmetic intensity
+   ``2*C_in*C_out / ((C_in + C_out) * dtype)`` is low, so early layers
+   are memory-bound; late wide layers are compute-bound.
+2. **Occupancy** — a GEMM with few output tiles leaves SMs idle.  The
+   device's saturating occupancy curve (``GPUSpec.occupancy``) applies
+   to *both* roofline ceilings.  Batching B offsets into one ``bmm``
+   multiplies the resident tile count by B — that is the entire
+   mechanism by which the paper's grouping trades padded FLOPs for
+   regularity (Figures 6-7).
+
+``bmm`` pads every member of a group to the largest map, so its FLOPs
+and traffic are computed at the padded size; ``mm`` runs each member
+separately and pays one launch per member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.device import GPUSpec
+from repro.gpu.memory import DType
+
+#: GEMM thread-block tile (rows x cols of the output it produces).
+TILE_M = 64
+TILE_N = 64
+
+
+def _blocks(m: int, n: int) -> int:
+    if m <= 0 or n <= 0:
+        return 0
+    return -(-m // TILE_M) * (-(-n // TILE_N))
+
+
+@dataclass(frozen=True)
+class GemmCost:
+    """Latency and accounting of one GEMM (or batched GEMM) launch."""
+
+    time: float
+    flops: float
+    useful_flops: float
+    bytes_moved: float
+    launches: int
+    utilization: float  # achieved fraction of peak math throughput
+
+    @property
+    def achieved_tflops(self) -> float:
+        """Achieved *total* (padded) TFLOP/s — the paper's Table 2 metric."""
+        return 0.0 if self.time == 0 else self.flops / self.time / 1e12
+
+
+def mm_cost(
+    m: int, k: int, n: int, dtype: DType, device: GPUSpec, launches: int = 1
+) -> GemmCost:
+    """Cost of one ``(m x k) @ (k x n)`` GEMM."""
+    if m == 0:
+        return GemmCost(0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    flops = 2.0 * m * k * n
+    nbytes = (m * k + k * n + m * n) * dtype.nbytes
+    occ = device.occupancy(_blocks(m, n))
+    t_math = device.compute_time(flops, dtype, utilization=occ)
+    t_mem = device.mem_time(nbytes, efficiency=occ)
+    time = max(t_math, t_mem) + launches * device.launch_overhead
+    peak = device.math_throughput(dtype)
+    return GemmCost(
+        time=time,
+        flops=flops,
+        useful_flops=flops,
+        bytes_moved=nbytes,
+        launches=launches,
+        utilization=flops / time / peak if time else 0.0,
+    )
+
+
+def bmm_cost(
+    map_sizes: Sequence[int], k: int, n: int, dtype: DType, device: GPUSpec
+) -> GemmCost:
+    """Cost of batching ``len(map_sizes)`` offsets into one padded bmm.
+
+    Every member is padded to ``max(map_sizes)`` rows; the padded rows
+    are *real* FLOPs and traffic (the redundant computation the adaptive
+    grouper's epsilon bounds), but the whole batch launches once and its
+    tiles occupy the device together.
+    """
+    sizes = [int(s) for s in map_sizes]
+    if not sizes or max(sizes) == 0:
+        return GemmCost(0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    b = len(sizes)
+    m_pad = max(sizes)
+    flops = 2.0 * b * m_pad * k * n
+    useful = 2.0 * sum(sizes) * k * n
+    nbytes = b * (m_pad * k + k * n + m_pad * n) * dtype.nbytes
+    occ = device.occupancy(b * _blocks(m_pad, n))
+    t_math = device.compute_time(flops, dtype, utilization=occ)
+    t_mem = device.mem_time(nbytes, efficiency=occ)
+    time = max(t_math, t_mem) + device.launch_overhead
+    peak = device.math_throughput(dtype)
+    return GemmCost(
+        time=time,
+        flops=flops,
+        useful_flops=useful,
+        bytes_moved=nbytes,
+        launches=1,
+        utilization=flops / time / peak if time else 0.0,
+    )
+
+
+def sequential_cost(
+    map_sizes: Sequence[int], k: int, n: int, dtype: DType, device: GPUSpec
+) -> GemmCost:
+    """Cost of running each offset as its own ``mm`` (the separate
+    strategy of Figure 6b): latencies and launches add up."""
+    total_t = total_f = total_b = 0.0
+    launches = 0
+    for m in map_sizes:
+        c = mm_cost(int(m), k, n, dtype, device)
+        total_t += c.time
+        total_f += c.flops
+        total_b += c.bytes_moved
+        launches += c.launches
+    peak = device.math_throughput(dtype)
+    return GemmCost(
+        time=total_t,
+        flops=total_f,
+        useful_flops=total_f,
+        bytes_moved=total_b,
+        launches=launches,
+        utilization=total_f / total_t / peak if total_t else 0.0,
+    )

@@ -1,0 +1,118 @@
+"""Execution records and per-stage profiles.
+
+Every primitive an engine executes (hash build, map search, gather,
+matmul, scatter, dense head ops ...) logs a :class:`KernelRecord`.  The
+:class:`Profile` aggregates them into the stage breakdown the paper's
+Figure 4 reports (mapping / gather / matmul / scatter / other) and into
+end-to-end latency for Figures 11 and 14.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Canonical stage labels, in Figure 4's plotting order.
+STAGES = ("mapping", "gather", "matmul", "scatter", "other")
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One priced device operation."""
+
+    name: str
+    stage: str
+    time: float
+    bytes_moved: float = 0.0
+    flops: float = 0.0
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown stage {self.stage!r}; expected one of {STAGES}")
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+
+
+@dataclass
+class Profile:
+    """Accumulator of kernel records for one forward pass (or many)."""
+
+    records: list[KernelRecord] = field(default_factory=list)
+
+    def add(self, record: KernelRecord) -> None:
+        self.records.append(record)
+
+    def log(
+        self,
+        name: str,
+        stage: str,
+        time: float,
+        bytes_moved: float = 0.0,
+        flops: float = 0.0,
+        launches: int = 1,
+    ) -> KernelRecord:
+        rec = KernelRecord(name, stage, time, bytes_moved, flops, launches)
+        self.add(rec)
+        return rec
+
+    def extend(self, records: Iterable[KernelRecord]) -> None:
+        for r in records:
+            self.add(r)
+
+    # -- aggregation ------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.time for r in self.records)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(r.bytes_moved for r in self.records)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(r.flops for r in self.records)
+
+    @property
+    def total_launches(self) -> int:
+        return sum(r.launches for r in self.records)
+
+    def stage_times(self) -> dict[str, float]:
+        """Seconds per stage, with every stage present (0.0 if unused)."""
+        out = dict.fromkeys(STAGES, 0.0)
+        for r in self.records:
+            out[r.stage] += r.time
+        return out
+
+    def stage_fractions(self) -> dict[str, float]:
+        """Fraction of total time per stage (Figure 4's quantity)."""
+        total = self.total_time
+        times = self.stage_times()
+        if total == 0:
+            return times
+        return {k: v / total for k, v in times.items()}
+
+    def by_name(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            out[r.name] += r.time
+        return dict(out)
+
+    def merge(self, other: "Profile") -> "Profile":
+        merged = Profile(records=list(self.records))
+        merged.extend(other.records)
+        return merged
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def summary(self) -> str:
+        """Human-readable per-stage table."""
+        total = self.total_time
+        lines = [f"total {total * 1e3:9.3f} ms over {len(self.records)} kernels"]
+        for stage, t in self.stage_times().items():
+            pct = 0.0 if total == 0 else 100.0 * t / total
+            lines.append(f"  {stage:8s} {t * 1e3:9.3f} ms  ({pct:5.1f}%)")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Coordinate indexing substrate.
+
+Sparse convolution's mapping step needs an exact membership/index query
+over integer voxel coordinates.  The paper compares two backends
+(Section 4.4):
+
+* a general open-addressing **hashmap** (:mod:`repro.hashmap.hash_table`),
+  compact but requiring on average more than one probe (DRAM access) per
+  query, and
+* a collision-free **grid table** (:mod:`repro.hashmap.grid_table`) that
+  spends memory proportional to the bounding-box volume in exchange for
+  exactly one DRAM access per build/query.
+
+Both backends count their DRAM accesses so the GPU cost model can price
+them, and both are validated against a Python ``dict`` oracle in the
+test suite.
+"""
+
+from repro.hashmap.coords import (
+    COORD_BITS,
+    coords_bounds,
+    pack_coords,
+    ravel_coords,
+    unpack_coords,
+    unravel_coords,
+)
+from repro.hashmap.grid_table import GridTable
+from repro.hashmap.hash_table import HashTable
+
+__all__ = [
+    "COORD_BITS",
+    "HashTable",
+    "GridTable",
+    "pack_coords",
+    "unpack_coords",
+    "ravel_coords",
+    "unravel_coords",
+    "coords_bounds",
+]

@@ -1,0 +1,114 @@
+"""Packing voxel coordinates into scalar keys.
+
+A point-cloud coordinate is an ``int32`` row ``(batch, x, y, z)``.  The
+hash backends operate on scalar ``int64`` keys instead of 4-tuples, so we
+bijectively pack each coordinate into 64 bits (15 bits of batch, 16 bits
+per signed spatial axis) — this mirrors the "flatten the coordinate of
+each dimension into an integer" hash function described in Section 2.1.2
+of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits reserved for each of the (x, y, z) axes inside a packed key.
+COORD_BITS = 16
+
+#: Signed coordinate range representable by :func:`pack_coords`.
+COORD_MIN = -(1 << (COORD_BITS - 1))
+COORD_MAX = (1 << (COORD_BITS - 1)) - 1
+
+_OFFSET = 1 << (COORD_BITS - 1)
+_MASK = (1 << COORD_BITS) - 1
+
+
+def _as_coords(coords: np.ndarray) -> np.ndarray:
+    coords = np.asarray(coords)
+    if coords.ndim != 2 or coords.shape[1] != 4:
+        raise ValueError(f"coords must have shape (N, 4), got {coords.shape}")
+    return coords.astype(np.int64, copy=False)
+
+
+def pack_coords(coords: np.ndarray) -> np.ndarray:
+    """Pack ``(N, 4)`` ``(batch, x, y, z)`` rows into unique ``int64`` keys.
+
+    The packing is a bijection on its declared domain, so equal keys imply
+    equal coordinates (no hash collisions at this level).
+
+    Raises:
+        ValueError: if any coordinate is outside ``[COORD_MIN, COORD_MAX]``
+            or any batch index is outside ``[0, 2**15)``.
+    """
+    c = _as_coords(coords)
+    b, xyz = c[:, 0], c[:, 1:]
+    if c.size:
+        if xyz.min() < COORD_MIN or xyz.max() > COORD_MAX:
+            raise ValueError(
+                f"spatial coordinates must lie in [{COORD_MIN}, {COORD_MAX}]"
+            )
+        if b.min() < 0 or b.max() >= (1 << 15):
+            raise ValueError("batch indices must lie in [0, 2**15)")
+    key = b
+    for axis in range(3):
+        key = (key << COORD_BITS) | ((xyz[:, axis] + _OFFSET) & _MASK)
+    return key
+
+
+def unpack_coords(keys: np.ndarray) -> np.ndarray:
+    """Invert :func:`pack_coords`, returning ``(N, 4)`` ``int32`` rows."""
+    keys = np.asarray(keys, dtype=np.int64)
+    out = np.empty((keys.shape[0], 4), dtype=np.int32)
+    k = keys
+    for axis in (3, 2, 1):
+        out[:, axis] = ((k & _MASK) - _OFFSET).astype(np.int32)
+        k = k >> COORD_BITS
+    out[:, 0] = k.astype(np.int32)
+    return out
+
+
+def coords_bounds(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return per-column ``(min, max)`` of a non-empty coordinate array."""
+    c = _as_coords(coords)
+    if not c.size:
+        raise ValueError("cannot take bounds of an empty coordinate array")
+    return c.min(axis=0), c.max(axis=0)
+
+
+def ravel_coords(
+    coords: np.ndarray, origin: np.ndarray, shape: np.ndarray
+) -> np.ndarray:
+    """Flatten coordinates into dense indices of a bounding-box grid.
+
+    This is the addressing scheme of the collision-free grid table: the
+    coordinate's offset from ``origin`` is raveled row-major over
+    ``shape`` (which covers batch and the three spatial axes).
+
+    Coordinates outside the box raise ``ValueError`` — the grid table is
+    only collision-free inside its declared extent.
+    """
+    c = _as_coords(coords)
+    origin = np.asarray(origin, dtype=np.int64)
+    shape = np.asarray(shape, dtype=np.int64)
+    rel = c - origin
+    if c.size and ((rel < 0).any() or (rel >= shape).any()):
+        raise ValueError("coordinates fall outside the grid bounding box")
+    idx = rel[:, 0]
+    for axis in range(1, 4):
+        idx = idx * shape[axis] + rel[:, axis]
+    return idx
+
+
+def unravel_coords(
+    indices: np.ndarray, origin: np.ndarray, shape: np.ndarray
+) -> np.ndarray:
+    """Invert :func:`ravel_coords`."""
+    idx = np.asarray(indices, dtype=np.int64)
+    origin = np.asarray(origin, dtype=np.int64)
+    shape = np.asarray(shape, dtype=np.int64)
+    out = np.empty((idx.shape[0], 4), dtype=np.int64)
+    for axis in (3, 2, 1):
+        out[:, axis] = idx % shape[axis]
+        idx = idx // shape[axis]
+    out[:, 0] = idx
+    return (out + origin).astype(np.int32)

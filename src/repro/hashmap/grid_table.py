@@ -1,0 +1,121 @@
+"""Collision-free grid table over coordinate bounding boxes.
+
+The "grid" backend of map search (Section 4.4): a dense array covering
+the (batch x spatial) bounding box of the coordinates.  Every build or
+query touches exactly one slot, so DRAM traffic per entry is minimal —
+the paper measures it 2.7x faster than a general hashmap — at the price
+of memory proportional to the box volume, which is why TorchSparse
+*chooses* between grid and hashmap per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hashmap.coords import ravel_coords
+from repro.hashmap.hash_table import HashStats
+
+_EMPTY = np.int64(-1)
+
+
+@dataclass
+class GridTable:
+    """Dense ``coordinate -> value`` table over a fixed bounding box.
+
+    Args:
+        origin: per-column lower bound ``(batch, x, y, z)``.
+        shape: per-column extent; the table holds ``prod(shape)`` slots.
+    """
+
+    origin: np.ndarray
+    shape: np.ndarray
+    stats: HashStats = field(default_factory=HashStats)
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.int64)
+        self.shape = np.asarray(self.shape, dtype=np.int64)
+        if self.origin.shape != (4,) or self.shape.shape != (4,):
+            raise ValueError("origin and shape must be length-4")
+        if (self.shape <= 0).any():
+            raise ValueError("shape entries must be positive")
+        volume = int(np.prod(self.shape))
+        # Stored as value+1 with 0 = empty so the backing array can be
+        # np.zeros: fresh zero pages are mapped lazily by the OS, which
+        # keeps huge mostly-empty grids cheap in host memory (the GPU
+        # being modeled pays for the full allocation — that is captured
+        # by table_bytes, not by this process's RSS).
+        self._values = np.zeros(volume, dtype=np.int64)
+        self._size = 0
+        self.stats.table_bytes = volume * 8
+        self.stats.max_probe_len = 1
+
+    @classmethod
+    def from_coords(
+        cls,
+        coords: np.ndarray,
+        values: np.ndarray | None = None,
+        margin: int = 0,
+    ) -> "GridTable":
+        """Build a grid table covering ``coords`` (plus a spatial margin).
+
+        The margin widens the box so that neighbor queries at kernel
+        offsets up to ``margin`` voxels stay inside the table.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape[0] == 0:
+            raise ValueError("cannot size a grid table from zero coordinates")
+        lo = coords.min(axis=0)
+        hi = coords.max(axis=0)
+        lo[1:] -= margin
+        hi[1:] += margin
+        table = cls(origin=lo, shape=hi - lo + 1)
+        if values is None:
+            values = np.arange(coords.shape[0], dtype=np.int64)
+        table.insert(coords, values)
+        return table
+
+    def insert(self, coords: np.ndarray, values: np.ndarray) -> None:
+        """Insert coordinate rows (later duplicates overwrite earlier)."""
+        coords = np.asarray(coords, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if coords.shape[0] != values.shape[0]:
+            raise ValueError("coords and values must have matching lengths")
+        if coords.shape[0] == 0:
+            return
+        if (values < 0).any():
+            raise ValueError("grid table values must be non-negative")
+        idx = ravel_coords(coords, self.origin, self.shape)
+        newly = self._values[idx] == 0
+        # idx may repeat; count distinct new slots
+        new_slots = np.unique(idx[newly])
+        self._size += int(new_slots.shape[0])
+        self._values[idx] = values + 1
+        self.stats.build_accesses += coords.shape[0]
+
+    def lookup(self, coords: np.ndarray) -> np.ndarray:
+        """Value per coordinate row, ``-1`` where absent or out of box."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        rel = coords - self.origin
+        inside = ((rel >= 0) & (rel < self.shape)).all(axis=1)
+        out = np.full(coords.shape[0], _EMPTY, dtype=np.int64)
+        if inside.any():
+            idx = ravel_coords(coords[inside], self.origin, self.shape)
+            out[inside] = self._values[idx] - 1
+        self.stats.query_accesses += coords.shape[0]
+        return out
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Boolean membership per coordinate row."""
+        return self.lookup(coords) != _EMPTY
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def volume(self) -> int:
+        """Number of slots (the memory cost of collision freedom)."""
+        return int(self._values.shape[0])

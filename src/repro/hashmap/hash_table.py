@@ -1,0 +1,196 @@
+"""Open-addressing hash table over packed coordinate keys.
+
+This is the "general hashmap" backend of the mapping stage.  Build and
+query are fully vectorized: each probe round handles every unresolved
+key at once, so the number of rounds equals the longest probe chain.
+
+The table tracks how many slot accesses (≈ DRAM accesses on a GPU) each
+build/query performed.  A general hashmap needs on average more than one
+access per operation because of collisions; the paper's grid table
+(:mod:`repro.hashmap.grid_table`) needs exactly one, which is where its
+2.7x map-search speedup comes from (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_EMPTY = np.int64(-1)
+
+# splitmix64 constants — a strong scalar mixer for 64-bit keys.
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(keys: np.ndarray) -> np.ndarray:
+    """Mix 64-bit keys (splitmix64 finalizer), returned as ``uint64``."""
+    z = keys.astype(np.uint64) + _SPLITMIX_GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _MIX_1
+    z = (z ^ (z >> np.uint64(27))) * _MIX_2
+    return z ^ (z >> np.uint64(31))
+
+
+@dataclass
+class HashStats:
+    """Counters of table activity, priced later by the GPU cost model."""
+
+    build_accesses: int = 0
+    query_accesses: int = 0
+    table_bytes: int = 0
+    max_probe_len: int = 0
+
+    def merge(self, other: "HashStats") -> None:
+        self.build_accesses += other.build_accesses
+        self.query_accesses += other.query_accesses
+        self.table_bytes = max(self.table_bytes, other.table_bytes)
+        self.max_probe_len = max(self.max_probe_len, other.max_probe_len)
+
+
+@dataclass
+class HashTable:
+    """Linear-probing hash table mapping ``int64`` keys to ``int64`` values.
+
+    Args:
+        capacity: number of slots; rounded up to a power of two.
+    """
+
+    capacity: int
+    stats: HashStats = field(default_factory=HashStats)
+
+    def __post_init__(self) -> None:
+        cap = 1
+        while cap < max(2, int(self.capacity)):
+            cap <<= 1
+        self.capacity = cap
+        self._keys = np.full(cap, _EMPTY, dtype=np.int64)
+        self._values = np.full(cap, _EMPTY, dtype=np.int64)
+        self._size = 0
+        # key + value slots, 8 bytes each
+        self.stats.table_bytes = cap * 16
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_keys(
+        cls, keys: np.ndarray, values: np.ndarray | None = None, load_factor: float = 0.5
+    ) -> "HashTable":
+        """Build a table from keys; values default to ``arange(len(keys))``.
+
+        This is the classic (key = packed coordinate, value = point index)
+        table of Section 2.1.2.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if values is None:
+            values = np.arange(keys.shape[0], dtype=np.int64)
+        table = cls(capacity=max(2, int(np.ceil(keys.shape[0] / load_factor))))
+        table.insert(keys, values)
+        return table
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert key/value pairs (later duplicates overwrite earlier ones).
+
+        Vectorized linear probing: every still-colliding key advances one
+        slot per round.  Duplicate keys *within* one call are resolved so
+        that the last occurrence wins, matching ``dict`` semantics.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must have identical shapes")
+        if keys.size == 0:
+            return
+        if (keys == _EMPTY).any():
+            raise ValueError("key -1 is reserved as the empty sentinel")
+        n_new = np.unique(keys).shape[0]
+        if self._size + n_new > self.capacity:
+            raise ValueError(
+                f"table of capacity {self.capacity} cannot hold "
+                f"{self._size + n_new} entries"
+            )
+
+        mask = np.int64(self.capacity - 1)
+        slot = (splitmix64(keys) & np.uint64(mask)).astype(np.int64)
+        pending = np.arange(keys.shape[0])
+        probes = 0
+        while pending.size:
+            probes += 1
+            self.stats.build_accesses += pending.size
+            s = slot[pending]
+            occupant = self._keys[s]
+            free = occupant == _EMPTY
+            match = occupant == keys[pending]
+            winner = free | match
+
+            if winner.any():
+                # Several pending keys can target the same free slot; keep
+                # one claimant per slot (the last, for dict semantics) and
+                # retry the rest next round.
+                w_idx = pending[winner]
+                w_slot = s[winner]
+                order = np.argsort(w_idx, kind="stable")
+                w_idx, w_slot = w_idx[order], w_slot[order]
+                # last occurrence per slot wins
+                last = np.zeros(w_slot.shape[0], dtype=bool)
+                sort_by_slot = np.argsort(w_slot, kind="stable")
+                ss = w_slot[sort_by_slot]
+                boundary = np.ones(ss.shape[0], dtype=bool)
+                boundary[:-1] = ss[1:] != ss[:-1]
+                last[sort_by_slot[boundary]] = True
+
+                claim_idx = w_idx[last]
+                claim_slot = w_slot[last]
+                newly = self._keys[claim_slot] == _EMPTY
+                # keys equal to an existing occupant overwrite in place
+                self._size += int(np.count_nonzero(newly))
+                self._keys[claim_slot] = keys[claim_idx]
+                self._values[claim_slot] = values[claim_idx]
+
+                # Losers whose key now matches the occupant also resolve
+                # (their value is superseded), everyone else retries.
+                s_after = self._keys[slot[pending]]
+                resolved = s_after == keys[pending]
+                pending = pending[~resolved]
+                slot[pending] = (slot[pending] + 1) & mask
+            else:
+                slot[pending] = (slot[pending] + 1) & mask
+        self.stats.max_probe_len = max(self.stats.max_probe_len, probes)
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Return the value for each key, or ``-1`` where absent."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = np.int64(self.capacity - 1)
+        slot = (splitmix64(keys) & np.uint64(mask)).astype(np.int64)
+        out = np.full(keys.shape[0], _EMPTY, dtype=np.int64)
+        pending = np.arange(keys.shape[0])
+        probes = 0
+        while pending.size:
+            probes += 1
+            self.stats.query_accesses += pending.size
+            s = slot[pending]
+            occupant = self._keys[s]
+            hit = occupant == keys[pending]
+            miss = occupant == _EMPTY
+            out[pending[hit]] = self._values[s[hit]]
+            pending = pending[~(hit | miss)]
+            slot[pending] = (slot[pending] + 1) & mask
+        self.stats.max_probe_len = max(self.stats.max_probe_len, probes)
+        return out
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership per key."""
+        return self.lookup(keys) != _EMPTY
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def load(self) -> float:
+        """Occupied fraction of the table."""
+        return self._size / self.capacity

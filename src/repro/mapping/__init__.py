@@ -1,0 +1,26 @@
+"""Mapping operations: output-coordinate calculation and map search.
+
+These are the coordinate-only computations of sparse convolution
+(Section 2.1): given input coordinates, produce output coordinates and
+the kernel maps ``M = {(p_j, q_k, W_delta)}`` that drive data movement
+and matmul.  The paper's mapping optimizations (Section 4.4) all live
+here: grid vs. hashmap backends, fused downsampling kernels, simplified
+control logic and map symmetry.
+"""
+
+from repro.mapping.downsample import (
+    DownsampleCost,
+    downsample_coords,
+    downsample_coords_reference,
+)
+from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap, identity_kmap
+
+__all__ = [
+    "KernelMap",
+    "CoordIndex",
+    "build_kmap",
+    "identity_kmap",
+    "downsample_coords",
+    "downsample_coords_reference",
+    "DownsampleCost",
+]

@@ -1,0 +1,17 @@
+"""The seven evaluated networks.
+
+* :func:`repro.models.minkunet.MinkUNet` — segmentation U-Net at 0.5x /
+  1.0x width (SemanticKITTI) and 1/3-frame variants (nuScenes-LiDARSeg);
+* :class:`repro.models.centerpoint.CenterPoint` — sparse 3D encoder +
+  dense BEV center-heatmap detection head (nuScenes / Waymo).
+
+``model_zoo`` enumerates the paper's exact seven model/dataset pairs for
+the end-to-end benchmarks (Figures 11/14).
+"""
+
+from repro.models.centerpoint import CenterPoint
+from repro.models.minkunet import MinkUNet
+from repro.models.spvcnn import SPVCNN
+from repro.models.zoo import MODEL_ZOO, ZooEntry, model_zoo
+
+__all__ = ["MinkUNet", "CenterPoint", "SPVCNN", "model_zoo", "MODEL_ZOO", "ZooEntry"]

@@ -1,0 +1,127 @@
+"""MinkUNet (Choy et al., 2019) for semantic segmentation.
+
+The standard 4-stage sparse U-Net used throughout the paper's
+segmentation benchmarks: a two-conv stem, four strided encoder stages of
+two residual blocks each, and four transposed-conv decoder stages with
+skip concatenation, closed by a per-point linear classifier.  The
+``width`` multiplier produces the 0.5x variant the paper profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.engine import ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.nn.modules import concat_skip
+
+#: Channel plan of the reference MinkUNet (stem + 4 down + 4 up).
+BASE_CHANNELS = (32, 32, 64, 128, 256, 256, 128, 96, 96)
+
+
+def _block(c_in: int, c_out: int, rng: np.random.Generator) -> nn.Residual:
+    """ResNet basic block with an optional projection shortcut."""
+    main = nn.Sequential(
+        nn.Conv3d(c_in, c_out, 3, rng=rng),
+        nn.BatchNorm(c_out),
+        nn.ReLU(),
+        nn.Conv3d(c_out, c_out, 3, rng=rng),
+        nn.BatchNorm(c_out),
+    )
+    shortcut = None
+    if c_in != c_out:
+        shortcut = nn.Sequential(
+            nn.Conv3d(c_in, c_out, 1, rng=rng), nn.BatchNorm(c_out)
+        )
+    return nn.Residual(main, shortcut)
+
+
+class MinkUNet(nn.Module):
+    """Sparse segmentation U-Net.
+
+    Args:
+        in_channels: input feature width (4 for ``x, y, z, intensity``).
+        num_classes: classifier output width.
+        width: channel multiplier (1.0 or 0.5 in the paper).
+        seed: weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 4,
+        num_classes: int = 19,
+        width: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        cs = [max(8, int(round(c * width))) for c in BASE_CHANNELS]
+        self.width = width
+        self.num_classes = num_classes
+
+        self.stem = self.add_child(
+            "stem",
+            nn.Sequential(
+                nn.Conv3d(in_channels, cs[0], 3, rng=rng),
+                nn.BatchNorm(cs[0]),
+                nn.ReLU(),
+                nn.Conv3d(cs[0], cs[0], 3, rng=rng),
+                nn.BatchNorm(cs[0]),
+                nn.ReLU(),
+            ),
+        )
+
+        enc_in = (cs[0], cs[1], cs[2], cs[3])
+        enc_out = (cs[1], cs[2], cs[3], cs[4])
+        self.down = []
+        self.enc_blocks = []
+        for i in range(4):
+            down = nn.Sequential(
+                nn.Conv3d(enc_in[i], enc_in[i], 2, stride=2, rng=rng),
+                nn.BatchNorm(enc_in[i]),
+                nn.ReLU(),
+            )
+            blocks = nn.Sequential(
+                _block(enc_in[i], enc_out[i], rng), _block(enc_out[i], enc_out[i], rng)
+            )
+            self.down.append(self.add_child(f"down{i}", down))
+            self.enc_blocks.append(self.add_child(f"enc{i}", blocks))
+
+        # decoder: up-convs then blocks consuming [up, skip] concatenation
+        dec_out = (cs[5], cs[6], cs[7], cs[8])
+        skip_ch = (cs[3], cs[2], cs[1], cs[0])
+        dec_in = (cs[4], *dec_out[:-1])
+        self.up = []
+        self.dec_blocks = []
+        for i in range(4):
+            up = nn.Sequential(
+                nn.Conv3d(
+                    dec_in[i], dec_out[i], 2, stride=2, transposed=True, rng=rng
+                ),
+                nn.BatchNorm(dec_out[i]),
+                nn.ReLU(),
+            )
+            blocks = nn.Sequential(
+                _block(dec_out[i] + skip_ch[i], dec_out[i], rng),
+                _block(dec_out[i], dec_out[i], rng),
+            )
+            self.up.append(self.add_child(f"up{i}", up))
+            self.dec_blocks.append(self.add_child(f"dec{i}", blocks))
+
+        self.classifier = self.add_child(
+            "classifier", nn.Linear(cs[8], num_classes, rng=rng)
+        )
+
+    def forward(self, x: SparseTensor, ctx: ExecutionContext) -> SparseTensor:
+        x = self.stem(x, ctx)
+        skips = [x]
+        for i in range(4):
+            x = self.down[i](x, ctx)
+            x = self.enc_blocks[i](x, ctx)
+            skips.append(x)
+        for i in range(4):
+            x = self.up[i](x, ctx)
+            x = concat_skip(x, skips[3 - i], ctx, name=f"{self.name}.skip{i}")
+            x = self.dec_blocks[i](x, ctx)
+        return self.classifier(x, ctx)

@@ -1,0 +1,163 @@
+"""Point-voxel operations (SPVConv, Tang et al. 2020).
+
+The paper's group followed TorchSparse with SPVCNN/SPVNAS, whose Sparse
+Point-Voxel convolution keeps a high-resolution *point* branch beside
+the sparse *voxel* branch.  Three ops connect them:
+
+* :func:`initial_voxelize` — average point features into a voxel grid,
+  remembering each point's voxel;
+* :func:`point_to_voxel` — re-aggregate (scatter-mean) point features
+  onto an existing voxel set;
+* :func:`voxel_to_point` — *trilinear devoxelization*: interpolate the 8
+  surrounding voxel corners back to every point, renormalizing over the
+  corners that actually exist in the sparse tensor.
+
+All three are exact NumPy and priced as data movement through the
+context's device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.hashmap.coords import pack_coords
+from repro.hashmap.hash_table import HashTable
+
+
+@dataclass
+class PointTensor:
+    """Continuous-coordinate points with features.
+
+    Attributes:
+        coords: ``(N, 4)`` float rows ``(batch, x, y, z)`` in *voxel
+            units* (i.e. already divided by the voxel size).
+        feats: ``(N, C)`` float features.
+    """
+
+    coords: np.ndarray
+    feats: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.coords = np.ascontiguousarray(self.coords, dtype=np.float64)
+        self.feats = np.ascontiguousarray(self.feats, dtype=np.float32)
+        if self.coords.ndim != 2 or self.coords.shape[1] != 4:
+            raise ValueError(f"coords must be (N, 4), got {self.coords.shape}")
+        if self.feats.shape[0] != self.coords.shape[0]:
+            raise ValueError("coords and feats disagree on N")
+
+    @property
+    def num_points(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.feats.shape[1])
+
+    def replace_feats(self, feats: np.ndarray) -> "PointTensor":
+        return PointTensor(self.coords, feats)
+
+
+def _price_movement(ctx: ExecutionContext, name: str, rows: int, channels: int) -> None:
+    nbytes = 2 * rows * channels * ctx.engine.config.dtype.nbytes
+    ctx.profile.log(
+        name,
+        "other",
+        ctx.device.mem_time(nbytes, efficiency=0.75) + ctx.device.launch_overhead,
+        bytes_moved=nbytes,
+    )
+
+
+def initial_voxelize(
+    pt: PointTensor, ctx: ExecutionContext
+) -> tuple[SparseTensor, np.ndarray]:
+    """Average point features into voxels (floor quantization).
+
+    Returns the sparse tensor and the per-point voxel row index.
+    """
+    grid = np.floor(pt.coords).astype(np.int64)
+    keys = pack_coords(grid)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    counts = np.bincount(inverse)
+    feats = np.zeros((uniq.shape[0], pt.num_channels), dtype=np.float64)
+    np.add.at(feats, inverse, pt.feats.astype(np.float64))
+    feats /= counts[:, None]
+
+    order = np.argsort(inverse, kind="stable")
+    first = order[np.searchsorted(inverse[order], np.arange(uniq.shape[0]))]
+    coords = grid[first].astype(np.int32)
+    _price_movement(ctx, "initial_voxelize", pt.num_points, pt.num_channels)
+    return SparseTensor(coords, feats.astype(np.float32)), inverse
+
+
+def point_to_voxel(
+    sparse: SparseTensor, pt: PointTensor, ctx: ExecutionContext
+) -> SparseTensor:
+    """Scatter-mean point features onto an existing voxel set.
+
+    Points whose voxel is absent from ``sparse`` are dropped; voxels
+    with no point keep zero features.  Coordinates are scaled by the
+    sparse tensor's stride, so the op works at any pyramid level.
+    """
+    from repro.core.kernel import to_tuple
+
+    grid = np.floor(
+        pt.coords / np.array([1, *to_tuple(sparse.stride, name="stride")])
+    ).astype(np.int64)
+    table = HashTable.from_keys(pack_coords(sparse.coords.astype(np.int64)))
+    rows = table.lookup(pack_coords(grid))
+    hit = rows >= 0
+    feats = np.zeros((sparse.num_points, pt.num_channels), dtype=np.float64)
+    counts = np.zeros(sparse.num_points, dtype=np.int64)
+    np.add.at(feats, rows[hit], pt.feats[hit].astype(np.float64))
+    np.add.at(counts, rows[hit], 1)
+    feats[counts > 0] /= counts[counts > 0, None]
+    _price_movement(ctx, "point_to_voxel", pt.num_points, pt.num_channels)
+    return SparseTensor(sparse.coords, feats.astype(np.float32), stride=sparse.stride)
+
+
+def voxel_to_point(
+    sparse: SparseTensor, pt: PointTensor, ctx: ExecutionContext
+) -> np.ndarray:
+    """Trilinear devoxelization: per-point interpolation of 8 corners.
+
+    For each point the 8 surrounding voxel corners (at the tensor's
+    stride) are queried in the sparse set; weights are the standard
+    trilinear volumes, renormalized over corners that exist.  Points
+    with no live corner get zeros.
+
+    Returns ``(N, C)`` interpolated features.
+    """
+    from repro.core.kernel import to_tuple
+
+    s = np.array(to_tuple(sparse.stride, name="stride"), dtype=np.float64)
+    xyz = pt.coords[:, 1:] / s
+    base = np.floor(xyz).astype(np.int64)
+    frac = xyz - base
+    table = HashTable.from_keys(pack_coords(sparse.coords.astype(np.int64)))
+
+    out = np.zeros((pt.num_points, sparse.num_channels), dtype=np.float64)
+    weight_sum = np.zeros(pt.num_points, dtype=np.float64)
+    batch = pt.coords[:, 0].astype(np.int64)
+
+    for corner in range(8):
+        dx, dy, dz = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+        corner_xyz = base + np.array([dx, dy, dz])
+        w = (
+            (frac[:, 0] if dx else 1 - frac[:, 0])
+            * (frac[:, 1] if dy else 1 - frac[:, 1])
+            * (frac[:, 2] if dz else 1 - frac[:, 2])
+        )
+        coords = np.concatenate([batch[:, None], corner_xyz], axis=1)
+        rows = table.lookup(pack_coords(coords))
+        hit = (rows >= 0) & (w > 0)
+        out[hit] += w[hit, None] * sparse.feats[rows[hit]].astype(np.float64)
+        weight_sum[hit] += w[hit]
+
+    nonzero = weight_sum > 0
+    out[nonzero] /= weight_sum[nonzero, None]
+    _price_movement(ctx, "voxel_to_point", 8 * pt.num_points, sparse.num_channels)
+    return out.astype(np.float32)

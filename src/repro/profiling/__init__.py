@@ -1,0 +1,21 @@
+"""Measurement plumbing shared by benchmarks and examples."""
+
+from repro.profiling.breakdown import stage_breakdown
+from repro.profiling.runner import (
+    BenchResult,
+    collect_workloads,
+    run_model,
+    tune_model,
+)
+from repro.profiling.report import format_series, format_table, geomean
+
+__all__ = [
+    "run_model",
+    "collect_workloads",
+    "tune_model",
+    "BenchResult",
+    "stage_breakdown",
+    "format_table",
+    "format_series",
+    "geomean",
+]

@@ -1,0 +1,32 @@
+"""Runtime breakdown (Figure 4)."""
+
+from __future__ import annotations
+
+from repro.gpu.timeline import STAGES, Profile
+
+
+def stage_breakdown(profile: Profile) -> dict:
+    """Stage shares plus the grouping Figure 4 plots.
+
+    Returns stage fractions with ``datamove`` (gather + scatter)
+    aggregated alongside the raw stages.
+    """
+    frac = profile.stage_fractions()
+    out = dict(frac)
+    out["datamove"] = frac["gather"] + frac["scatter"]
+    return out
+
+
+def format_breakdown(profile: Profile, title: str = "") -> str:
+    """Figure-4-style text bar chart."""
+    total = profile.total_time
+    lines = []
+    if title:
+        lines.append(title)
+    for stage in STAGES:
+        t = profile.stage_times()[stage]
+        pct = 0.0 if total == 0 else 100 * t / total
+        bar = "#" * int(round(pct / 2))
+        lines.append(f"  {stage:8s} {pct:5.1f}% {bar}")
+    lines.append(f"  total    {total * 1e3:.3f} ms")
+    return "\n".join(lines)

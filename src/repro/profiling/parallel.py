@@ -1,0 +1,117 @@
+"""Multi-device inference sharding.
+
+TorchSparse supports multi-GPU execution (Section 4.1).  Inference-side
+data parallelism needs no gradient exchange: point clouds (or batch
+elements) are sharded across devices and the wall time is the makespan
+of the slowest shard.  These helpers model exactly that on the device
+specs, including heterogeneous fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.engine import BaseEngine, ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.gpu.device import GPUSpec
+from repro.nn.modules import Module
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one multi-device run."""
+
+    per_device: dict  # device name -> total seconds
+    assignments: dict  # device name -> list of input indices
+    makespan: float
+    total_inputs: int
+
+    @property
+    def throughput(self) -> float:
+        """Inputs per second at steady state."""
+        return 0.0 if self.makespan == 0 else self.total_inputs / self.makespan
+
+    def speedup_over(self, single_device_time: float) -> float:
+        return 0.0 if self.makespan == 0 else single_device_time / self.makespan
+
+
+def _latency(model: Module, x: SparseTensor, engine: BaseEngine, device: GPUSpec):
+    ctx = ExecutionContext(engine=engine, device=device)
+    model(x, ctx)
+    return ctx.profile.total_time
+
+
+def shard_inference(
+    model: Module,
+    inputs: Sequence[SparseTensor],
+    engine: BaseEngine,
+    devices: Sequence[GPUSpec],
+    policy: str = "greedy",
+) -> ShardResult:
+    """Assign inputs to devices and report the makespan.
+
+    Policies:
+        * ``round_robin`` — input ``i`` to device ``i % len(devices)``;
+        * ``greedy`` — longest-processing-time-first onto the device
+          with the least accumulated time, weighted by device speed
+          (the classic LPT heuristic; better on heterogeneous fleets).
+    """
+    if not inputs:
+        raise ValueError("need at least one input")
+    if not devices:
+        raise ValueError("need at least one device")
+    if policy not in ("round_robin", "greedy"):
+        raise ValueError(f"unknown policy {policy!r}")
+
+    # per-(input, device) latency matrix
+    lat = [
+        [_latency(model, x, engine, d) for d in devices] for x in inputs
+    ]
+
+    loads = [0.0] * len(devices)
+    assign: list[list[int]] = [[] for _ in devices]
+    if policy == "round_robin":
+        for i in range(len(inputs)):
+            d = i % len(devices)
+            loads[d] += lat[i][d]
+            assign[d].append(i)
+    else:
+        # LPT by mean latency, placed to minimize the resulting load
+        order = sorted(
+            range(len(inputs)),
+            key=lambda i: -(sum(lat[i]) / len(devices)),
+        )
+        for i in order:
+            best = min(
+                range(len(devices)), key=lambda d: loads[d] + lat[i][d]
+            )
+            loads[best] += lat[i][best]
+            assign[best].append(i)
+
+    names = [d.name for d in devices]
+    # disambiguate duplicate device names (homogeneous fleets)
+    labels = [
+        f"{n} #{k}" if names.count(n) > 1 else n
+        for k, n in enumerate(names)
+    ]
+    return ShardResult(
+        per_device=dict(zip(labels, loads)),
+        assignments={label: a for label, a in zip(labels, assign)},
+        makespan=max(loads),
+        total_inputs=len(inputs),
+    )
+
+
+def data_parallel_batch(
+    model: Module,
+    batched: SparseTensor,
+    engine: BaseEngine,
+    devices: Sequence[GPUSpec],
+) -> ShardResult:
+    """Split a batched tensor across devices, one batch element at a
+    time (greedy placement)."""
+    from repro.datasets.collate import batch_split
+
+    singles = batch_split(batched)
+    return shard_inference(model, singles, engine, devices, policy="greedy")

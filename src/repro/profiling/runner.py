@@ -1,0 +1,129 @@
+"""End-to-end model execution across engines and devices.
+
+``run_model`` produces the modeled latency/FPS of one (model, input,
+engine, device) combination; ``collect_workloads``/``tune_model`` run
+Algorithm 5's offline strategy search for a model on a dataset sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.engine import BaseEngine, EngineConfig, ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.tuner import LayerWorkload, StrategyBook, tune_workloads
+from repro.gpu.device import GPUSpec, RTX_2080TI
+from repro.gpu.timeline import Profile
+from repro.nn.modules import Module
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One end-to-end measurement."""
+
+    model: str
+    engine: str
+    device: str
+    latency: float  # modeled seconds per input
+    profile: Profile
+
+    @property
+    def fps(self) -> float:
+        return 0.0 if self.latency == 0 else 1.0 / self.latency
+
+
+def run_model(
+    model: Module,
+    inputs: Sequence[SparseTensor],
+    engine: BaseEngine,
+    device: GPUSpec = RTX_2080TI,
+    model_name: str = "",
+) -> BenchResult:
+    """Average modeled latency of ``model`` over ``inputs``.
+
+    Each input gets a fresh context (coordinate/map caches are per-input,
+    as in the real systems).
+    """
+    if not inputs:
+        raise ValueError("need at least one input")
+    merged = Profile()
+    total = 0.0
+    for x in inputs:
+        ctx = ExecutionContext(engine=engine, device=device)
+        model(x, ctx)
+        total += ctx.profile.total_time
+        merged.extend(ctx.profile.records)
+    return BenchResult(
+        model=model_name or model.name,
+        engine=engine.config.name,
+        device=device.name,
+        latency=total / len(inputs),
+        profile=merged,
+    )
+
+
+def collect_workloads(
+    model: Module,
+    inputs: Sequence[SparseTensor],
+    device: GPUSpec = RTX_2080TI,
+) -> list[LayerWorkload]:
+    """Run the model over sample inputs and collect per-layer map sizes.
+
+    Layers are keyed by their module name; each input contributes one
+    map-size sample per convolution.
+    """
+    from repro.core.engine import TorchSparseEngine
+
+    engine = TorchSparseEngine()
+    per_layer: dict[str, dict] = {}
+    for x in inputs:
+        ctx = ExecutionContext(engine=engine, device=device)
+        model(x, ctx)
+        for name, k, s, c_in, c_out, sizes in ctx.layer_workloads:
+            entry = per_layer.setdefault(
+                name,
+                {"kernel_size": k, "stride": s, "c_in": c_in, "c_out": c_out,
+                 "samples": []},
+            )
+            entry["samples"].append(sizes)
+    return [
+        LayerWorkload(
+            name=name,
+            kernel_size=e["kernel_size"],
+            stride=e["stride"],
+            c_in=e["c_in"],
+            c_out=e["c_out"],
+            samples=tuple(e["samples"]),
+        )
+        for name, e in per_layer.items()
+    ]
+
+
+def tune_model(
+    model: Module,
+    inputs: Sequence[SparseTensor],
+    device: GPUSpec = RTX_2080TI,
+    dtype=None,
+    epsilons: Iterable[float] | None = None,
+    thresholds: Iterable[float] | None = None,
+) -> StrategyBook:
+    """Offline Algorithm 5 for a whole model on a dataset sample."""
+    from repro.core.tuner import DEFAULT_EPSILONS, DEFAULT_THRESHOLDS
+    from repro.gpu.memory import DType
+
+    workloads = collect_workloads(model, inputs, device)
+    return tune_workloads(
+        workloads,
+        dtype or DType.FP16,
+        device,
+        epsilons=tuple(epsilons) if epsilons else DEFAULT_EPSILONS,
+        thresholds=tuple(thresholds) if thresholds else DEFAULT_THRESHOLDS,
+    )
+
+
+def tuned_engine_config(book: StrategyBook, **overrides) -> EngineConfig:
+    """TorchSparse config carrying a tuned strategy book."""
+    from dataclasses import replace
+
+    return replace(EngineConfig.torchsparse(), strategy_book=book, **overrides)

@@ -1,0 +1,70 @@
+"""Chrome-trace export of execution profiles.
+
+Serializes a :class:`~repro.gpu.timeline.Profile` into the Trace Event
+Format consumed by ``chrome://tracing`` / Perfetto, laying kernels out
+back-to-back per stage track.  Useful for eyeballing where a model's
+modeled time goes, the way one would with an Nsight timeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.gpu.timeline import STAGES, Profile
+
+#: Trace rows: one pseudo-thread per pipeline stage.
+_STAGE_TIDS = {stage: i + 1 for i, stage in enumerate(STAGES)}
+
+
+def to_chrome_trace(profile: Profile, process_name: str = "repro") -> dict:
+    """Build a Trace Event Format dict (``traceEvents`` + metadata).
+
+    Kernels are laid out sequentially in record order (the model is a
+    single-stream device, so record order is execution order); each
+    stage renders as its own thread row.
+    """
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for stage, tid in _STAGE_TIDS.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": stage},
+            }
+        )
+    clock_us = 0.0
+    for rec in profile.records:
+        dur_us = rec.time * 1e6
+        events.append(
+            {
+                "name": rec.name,
+                "cat": rec.stage,
+                "ph": "X",
+                "pid": 1,
+                "tid": _STAGE_TIDS[rec.stage],
+                "ts": round(clock_us, 3),
+                "dur": round(dur_us, 3),
+                "args": {
+                    "bytes_moved": rec.bytes_moved,
+                    "flops": rec.flops,
+                    "launches": rec.launches,
+                },
+            }
+        )
+        clock_us += dur_us
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(profile: Profile, path: str, **kwargs) -> None:
+    """Serialize :func:`to_chrome_trace` to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(to_chrome_trace(profile, **kwargs), f)

@@ -1,0 +1,42 @@
+"""Training support.
+
+The paper's system "provides support for CPU inference and multi-GPU
+training" while evaluating GPU inference (Section 4.1).  This subpackage
+adds the training half: a small reverse-mode autograd over feature
+matrices (:mod:`repro.train.autograd`), sparse-convolution forward and
+backward built on the same kernel maps the inference engine uses
+(:mod:`repro.train.ops`), trainable modules and losses
+(:mod:`repro.train.modules`), and optimizers + a training loop
+(:mod:`repro.train.optim`).
+
+Every op's backward is validated against central-difference numerical
+gradients in the test suite.
+"""
+
+from repro.train.autograd import Param, Var
+from repro.train.export import unet_to_inference
+from repro.train.modules import (
+    TrainBatchNorm,
+    TrainConv3d,
+    TrainLinear,
+    TrainModule,
+    TrainReLU,
+    TrainSequential,
+    cross_entropy,
+)
+from repro.train.optim import SGD, Adam
+
+__all__ = [
+    "Var",
+    "Param",
+    "TrainModule",
+    "TrainConv3d",
+    "TrainBatchNorm",
+    "TrainReLU",
+    "TrainLinear",
+    "TrainSequential",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "unet_to_inference",
+]

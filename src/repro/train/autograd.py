@@ -1,0 +1,250 @@
+"""Minimal reverse-mode autograd over NumPy arrays.
+
+A :class:`Var` wraps an array and remembers how it was produced; calling
+:meth:`Var.backward` on a scalar loss runs the tape in reverse
+topological order.  Only what sparse-CNN training needs is implemented —
+matmul, elementwise ops, indexed gather/scatter-add, concatenation —
+but each op is exact and numerically grad-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class Var:
+    """A node in the computation graph.
+
+    Attributes:
+        data: the value (any-dimensional float array).
+        grad: accumulated gradient, same shape as ``data`` (after
+            ``backward``; ``None`` before).
+        requires_grad: leaves with ``False`` stop gradient flow.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        requires_grad: bool = False,
+        parents: tuple = (),
+        backward: Callable | None = None,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad or any(
+            p.requires_grad for p in parents
+        )
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # -- graph execution -----------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this node.
+
+        Args:
+            grad: seed gradient; defaults to 1 for scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a seed needs a scalar")
+            grad = np.ones_like(self.data)
+        order: list[Var] = []
+        seen: set[int] = set()
+
+        def visit(v: "Var") -> None:
+            if id(v) in seen or not v.requires_grad:
+                return
+            seen.add(id(v))
+            for p in v._parents:
+                visit(p)
+            order.append(v)
+
+        visit(self)
+        for v in order:
+            v.grad = np.zeros_like(v.data)
+        self.grad = np.asarray(grad, dtype=np.float64).reshape(self.data.shape)
+        for v in reversed(order):
+            if v._backward is not None:
+                v._backward(v.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- shape sugar ---------------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"Var(shape={self.data.shape}, grad={self.grad is not None}{tag})"
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Var") -> "Var":
+        return add(self, other)
+
+    def __matmul__(self, other: "Var") -> "Var":
+        return matmul(self, other)
+
+    def __mul__(self, scalar: float) -> "Var":
+        return scale(self, scalar)
+
+    __rmul__ = __mul__
+
+
+class Param(Var):
+    """A trainable leaf."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+def _accumulate(v: Var, g: np.ndarray) -> None:
+    if v.requires_grad:
+        if v.grad is None:
+            v.grad = np.zeros_like(v.data)
+        v.grad += g
+
+
+# -- primitive ops --------------------------------------------------------
+
+
+def add(a: Var, b: Var) -> Var:
+    if a.data.shape != b.data.shape:
+        raise ValueError(f"add shape mismatch: {a.shape} vs {b.shape}")
+
+    def backward(g):
+        _accumulate(a, g)
+        _accumulate(b, g)
+
+    return Var(a.data + b.data, parents=(a, b), backward=backward)
+
+
+def add_bias(x: Var, b: Var) -> Var:
+    """Row-broadcast bias add: (N, C) + (C,)."""
+
+    def backward(g):
+        _accumulate(x, g)
+        _accumulate(b, g.sum(axis=0))
+
+    return Var(x.data + b.data[None, :], parents=(x, b), backward=backward)
+
+
+def scale(x: Var, s: float) -> Var:
+    def backward(g):
+        _accumulate(x, s * g)
+
+    return Var(x.data * s, parents=(x,), backward=backward)
+
+
+def mul_rows(x: Var, w: Var) -> Var:
+    """Per-channel scaling: (N, C) * (C,)."""
+
+    def backward(g):
+        _accumulate(x, g * w.data[None, :])
+        _accumulate(w, (g * x.data).sum(axis=0))
+
+    return Var(x.data * w.data[None, :], parents=(x, w), backward=backward)
+
+
+def matmul(a: Var, b: Var) -> Var:
+    def backward(g):
+        _accumulate(a, g @ b.data.T)
+        _accumulate(b, a.data.T @ g)
+
+    return Var(a.data @ b.data, parents=(a, b), backward=backward)
+
+
+def relu(x: Var) -> Var:
+    mask = x.data > 0
+
+    def backward(g):
+        _accumulate(x, g * mask)
+
+    return Var(x.data * mask, parents=(x,), backward=backward)
+
+
+def take_rows(x: Var, idx: np.ndarray) -> Var:
+    """Gather rows (duplicates allowed); backward scatter-adds."""
+    idx = np.asarray(idx, dtype=np.int64)
+
+    def backward(g):
+        if x.requires_grad:
+            buf = np.zeros_like(x.data)
+            np.add.at(buf, idx, g)
+            _accumulate(x, buf)
+
+    return Var(x.data[idx], parents=(x,), backward=backward)
+
+
+def scatter_add(x: Var, idx: np.ndarray, n_out: int) -> Var:
+    """Scatter rows of ``x`` into ``n_out`` rows, accumulating.
+
+    Forward of the sparse-conv scatter stage; backward is a gather.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    out = np.zeros((n_out, x.data.shape[1]), dtype=np.float64)
+    np.add.at(out, idx, x.data)
+
+    def backward(g):
+        _accumulate(x, g[idx])
+
+    return Var(out, parents=(x,), backward=backward)
+
+
+def concat_cols(a: Var, b: Var) -> Var:
+    ca = a.data.shape[1]
+
+    def backward(g):
+        _accumulate(a, g[:, :ca])
+        _accumulate(b, g[:, ca:])
+
+    return Var(
+        np.concatenate([a.data, b.data], axis=1), parents=(a, b), backward=backward
+    )
+
+
+def pick_per_row(x: Var, cols: np.ndarray) -> Var:
+    """Select one column per row: ``out[i] = x[i, cols[i]]``."""
+    cols = np.asarray(cols, dtype=np.int64)
+    n = x.data.shape[0]
+    rows = np.arange(n)
+
+    def backward(g):
+        if x.requires_grad:
+            buf = np.zeros_like(x.data)
+            buf[rows, cols] = g
+            _accumulate(x, buf)
+
+    return Var(x.data[rows, cols], parents=(x,), backward=backward)
+
+
+def mean_all(x: Var) -> Var:
+    n = x.data.size
+
+    def backward(g):
+        _accumulate(x, np.full_like(x.data, float(g) / n))
+
+    return Var(np.array(x.data.mean()), parents=(x,), backward=backward)
+
+
+def log_softmax(x: Var) -> Var:
+    """Row-wise log-softmax, numerically stable."""
+    shifted = x.data - x.data.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    out = shifted - lse
+
+    def backward(g):
+        softmax = np.exp(out)
+        _accumulate(x, g - softmax * g.sum(axis=1, keepdims=True))
+
+    return Var(out, parents=(x,), backward=backward)

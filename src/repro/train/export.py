@@ -1,0 +1,104 @@
+"""Export trained weights into the inference engine's modules.
+
+The training stack (float64 tape) and the inference stack (float32 +
+cost model) share kernel-map semantics, so a trained network can be
+converted layer-for-layer and served by any engine — the train-then-
+deploy loop of a real system.  ``unet_to_inference`` mirrors
+:class:`repro.train.model.TrainUNet`'s forward exactly; the test suite
+asserts logit agreement between the two stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.engine import ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.nn.modules import concat_skip
+from repro.train.model import TrainUNet
+from repro.train.modules import (
+    TrainBatchNorm,
+    TrainConv3d,
+    TrainLinear,
+    TrainSequential,
+)
+
+
+def conv_to_inference(layer: TrainConv3d) -> nn.Conv3d:
+    """Copy a trained sparse conv into an inference ``nn.Conv3d``."""
+    c_in, c_out = layer.weights[0].data.shape
+    conv = nn.Conv3d(
+        c_in,
+        c_out,
+        kernel_size=layer.kernel_size,
+        stride=layer.stride,
+        transposed=layer.transposed,
+        bias=True,
+    )
+    conv.weight = np.stack([w.data for w in layer.weights]).astype(np.float32)
+    conv.bias = layer.bias.data.astype(np.float32)
+    return conv
+
+
+def bn_to_inference(layer: TrainBatchNorm) -> nn.BatchNorm:
+    """Copy a trained (frozen-stats) BN into an inference BatchNorm."""
+    bn = nn.BatchNorm(layer.gamma.data.shape[0])
+    bn.gamma = layer.gamma.data.astype(np.float32)
+    bn.beta = layer.beta.data.astype(np.float32)
+    # the training BN normalizes with frozen zero-mean/unit-var stats
+    bn.running_mean[:] = 0.0
+    bn.running_var[:] = 1.0 - bn.eps  # so scale is exactly gamma
+    return bn
+
+
+def linear_to_inference(layer: TrainLinear) -> nn.Linear:
+    lin = nn.Linear(*layer.weight.data.shape)
+    lin.weight = layer.weight.data.astype(np.float32)
+    lin.bias = layer.bias.data.astype(np.float32)
+    return lin
+
+
+def sequential_to_inference(seq: TrainSequential) -> nn.Sequential:
+    """Convert a linear chain of trainable layers."""
+    from repro.train.modules import TrainReLU
+
+    out = []
+    for layer in seq.layers:
+        if isinstance(layer, TrainConv3d):
+            out.append(conv_to_inference(layer))
+        elif isinstance(layer, TrainBatchNorm):
+            out.append(bn_to_inference(layer))
+        elif isinstance(layer, TrainReLU):
+            out.append(nn.ReLU())
+        elif isinstance(layer, TrainLinear):
+            out.append(linear_to_inference(layer))
+        else:
+            raise TypeError(f"cannot export layer of type {type(layer).__name__}")
+    return nn.Sequential(*out)
+
+
+class InferenceUNet(nn.Module):
+    """Inference twin of :class:`repro.train.model.TrainUNet`."""
+
+    def __init__(self, trained: TrainUNet):
+        super().__init__()
+        self.stem = self.add_child("stem", sequential_to_inference(trained.stem))
+        self.down = self.add_child("down", sequential_to_inference(trained.down))
+        self.up = self.add_child("up", conv_to_inference(trained.up))
+        self.head = self.add_child("head", sequential_to_inference(trained.head))
+
+    def forward(self, x: SparseTensor, ctx: ExecutionContext) -> SparseTensor:
+        skip = self.stem(x, ctx)
+        deep = self.down(skip, ctx)
+        upped = self.up(deep, ctx)
+        merged = concat_skip(upped, skip, ctx, name=f"{self.name}.skip")
+        relu = ctx.engine.pointwise(
+            merged, np.maximum(merged.feats, 0), ctx, f"{self.name}.fuse_relu"
+        )
+        return self.head(relu, ctx)
+
+
+def unet_to_inference(trained: TrainUNet) -> InferenceUNet:
+    """Export a trained U-Net for serving under any engine/device."""
+    return InferenceUNet(trained)

@@ -1,0 +1,72 @@
+"""A small trainable sparse U-Net for segmentation demos.
+
+A two-level MinkUNet-style encoder/decoder built from the trainable
+modules: enough capacity to learn the synthetic scenes' geometry-driven
+classes, small enough to train in seconds on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sparse_tensor import SparseTensor
+from repro.train.autograd import Var, concat_cols, relu
+from repro.train.modules import (
+    MapProvider,
+    TrainBatchNorm,
+    TrainConv3d,
+    TrainLinear,
+    TrainModule,
+    TrainReLU,
+    TrainSequential,
+)
+
+
+class TrainUNet(TrainModule):
+    """stem -> down(2x) -> bottleneck -> up(2x) -> concat skip -> classify."""
+
+    def __init__(self, in_channels: int, num_classes: int, width: int = 16,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = self.add_child(
+            TrainSequential(
+                TrainConv3d(in_channels, w, 3, rng=rng),
+                TrainBatchNorm(w),
+                TrainReLU(),
+                TrainConv3d(w, w, 3, rng=rng),
+                TrainReLU(),
+            )
+        )
+        self.down = self.add_child(
+            TrainSequential(
+                TrainConv3d(w, 2 * w, 2, stride=2, rng=rng),
+                TrainReLU(),
+                TrainConv3d(2 * w, 2 * w, 3, rng=rng),
+                TrainReLU(),
+            )
+        )
+        self.up = self.add_child(
+            TrainConv3d(2 * w, w, 2, stride=2, transposed=True, rng=rng)
+        )
+        self.head = self.add_child(
+            TrainSequential(
+                TrainConv3d(2 * w, w, 3, rng=rng),
+                TrainReLU(),
+                TrainLinear(w, num_classes, rng=rng),
+            )
+        )
+
+    def forward(self, x: Var, maps: MapProvider, stride: int = 1):
+        skip, s = self.stem(x, maps, stride)
+        deep, s2 = self.down(skip, maps, s)
+        upped, s1 = self.up(deep, maps, s2)
+        assert s1 == s
+        merged = relu(concat_cols(upped, skip))
+        return self.head(merged, maps, s1)
+
+
+def prepare_sample(x: SparseTensor) -> tuple:
+    """(Var features, MapProvider) for one voxelized input."""
+    return Var(x.feats.astype(np.float64)), MapProvider(x.coords)

@@ -1,0 +1,50 @@
+"""Sparse-convolution forward/backward on kernel maps.
+
+Training reuses the *same* mapping machinery as inference: an engine's
+:class:`~repro.mapping.kmap.KernelMap` drives both directions.
+
+Forward (per offset ``n``):   ``Y[out_n] += X[in_n] @ W_n``
+Backward:                     ``dX[in_n] += dY[out_n] @ W_n^T``
+                              ``dW_n     = X[in_n]^T @ dY[out_n]``
+
+which is exactly the composition of the autograd gather / matmul /
+scatter primitives, so no bespoke backward code is needed here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapping.kmap import KernelMap
+from repro.train.autograd import Var, add, matmul, scatter_add, take_rows
+
+
+def sparse_conv(x: Var, weights: list, kmap: KernelMap) -> Var:
+    """Differentiable sparse convolution.
+
+    Args:
+        x: ``(N_in, C_in)`` input features.
+        weights: list of ``K^3`` :class:`Param` matrices ``(C_in, C_out)``.
+        kmap: the layer's kernel map (from the inference engine's
+            mapping step — coordinates need no gradients).
+
+    Returns:
+        ``(N_out, C_out)`` output features as a :class:`Var`.
+    """
+    if len(weights) != kmap.volume:
+        raise ValueError(
+            f"expected {kmap.volume} weight matrices, got {len(weights)}"
+        )
+    c_out = weights[0].data.shape[1]
+    total: Var | None = None
+    for n in range(kmap.volume):
+        in_idx = kmap.in_indices[n]
+        if len(in_idx) == 0:
+            continue
+        gathered = take_rows(x, in_idx)
+        partial = matmul(gathered, weights[n])
+        scattered = scatter_add(partial, kmap.out_indices[n], kmap.n_out)
+        total = scattered if total is None else add(total, scattered)
+    if total is None:
+        return Var(np.zeros((kmap.n_out, c_out)))
+    return total

@@ -1,0 +1,109 @@
+"""Optimizers and a small training loop."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.train.autograd import Param
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[Param], lr: float = 1e-2,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Sequence[Param],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.b1
+            m += (1 - self.b1) * p.grad
+            v *= self.b2
+            v += (1 - self.b2) * p.grad**2
+            m_hat = m / (1 - self.b1**self._t)
+            v_hat = v / (1 - self.b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def train_epoch(
+    model,
+    batches: Sequence[tuple],
+    optimizer,
+    loss_fn: Callable,
+) -> float:
+    """One pass over ``batches`` of ``(Var features, MapProvider, targets)``.
+
+    Returns the mean loss.
+    """
+    total = 0.0
+    for x, maps, targets in batches:
+        optimizer.zero_grad()
+        logits, _ = model(x, maps, 1)
+        loss = loss_fn(logits, targets)
+        loss.backward()
+        optimizer.step()
+        total += float(loss.data)
+    return total / max(1, len(batches))
+
+
+def mean_iou(pred: np.ndarray, target: np.ndarray, num_classes: int) -> float:
+    """Mean intersection-over-union over classes present in the target."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    ious = []
+    for c in range(num_classes):
+        t = target == c
+        if not t.any():
+            continue
+        p = pred == c
+        inter = (p & t).sum()
+        union = (p | t).sum()
+        ious.append(inter / union if union else 0.0)
+    return float(np.mean(ious)) if ious else 0.0

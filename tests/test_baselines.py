@@ -1,0 +1,112 @@
+"""Tests for the MinkowskiEngine- and SpConv-like baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MinkowskiEngineLike,
+    SpConvLike,
+    minkowski_config,
+    spconv_config,
+)
+from repro.core.engine import ExecutionContext, TorchSparseEngine
+from repro.core.sparse_tensor import SparseTensor
+from repro.gpu.memory import DType
+
+
+def make_tensor(n=400, extent=25, seed=0, c=8):
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    return SparseTensor(
+        coords, rng.standard_normal((xyz.shape[0], c)).astype(np.float32)
+    )
+
+
+def make_weights(k=3, c_in=8, c_out=16, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((k**3, c_in, c_out)) * 0.2).astype(np.float32)
+
+
+class TestMinkowskiConfig:
+    def test_design_decisions(self):
+        cfg = minkowski_config()
+        assert cfg.dtype is DType.FP32
+        assert cfg.map_backend == "hash"
+        assert cfg.grouping == "separate"
+        assert not cfg.fused and not cfg.locality_aware
+        assert cfg.fetch_on_demand_threshold > 0
+
+    def test_override(self):
+        cfg = minkowski_config(fetch_on_demand_threshold=0)
+        assert cfg.fetch_on_demand_threshold == 0
+
+
+class TestSpConvConfig:
+    def test_design_decisions(self):
+        cfg = spconv_config()
+        assert cfg.dtype is DType.FP16
+        assert not cfg.vectorized  # the paper's key SpConv limitation
+        assert cfg.map_backend == "grid"
+        assert cfg.grouping == "separate"
+
+    def test_fp32_mode(self):
+        assert spconv_config(fp16=False).dtype is DType.FP32
+
+
+class TestNumericalAgreement:
+    def test_all_baselines_match_torchsparse(self):
+        x = make_tensor()
+        w = make_weights()
+        ref_ctx = ExecutionContext(engine=TorchSparseEngine())
+        ref = ref_ctx.engine.convolution(x, w, ref_ctx).feats
+        for eng in (MinkowskiEngineLike(), SpConvLike(), SpConvLike(fp16=False)):
+            ctx = ExecutionContext(engine=eng)
+            got = eng.convolution(x, w, ctx).feats
+            np.testing.assert_allclose(got, ref, rtol=2e-2, atol=2e-2)
+
+
+class TestPerformanceCharacter:
+    """Each baseline must exhibit the paper's qualitative behaviour."""
+
+    def _latency(self, engine, x, w):
+        ctx = ExecutionContext(engine=engine)
+        engine.convolution(x, w, ctx)
+        return ctx.profile.total_time
+
+    def test_torchsparse_fastest_on_large_workloads(self):
+        x = make_tensor(n=60_000, extent=70, c=32)
+        w = make_weights(3, 32, 32)
+        t_ts = self._latency(TorchSparseEngine(), x, w)
+        t_me = self._latency(MinkowskiEngineLike(), x, w)
+        t_sp = self._latency(SpConvLike(), x, w)
+        assert t_ts < t_sp < t_me
+
+    def test_spconv_fp16_beats_its_fp32(self):
+        x = make_tensor(n=60_000, extent=70, c=32)
+        w = make_weights(3, 32, 32)
+        assert self._latency(SpConvLike(), x, w) < self._latency(
+            SpConvLike(fp16=False), x, w
+        )
+
+    def test_fetch_on_demand_helps_small_workloads(self):
+        """ME's small-workload specialization (Section 5.2)."""
+        x = make_tensor(n=300, extent=30)
+        w = make_weights()
+        with_fod = self._latency(MinkowskiEngineLike(), x, w)
+        without = self._latency(
+            MinkowskiEngineLike(minkowski_config(fetch_on_demand_threshold=0)), x, w
+        )
+        assert with_fod < without
+
+    def test_spconv_uses_grid_me_uses_hash(self):
+        x = make_tensor()
+        w = make_weights()
+        ctx_sp = ExecutionContext(engine=SpConvLike())
+        SpConvLike().convolution(x, w, ctx_sp)
+        ctx_me = ExecutionContext(engine=MinkowskiEngineLike())
+        MinkowskiEngineLike().convolution(x, w, ctx_me)
+        assert ctx_sp.index_at_stride[1].table.__class__.__name__ == "GridTable"
+        assert ctx_me.index_at_stride[1].table.__class__.__name__ == "HashTable"

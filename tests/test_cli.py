@@ -1,0 +1,77 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.cli import DEVICES, ENGINE_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--model", "x"])
+        assert args.engine == "torchsparse"
+        assert args.device == "2080ti"
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_engine_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--model", "x", "--engine", "y"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "minkunet_1.0x_kitti" in out
+        assert "torchsparse" in out
+        assert "3090" in out
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["bench", "--model", "nope"])
+
+    def test_bench_runs(self, capsys):
+        rc = main(
+            ["bench", "--model", "minkunet_0.5x_kitti", "--scale", "0.12",
+             "--engine", "baseline"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modeled latency" in out
+        assert "matmul" in out
+
+    def test_compare_runs(self, capsys):
+        rc = main(
+            ["compare", "--model", "minkunet_0.5x_kitti", "--scale", "0.12"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for engine in ENGINE_FACTORIES:
+            assert engine in out
+
+    def test_tune_runs(self, tmp_path, capsys):
+        out_file = tmp_path / "book.json"
+        rc = main(
+            ["tune", "--model", "minkunet_0.5x_kitti", "--scale", "0.1",
+             "--out", str(out_file)]
+        )
+        assert rc == 0
+        assert out_file.exists()
+        from repro.core.tuner import StrategyBook
+
+        book = StrategyBook.loads(out_file.read_text())
+        assert len(book.layers) > 10
+
+    def test_cpu_device_available(self):
+        assert "cpu" in DEVICES
+        rc = main(
+            ["bench", "--model", "minkunet_0.5x_kitti", "--scale", "0.1",
+             "--device", "cpu"]
+        )
+        assert rc == 0

@@ -1,0 +1,118 @@
+"""Tests for coordinate packing (repro.hashmap.coords)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashmap.coords import (
+    COORD_MAX,
+    COORD_MIN,
+    coords_bounds,
+    pack_coords,
+    ravel_coords,
+    unpack_coords,
+    unravel_coords,
+)
+
+coord_rows = st.lists(
+    st.tuples(
+        st.integers(0, 100),
+        st.integers(COORD_MIN, COORD_MAX),
+        st.integers(COORD_MIN, COORD_MAX),
+        st.integers(COORD_MIN, COORD_MAX),
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+def as_array(rows):
+    return np.array(rows, dtype=np.int64).reshape(-1, 4)
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        c = np.array([[0, 1, 2, 3], [1, -5, 0, 7]], dtype=np.int32)
+        assert np.array_equal(unpack_coords(pack_coords(c)), c)
+
+    def test_empty(self):
+        keys = pack_coords(np.empty((0, 4), dtype=np.int32))
+        assert keys.shape == (0,)
+        assert unpack_coords(keys).shape == (0, 4)
+
+    def test_extremes_roundtrip(self):
+        c = np.array(
+            [
+                [0, COORD_MIN, COORD_MIN, COORD_MIN],
+                [(1 << 15) - 1, COORD_MAX, COORD_MAX, COORD_MAX],
+            ]
+        )
+        assert np.array_equal(unpack_coords(pack_coords(c)), c)
+
+    def test_out_of_range_spatial_raises(self):
+        with pytest.raises(ValueError):
+            pack_coords(np.array([[0, COORD_MAX + 1, 0, 0]]))
+        with pytest.raises(ValueError):
+            pack_coords(np.array([[0, COORD_MIN - 1, 0, 0]]))
+
+    def test_negative_batch_raises(self):
+        with pytest.raises(ValueError):
+            pack_coords(np.array([[-1, 0, 0, 0]]))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            pack_coords(np.zeros((3, 3), dtype=np.int32))
+
+    @given(coord_rows)
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, rows):
+        c = as_array(rows)
+        assert np.array_equal(unpack_coords(pack_coords(c)), c)
+
+    @given(coord_rows)
+    @settings(max_examples=50)
+    def test_injective_property(self, rows):
+        """Distinct coordinates must pack to distinct keys."""
+        c = np.unique(as_array(rows), axis=0)
+        keys = pack_coords(c)
+        assert np.unique(keys).shape[0] == c.shape[0]
+
+
+class TestRavel:
+    def test_roundtrip(self):
+        origin = np.array([0, -3, 5, -10])
+        shape = np.array([2, 8, 4, 20])
+        rng = np.random.default_rng(0)
+        c = origin + rng.integers(0, shape, size=(50, 4))
+        idx = ravel_coords(c, origin, shape)
+        assert np.array_equal(unravel_coords(idx, origin, shape), c)
+
+    def test_dense_coverage_is_bijective(self):
+        """Raveling the full box hits each index exactly once."""
+        origin = np.array([0, 0, 0, 0])
+        shape = np.array([2, 3, 4, 5])
+        grids = np.meshgrid(*[np.arange(s) for s in shape], indexing="ij")
+        c = np.stack([g.ravel() for g in grids], axis=1)
+        idx = ravel_coords(c, origin, shape)
+        assert np.array_equal(np.sort(idx), np.arange(np.prod(shape)))
+
+    def test_outside_box_raises(self):
+        origin = np.zeros(4, dtype=np.int64)
+        shape = np.array([1, 4, 4, 4])
+        with pytest.raises(ValueError):
+            ravel_coords(np.array([[0, 4, 0, 0]]), origin, shape)
+        with pytest.raises(ValueError):
+            ravel_coords(np.array([[0, -1, 0, 0]]), origin, shape)
+
+
+class TestBounds:
+    def test_bounds(self):
+        c = np.array([[0, 1, -2, 3], [1, 4, 5, -6]])
+        lo, hi = coords_bounds(c)
+        assert np.array_equal(lo, [0, 1, -2, -6])
+        assert np.array_equal(hi, [1, 4, 5, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            coords_bounds(np.empty((0, 4)))

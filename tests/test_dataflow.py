@@ -1,0 +1,219 @@
+"""Tests for dataflow execution: numerics against references, cost ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataflow import (
+    MovementConfig,
+    execute_fetch_on_demand,
+    execute_gather_matmul_scatter,
+    gather_record,
+    scatter_record,
+)
+from repro.core.grouping import make_plan
+from repro.core.reference import dense_conv3d_reference, sparse_conv_reference
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+from repro.gpu.timeline import Profile
+from repro.mapping.downsample import downsample_coords
+from repro.mapping.kmap import CoordIndex, build_kmap
+
+
+def random_instance(n=80, c_in=8, c_out=12, kernel_size=3, seed=0, extent=10):
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    feats = rng.standard_normal((coords.shape[0], c_in)).astype(np.float32)
+    weights = (
+        rng.standard_normal((kernel_size**3, c_in, c_out)) * 0.2
+    ).astype(np.float32)
+    return coords, feats, weights
+
+
+def run_gms(coords, feats, weights, out_coords, kernel_size, stride,
+            strategy="separate", cfg=None, **plan_kw):
+    index = CoordIndex.build(coords, backend="hash")
+    kmap = build_kmap(coords, index, out_coords, kernel_size, stride=stride)
+    skip_center = stride == 1 and kernel_size % 2 == 1
+    plan = make_plan(
+        strategy, kmap.sizes, kernel_size, kmap.stride, **plan_kw
+    )
+    return execute_gather_matmul_scatter(
+        feats,
+        weights,
+        kmap,
+        plan,
+        cfg or MovementConfig(),
+        RTX_2080TI,
+        Profile(),
+        skip_center=skip_center,
+    )
+
+
+class TestNumericsVsReferences:
+    def test_submanifold_matches_equation1(self):
+        coords, feats, weights = random_instance()
+        got = run_gms(coords, feats, weights, coords, 3, 1)
+        want = sparse_conv_reference(coords, feats, weights, coords, 3, 1)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_submanifold_matches_dense_reference(self):
+        coords, feats, weights = random_instance(seed=3)
+        got = run_gms(coords, feats, weights, coords, 3, 1)
+        want = dense_conv3d_reference(coords, feats, weights, coords, 3, 1)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_two_references_agree(self):
+        coords, feats, weights = random_instance(seed=9)
+        a = sparse_conv_reference(coords, feats, weights, coords, 3, 1)
+        b = dense_conv3d_reference(coords, feats, weights, coords, 3, 1)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("kernel_size,stride", [(2, 2), (3, 2)])
+    def test_strided_matches_equation1(self, kernel_size, stride):
+        coords, feats, _ = random_instance(seed=1)
+        rng = np.random.default_rng(2)
+        weights = (
+            rng.standard_normal((kernel_size**3, 8, 12)) * 0.2
+        ).astype(np.float32)
+        out_coords, _ = downsample_coords(coords, kernel_size, stride)
+        got = run_gms(coords, feats, weights, out_coords, kernel_size, stride)
+        want = sparse_conv_reference(
+            coords, feats, weights, out_coords, kernel_size, stride
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize(
+        "strategy,kw",
+        [
+            ("separate", {}),
+            ("symmetric", {}),
+            ("fixed", {}),
+            ("adaptive", dict(epsilon=0.3, s_threshold=1e5)),
+            ("adaptive", dict(epsilon=1.0, s_threshold=np.inf)),
+        ],
+    )
+    def test_all_strategies_same_output(self, strategy, kw):
+        """Grouping only reorders multiply-accumulates."""
+        coords, feats, weights = random_instance(seed=4)
+        base = run_gms(coords, feats, weights, coords, 3, 1)
+        got = run_gms(coords, feats, weights, coords, 3, 1, strategy=strategy, **kw)
+        np.testing.assert_allclose(got, base, rtol=1e-5, atol=1e-6)
+
+    def test_exact_bmm_equals_per_member(self):
+        """Zero padding cannot change the products."""
+        coords, feats, weights = random_instance(seed=5)
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        plan = make_plan("adaptive", kmap.sizes, 3, 1, epsilon=1.0,
+                         s_threshold=np.inf)
+        outs = []
+        for exact in (False, True):
+            outs.append(
+                execute_gather_matmul_scatter(
+                    feats, weights, kmap, plan, MovementConfig(), RTX_2080TI,
+                    Profile(), exact_bmm=exact,
+                )
+            )
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-5, atol=1e-6)
+
+    def test_fp16_close_to_fp32(self):
+        coords, feats, weights = random_instance(seed=6)
+        f32 = run_gms(coords, feats, weights, coords, 3, 1)
+        f16 = run_gms(
+            coords, feats, weights, coords, 3, 1,
+            cfg=MovementConfig(dtype=DType.FP16, vectorized=True),
+        )
+        assert not np.array_equal(f16, f32)  # quantization visible
+        np.testing.assert_allclose(f16, f32, rtol=2e-2, atol=2e-2)
+
+    def test_fetch_on_demand_same_output(self):
+        coords, feats, weights = random_instance(seed=7)
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        base = run_gms(coords, feats, weights, coords, 3, 1)
+        fod = execute_fetch_on_demand(
+            feats, weights, kmap, RTX_2080TI, Profile()
+        )
+        np.testing.assert_allclose(fod, base, rtol=1e-5, atol=1e-6)
+
+    def test_shape_validation(self):
+        coords, feats, weights = random_instance()
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        plan = make_plan("separate", kmap.sizes, 3, 1)
+        with pytest.raises(ValueError):
+            execute_gather_matmul_scatter(
+                feats[:, :4], weights, kmap, plan, MovementConfig(),
+                RTX_2080TI, Profile(),
+            )
+        with pytest.raises(ValueError):
+            execute_gather_matmul_scatter(
+                feats, weights[:5], kmap, plan, MovementConfig(),
+                RTX_2080TI, Profile(),
+            )
+
+
+class TestMovementCostLadder:
+    """Table 3's ablation, on a synthetic layer."""
+
+    # Large enough that DRAM traffic (not launch overhead) dominates,
+    # as on the paper's full-scale layers.
+    CHANNELS = 256
+
+    def _kmap(self, n=40_000, extent=80, seed=0):
+        rng = np.random.default_rng(seed)
+        xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+        coords = np.concatenate(
+            [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+        ).astype(np.int32)
+        index = CoordIndex.build(coords, backend="hash")
+        return build_kmap(coords, index, coords, 3)
+
+    def _times(self, cfg):
+        kmap = self._kmap()
+        g = gather_record(kmap, self.CHANNELS, cfg, RTX_2080TI, skip_center=True)
+        s = scatter_record(kmap, self.CHANNELS, cfg, RTX_2080TI, skip_center=True)
+        return g.time, s.time
+
+    def test_ladder_strictly_improves(self):
+        ladder = [
+            MovementConfig(DType.FP32, False, False, False),
+            MovementConfig(DType.FP16, False, False, False),
+            MovementConfig(DType.FP16, True, False, False),
+            MovementConfig(DType.FP16, True, True, False),
+            MovementConfig(DType.FP16, True, True, True),
+        ]
+        totals = [sum(self._times(c)) for c in ladder]
+        for a, b in zip(totals, totals[1:]):
+            assert b <= a * 1.001
+
+    def test_full_stack_speedup_in_paper_range(self):
+        base = sum(self._times(MovementConfig(DType.FP32, False, False, False)))
+        full = sum(self._times(MovementConfig(DType.FP16, True, True, True)))
+        assert 2.0 < base / full < 4.5  # paper: 2.72x
+
+    def test_vectorization_is_the_big_fp16_step(self):
+        scalar = sum(self._times(MovementConfig(DType.FP16, False, False, False)))
+        vec = sum(self._times(MovementConfig(DType.FP16, True, False, False)))
+        base = sum(self._times(MovementConfig(DType.FP32, False, False, False)))
+        assert base / scalar < 1.6  # naive FP16 disappoints (paper 1.32x)
+        assert base / vec > 1.7  # vectorized delivers (paper 1.93x)
+
+    def test_fused_alone_helps_scatter_not_gather(self):
+        cfg_u = MovementConfig(DType.FP16, True, False, False)
+        cfg_f = MovementConfig(DType.FP16, True, True, False)
+        g_u, s_u = self._times(cfg_u)
+        g_f, s_f = self._times(cfg_f)
+        assert s_f < s_u
+        assert g_f <= g_u  # only launch savings
+
+    def test_locality_reduces_point_side_traffic(self):
+        kmap = self._kmap()
+        cfg_w = MovementConfig(DType.FP16, True, True, False)
+        cfg_l = MovementConfig(DType.FP16, True, True, True)
+        g_w = gather_record(kmap, 64, cfg_w, RTX_2080TI, True)
+        g_l = gather_record(kmap, 64, cfg_l, RTX_2080TI, True)
+        assert g_l.bytes_moved < g_w.bytes_moved

@@ -1,0 +1,181 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.configs import nuscenes_like, semantic_kitti_like, waymo_like
+from repro.datasets.lidar import LidarConfig, multi_frame_scan, scan
+from repro.datasets.scenes import CLASS_IDS, make_outdoor_scene
+from repro.datasets.voxelize import sparse_quantize, to_sparse_tensor, voxel_labels
+from repro.hashmap.coords import pack_coords
+
+SMALL = LidarConfig(beams=16, azimuth_steps=128, max_range=60.0)
+
+
+class TestScenes:
+    def test_deterministic_in_seed(self):
+        a = make_outdoor_scene(seed=7)
+        b = make_outdoor_scene(seed=7)
+        assert np.array_equal(a.box_lo, b.box_lo)
+        assert np.array_equal(a.cyl_xyrh, b.cyl_xyrh)
+
+    def test_different_seeds_differ(self):
+        a = make_outdoor_scene(seed=1)
+        b = make_outdoor_scene(seed=2)
+        assert not np.array_equal(a.box_lo, b.box_lo)
+
+    def test_has_all_object_kinds(self):
+        s = make_outdoor_scene(seed=0)
+        assert s.num_boxes > 0 and s.num_cylinders > 0
+        assert CLASS_IDS["building"] in set(s.box_class.tolist())
+        assert CLASS_IDS["vehicle"] in set(s.box_class.tolist())
+
+    def test_ground_height_bounded(self):
+        s = make_outdoor_scene(seed=0)
+        x = np.linspace(-50, 50, 100)
+        h = s.ground_height(x, x)
+        assert np.abs(h).max() <= 2 * s.ground_amp
+
+
+class TestLidarScan:
+    def test_scan_produces_points(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        assert pc.num_points > 500
+        assert pc.xyz.shape == (pc.num_points, 3)
+        assert pc.intensity.shape == (pc.num_points,)
+        assert pc.labels.shape == (pc.num_points,)
+
+    def test_ranges_respected(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        r = np.linalg.norm(pc.xyz[:, :2], axis=1)
+        assert r.max() <= SMALL.max_range * 1.05  # small noise slack
+
+    def test_intensity_in_unit_range(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        assert pc.intensity.min() >= 0 and pc.intensity.max() <= 1
+
+    def test_labels_are_valid_classes(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        assert set(np.unique(pc.labels)).issubset(set(CLASS_IDS.values()))
+        # ground and at least one structure class should appear
+        assert CLASS_IDS["ground"] in pc.labels
+
+    def test_deterministic(self):
+        s = make_outdoor_scene(seed=0)
+        a = scan(s, SMALL, seed=3)
+        b = scan(s, SMALL, seed=3)
+        assert np.array_equal(a.xyz, b.xyz)
+
+    def test_dropout_reduces_points(self):
+        s = make_outdoor_scene(seed=0)
+        none = scan(s, LidarConfig(beams=16, azimuth_steps=128, dropout=0.0), seed=0)
+        half = scan(s, LidarConfig(beams=16, azimuth_steps=128, dropout=0.5), seed=0)
+        assert half.num_points < none.num_points * 0.7
+
+    def test_multi_frame_aggregates(self):
+        s = make_outdoor_scene(seed=0)
+        one = scan(s, SMALL, seed=0)
+        three = multi_frame_scan(s, SMALL, frames=3, seed=0)
+        assert three.num_points > 2 * one.num_points
+
+    def test_scaled_config(self):
+        half = SMALL.scaled(0.5)
+        assert half.beams == 8 and half.azimuth_steps == 64
+        assert half.max_range == SMALL.max_range
+
+
+class TestVoxelize:
+    def test_quantize_basic(self):
+        xyz = np.array([[0.0, 0.0, 0.0], [0.01, 0.01, 0.01], [1.0, 0.0, 0.0]])
+        feats = np.array([[1.0], [3.0], [5.0]], dtype=np.float32)
+        coords, f = sparse_quantize(xyz, feats, voxel_size=0.1)
+        assert coords.shape[0] == 2  # first two points share a voxel
+        # co-located features averaged
+        assert 2.0 in f.ravel().tolist()
+
+    def test_coords_nonnegative_and_unique(self):
+        rng = np.random.default_rng(0)
+        xyz = rng.uniform(-30, 30, size=(3000, 3))
+        coords, _ = sparse_quantize(xyz, np.ones((3000, 1), dtype=np.float32), 0.5)
+        assert coords.min() >= 0
+        keys = pack_coords(coords)
+        assert np.unique(keys).shape[0] == coords.shape[0]
+
+    def test_empty_input(self):
+        coords, feats = sparse_quantize(
+            np.zeros((0, 3)), np.zeros((0, 4), dtype=np.float32), 0.1
+        )
+        assert coords.shape == (0, 4)
+
+    def test_invalid_voxel_size(self):
+        with pytest.raises(ValueError):
+            sparse_quantize(np.zeros((1, 3)), np.zeros((1, 1)), 0.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            sparse_quantize(np.zeros((2, 3)), np.zeros((3, 1)), 0.1)
+
+    def test_to_sparse_tensor(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        t = to_sparse_tensor(pc, voxel_size=0.2)
+        assert t.num_channels == 4
+        t.validate_unique()
+
+    def test_voxel_labels_align_with_tensor(self):
+        pc = scan(make_outdoor_scene(seed=0), SMALL, seed=0)
+        t = to_sparse_tensor(pc, voxel_size=0.2)
+        labels = voxel_labels(pc, voxel_size=0.2, num_classes=5)
+        assert labels.shape[0] == t.num_points
+        assert labels.min() >= 0 and labels.max() < 5
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-5, 20, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quantize_feature_means_bounded(self, pts):
+        """Voxel means must stay within the input feature range."""
+        xyz = np.array(pts)
+        feats = xyz[:, :1].astype(np.float32)
+        _, f = sparse_quantize(xyz, feats, 0.5)
+        assert f.min() >= feats.min() - 1e-4
+        assert f.max() <= feats.max() + 1e-4
+
+
+class TestDatasetConfigs:
+    def test_presets_shapes(self):
+        kitti = semantic_kitti_like()
+        nus = nuscenes_like()
+        assert kitti.lidar.beams == 64 and nus.lidar.beams == 32
+        assert kitti.voxel_size < nus.voxel_size
+
+    def test_kitti_denser_than_nuscenes(self):
+        """The Figure 12 premise: KITTI-like inputs are much larger."""
+        k = semantic_kitti_like().sample_tensor(seed=0, scale=0.2)
+        n = nuscenes_like().sample_tensor(seed=0, scale=0.2)
+        assert k.num_points > 2.5 * n.num_points
+
+    def test_frames_variant(self):
+        ds = nuscenes_like(frames=3)
+        assert ds.frames == 3 and "3f" in ds.name
+
+    def test_z_crop(self):
+        ds = waymo_like().cropped(-0.5, 4.0)
+        pc = ds.sample(seed=0, scale=0.15)
+        assert pc.xyz[:, 2].max() <= 4.0
+        assert pc.xyz[:, 2].min() >= -0.5
+
+    def test_sample_many(self):
+        ds = nuscenes_like()
+        xs = ds.sample_many(2, scale=0.15)
+        assert len(xs) == 2
+        assert xs[0].num_points != xs[1].num_points  # different scenes

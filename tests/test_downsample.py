@@ -1,0 +1,109 @@
+"""Tests for output-coordinate calculation (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.downsample import (
+    downsample_coords,
+    downsample_coords_reference,
+)
+
+coords_strategy = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20), st.integers(0, 20)),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+
+
+def make_coords(rows):
+    c = np.array(rows, dtype=np.int64).reshape(-1, 3)
+    return np.concatenate(
+        [np.zeros((c.shape[0], 1), dtype=np.int64), c], axis=1
+    ).astype(np.int32)
+
+
+class TestDownsampleCoords:
+    @pytest.mark.parametrize("kernel_size,stride", [(2, 2), (3, 2), (2, 4), (3, 3)])
+    def test_matches_reference(self, kernel_size, stride):
+        rng = np.random.default_rng(0)
+        coords = make_coords(np.unique(rng.integers(0, 16, size=(50, 3)), axis=0))
+        got, _ = downsample_coords(coords, kernel_size, stride)
+        want = downsample_coords_reference(coords, kernel_size, stride)
+        assert np.array_equal(np.unique(got, axis=0), np.unique(want, axis=0))
+
+    def test_k2s2_is_floor_division(self):
+        """The classic 2x downsampler maps each point to floor(p/2)."""
+        coords = make_coords([(0, 0, 0), (1, 1, 1), (5, 4, 3), (7, 7, 7)])
+        got, _ = downsample_coords(coords, 2, 2)
+        want = np.unique(
+            np.concatenate(
+                [coords[:, :1], coords[:, 1:] // 2], axis=1
+            ),
+            axis=0,
+        )
+        assert np.array_equal(np.sort(got.view("i4,i4,i4,i4").ravel()),
+                              np.sort(want.astype(np.int32).view("i4,i4,i4,i4").ravel()))
+
+    def test_output_unique(self):
+        rng = np.random.default_rng(1)
+        coords = make_coords(np.unique(rng.integers(0, 30, size=(100, 3)), axis=0))
+        got, _ = downsample_coords(coords, 3, 2)
+        assert np.unique(got, axis=0).shape[0] == got.shape[0]
+
+    def test_batches_kept_separate(self):
+        coords = np.array([[0, 2, 2, 2], [1, 2, 2, 2]], dtype=np.int32)
+        got, _ = downsample_coords(coords, 2, 2)
+        assert got.shape[0] == 2
+        assert set(got[:, 0].tolist()) == {0, 1}
+
+    def test_boundary_trims(self):
+        coords = make_coords([(0, 0, 0), (9, 9, 9)])
+        full, _ = downsample_coords(coords, 2, 2)
+        trimmed, _ = downsample_coords(
+            coords, 2, 2, boundary=np.array([3, 3, 3])
+        )
+        assert trimmed.shape[0] <= full.shape[0]
+        assert (trimmed[:, 1:] < 3).all()
+
+    def test_stride_one_rejected(self):
+        with pytest.raises(ValueError):
+            downsample_coords(make_coords([(0, 0, 0)]), 3, 1)
+
+    @given(coords_strategy, st.sampled_from([(2, 2), (3, 2)]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, rows, ks):
+        kernel_size, stride = ks
+        coords = make_coords(rows)
+        got, _ = downsample_coords(coords, kernel_size, stride)
+        want = downsample_coords_reference(coords, kernel_size, stride)
+        assert np.array_equal(np.unique(got, axis=0), np.unique(want, axis=0))
+
+
+class TestDownsampleCost:
+    def test_fused_strictly_cheaper(self):
+        rng = np.random.default_rng(2)
+        coords = make_coords(np.unique(rng.integers(0, 20, size=(80, 3)), axis=0))
+        _, cost = downsample_coords(coords, 3, 2)
+        assert cost.total_bytes(fused=True) < cost.total_bytes(fused=False)
+        assert cost.launches(fused=True) == 2
+        assert cost.launches(fused=False) == 5
+
+    def test_candidate_counts(self):
+        coords = make_coords([(0, 0, 0)])
+        _, cost = downsample_coords(coords, 2, 2)
+        assert cost.n_in == 1
+        # a single point at the origin: all 8 offsets pass modular check
+        # only when p - delta is even in every axis -> exactly 1 survivor
+        assert cost.n_candidates == 1
+        assert cost.n_out == 1
+
+    def test_stage_bytes_scale_with_candidates(self):
+        small = make_coords([(0, 0, 0)])
+        rng = np.random.default_rng(3)
+        big = make_coords(np.unique(rng.integers(0, 30, size=(100, 3)), axis=0))
+        _, c_small = downsample_coords(small, 3, 2)
+        _, c_big = downsample_coords(big, 3, 2)
+        assert sum(c_big.stage_bytes) > sum(c_small.stage_bytes)

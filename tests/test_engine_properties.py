@@ -1,0 +1,167 @@
+"""Property-based tests of the full convolution op.
+
+Hypothesis drives the engine end to end on random instances (random
+coordinate sets, batch counts, kernel shapes, strides, engine configs)
+and checks the numerics against the literal Equation-1 oracle, plus
+structural invariants that must hold for any input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    BaseEngine,
+    BaselineEngine,
+    EngineConfig,
+    ExecutionContext,
+)
+from repro.core.kernel import kernel_volume
+from repro.core.reference import sparse_conv_reference
+from repro.core.sparse_tensor import SparseTensor
+from repro.gpu.memory import DType
+
+coord_sets = st.lists(
+    st.tuples(
+        st.integers(0, 1),  # batch
+        st.integers(0, 9),
+        st.integers(0, 9),
+        st.integers(0, 9),
+    ),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+
+kernel_shapes = st.one_of(
+    st.sampled_from([1, 2, 3]),
+    st.tuples(st.sampled_from([1, 2, 3]), st.sampled_from([1, 3]),
+              st.sampled_from([1, 3])),
+)
+
+
+def build_instance(rows, c_in=3, c_out=4, kernel_size=3, seed=0):
+    coords = np.array(sorted(rows), dtype=np.int32)
+    rng = np.random.default_rng(seed)
+    feats = rng.standard_normal((coords.shape[0], c_in)).astype(np.float32)
+    vol = kernel_volume(kernel_size)
+    weights = (rng.standard_normal((vol, c_in, c_out)) * 0.3).astype(np.float32)
+    return SparseTensor(coords, feats), weights
+
+
+class TestConvolutionProperties:
+    @given(coord_sets, kernel_shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_submanifold_matches_oracle(self, rows, kernel_size):
+        x, w = build_instance(rows, kernel_size=kernel_size)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y = ctx.engine.convolution(x, w, ctx, kernel_size=kernel_size)
+        # stride-1 even kernels shift the coordinate set; compare on the
+        # coords the engine actually produced
+        want = sparse_conv_reference(
+            x.coords, x.feats, w, y.coords, kernel_size, 1
+        )
+        np.testing.assert_allclose(y.feats, want, rtol=1e-3, atol=1e-4)
+
+    @given(coord_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_strided_matches_oracle(self, rows):
+        x, w = build_instance(rows, kernel_size=2)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y = ctx.engine.convolution(x, w, ctx, kernel_size=2, stride=2)
+        want = sparse_conv_reference(x.coords, x.feats, w, y.coords, 2, 2)
+        np.testing.assert_allclose(y.feats, want, rtol=1e-3, atol=1e-4)
+        assert y.stride == 2
+
+    @given(coord_sets, st.sampled_from(["separate", "symmetric", "fixed",
+                                        "adaptive"]))
+    @settings(max_examples=30, deadline=None)
+    def test_grouping_strategy_never_changes_numerics(self, rows, strategy):
+        x, w = build_instance(rows)
+        base_ctx = ExecutionContext(engine=BaselineEngine())
+        base = base_ctx.engine.convolution(x, w, base_ctx)
+        eng = BaseEngine(EngineConfig.baseline(grouping=strategy))
+        ctx = ExecutionContext(engine=eng)
+        got = eng.convolution(x, w, ctx)
+        np.testing.assert_allclose(got.feats, base.feats, rtol=1e-5, atol=1e-6)
+
+    @given(coord_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_down_up_roundtrip_preserves_coords(self, rows):
+        x, w_down = build_instance(rows, kernel_size=2, c_out=4)
+        rng = np.random.default_rng(1)
+        w_up = (rng.standard_normal((8, 4, 3)) * 0.3).astype(np.float32)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y = ctx.engine.convolution(x, w_down, ctx, kernel_size=2, stride=2)
+        z = ctx.engine.convolution(
+            y, w_up, ctx, kernel_size=2, stride=2, transposed=True
+        )
+        assert np.array_equal(z.coords, x.coords)
+        assert z.stride == 1
+
+    @given(coord_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_output_feats_always_finite(self, rows):
+        x, w = build_instance(rows)
+        for dtype in (DType.FP32, DType.FP16, DType.INT8):
+            eng = BaseEngine(EngineConfig.torchsparse(dtype=dtype))
+            ctx = ExecutionContext(engine=eng)
+            y = eng.convolution(x, w, ctx)
+            assert np.isfinite(y.feats).all()
+
+    @given(coord_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_profile_time_positive_and_additive(self, rows):
+        x, w = build_instance(rows)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        ctx.engine.convolution(x, w, ctx)
+        t1 = ctx.profile.total_time
+        assert t1 > 0
+        ctx.engine.convolution(x, w, ctx)
+        assert ctx.profile.total_time > t1
+
+    @given(coord_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_batches_never_mix(self, rows):
+        """Zeroing batch 1's features must not change batch 0's output."""
+        x, w = build_instance(rows)
+        mask0 = x.coords[:, 0] == 0
+        if not mask0.any() or mask0.all():
+            return
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y_full = ctx.engine.convolution(x, w, ctx)
+
+        feats2 = x.feats.copy()
+        feats2[~mask0] = 0
+        x2 = SparseTensor(x.coords, feats2)
+        ctx2 = ExecutionContext(engine=BaselineEngine())
+        y_zero = ctx2.engine.convolution(x2, w, ctx2)
+        out0 = y_full.coords[:, 0] == 0
+        np.testing.assert_allclose(
+            y_full.feats[out0], y_zero.feats[out0], rtol=1e-5, atol=1e-6
+        )
+
+
+class TestPoolingProperties:
+    @given(coord_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_maxpool_dominates_avgpool(self, rows):
+        x, _ = build_instance(rows)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y_max = ctx.engine.pooling(x, ctx, 2, 2, mode="max")
+        ctx2 = ExecutionContext(engine=BaselineEngine())
+        y_avg = ctx2.engine.pooling(x, ctx2, 2, 2, mode="avg")
+        assert np.array_equal(y_max.coords, y_avg.coords)
+        assert (y_max.feats >= y_avg.feats - 1e-5).all()
+
+    @given(coord_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_pool_outputs_subset_of_input_values_per_channel(self, rows):
+        x, _ = build_instance(rows)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y = ctx.engine.pooling(x, ctx, 2, 2, mode="max")
+        for ch in range(x.num_channels):
+            assert set(np.round(y.feats[:, ch], 5)).issubset(
+                set(np.round(x.feats[:, ch], 5))
+            )

@@ -1,0 +1,130 @@
+"""Tests for exporting trained weights to the inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngine
+from repro.core.sparse_tensor import SparseTensor
+from repro.train.autograd import Var
+from repro.train.export import (
+    bn_to_inference,
+    conv_to_inference,
+    linear_to_inference,
+    sequential_to_inference,
+    unet_to_inference,
+)
+from repro.train.model import TrainUNet, prepare_sample
+from repro.train.modules import (
+    MapProvider,
+    TrainBatchNorm,
+    TrainConv3d,
+    TrainLinear,
+    TrainSequential,
+    cross_entropy,
+)
+from repro.train.optim import SGD, train_epoch
+
+
+def make_tensor(n=70, c=4, seed=0, extent=10):
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    return SparseTensor(
+        coords, rng.standard_normal((xyz.shape[0], c)).astype(np.float32)
+    )
+
+
+class TestLayerExport:
+    def test_conv_roundtrip(self):
+        x = make_tensor()
+        rng = np.random.default_rng(1)
+        t_conv = TrainConv3d(4, 6, 3, rng=rng)
+        t_conv.bias.data[:] = rng.standard_normal(6)
+        conv = conv_to_inference(t_conv)
+
+        maps = MapProvider(x.coords)
+        out_t, _ = t_conv(Var(x.feats.astype(np.float64)), maps, 1)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out_i = conv(x, ctx)
+        np.testing.assert_allclose(out_i.feats, out_t.data, rtol=1e-4, atol=1e-5)
+
+    def test_bn_roundtrip(self):
+        x = make_tensor()
+        t_bn = TrainBatchNorm(4)
+        t_bn.gamma.data[:] = [2.0, 0.5, 1.0, 3.0]
+        t_bn.beta.data[:] = [0.1, -0.2, 0.0, 1.0]
+        bn = bn_to_inference(t_bn)
+        maps = MapProvider(x.coords)
+        out_t, _ = t_bn(Var(x.feats.astype(np.float64)), maps, 1)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out_i = bn(x, ctx)
+        np.testing.assert_allclose(out_i.feats, out_t.data, rtol=1e-4, atol=1e-5)
+
+    def test_linear_roundtrip(self):
+        x = make_tensor()
+        t_lin = TrainLinear(4, 3, rng=np.random.default_rng(2))
+        lin = linear_to_inference(t_lin)
+        maps = MapProvider(x.coords)
+        out_t, _ = t_lin(Var(x.feats.astype(np.float64)), maps, 1)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out_i = lin(x, ctx)
+        np.testing.assert_allclose(out_i.feats, out_t.data, rtol=1e-4, atol=1e-5)
+
+    def test_unsupported_layer_rejected(self):
+        class Strange:
+            pass
+
+        seq = TrainSequential()
+        seq.layers = [Strange()]
+        with pytest.raises(TypeError):
+            sequential_to_inference(seq)
+
+
+class TestUNetExport:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        """A briefly-trained U-Net plus its training inputs."""
+        x = make_tensor(n=120, extent=12)
+        y = (x.coords[:, 3] > 5).astype(np.int64)  # geometric labels
+        model = TrainUNet(in_channels=4, num_classes=2, width=6)
+        var, maps = prepare_sample(x)
+        opt = SGD(model.parameters(), lr=5e-3)
+        for _ in range(3):
+            train_epoch(model, [(var, maps, y)], opt, cross_entropy)
+        return model, x
+
+    def test_logits_match_training_stack(self, trained):
+        model, x = trained
+        var, maps = prepare_sample(x)
+        logits_t, _ = model(var, maps, 1)
+
+        inf = unet_to_inference(model)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        logits_i = inf(x, ctx)
+        np.testing.assert_allclose(
+            logits_i.feats, logits_t.data, rtol=1e-3, atol=1e-4
+        )
+
+    def test_serving_under_torchsparse_engine(self, trained):
+        """Exported model runs under the optimized engine with near-
+        identical predictions (FP16 tolerance)."""
+        model, x = trained
+        var, maps = prepare_sample(x)
+        logits_t, _ = model(var, maps, 1)
+        pred_t = logits_t.data.argmax(axis=1)
+
+        inf = unet_to_inference(model)
+        ctx = ExecutionContext(engine=TorchSparseEngine())
+        pred_i = inf(x, ctx).feats.argmax(axis=1)
+        agreement = (pred_t == pred_i).mean()
+        assert agreement > 0.97
+
+    def test_exported_model_is_profiled(self, trained):
+        model, x = trained
+        inf = unet_to_inference(model)
+        ctx = ExecutionContext(engine=TorchSparseEngine())
+        inf(x, ctx)
+        assert ctx.profile.total_time > 0
+        assert ctx.profile.stage_times()["matmul"] > 0

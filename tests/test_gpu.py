@@ -1,0 +1,151 @@
+"""Tests for the GPU cost model (device, memory, gemm)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GPU_REGISTRY, GTX_1080TI, RTX_2080TI, RTX_3090
+from repro.gpu.gemm import bmm_cost, mm_cost, sequential_cost
+from repro.gpu.memory import (
+    DType,
+    MemoryAccessPattern,
+    movement_time,
+    traffic,
+    transaction_efficiency,
+)
+
+
+class TestDeviceSpecs:
+    def test_registry(self):
+        assert set(GPU_REGISTRY) == {"1080ti", "2080ti", "3090"}
+
+    def test_1080ti_has_no_fp16_advantage(self):
+        assert GTX_1080TI.math_throughput(DType.FP16) == GTX_1080TI.math_throughput(
+            DType.FP32
+        )
+
+    def test_tensor_core_gpus_accelerate_fp16(self):
+        for dev in (RTX_2080TI, RTX_3090):
+            assert dev.math_throughput(DType.FP16) > dev.math_throughput(DType.FP32)
+
+    def test_occupancy_monotone_saturating(self):
+        occs = [RTX_2080TI.occupancy(b) for b in (0, 1, 10, 100, 1000, 100000)]
+        assert occs == sorted(occs)
+        assert occs[0] == 0.0
+        assert occs[-1] <= 0.95
+
+    def test_mem_time_linear(self):
+        t1 = RTX_2080TI.mem_time(1e6)
+        t2 = RTX_2080TI.mem_time(2e6)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_kernel_time_roofline(self):
+        """Latency is the max of memory and compute, plus launch."""
+        t = RTX_2080TI.kernel_time(bytes_moved=1e9, flops=1.0, dtype=DType.FP32)
+        assert t == pytest.approx(
+            RTX_2080TI.mem_time(1e9) + RTX_2080TI.launch_overhead
+        )
+
+    def test_zero_work_costs_only_launch(self):
+        assert RTX_2080TI.kernel_time() == pytest.approx(RTX_2080TI.launch_overhead)
+
+    def test_device_ordering(self):
+        """Newer GPUs are uniformly faster in the sheet."""
+        assert GTX_1080TI.dram_bandwidth < RTX_2080TI.dram_bandwidth < RTX_3090.dram_bandwidth
+
+
+class TestTransactionModel:
+    def test_fp32_scalar_full_efficiency(self):
+        assert transaction_efficiency(DType.FP32, MemoryAccessPattern.SCALAR) == 1.0
+
+    def test_fp16_scalar_partial(self):
+        eff = transaction_efficiency(DType.FP16, MemoryAccessPattern.SCALAR)
+        assert 0.4 < eff < 0.8
+
+    def test_vectorized_near_full(self):
+        eff = transaction_efficiency(DType.FP16, MemoryAccessPattern.VECTORIZED)
+        assert eff > 0.9
+
+    def test_speedup_ladder_matches_paper(self):
+        """FP32 -> scalar FP16 ~1.3x, -> vectorized FP16 ~1.9x (Fig. 8)."""
+        rows, ch = 100_000, 64
+        t32 = movement_time(
+            traffic(rows, ch, DType.FP32, MemoryAccessPattern.SCALAR), 616e9
+        )
+        t16s = movement_time(
+            traffic(rows, ch, DType.FP16, MemoryAccessPattern.SCALAR), 616e9
+        )
+        t16v = movement_time(
+            traffic(rows, ch, DType.FP16, MemoryAccessPattern.VECTORIZED), 616e9
+        )
+        assert 1.1 < t32 / t16s < 1.6
+        assert 1.7 < t32 / t16v < 2.0
+
+    def test_int8_diminishing_return(self):
+        """INT8 scalar gains little over FP16 scalar (Section 4.3.1)."""
+        rows, ch = 100_000, 64
+        t16 = movement_time(
+            traffic(rows, ch, DType.FP16, MemoryAccessPattern.SCALAR), 616e9
+        )
+        t8 = movement_time(
+            traffic(rows, ch, DType.INT8, MemoryAccessPattern.SCALAR), 616e9
+        )
+        assert t8 / t16 > 0.6  # nowhere near the naive 2x
+
+    def test_traffic_zero_rows(self):
+        t = traffic(0, 32, DType.FP32, MemoryAccessPattern.SCALAR)
+        assert t.bytes_moved == 0 and t.transactions == 0
+        assert movement_time(t, 616e9) == 0.0
+
+    def test_traffic_negative_rejected(self):
+        with pytest.raises(ValueError):
+            traffic(-1, 32, DType.FP32, MemoryAccessPattern.SCALAR)
+
+    def test_traffic_addition_weights_efficiency(self):
+        a = traffic(1000, 32, DType.FP32, MemoryAccessPattern.SCALAR)
+        b = traffic(1000, 32, DType.FP16, MemoryAccessPattern.SCALAR)
+        c = a + b
+        assert c.bytes_moved == a.bytes_moved + b.bytes_moved
+        assert min(a.efficiency, b.efficiency) <= c.efficiency <= 1.0
+
+
+class TestGemmModel:
+    def test_mm_zero_rows_free(self):
+        c = mm_cost(0, 32, 32, DType.FP16, RTX_2080TI)
+        assert c.time == 0.0 and c.flops == 0.0
+
+    def test_mm_flops_exact(self):
+        c = mm_cost(100, 32, 64, DType.FP16, RTX_2080TI)
+        assert c.flops == 2 * 100 * 32 * 64
+
+    def test_bmm_pads_to_max(self):
+        c = bmm_cost([100, 1000], 32, 32, DType.FP16, RTX_2080TI)
+        assert c.flops == 2 * 2 * 1000 * 32 * 32
+        assert c.useful_flops == 2 * 1100 * 32 * 32
+        assert c.launches == 1
+
+    def test_bmm_beats_sequential_on_small_maps(self):
+        """The Figure 7 effect: batching small equal maps wins."""
+        sizes = [2000] * 13
+        seq = sequential_cost(sizes, 32, 32, DType.FP16, RTX_2080TI)
+        bat = bmm_cost(sizes, 32, 32, DType.FP16, RTX_2080TI)
+        assert bat.time < seq.time
+
+    def test_bmm_padding_can_lose_on_skewed_maps(self):
+        """Padding a tiny map to a huge one wastes more than batching saves."""
+        sizes = [100, 200_000]
+        seq = sequential_cost(sizes, 256, 256, DType.FP16, RTX_2080TI)
+        bat = bmm_cost(sizes, 256, 256, DType.FP16, RTX_2080TI)
+        assert bat.flops > seq.flops
+        assert bat.time > seq.time * 0.9  # no meaningful win
+
+    def test_sequential_accumulates_launches(self):
+        seq = sequential_cost([10, 10, 10], 8, 8, DType.FP32, RTX_2080TI)
+        assert seq.launches == 3
+
+    def test_achieved_tflops_sane(self):
+        c = mm_cost(500_000, 256, 256, DType.FP16, RTX_2080TI)
+        assert 0 < c.achieved_tflops <= RTX_2080TI.fp16_tflops
+
+    def test_empty_bmm(self):
+        c = bmm_cost([], 32, 32, DType.FP16, RTX_2080TI)
+        assert c.time == 0.0

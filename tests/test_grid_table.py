@@ -1,0 +1,108 @@
+"""Tests for the collision-free grid table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashmap.grid_table import GridTable
+
+coords_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(-10, 10),
+        st.integers(-10, 10),
+        st.integers(-10, 10),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+def as_array(rows):
+    return np.array(rows, dtype=np.int64).reshape(-1, 4)
+
+
+class TestGridTable:
+    def test_build_and_lookup(self):
+        c = np.array([[0, 1, 2, 3], [0, 4, 5, 6]], dtype=np.int64)
+        t = GridTable.from_coords(c)
+        assert np.array_equal(t.lookup(c), [0, 1])
+        assert len(t) == 2
+
+    def test_missing_inside_box(self):
+        c = np.array([[0, 0, 0, 0], [0, 3, 3, 3]], dtype=np.int64)
+        t = GridTable.from_coords(c)
+        assert t.lookup(np.array([[0, 1, 1, 1]]))[0] == -1
+
+    def test_outside_box_is_absent_not_error(self):
+        c = np.array([[0, 0, 0, 0]], dtype=np.int64)
+        t = GridTable.from_coords(c)
+        assert t.lookup(np.array([[0, 100, 100, 100]]))[0] == -1
+        assert t.lookup(np.array([[0, -50, 0, 0]]))[0] == -1
+
+    def test_margin_extends_box(self):
+        c = np.array([[0, 0, 0, 0]], dtype=np.int64)
+        t = GridTable.from_coords(c, margin=2)
+        # coordinates within margin are inside the box (absent, not error)
+        assert t.lookup(np.array([[0, 2, -2, 1]]))[0] == -1
+        assert t.volume == 1 * 5 * 5 * 5
+
+    def test_duplicate_insert_overwrites(self):
+        c = np.array([[0, 1, 1, 1]], dtype=np.int64)
+        t = GridTable.from_coords(c)
+        t.insert(c, np.array([42]))
+        assert t.lookup(c)[0] == 42
+        assert len(t) == 1
+
+    def test_exactly_one_access_per_operation(self):
+        """The collision-free property: 1 slot access per build/query."""
+        rng = np.random.default_rng(0)
+        c = np.unique(rng.integers(0, 10, size=(60, 4)), axis=0)
+        t = GridTable.from_coords(c)
+        assert t.stats.build_accesses == c.shape[0]
+        t.lookup(c)
+        assert t.stats.query_accesses == c.shape[0]
+        assert t.stats.max_probe_len == 1
+
+    def test_volume_is_memory_price(self):
+        c = np.array([[0, 0, 0, 0], [0, 9, 9, 9]], dtype=np.int64)
+        t = GridTable.from_coords(c)
+        assert t.volume == 10 * 10 * 10
+        assert t.stats.table_bytes == t.volume * 8
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            GridTable(origin=np.zeros(3), shape=np.ones(3))
+        with pytest.raises(ValueError):
+            GridTable(origin=np.zeros(4), shape=np.array([1, 0, 1, 1]))
+
+    def test_empty_coords_sizing_rejected(self):
+        with pytest.raises(ValueError):
+            GridTable.from_coords(np.empty((0, 4), dtype=np.int64))
+
+    @given(coords_strategy, coords_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_oracle(self, insert_rows, query_rows):
+        ins = np.unique(as_array(insert_rows), axis=0)
+        qry = as_array(query_rows)
+        oracle = {tuple(r): i for i, r in enumerate(ins.tolist())}
+        t = GridTable.from_coords(ins)
+        got = t.lookup(qry)
+        want = np.array([oracle.get(tuple(r), -1) for r in qry.tolist()])
+        assert np.array_equal(got, want.reshape(got.shape))
+
+
+class TestGridVsHashEquivalence:
+    def test_same_answers_as_hash_table(self):
+        """Both backends must index identically (CoordIndex contract)."""
+        from repro.mapping.kmap import CoordIndex
+
+        rng = np.random.default_rng(3)
+        coords = np.unique(rng.integers(0, 15, size=(80, 4)), axis=0)
+        coords[:, 0] = 0
+        probes = rng.integers(-2, 17, size=(200, 4))
+        probes[:, 0] = 0
+        hash_idx = CoordIndex.build(coords, backend="hash")
+        grid_idx = CoordIndex.build(coords, backend="grid", margin=3)
+        assert np.array_equal(hash_idx.lookup(probes), grid_idx.lookup(probes))

@@ -1,0 +1,179 @@
+"""Tests for matmul grouping strategies (Algorithm 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    make_plan,
+    partition_adaptive,
+    plan_matmul_cost,
+)
+from repro.core.kernel import center_offset_index, opposite_offset_index
+from repro.gpu.device import RTX_2080TI
+from repro.gpu.memory import DType
+
+CENTER = center_offset_index(3)
+
+sizes_strategy = st.lists(
+    st.integers(0, 50_000), min_size=27, max_size=27
+).map(np.array)
+
+
+def symmetric_sizes(rng_seed=0):
+    """Random sizes obeying the stride-1 symmetry |M[n]| == |M[opp(n)]|."""
+    rng = np.random.default_rng(rng_seed)
+    sizes = np.zeros(27, dtype=np.int64)
+    for n in range(13):
+        sizes[n] = sizes[opposite_offset_index(n, 3)] = rng.integers(100, 30_000)
+    sizes[CENTER] = rng.integers(100, 30_000)
+    return sizes
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize("strategy", ["separate", "symmetric", "fixed", "adaptive"])
+    def test_each_offset_exactly_once(self, strategy):
+        sizes = symmetric_sizes()
+        plan = make_plan(strategy, sizes, 3, 1, epsilon=0.5, s_threshold=1e5)
+        members = plan.member_offsets()
+        assert sorted(members) == sorted(set(members))
+        expected = {n for n in range(27) if n != CENTER and sizes[n] > 0}
+        assert set(members) == expected
+        plan.validate(27, CENTER)
+
+    @pytest.mark.parametrize("strategy", ["separate", "symmetric", "fixed", "adaptive"])
+    def test_empty_offsets_excluded(self, strategy):
+        sizes = symmetric_sizes()
+        sizes[0] = sizes[26] = 0
+        plan = make_plan(strategy, sizes, 3, 1)
+        assert 0 not in plan.member_offsets()
+        assert 26 not in plan.member_offsets()
+
+    def test_downsample_includes_all_offsets(self):
+        """At stride > 1 there is no free center: all offsets grouped."""
+        sizes = np.full(8, 1000, dtype=np.int64)
+        plan = make_plan("separate", sizes, 2, 2)
+        assert len(plan.member_offsets()) == 8
+
+
+class TestSeparate:
+    def test_one_group_per_offset(self):
+        plan = make_plan("separate", symmetric_sizes(), 3, 1)
+        assert all(len(g.members) == 1 for g in plan.groups)
+        assert all(not g.use_bmm for g in plan.groups)
+
+
+class TestSymmetric:
+    def test_pairs_are_opposites(self):
+        plan = make_plan("symmetric", symmetric_sizes(), 3, 1)
+        for g in plan.groups:
+            if len(g.members) == 2:
+                a, b = g.members
+                assert b == opposite_offset_index(a, 3)
+        assert sum(len(g.members) == 2 for g in plan.groups) == 13
+
+    def test_pairs_pad_nothing(self):
+        """Symmetric pairs have equal sizes, so bmm padding waste is 0."""
+        sizes = symmetric_sizes()
+        plan = make_plan("symmetric", sizes, 3, 1)
+        for g in plan.groups:
+            member_sizes = [sizes[m] for m in g.members]
+            assert max(member_sizes) == min(member_sizes)
+
+    def test_falls_back_for_downsample(self):
+        sizes = np.full(8, 1000, dtype=np.int64)
+        plan = make_plan("symmetric", sizes, 2, 2)
+        assert plan.strategy == "separate"
+
+
+class TestFixed:
+    def test_submanifold_two_groups(self):
+        plan = make_plan("fixed", symmetric_sizes(), 3, 1)
+        assert plan.num_groups == 2
+
+    def test_downsample_single_group(self):
+        sizes = np.full(8, 1000, dtype=np.int64)
+        plan = make_plan("fixed", sizes, 2, 2)
+        assert plan.num_groups == 1
+        assert plan.groups[0].use_bmm
+
+
+class TestAdaptivePartition:
+    def test_epsilon_zero_only_groups_equal_sizes(self):
+        sizes = symmetric_sizes()
+        parts = partition_adaptive(sizes, 0.0, CENTER, 3, symmetric=True)
+        for members in parts:
+            ms = [sizes[m] for m in members]
+            assert max(ms) == min(ms)
+
+    def test_epsilon_one_single_group(self):
+        sizes = symmetric_sizes()
+        parts = partition_adaptive(sizes, 1.0, CENTER, 3, symmetric=True)
+        assert len(parts) == 1
+
+    def test_waste_ratio_bounded(self):
+        """Every group respects 1 - n_min/n_max <= epsilon."""
+        sizes = symmetric_sizes(5)
+        for eps in (0.1, 0.3, 0.6):
+            parts = partition_adaptive(sizes, eps, CENTER, 3, symmetric=True)
+            for members in parts:
+                ms = [int(sizes[m]) for m in members]
+                assert 1 - min(ms) / max(ms) <= eps + 1e-9
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            partition_adaptive(symmetric_sizes(), 1.5, CENTER, 3, True)
+
+    def test_s_threshold_controls_bmm(self):
+        sizes = symmetric_sizes()
+        hi = make_plan("adaptive", sizes, 3, 1, epsilon=1.0, s_threshold=math.inf)
+        lo = make_plan("adaptive", sizes, 3, 1, epsilon=1.0, s_threshold=0.0)
+        assert any(g.use_bmm for g in hi.groups)
+        assert not any(g.use_bmm for g in lo.groups)
+
+    @given(sizes_strategy, st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_partition_is_exact_cover(self, sizes, eps):
+        parts = partition_adaptive(sizes, eps, CENTER, 3, symmetric=False)
+        flat = [m for g in parts for m in g]
+        expected = [n for n in range(27) if n != CENTER and sizes[n] > 0]
+        assert sorted(flat) == expected
+
+
+class TestSpecialCaseEquivalences:
+    """Section 4.2.3: the (epsilon, S) space covers the other strategies."""
+
+    def test_s_zero_equals_separate_cost(self):
+        sizes = symmetric_sizes(7)
+        sep = make_plan("separate", sizes, 3, 1)
+        ada = make_plan("adaptive", sizes, 3, 1, epsilon=0.5, s_threshold=0.0)
+        c_sep = plan_matmul_cost(sep, sizes, 32, 32, DType.FP16, RTX_2080TI)
+        c_ada = plan_matmul_cost(ada, sizes, 32, 32, DType.FP16, RTX_2080TI)
+        # identical FLOPs (no padding anywhere)
+        assert c_sep.flops == pytest.approx(c_ada.flops)
+
+    def test_eps0_sinf_equals_symmetric(self):
+        sizes = symmetric_sizes(8)
+        sym = make_plan("symmetric", sizes, 3, 1)
+        ada = make_plan("adaptive", sizes, 3, 1, epsilon=0.0, s_threshold=math.inf)
+        # same group count and same padded flops
+        c_sym = plan_matmul_cost(sym, sizes, 32, 32, DType.FP16, RTX_2080TI)
+        c_ada = plan_matmul_cost(ada, sizes, 32, 32, DType.FP16, RTX_2080TI)
+        assert c_sym.flops == pytest.approx(c_ada.flops)
+
+
+class TestPlanCost:
+    def test_bmm_pads_flops(self):
+        sizes = np.zeros(27, dtype=np.int64)
+        sizes[0], sizes[26] = 100, 1000
+        plan = make_plan("adaptive", sizes, 3, 1, epsilon=1.0, s_threshold=math.inf)
+        cost = plan_matmul_cost(plan, sizes, 32, 32, DType.FP16, RTX_2080TI)
+        assert cost.flops == pytest.approx(2 * 2 * 1000 * 32 * 32)
+        assert cost.useful_flops == pytest.approx(2 * 1100 * 32 * 32)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_plan("magic", symmetric_sizes(), 3, 1)

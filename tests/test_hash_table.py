@@ -1,0 +1,109 @@
+"""Tests for the open-addressing hash table, against a dict oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashmap.hash_table import HashTable, splitmix64
+
+keys_strategy = st.lists(
+    st.integers(0, 2**40), min_size=0, max_size=300
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        k = np.arange(100, dtype=np.int64)
+        assert np.array_equal(splitmix64(k), splitmix64(k))
+
+    def test_spreads_sequential_keys(self):
+        """Sequential keys should land in mostly distinct low bits."""
+        k = np.arange(1024, dtype=np.int64)
+        low = splitmix64(k) & np.uint64(1023)
+        assert np.unique(low).shape[0] > 600
+
+
+class TestHashTable:
+    def test_build_and_lookup(self):
+        keys = np.array([5, 17, 99, 12345], dtype=np.int64)
+        t = HashTable.from_keys(keys)
+        assert np.array_equal(t.lookup(keys), [0, 1, 2, 3])
+        assert len(t) == 4
+
+    def test_missing_keys_return_minus_one(self):
+        t = HashTable.from_keys(np.array([1, 2, 3], dtype=np.int64))
+        assert np.array_equal(t.lookup(np.array([4, 5])), [-1, -1])
+
+    def test_custom_values(self):
+        keys = np.array([10, 20], dtype=np.int64)
+        t = HashTable.from_keys(keys, values=np.array([7, 9]))
+        assert np.array_equal(t.lookup(keys), [7, 9])
+
+    def test_duplicate_keys_last_wins(self):
+        keys = np.array([10, 10, 10], dtype=np.int64)
+        t = HashTable.from_keys(keys, values=np.array([1, 2, 3]))
+        assert t.lookup(np.array([10]))[0] == 3
+        assert len(t) == 1
+
+    def test_overwrite_across_inserts(self):
+        t = HashTable(capacity=16)
+        t.insert(np.array([5], dtype=np.int64), np.array([1]))
+        t.insert(np.array([5], dtype=np.int64), np.array([2]))
+        assert t.lookup(np.array([5]))[0] == 2
+        assert len(t) == 1
+
+    def test_reserved_key_rejected(self):
+        t = HashTable(capacity=8)
+        with pytest.raises(ValueError):
+            t.insert(np.array([-1], dtype=np.int64), np.array([0]))
+
+    def test_overflow_rejected(self):
+        t = HashTable(capacity=4)
+        with pytest.raises(ValueError):
+            t.insert(np.arange(5, dtype=np.int64), np.arange(5))
+
+    def test_mismatched_shapes_rejected(self):
+        t = HashTable(capacity=8)
+        with pytest.raises(ValueError):
+            t.insert(np.arange(3, dtype=np.int64), np.arange(2))
+
+    def test_contains(self):
+        t = HashTable.from_keys(np.array([7, 8], dtype=np.int64))
+        assert np.array_equal(t.contains(np.array([7, 9, 8])), [True, False, True])
+
+    def test_capacity_rounded_to_power_of_two(self):
+        assert HashTable(capacity=100).capacity == 128
+
+    def test_empty_queries(self):
+        t = HashTable(capacity=8)
+        assert t.lookup(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_stats_accumulate(self):
+        keys = np.arange(100, dtype=np.int64)
+        t = HashTable.from_keys(keys)
+        assert t.stats.build_accesses >= 100
+        t.lookup(keys)
+        assert t.stats.query_accesses >= 100
+        assert t.stats.table_bytes == t.capacity * 16
+
+    def test_high_load_factor_still_correct(self):
+        """Correctness survives a nearly-full table (long probe chains)."""
+        rng = np.random.default_rng(1)
+        keys = np.unique(rng.integers(0, 2**50, size=200))
+        t = HashTable(capacity=256)
+        t.insert(keys, np.arange(len(keys)))
+        assert np.array_equal(t.lookup(keys), np.arange(len(keys)))
+
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_oracle(self, insert_keys, query_keys):
+        insert = np.array(insert_keys, dtype=np.int64)
+        query = np.array(query_keys, dtype=np.int64)
+        oracle = {int(k): i for i, k in enumerate(insert)}
+        t = HashTable(capacity=max(2, 2 * len(set(insert_keys))))
+        t.insert(insert, np.arange(len(insert)))
+        got = t.lookup(query)
+        want = np.array([oracle.get(int(k), -1) for k in query])
+        assert np.array_equal(got, want.reshape(got.shape))
+        assert len(t) == len(oracle)

@@ -1,0 +1,88 @@
+"""Tests for kernel offset enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import (
+    center_offset_index,
+    is_symmetric_enumeration,
+    kernel_offsets,
+    kernel_range,
+    kernel_volume,
+    opposite_offset_index,
+)
+
+
+class TestKernelRange:
+    def test_odd_centered(self):
+        assert np.array_equal(kernel_range(3), [-1, 0, 1])
+        assert np.array_equal(kernel_range(5), [-2, -1, 0, 1, 2])
+
+    def test_even_nonnegative(self):
+        assert np.array_equal(kernel_range(2), [0, 1])
+        assert np.array_equal(kernel_range(4), [0, 1, 2, 3])
+
+    def test_size_one(self):
+        assert np.array_equal(kernel_range(1), [0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kernel_range(0)
+
+
+class TestKernelOffsets:
+    def test_count(self):
+        for k in (1, 2, 3, 5):
+            assert kernel_offsets(k).shape == (k**3, 3)
+            assert kernel_volume(k) == k**3
+
+    def test_2d(self):
+        offs = kernel_offsets(5, ndim=2)
+        assert offs.shape == (25, 2)
+        assert offs.min() == -2 and offs.max() == 2
+
+    def test_lexicographic_order(self):
+        offs = kernel_offsets(3)
+        assert np.array_equal(offs[0], [-1, -1, -1])
+        assert np.array_equal(offs[-1], [1, 1, 1])
+        # first axis slowest
+        assert np.array_equal(offs[1], [-1, -1, 0])
+
+    def test_all_unique(self):
+        offs = kernel_offsets(3)
+        assert np.unique(offs, axis=0).shape[0] == offs.shape[0]
+
+
+class TestSymmetry:
+    def test_center_index_odd(self):
+        assert center_offset_index(3) == 13
+        offs = kernel_offsets(3)
+        assert np.array_equal(offs[13], [0, 0, 0])
+
+    def test_center_index_even_is_none(self):
+        assert center_offset_index(2) is None
+
+    def test_opposite_is_negation(self):
+        """The load-bearing identity of symmetric grouping."""
+        for k in (1, 3, 5):
+            offs = kernel_offsets(k)
+            for n in range(offs.shape[0]):
+                opp = opposite_offset_index(n, k)
+                assert np.array_equal(offs[opp], -offs[n])
+
+    def test_opposite_is_involution(self):
+        for n in range(27):
+            assert opposite_offset_index(opposite_offset_index(n, 3), 3) == n
+
+    def test_opposite_rejects_even(self):
+        with pytest.raises(ValueError):
+            opposite_offset_index(0, 2)
+
+    def test_is_symmetric_enumeration(self):
+        assert is_symmetric_enumeration(3)
+        assert is_symmetric_enumeration(5)
+        assert not is_symmetric_enumeration(2)
+
+    def test_center_is_own_opposite(self):
+        c = center_offset_index(3)
+        assert opposite_offset_index(c, 3) == c

@@ -1,0 +1,173 @@
+"""Tests for kernel map construction (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import kernel_offsets, opposite_offset_index
+from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap, identity_kmap
+
+coords_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    min_size=1,
+    max_size=80,
+    unique=True,
+)
+
+
+def make_coords(rows):
+    c = np.array(rows, dtype=np.int64).reshape(-1, 3)
+    return np.concatenate(
+        [np.zeros((c.shape[0], 1), dtype=np.int64), c], axis=1
+    ).astype(np.int32)
+
+
+def brute_force_map(in_coords, out_coords, kernel_size, stride):
+    """Literal Algorithm 1 with Python dicts."""
+    offsets = kernel_offsets(kernel_size)
+    table = {tuple(map(int, c)): j for j, c in enumerate(in_coords)}
+    maps = [[] for _ in range(offsets.shape[0])]
+    for k, q in enumerate(np.asarray(out_coords, dtype=np.int64)):
+        for n, d in enumerate(offsets):
+            r = (int(q[0]), int(q[1] * stride + d[0]),
+                 int(q[2] * stride + d[1]), int(q[3] * stride + d[2]))
+            j = table.get(r)
+            if j is not None:
+                maps[n].append((j, k))
+    return maps
+
+
+def assert_matches_brute_force(kmap, in_coords, out_coords, kernel_size, stride):
+    oracle = brute_force_map(in_coords, out_coords, kernel_size, stride)
+    for n in range(kmap.volume):
+        got = sorted(zip(kmap.in_indices[n].tolist(), kmap.out_indices[n].tolist()))
+        assert got == sorted(oracle[n]), f"offset {n} disagrees"
+
+
+class TestBuildKmap:
+    @pytest.mark.parametrize("backend", ["hash", "grid"])
+    def test_stride1_matches_brute_force(self, backend):
+        rng = np.random.default_rng(0)
+        coords = make_coords(np.unique(rng.integers(0, 10, size=(60, 3)), axis=0))
+        index = CoordIndex.build(coords, backend=backend, margin=1)
+        kmap = build_kmap(coords, index, coords, kernel_size=3)
+        assert_matches_brute_force(kmap, coords, coords, 3, 1)
+
+    @pytest.mark.parametrize("kernel_size,stride", [(2, 2), (3, 2), (2, 3)])
+    def test_strided_matches_brute_force(self, kernel_size, stride):
+        rng = np.random.default_rng(1)
+        in_coords = make_coords(np.unique(rng.integers(0, 12, size=(70, 3)), axis=0))
+        out_coords = make_coords(np.unique(rng.integers(0, 6, size=(40, 3)), axis=0))
+        index = CoordIndex.build(in_coords, backend="hash")
+        kmap = build_kmap(
+            in_coords, index, out_coords, kernel_size, stride=stride
+        )
+        assert_matches_brute_force(kmap, in_coords, out_coords, kernel_size, stride)
+
+    def test_symmetry_flag_gives_identical_maps(self):
+        """Symmetric search must produce exactly the same maps."""
+        rng = np.random.default_rng(2)
+        coords = make_coords(np.unique(rng.integers(0, 10, size=(80, 3)), axis=0))
+        index = CoordIndex.build(coords, backend="hash")
+        plain = build_kmap(coords, index, coords, 3, use_symmetry=False)
+        sym = build_kmap(coords, index, coords, 3, use_symmetry=True)
+        for n in range(27):
+            a = sorted(zip(plain.in_indices[n].tolist(), plain.out_indices[n].tolist()))
+            b = sorted(zip(sym.in_indices[n].tolist(), sym.out_indices[n].tolist()))
+            assert a == b
+
+    def test_symmetry_halves_queries(self):
+        rng = np.random.default_rng(2)
+        coords = make_coords(np.unique(rng.integers(0, 10, size=(80, 3)), axis=0))
+        index = CoordIndex.build(coords, backend="hash")
+        plain = build_kmap(coords, index, coords, 3, use_symmetry=False)
+        sym = build_kmap(coords, index, coords, 3, use_symmetry=True)
+        assert sym.queries_issued <= plain.queries_issued // 2 + plain.n_out
+
+    def test_symmetric_sizes_equal(self):
+        """|M[delta]| == |M[-delta]| for stride-1 odd kernels (Sec 4.2.1)."""
+        rng = np.random.default_rng(3)
+        coords = make_coords(np.unique(rng.integers(0, 8, size=(50, 3)), axis=0))
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        sizes = kmap.sizes
+        for n in range(27):
+            assert sizes[n] == sizes[opposite_offset_index(n, 3)]
+
+    def test_center_is_identity_at_stride1(self):
+        coords = make_coords([(0, 0, 0), (1, 1, 1), (5, 5, 5)])
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        c = kmap.center_index
+        assert np.array_equal(kmap.in_indices[c], kmap.out_indices[c])
+        assert len(kmap.in_indices[c]) == 3
+
+    def test_kernel_size_one(self):
+        coords = make_coords([(0, 0, 0), (2, 2, 2)])
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 1)
+        assert kmap.total == 2
+
+    def test_batch_separation(self):
+        """Points in different batches must never match."""
+        coords = np.array(
+            [[0, 0, 0, 0], [1, 0, 0, 1]], dtype=np.int32
+        )  # adjacent spatially, different batch
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        for n in range(27):
+            for j, k in zip(kmap.in_indices[n], kmap.out_indices[n]):
+                assert coords[j, 0] == coords[k, 0]
+
+    def test_out_of_packing_range_probes_are_safe(self):
+        """Probes past the packable coordinate range are treated as misses."""
+        from repro.hashmap.coords import COORD_MAX
+
+        coords = np.array([[0, COORD_MAX, 0, 0]], dtype=np.int32)
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        assert kmap.total == 1  # only the center matches
+
+    @given(coords_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, rows):
+        coords = make_coords(rows)
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        assert_matches_brute_force(kmap, coords, coords, 3, 1)
+        kmap.validate()
+
+
+class TestKernelMapStructure:
+    def test_transpose_swaps(self):
+        rng = np.random.default_rng(5)
+        coords = make_coords(np.unique(rng.integers(0, 8, size=(30, 3)), axis=0))
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        t = kmap.transposed()
+        assert t.n_in == kmap.n_out and t.n_out == kmap.n_in
+        for n in range(27):
+            assert np.array_equal(t.in_indices[n], kmap.out_indices[n])
+            assert np.array_equal(t.out_indices[n], kmap.in_indices[n])
+
+    def test_identity_kmap(self):
+        kmap = identity_kmap(3, 5)
+        assert kmap.total == 5
+        assert len(kmap.in_indices[kmap.center_index]) == 5
+        kmap.validate()
+
+    def test_validate_catches_bad_indices(self):
+        kmap = identity_kmap(3, 5)
+        kmap.in_indices[13] = np.array([99])
+        kmap.out_indices[13] = np.array([0])
+        with pytest.raises(ValueError):
+            kmap.validate()
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            KernelMap(3, 1, 5, 5, [np.empty(0)] * 5, [np.empty(0)] * 5)
+
+    def test_sizes_and_total(self):
+        kmap = identity_kmap(3, 7)
+        assert kmap.sizes.sum() == kmap.total == 7

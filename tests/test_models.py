@@ -1,0 +1,130 @@
+"""Tests for MinkUNet, CenterPoint and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngine
+from repro.datasets.configs import nuscenes_like, waymo_like
+from repro.models import MODEL_ZOO, CenterPoint, MinkUNet
+from repro.models.centerpoint import Detection, bev_iou, nms
+
+
+@pytest.fixture(scope="module")
+def small_input():
+    return nuscenes_like().sample_tensor(seed=0, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def det_input():
+    return waymo_like().cropped(-0.5, 6.0).sample_tensor(seed=0, scale=0.15)
+
+
+class TestMinkUNet:
+    def test_forward_shapes(self, small_input):
+        net = MinkUNet(in_channels=4, num_classes=16, width=0.5)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        y = net(small_input, ctx)
+        assert y.num_points == small_input.num_points
+        assert y.num_channels == 16
+        assert np.array_equal(y.coords, small_input.coords)
+
+    def test_width_scales_parameters(self):
+        full = MinkUNet(width=1.0).num_parameters()
+        half = MinkUNet(width=0.5).num_parameters()
+        assert half < full / 2.5
+
+    def test_deterministic_in_seed(self, small_input):
+        outs = []
+        for _ in range(2):
+            net = MinkUNet(width=0.5, seed=11)
+            ctx = ExecutionContext(engine=BaselineEngine())
+            outs.append(net(small_input, ctx).feats)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_engines_agree(self, small_input):
+        net = MinkUNet(width=0.5, num_classes=8)
+        feats = {}
+        for eng in (BaselineEngine(), TorchSparseEngine()):
+            ctx = ExecutionContext(engine=eng)
+            feats[eng.config.name] = net(small_input, ctx).feats
+        np.testing.assert_allclose(
+            feats["torchsparse"], feats["baseline-fp32"], rtol=0.1, atol=0.1
+        )
+
+    def test_profile_covers_all_stages(self, small_input):
+        net = MinkUNet(width=0.5)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        net(small_input, ctx)
+        st = ctx.profile.stage_times()
+        assert all(st[s] > 0 for s in ("mapping", "gather", "matmul", "scatter"))
+
+
+class TestCenterPoint:
+    def test_forward_outputs(self, det_input):
+        net = CenterPoint(num_classes=3)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out = net(det_input, ctx)
+        hm, reg = out["heatmap"], out["regression"]
+        assert hm.ndim == 3 and hm.shape[2] == 3
+        assert reg.shape[:2] == hm.shape[:2] and reg.shape[2] == CenterPoint.REG_DIMS
+        assert out["sparse_features"].stride == 8
+
+    def test_decode_returns_detections(self, det_input):
+        net = CenterPoint(num_classes=3)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out = net(det_input, ctx)
+        dets = net.decode(out, ctx, score_threshold=0.0, max_dets=20)
+        assert len(dets) <= 20
+        for d in dets:
+            assert 0 <= d.label < 3
+            assert d.w > 0 and d.l > 0
+
+    def test_dense_head_billed_as_other(self, det_input):
+        net = CenterPoint(num_classes=3)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        net(det_input, ctx)
+        assert ctx.profile.stage_times()["other"] > 0
+
+
+class TestNMS:
+    def _det(self, x, y, score, label=0, size=2.0):
+        return Detection(x=x, y=y, z=0, w=size, l=size, h=1.5, score=score,
+                         label=label)
+
+    def test_iou_identical(self):
+        d = self._det(0, 0, 0.9)
+        assert bev_iou(d, d) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        assert bev_iou(self._det(0, 0, 0.9), self._det(10, 10, 0.9)) == 0.0
+
+    def test_nms_suppresses_overlaps(self):
+        dets = [self._det(0, 0, 0.9), self._det(0.1, 0.1, 0.5), self._det(10, 0, 0.8)]
+        kept = nms(dets, iou_threshold=0.5)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+
+    def test_nms_keeps_highest_scores_first(self):
+        dets = [self._det(0, 0, 0.2), self._det(0, 0, 0.9)]
+        kept = nms(dets, iou_threshold=0.5)
+        assert len(kept) == 1 and kept[0].score == 0.9
+
+    def test_nms_empty(self):
+        assert nms([]) == []
+
+
+class TestModelZoo:
+    def test_seven_entries(self):
+        assert len(MODEL_ZOO) == 7
+        assert sum(e.task == "segmentation" for e in MODEL_ZOO) == 4
+        assert sum(e.task == "detection" for e in MODEL_ZOO) == 3
+
+    def test_keys_unique(self):
+        keys = [e.key for e in MODEL_ZOO]
+        assert len(set(keys)) == 7
+
+    def test_factories_construct(self):
+        for e in MODEL_ZOO[:2]:
+            model = e.make_model()
+            ds = e.make_dataset()
+            assert model is not None and ds.name

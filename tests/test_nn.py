@@ -1,0 +1,169 @@
+"""Tests for the nn module library."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.engine import BaselineEngine, ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+from repro.nn.dense import conv2d, im2col, relu2d, sigmoid
+from repro.nn.modules import concat_skip
+
+
+def make_tensor(n=50, c=6, seed=0):
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, 10, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    return SparseTensor(coords, rng.standard_normal((xyz.shape[0], c)).astype(np.float32))
+
+
+def ctx():
+    return ExecutionContext(engine=BaselineEngine())
+
+
+class TestModuleNaming:
+    def test_sequential_names_children(self):
+        seq = nn.Sequential(nn.Conv3d(4, 8), nn.ReLU())
+        assert seq.layers[0].name == "sequential.0"
+        seq.rename("net")
+        assert seq.layers[0].name == "net.0"
+
+    def test_modules_enumeration(self):
+        seq = nn.Sequential(nn.Conv3d(4, 8), nn.BatchNorm(8), nn.ReLU())
+        assert len(seq.modules()) == 4
+        assert len(seq.conv_layers()) == 1
+
+    def test_num_parameters(self):
+        conv = nn.Conv3d(4, 8, kernel_size=3)
+        assert conv.num_parameters() == 27 * 4 * 8
+
+
+class TestConv3dModule:
+    def test_channel_mismatch_rejected(self):
+        c = nn.Conv3d(4, 8)
+        with pytest.raises(ValueError, match="expected 4 channels"):
+            c(make_tensor(c=6), ctx())
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            nn.Conv3d(0, 8)
+
+    def test_forward_shapes(self):
+        x = make_tensor()
+        y = nn.Conv3d(6, 16)(x, ctx())
+        assert y.num_channels == 16
+        assert y.num_points == x.num_points
+
+    def test_deterministic_given_rng(self):
+        a = nn.Conv3d(4, 8, rng=np.random.default_rng(42))
+        b = nn.Conv3d(4, 8, rng=np.random.default_rng(42))
+        assert np.array_equal(a.weight, b.weight)
+
+
+class TestPointwiseModules:
+    def test_relu(self):
+        x = make_tensor()
+        y = nn.ReLU()(x, ctx())
+        assert (y.feats >= 0).all()
+        np.testing.assert_array_equal(y.feats, np.maximum(x.feats, 0))
+
+    def test_batchnorm_identity_at_init(self):
+        """Fresh BN (zero mean, unit var) is an identity at inference."""
+        x = make_tensor()
+        y = nn.BatchNorm(6)(x, ctx())
+        np.testing.assert_allclose(y.feats, x.feats, rtol=1e-4, atol=1e-5)
+
+    def test_batchnorm_scale_shift(self):
+        bn = nn.BatchNorm(6)
+        bn.running_mean[:] = 2.0
+        bn.gamma[:] = 3.0
+        x = make_tensor()
+        y = bn(x, ctx())
+        np.testing.assert_allclose(
+            y.feats, 3.0 * (x.feats - 2.0) / np.sqrt(1 + 1e-5), rtol=1e-4
+        )
+
+    def test_linear(self):
+        x = make_tensor()
+        lin = nn.Linear(6, 3)
+        y = lin(x, ctx())
+        np.testing.assert_allclose(
+            y.feats, x.feats @ lin.weight + lin.bias, rtol=1e-5
+        )
+
+
+class TestResidual:
+    def test_identity_shortcut(self):
+        x = make_tensor()
+        block = nn.Residual(nn.Sequential(nn.Conv3d(6, 6), nn.BatchNorm(6)))
+        y = block(x, ctx())
+        assert y.num_channels == 6
+
+    def test_projection_shortcut(self):
+        x = make_tensor()
+        block = nn.Residual(
+            nn.Sequential(nn.Conv3d(6, 12), nn.BatchNorm(12)),
+            shortcut=nn.Sequential(nn.Conv3d(6, 12, kernel_size=1)),
+        )
+        y = block(x, ctx())
+        assert y.num_channels == 12
+
+    def test_residual_math(self):
+        """out = relu(main(x) + x) with an identity-ish main."""
+        x = make_tensor()
+        conv = nn.Conv3d(6, 6, kernel_size=1)
+        conv.weight[0] = np.eye(6, dtype=np.float32)  # identity 1x1x1
+        block = nn.Residual(conv)
+        y = block(x, ctx())
+        np.testing.assert_allclose(y.feats, np.maximum(2 * x.feats, 0), rtol=1e-5)
+
+
+class TestGlobalPoolAndCat:
+    def test_global_avg_pool(self):
+        x = make_tensor()
+        out = nn.GlobalAvgPool()(x, ctx())
+        assert out.shape == (1, 6)
+        np.testing.assert_allclose(out[0], x.feats.mean(axis=0), rtol=1e-5)
+
+    def test_concat_skip(self):
+        x = make_tensor()
+        c = ctx()
+        y = concat_skip(x, x, c)
+        assert y.num_channels == 12
+
+
+class TestDenseOps:
+    def test_im2col_shape(self):
+        x = np.arange(5 * 5 * 2, dtype=np.float32).reshape(5, 5, 2)
+        cols = im2col(x, 3, pad=1)
+        assert cols.shape == (25, 18)
+
+    def test_conv2d_matches_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((6, 7, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        y = conv2d(x, w, ctx())
+        assert y.shape == (6, 7, 4)
+        # direct check of one interior output pixel
+        patch = x[1:4, 2:5]  # centered at (2, 3)
+        want = np.einsum("ijc,ijco->o", patch, w)
+        np.testing.assert_allclose(y[2, 3], want, rtol=1e-4, atol=1e-5)
+
+    def test_conv2d_1x1(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 4, 2)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 2, 5)).astype(np.float32)
+        y = conv2d(x, w, ctx())
+        np.testing.assert_allclose(y, x @ w[0, 0], rtol=1e-4, atol=1e-5)
+
+    def test_conv2d_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((4, 4, 2)), np.zeros((3, 3, 3, 4)), ctx())
+
+    def test_relu2d_and_sigmoid(self):
+        x = np.array([[-1.0, 1.0]])
+        assert (relu2d(x[None], ctx()) >= 0).all()
+        s = sigmoid(np.array([0.0]))
+        assert s[0] == pytest.approx(0.5)

@@ -1,0 +1,96 @@
+"""Tests for multi-device inference sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TorchSparseEngine
+from repro.core.sparse_tensor import SparseTensor
+from repro.datasets.collate import batch_collate
+from repro.gpu.device import GTX_1080TI, RTX_2080TI, RTX_3090
+from repro.models import MinkUNet
+from repro.profiling.parallel import data_parallel_batch, shard_inference
+
+
+def make_inputs(n, seed0=0, points=400):
+    out = []
+    for i in range(n):
+        rng = np.random.default_rng(seed0 + i)
+        xyz = np.unique(rng.integers(0, 20, size=(points, 3)), axis=0)
+        coords = np.concatenate(
+            [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+        ).astype(np.int32)
+        out.append(
+            SparseTensor(
+                coords, rng.standard_normal((xyz.shape[0], 4)).astype(np.float32)
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MinkUNet(width=0.5, num_classes=5)
+
+
+class TestShardInference:
+    def test_two_devices_roughly_halve(self, model):
+        xs = make_inputs(4)
+        engine = TorchSparseEngine()
+        one = shard_inference(model, xs, engine, [RTX_2080TI])
+        two = shard_inference(model, xs, engine, [RTX_2080TI, RTX_2080TI])
+        assert two.speedup_over(one.makespan) > 1.6
+
+    def test_all_inputs_assigned_exactly_once(self, model):
+        xs = make_inputs(5)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_3090]
+        )
+        assigned = sorted(i for a in r.assignments.values() for i in a)
+        assert assigned == list(range(5))
+
+    def test_greedy_beats_round_robin_on_skewed_work(self, model):
+        """With strongly varied input sizes on a mixed fleet, LPT
+        placement beats naive round-robin (which can strand the big
+        inputs on the slow card)."""
+        xs = []
+        for i, pts in enumerate((2000, 150, 2000, 150, 2000, 150)):
+            xs.extend(make_inputs(1, seed0=10 + i, points=pts))
+        engine = TorchSparseEngine()
+        devices = [RTX_3090, GTX_1080TI]
+        rr = shard_inference(model, xs, engine, devices, policy="round_robin")
+        greedy = shard_inference(model, xs, engine, devices, policy="greedy")
+        assert greedy.makespan <= rr.makespan * 1.05
+
+    def test_throughput_definition(self, model):
+        xs = make_inputs(3)
+        r = shard_inference(model, xs, TorchSparseEngine(), [RTX_2080TI])
+        assert r.throughput == pytest.approx(3 / r.makespan)
+
+    def test_duplicate_device_names_disambiguated(self, model):
+        xs = make_inputs(2)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_2080TI]
+        )
+        assert len(r.per_device) == 2
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            shard_inference(model, [], TorchSparseEngine(), [RTX_2080TI])
+        with pytest.raises(ValueError):
+            shard_inference(model, make_inputs(1), TorchSparseEngine(), [])
+        with pytest.raises(ValueError):
+            shard_inference(
+                model, make_inputs(1), TorchSparseEngine(), [RTX_2080TI],
+                policy="magic",
+            )
+
+
+class TestDataParallelBatch:
+    def test_batch_sharding(self, model):
+        xs = make_inputs(4)
+        batched = batch_collate(xs)
+        r = data_parallel_batch(
+            model, batched, TorchSparseEngine(), [RTX_2080TI, RTX_3090]
+        )
+        assert r.total_inputs == 4
+        assert r.makespan > 0

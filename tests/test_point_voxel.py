@@ -1,0 +1,174 @@
+"""Tests for point-voxel ops and SPVCNN."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngine
+from repro.core.sparse_tensor import SparseTensor
+from repro.models.spvcnn import SPVCNN
+from repro.nn.point import (
+    PointTensor,
+    initial_voxelize,
+    point_to_voxel,
+    voxel_to_point,
+)
+
+
+def ctx():
+    return ExecutionContext(engine=BaselineEngine())
+
+
+def make_points(n=200, extent=10.0, c=4, seed=0):
+    rng = np.random.default_rng(seed)
+    xyz = rng.uniform(0, extent, size=(n, 3))
+    coords = np.concatenate([np.zeros((n, 1)), xyz], axis=1)
+    feats = rng.standard_normal((n, c)).astype(np.float32)
+    return PointTensor(coords, feats)
+
+
+class TestPointTensor:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PointTensor(np.zeros((3, 3)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            PointTensor(np.zeros((3, 4)), np.zeros((2, 2)))
+
+    def test_replace_feats(self):
+        pt = make_points()
+        pt2 = pt.replace_feats(np.ones((pt.num_points, 7), dtype=np.float32))
+        assert pt2.num_channels == 7
+
+
+class TestInitialVoxelize:
+    def test_voxel_count_and_inverse(self):
+        pt = make_points()
+        sparse, inverse = initial_voxelize(pt, ctx())
+        assert inverse.shape == (pt.num_points,)
+        assert inverse.max() == sparse.num_points - 1
+        sparse.validate_unique()
+
+    def test_feature_averaging(self):
+        coords = np.array([[0, 0.2, 0.2, 0.2], [0, 0.8, 0.8, 0.8]])
+        feats = np.array([[2.0], [4.0]], dtype=np.float32)
+        sparse, inverse = initial_voxelize(PointTensor(coords, feats), ctx())
+        assert sparse.num_points == 1  # both in voxel (0,0,0)
+        assert sparse.feats[0, 0] == pytest.approx(3.0)
+        assert np.array_equal(inverse, [0, 0])
+
+    def test_exact_grid_positions(self):
+        pt = make_points()
+        sparse, inverse = initial_voxelize(pt, ctx())
+        want = np.floor(pt.coords).astype(np.int64)
+        got = sparse.coords[inverse]
+        assert np.array_equal(got, want)
+
+
+class TestPointToVoxel:
+    def test_scatter_mean(self):
+        pt = make_points()
+        sparse, inverse = initial_voxelize(pt, ctx())
+        back = point_to_voxel(sparse, pt, ctx())
+        # with the same voxel set, point_to_voxel == initial averaging
+        np.testing.assert_allclose(back.feats, sparse.feats, rtol=1e-5, atol=1e-6)
+
+    def test_missing_voxels_stay_zero(self):
+        sparse = SparseTensor(
+            np.array([[0, 50, 50, 50]], dtype=np.int32),
+            np.ones((1, 2), dtype=np.float32),
+        )
+        pt = make_points(c=2)
+        back = point_to_voxel(sparse, pt, ctx())
+        assert np.array_equal(back.feats, np.zeros((1, 2), dtype=np.float32))
+
+    def test_stride_scaling(self):
+        """At stride 2 a point at x≈3 lands in voxel 1."""
+        sparse = SparseTensor(
+            np.array([[0, 1, 1, 1]], dtype=np.int32),
+            np.zeros((1, 1), dtype=np.float32),
+            stride=2,
+        )
+        pt = PointTensor(
+            np.array([[0, 3.0, 3.0, 3.0]]), np.array([[5.0]], dtype=np.float32)
+        )
+        back = point_to_voxel(sparse, pt, ctx())
+        assert back.feats[0, 0] == pytest.approx(5.0)
+
+
+class TestVoxelToPoint:
+    def test_point_at_corner_gets_corner_value(self):
+        sparse = SparseTensor(
+            np.array([[0, 2, 3, 4]], dtype=np.int32),
+            np.array([[7.0]], dtype=np.float32),
+        )
+        pt = PointTensor(np.array([[0, 2.0, 3.0, 4.0]]), np.zeros((1, 1), np.float32))
+        out = voxel_to_point(sparse, pt, ctx())
+        assert out[0, 0] == pytest.approx(7.0)
+
+    def test_midpoint_interpolates(self):
+        coords = np.array([[0, 0, 0, 0], [0, 1, 0, 0]], dtype=np.int32)
+        feats = np.array([[0.0], [10.0]], dtype=np.float32)
+        sparse = SparseTensor(coords, feats)
+        pt = PointTensor(np.array([[0, 0.5, 0.0, 0.0]]), np.zeros((1, 1), np.float32))
+        out = voxel_to_point(sparse, pt, ctx())
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_weights_renormalized_over_live_corners(self):
+        """With a single live corner at weight 0.25, the output equals
+        that corner's value (not 0.25 of it)."""
+        sparse = SparseTensor(
+            np.array([[0, 0, 0, 0]], dtype=np.int32),
+            np.array([[8.0]], dtype=np.float32),
+        )
+        pt = PointTensor(np.array([[0, 0.5, 0.5, 0.0]]), np.zeros((1, 1), np.float32))
+        out = voxel_to_point(sparse, pt, ctx())
+        assert out[0, 0] == pytest.approx(8.0)
+
+    def test_orphan_points_get_zero(self):
+        sparse = SparseTensor(
+            np.array([[0, 100, 100, 100]], dtype=np.int32),
+            np.ones((1, 3), dtype=np.float32),
+        )
+        pt = make_points(c=3)
+        out = voxel_to_point(sparse, pt, ctx())
+        assert not out.any()
+
+    def test_interpolation_is_convex(self):
+        """Outputs stay within the min/max of voxel features."""
+        pt = make_points(n=300)
+        sparse, _ = initial_voxelize(pt, ctx())
+        out = voxel_to_point(sparse, pt, ctx())
+        assert out.min() >= sparse.feats.min() - 1e-5
+        assert out.max() <= sparse.feats.max() + 1e-5
+
+
+class TestSPVCNN:
+    def test_forward_shapes(self):
+        pt = make_points(n=400, extent=15.0)
+        model = SPVCNN(in_channels=4, num_classes=5, width=8)
+        logits = model(pt, ctx())
+        assert logits.shape == (pt.num_points, 5)
+        assert np.isfinite(logits).all()
+
+    def test_engines_agree(self):
+        pt = make_points(n=300, extent=12.0, seed=3)
+        model = SPVCNN(in_channels=4, num_classes=5, width=8)
+        a = model(pt, ExecutionContext(engine=BaselineEngine()))
+        b = model(pt, ExecutionContext(engine=TorchSparseEngine()))
+        np.testing.assert_allclose(a, b, rtol=5e-2, atol=5e-2)
+
+    def test_profile_includes_point_ops(self):
+        pt = make_points(n=300, extent=12.0)
+        model = SPVCNN(in_channels=4, num_classes=5, width=8)
+        c = ctx()
+        model(pt, c)
+        names = {r.name for r in c.profile.records}
+        assert "voxel_to_point" in names
+        assert "point_to_voxel" in names
+        assert "initial_voxelize" in names
+
+    def test_channel_validation(self):
+        from repro.models.spvcnn import PointMLP
+
+        mlp = PointMLP(4, 8)
+        with pytest.raises(ValueError):
+            mlp.apply(np.zeros((3, 6), dtype=np.float32), ctx())

@@ -1,0 +1,113 @@
+"""Tests for sparse max/avg pooling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.engine import BaselineEngine, ExecutionContext
+from repro.core.sparse_tensor import SparseTensor
+
+
+def ctx():
+    return ExecutionContext(engine=BaselineEngine())
+
+
+def make_tensor(n=70, c=3, seed=0, extent=10):
+    rng = np.random.default_rng(seed)
+    xyz = np.unique(rng.integers(0, extent, size=(n, 3)), axis=0)
+    coords = np.concatenate(
+        [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+    ).astype(np.int32)
+    return SparseTensor(
+        coords, rng.standard_normal((xyz.shape[0], c)).astype(np.float32)
+    )
+
+
+def brute_force_pool(x, kernel_size, stride, mode):
+    """Window reduction straight from the definition (k2 s2 windows)."""
+    table = {tuple(map(int, c)): j for j, c in enumerate(x.coords)}
+    out = {}
+    for c in x.coords.astype(np.int64):
+        q = (int(c[0]), int(c[1] // stride), int(c[2] // stride),
+             int(c[3] // stride))
+        out.setdefault(q, [])
+    for q, members in out.items():
+        for dx in range(kernel_size):
+            for dy in range(kernel_size):
+                for dz in range(kernel_size):
+                    p = (q[0], q[1] * stride + dx, q[2] * stride + dy,
+                         q[3] * stride + dz)
+                    j = table.get(p)
+                    if j is not None:
+                        members.append(j)
+    coords = np.array(sorted(out.keys()), dtype=np.int64)
+    feats = []
+    for q in map(tuple, coords):
+        rows = x.feats[out[q]]
+        feats.append(rows.max(axis=0) if mode == "max" else rows.mean(axis=0))
+    return coords, np.array(feats, dtype=np.float32)
+
+
+class TestPooling:
+    @pytest.mark.parametrize("mode", ["max", "avg"])
+    def test_matches_brute_force_k2s2(self, mode):
+        x = make_tensor()
+        c = ctx()
+        y = c.engine.pooling(x, c, kernel_size=2, stride=2, mode=mode)
+        want_coords, want_feats = brute_force_pool(x, 2, 2, mode)
+        order = np.lexsort(y.coords.T[::-1])
+        assert np.array_equal(y.coords[order].astype(np.int64), want_coords)
+        np.testing.assert_allclose(
+            y.feats[order], want_feats, rtol=1e-5, atol=1e-6
+        )
+
+    def test_stride1_max_is_neighborhood_max(self):
+        x = make_tensor(seed=2)
+        c = ctx()
+        y = c.engine.pooling(x, c, kernel_size=3, stride=1, mode="max")
+        assert np.array_equal(y.coords, x.coords)
+        assert (y.feats >= x.feats - 1e-6).all()  # window includes self
+
+    def test_stride_doubles(self):
+        x = make_tensor()
+        c = ctx()
+        y = c.engine.pooling(x, c, kernel_size=2, stride=2)
+        assert y.stride == 2
+        assert y.num_points <= x.num_points
+
+    def test_invalid_mode(self):
+        x = make_tensor()
+        c = ctx()
+        with pytest.raises(ValueError):
+            c.engine.pooling(x, c, mode="median")
+
+    def test_empty_tensor_rejected(self):
+        t = SparseTensor(np.zeros((0, 4), dtype=np.int32), np.zeros((0, 3)))
+        c = ctx()
+        with pytest.raises(ValueError):
+            c.engine.pooling(t, c)
+
+    def test_modules(self):
+        x = make_tensor()
+        c = ctx()
+        y_max = nn.MaxPool3d(2, 2)(x, c)
+        y_avg = nn.AvgPool3d(2, 2)(x, c)
+        assert y_max.coords.shape == y_avg.coords.shape
+        assert (y_max.feats >= y_avg.feats - 1e-5).all()
+
+    def test_pooling_priced(self):
+        x = make_tensor()
+        c = ctx()
+        c.engine.pooling(x, c)
+        st = c.profile.stage_times()
+        assert st["gather"] > 0 and st["scatter"] > 0 and st["mapping"] > 0
+
+    def test_avg_ignores_absent_voxels(self):
+        """A lone voxel's average is its own value, not value/8."""
+        x = SparseTensor(
+            np.array([[0, 5, 5, 5]], dtype=np.int32),
+            np.array([[4.0]], dtype=np.float32),
+        )
+        c = ctx()
+        y = c.engine.pooling(x, c, kernel_size=2, stride=2, mode="avg")
+        assert y.feats[0, 0] == pytest.approx(4.0)

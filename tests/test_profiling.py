@@ -1,0 +1,145 @@
+"""Tests for timeline records, profiles, runner, and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BaselineEngine, TorchSparseEngine
+from repro.datasets.configs import nuscenes_like
+from repro.gpu.device import GTX_1080TI, RTX_2080TI
+from repro.gpu.timeline import STAGES, KernelRecord, Profile
+from repro.models import MinkUNet
+from repro.profiling import (
+    collect_workloads,
+    format_series,
+    format_table,
+    geomean,
+    run_model,
+    stage_breakdown,
+    tune_model,
+)
+from repro.profiling.breakdown import format_breakdown
+from repro.profiling.runner import tuned_engine_config
+
+
+class TestKernelRecord:
+    def test_valid(self):
+        r = KernelRecord("x", "matmul", 1e-3)
+        assert r.time == 1e-3
+
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            KernelRecord("x", "teleport", 1e-3)
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            KernelRecord("x", "matmul", -1.0)
+
+
+class TestProfile:
+    def _profile(self):
+        p = Profile()
+        p.log("a", "mapping", 1e-3, bytes_moved=10, flops=5)
+        p.log("b", "matmul", 3e-3, flops=100, launches=2)
+        p.log("a", "gather", 1e-3)
+        return p
+
+    def test_totals(self):
+        p = self._profile()
+        assert p.total_time == pytest.approx(5e-3)
+        assert p.total_flops == 105
+        assert p.total_bytes == 10
+        assert p.total_launches == 4
+
+    def test_stage_times_complete(self):
+        st = self._profile().stage_times()
+        assert set(st) == set(STAGES)
+        assert st["scatter"] == 0.0
+
+    def test_fractions_sum_to_one(self):
+        fr = self._profile().stage_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_fractions_of_empty(self):
+        assert sum(Profile().stage_fractions().values()) == 0.0
+
+    def test_by_name_merges(self):
+        assert self._profile().by_name()["a"] == pytest.approx(2e-3)
+
+    def test_merge_and_clear(self):
+        p = self._profile()
+        q = p.merge(self._profile())
+        assert q.total_time == pytest.approx(2 * p.total_time)
+        p.clear()
+        assert p.total_time == 0
+
+    def test_summary_text(self):
+        assert "matmul" in self._profile().summary()
+
+    def test_breakdown_helpers(self):
+        p = self._profile()
+        b = stage_breakdown(p)
+        assert b["datamove"] == pytest.approx(b["gather"] + b["scatter"])
+        assert "mapping" in format_breakdown(p, title="t")
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([2, 0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_format_table(self):
+        txt = format_table(["a", "bb"], [[1, 2.5], ["x", 0.001]], title="T")
+        assert "T" in txt and "bb" in txt and "0.001" in txt
+
+    def test_format_series(self):
+        txt = format_series("s", [1, 2], [0.5, 1.5])
+        assert txt.startswith("s:") and "1=0.50" in txt
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = nuscenes_like()
+        xs = [ds.sample_tensor(seed=i, scale=0.15) for i in range(2)]
+        return MinkUNet(width=0.5, num_classes=8), xs
+
+    def test_run_model(self, setup):
+        model, xs = setup
+        r = run_model(model, xs, BaselineEngine(), RTX_2080TI, model_name="mu")
+        assert r.model == "mu"
+        assert r.latency > 0 and r.fps == pytest.approx(1 / r.latency)
+
+    def test_run_model_empty_inputs(self, setup):
+        model, _ = setup
+        with pytest.raises(ValueError):
+            run_model(model, [], BaselineEngine())
+
+    def test_collect_workloads(self, setup):
+        model, xs = setup
+        ws = collect_workloads(model, xs[:1])
+        conv_names = {c.name for c in model.conv_layers()}
+        assert {w.name for w in ws}.issubset(conv_names)
+        assert all(len(w.samples) == 1 for w in ws)
+        assert all(len(s) == w.kernel_size**3 for w in ws for s in w.samples)
+
+    def test_tune_model_and_apply(self, setup):
+        model, xs = setup
+        book = tune_model(
+            model, xs[:1], epsilons=[0.0, 0.5], thresholds=[0.0, np.inf]
+        )
+        assert len(book.layers) > 10
+        cfg = tuned_engine_config(book)
+        assert cfg.strategy_book is book
+        from repro.core.engine import BaseEngine
+
+        tuned = run_model(model, xs, BaseEngine(cfg))
+        plain = run_model(model, xs, TorchSparseEngine())
+        # tuned should never be far worse than the fixed default
+        assert tuned.latency < plain.latency * 1.2
+
+    def test_device_changes_latency_not_numerics(self, setup):
+        model, xs = setup
+        a = run_model(model, xs, TorchSparseEngine(), RTX_2080TI)
+        b = run_model(model, xs, TorchSparseEngine(), GTX_1080TI)
+        assert a.latency != b.latency

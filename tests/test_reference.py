@@ -1,0 +1,97 @@
+"""Tests for the reference (oracle) implementations themselves.
+
+The optimized paths are tested *against* these oracles elsewhere; here
+the two independent oracles are tested against each other and against
+hand-computable micro-instances, so a bug in one cannot silently
+validate the engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import dense_conv3d_reference, sparse_conv_reference
+
+
+def micro_instance():
+    """Two adjacent voxels, 1 input channel, identity-ish weights."""
+    coords = np.array([[0, 0, 0, 0], [0, 1, 0, 0]], dtype=np.int32)
+    feats = np.array([[1.0], [10.0]], dtype=np.float32)
+    weights = np.zeros((27, 1, 1), dtype=np.float32)
+    return coords, feats, weights
+
+
+class TestMicroInstances:
+    def test_center_only_weight_is_identity(self):
+        coords, feats, w = micro_instance()
+        w[13, 0, 0] = 1.0  # center offset
+        out = sparse_conv_reference(coords, feats, w, coords, 3, 1)
+        np.testing.assert_allclose(out, feats)
+
+    def test_neighbor_weight_moves_features(self):
+        coords, feats, w = micro_instance()
+        # offset (+1, 0, 0) is index 13 + 9 = 22 in lexicographic order
+        w[22, 0, 0] = 1.0
+        out = sparse_conv_reference(coords, feats, w, coords, 3, 1)
+        # output at (0,0,0) reads input at (1,0,0) = 10; at (1,0,0) reads
+        # (2,0,0) which is absent = 0
+        np.testing.assert_allclose(out[:, 0], [10.0, 0.0])
+
+    def test_offset_index_convention(self):
+        """Offset index 22 really is (+1, 0, 0)."""
+        from repro.core.kernel import kernel_offsets
+
+        assert np.array_equal(kernel_offsets(3)[22], [1, 0, 0])
+
+    def test_stride2_reads_doubled_coords(self):
+        coords = np.array([[0, 2, 0, 0]], dtype=np.int32)
+        feats = np.array([[5.0]], dtype=np.float32)
+        w = np.zeros((8, 1, 1), dtype=np.float32)
+        w[0, 0, 0] = 1.0  # offset (0,0,0) of the 2x2x2 kernel
+        out_coords = np.array([[0, 1, 0, 0]], dtype=np.int32)
+        out = sparse_conv_reference(coords, feats, w, out_coords, 2, 2)
+        np.testing.assert_allclose(out[:, 0], [5.0])
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("kernel_size,stride", [(3, 1), (1, 1), (2, 2), (3, 2)])
+    def test_oracles_agree_on_random_instances(self, kernel_size, stride):
+        rng = np.random.default_rng(kernel_size * 10 + stride)
+        xyz = np.unique(rng.integers(0, 8, size=(40, 3)), axis=0)
+        coords = np.concatenate(
+            [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+        ).astype(np.int32)
+        feats = rng.standard_normal((coords.shape[0], 3)).astype(np.float32)
+        weights = (
+            rng.standard_normal((kernel_size**3, 3, 5)) * 0.3
+        ).astype(np.float32)
+        if stride == 1:
+            out_coords = coords
+        else:
+            from repro.mapping.downsample import downsample_coords
+
+            out_coords, _ = downsample_coords(coords, kernel_size, stride)
+        a = sparse_conv_reference(coords, feats, weights, out_coords,
+                                  kernel_size, stride)
+        b = dense_conv3d_reference(coords, feats, weights, out_coords,
+                                   kernel_size, stride)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    def test_dense_reference_rejects_multibatch(self):
+        coords = np.array([[0, 0, 0, 0], [1, 0, 0, 0]], dtype=np.int32)
+        with pytest.raises(ValueError):
+            dense_conv3d_reference(
+                coords,
+                np.ones((2, 1), dtype=np.float32),
+                np.zeros((27, 1, 1), dtype=np.float32),
+                coords,
+                3,
+            )
+
+    def test_missing_inputs_contribute_zero(self):
+        """Outputs whose entire receptive field is empty are zero."""
+        coords = np.array([[0, 0, 0, 0]], dtype=np.int32)
+        feats = np.array([[3.0]], dtype=np.float32)
+        w = np.ones((27, 1, 1), dtype=np.float32)
+        far = np.array([[0, 100, 100, 100]], dtype=np.int32)
+        out = sparse_conv_reference(coords, feats, w, far, 3, 1)
+        np.testing.assert_allclose(out, [[0.0]])

@@ -1,0 +1,105 @@
+"""Tests for the SparseTensor container."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_tensor import SparseTensor, cat
+
+
+def make(coords, c=3):
+    coords = np.asarray(coords, dtype=np.int32)
+    feats = np.arange(coords.shape[0] * c, dtype=np.float32).reshape(-1, c)
+    return SparseTensor(coords, feats)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make([[0, 0, 0, 0], [0, 1, 2, 3]])
+        assert t.num_points == 2
+        assert t.num_channels == 3
+        assert t.batch_size == 1
+        assert t.stride == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros((2, 3), dtype=np.int32), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros((2, 4), dtype=np.int32), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros((2, 4), dtype=np.int32), np.zeros(2))
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros((1, 4), dtype=np.int32), np.zeros((1, 1)), stride=0)
+
+    def test_feats_cast_to_float(self):
+        t = SparseTensor(
+            np.zeros((1, 4), dtype=np.int32), np.array([[1, 2]], dtype=np.int64)
+        )
+        assert t.feats.dtype == np.float32
+
+    def test_validate_unique(self):
+        t = make([[0, 0, 0, 0], [0, 0, 0, 0]])
+        with pytest.raises(ValueError):
+            t.validate_unique()
+        make([[0, 0, 0, 0], [0, 1, 0, 0]]).validate_unique()
+
+    def test_empty(self):
+        t = SparseTensor(np.zeros((0, 4), dtype=np.int32), np.zeros((0, 5)))
+        assert t.num_points == 0
+        assert t.batch_size == 0
+
+
+class TestOps:
+    def test_replace_feats(self):
+        t = make([[0, 0, 0, 0]])
+        t2 = t.replace_feats(np.ones((1, 7), dtype=np.float32))
+        assert t2.num_channels == 7
+        assert t2.coords is t.coords or np.array_equal(t2.coords, t.coords)
+
+    def test_batch_slice(self):
+        t = make([[0, 0, 0, 0], [1, 1, 1, 1], [1, 2, 2, 2]])
+        b1 = t.batch_slice(1)
+        assert b1.num_points == 2
+        assert (b1.coords[:, 0] == 1).all()
+
+    def test_dense_roundtrip(self):
+        t = make([[0, 1, 2, 3], [0, 2, 2, 3]])
+        vol, origin = t.dense()
+        assert np.array_equal(origin, [0, 1, 2, 3])
+        assert np.array_equal(vol[0, 0, 0, 0], t.feats[0])
+        assert np.array_equal(vol[0, 1, 0, 0], t.feats[1])
+
+    def test_dense_empty_raises(self):
+        t = SparseTensor(np.zeros((0, 4), dtype=np.int32), np.zeros((0, 5)))
+        with pytest.raises(ValueError):
+            t.dense()
+
+    def test_repr(self):
+        assert "n=1" in repr(make([[0, 0, 0, 0]]))
+
+
+class TestCat:
+    def test_cat_channels(self):
+        a = make([[0, 0, 0, 0], [0, 1, 1, 1]], c=2)
+        b = make([[0, 0, 0, 0], [0, 1, 1, 1]], c=3)
+        c = cat([a, b])
+        assert c.num_channels == 5
+        assert np.array_equal(c.feats[:, :2], a.feats)
+        assert np.array_equal(c.feats[:, 2:], b.feats)
+
+    def test_cat_coord_mismatch_rejected(self):
+        a = make([[0, 0, 0, 0]])
+        b = make([[0, 1, 1, 1]])
+        with pytest.raises(ValueError):
+            cat([a, b])
+
+    def test_cat_stride_mismatch_rejected(self):
+        a = make([[0, 0, 0, 0]])
+        b = SparseTensor(a.coords, a.feats, stride=2)
+        with pytest.raises(ValueError):
+            cat([a, b])
+
+    def test_cat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            cat([])

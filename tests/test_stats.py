@@ -1,0 +1,39 @@
+"""Tests for small accounting types (HashStats, MemoryTraffic edges)."""
+
+from repro.gpu.memory import DType, MemoryAccessPattern, MemoryTraffic, traffic
+from repro.hashmap.hash_table import HashStats
+
+
+class TestHashStats:
+    def test_merge_accumulates_and_maxes(self):
+        a = HashStats(build_accesses=10, query_accesses=5, table_bytes=100,
+                      max_probe_len=2)
+        b = HashStats(build_accesses=1, query_accesses=2, table_bytes=400,
+                      max_probe_len=1)
+        a.merge(b)
+        assert a.build_accesses == 11
+        assert a.query_accesses == 7
+        assert a.table_bytes == 400  # max, not sum (peak footprint)
+        assert a.max_probe_len == 2
+
+    def test_defaults(self):
+        s = HashStats()
+        assert s.build_accesses == 0 and s.query_accesses == 0
+
+
+class TestMemoryTrafficEdges:
+    def test_add_zero_traffic(self):
+        z = MemoryTraffic(0, 0, 1.0)
+        t = traffic(10, 32, DType.FP32, MemoryAccessPattern.SCALAR)
+        s = z + t
+        assert s.bytes_moved == t.bytes_moved
+        assert s.efficiency == t.efficiency
+
+    def test_add_two_zeros(self):
+        z = MemoryTraffic(0, 0, 1.0)
+        s = z + z
+        assert s.bytes_moved == 0 and s.efficiency == 1.0
+
+    def test_transactions_round_up(self):
+        t = traffic(1, 1, DType.FP32, MemoryAccessPattern.SCALAR)
+        assert t.transactions == 1  # 4 bytes still needs one transaction

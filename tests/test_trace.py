@@ -1,0 +1,80 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import numpy as np
+
+from repro.gpu.timeline import Profile
+from repro.profiling.trace import to_chrome_trace, write_chrome_trace
+
+
+def make_profile():
+    p = Profile()
+    p.log("gather", "gather", 1e-3, bytes_moved=100)
+    p.log("matmul.g0", "matmul", 2e-3, flops=500)
+    p.log("scatter", "scatter", 1e-3)
+    return p
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(make_profile())
+        assert "traceEvents" in trace
+        kinds = {e["ph"] for e in trace["traceEvents"]}
+        assert kinds == {"M", "X"}
+
+    def test_events_back_to_back(self):
+        trace = to_chrome_trace(make_profile())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        assert xs[0]["ts"] == 0.0
+        assert xs[1]["ts"] == xs[0]["dur"]
+        assert xs[2]["ts"] == xs[0]["dur"] + xs[1]["dur"]
+
+    def test_durations_microseconds(self):
+        trace = to_chrome_trace(make_profile())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["dur"] == 1000.0
+
+    def test_stage_threads_labeled(self):
+        trace = to_chrome_trace(make_profile())
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"mapping", "gather", "matmul", "scatter", "other"} <= names
+
+    def test_args_carried(self):
+        trace = to_chrome_trace(make_profile())
+        mm = next(e for e in trace["traceEvents"] if e.get("name") == "matmul.g0")
+        assert mm["args"]["flops"] == 500
+
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(make_profile(), str(path), process_name="test")
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_real_model_trace(self, tmp_path):
+        from repro.core.engine import ExecutionContext, TorchSparseEngine
+        from repro.core.sparse_tensor import SparseTensor
+        from repro import nn
+
+        rng = np.random.default_rng(0)
+        xyz = np.unique(rng.integers(0, 12, size=(100, 3)), axis=0)
+        coords = np.concatenate(
+            [np.zeros((xyz.shape[0], 1), dtype=np.int64), xyz], axis=1
+        ).astype(np.int32)
+        x = SparseTensor(
+            coords, rng.standard_normal((xyz.shape[0], 4)).astype(np.float32)
+        )
+        ctx = ExecutionContext(engine=TorchSparseEngine())
+        nn.Conv3d(4, 8)(x, ctx)
+        trace = to_chrome_trace(ctx.profile)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(ctx.profile.records)
+        total_us = sum(e["dur"] for e in xs)
+        assert total_us == round(ctx.profile.total_time * 1e6, 0) or abs(
+            total_us - ctx.profile.total_time * 1e6
+        ) < 1.0

@@ -1,0 +1,147 @@
+"""Tests for optimizers, the training loop, and end-to-end learning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.configs import semantic_kitti_like
+from repro.datasets.scenes import CLASSES
+from repro.datasets.voxelize import to_sparse_tensor, voxel_labels
+from repro.train.autograd import Param, Var, matmul, mean_all
+from repro.train.model import TrainUNet, prepare_sample
+from repro.train.modules import cross_entropy
+from repro.train.optim import SGD, Adam, mean_iou, train_epoch
+
+
+class TestOptimizers:
+    def _quadratic(self):
+        """Minimize ||W||^2 via mean_all(W*W-ish proxy)."""
+        w = Param(np.array([[3.0, -2.0]]))
+        return w
+
+    def test_sgd_descends(self):
+        w = self._quadratic()
+        opt = SGD([w], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            loss = mean_all(matmul(w, Var(w.data.T.copy())))
+            loss.backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1.0
+
+    def test_adam_descends(self):
+        w = self._quadratic()
+        opt = Adam([w], lr=0.2)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = mean_all(matmul(w, Var(w.data.T.copy())))
+            loss.backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1.0
+
+    def test_momentum_accelerates(self):
+        results = {}
+        for mom in (0.0, 0.9):
+            w = Param(np.array([[3.0, -2.0]]))
+            opt = SGD([w], lr=0.01, momentum=mom)
+            for _ in range(30):
+                opt.zero_grad()
+                loss = mean_all(matmul(w, Var(w.data.T.copy())))
+                loss.backward()
+                opt.step()
+            results[mom] = np.abs(w.data).max()
+        assert results[0.9] < results[0.0]
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1)
+
+    def test_none_grads_skipped(self):
+        w = Param(np.ones(3))
+        SGD([w], lr=0.1).step()  # no backward ran
+        np.testing.assert_array_equal(w.data, np.ones(3))
+
+
+class TestMeanIoU:
+    def test_perfect(self):
+        t = np.array([0, 1, 2, 1])
+        assert mean_iou(t, t, 3) == 1.0
+
+    def test_disjoint(self):
+        assert mean_iou(np.array([0, 0]), np.array([1, 1]), 2) == 0.0
+
+    def test_absent_classes_ignored(self):
+        pred = np.array([0, 0])
+        target = np.array([0, 0])
+        assert mean_iou(pred, target, 5) == 1.0
+
+
+class TestEndToEndTraining:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        ds = semantic_kitti_like()
+        samples = []
+        for seed in range(2):
+            cloud = ds.sample(seed=seed, scale=0.06)
+            x = to_sparse_tensor(cloud, voxel_size=0.4)
+            y = voxel_labels(cloud, voxel_size=0.4, num_classes=len(CLASSES))
+            samples.append((x, y))
+        return samples
+
+    def test_loss_decreases_and_iou_improves(self, dataset):
+        model = TrainUNet(in_channels=4, num_classes=len(CLASSES), width=8)
+        batches = []
+        for x, y in dataset:
+            var, maps = prepare_sample(x)
+            batches.append((var, maps, y))
+
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(6):
+            losses.append(train_epoch(model, batches, opt, cross_entropy))
+        assert losses[-1] < losses[0] * 0.8, f"no learning: {losses}"
+
+        # mIoU after training should beat chance
+        var, maps, y = batches[0]
+        logits, _ = model(var, maps, 1)
+        pred = logits.data.argmax(axis=1)
+        iou = mean_iou(pred, y, len(CLASSES))
+        assert iou > 1.0 / len(CLASSES), f"mIoU {iou:.3f} not above chance"
+
+    def test_trained_weights_transfer_to_inference_engine(self, dataset):
+        """Weights trained here must produce the same logits through the
+        inference engine's dataflow (shared numerics contract)."""
+        from repro.core.engine import BaselineEngine, ExecutionContext
+        from repro import nn
+
+        x, y = dataset[0]
+        model = TrainUNet(in_channels=4, num_classes=len(CLASSES), width=8)
+        var, maps = prepare_sample(x)
+
+        # one quick epoch so weights are non-trivial
+        opt = SGD(model.parameters(), lr=1e-2)
+        train_epoch(model, [(var, maps, y)], opt, cross_entropy)
+
+        logits_train, _ = model(Var(x.feats.astype(np.float64)), maps, 1)
+
+        # rebuild the stem's first conv as an inference module and compare
+        conv = nn.Conv3d(4, 8, kernel_size=3, bias=True)
+        first = model.stem.layers[0]
+        conv.weight = np.stack([w.data for w in first.weights]).astype(np.float32)
+        conv.bias = first.bias.data.astype(np.float32)
+        ctx = ExecutionContext(engine=BaselineEngine())
+        out_inf = conv(x, ctx)
+
+        from repro.train.ops import sparse_conv
+        from repro.train.autograd import add_bias
+
+        kmap = maps.kmap(1, 3, 1)
+        out_train = add_bias(
+            sparse_conv(Var(x.feats.astype(np.float64)), first.weights, kmap),
+            first.bias,
+        )
+        np.testing.assert_allclose(
+            out_inf.feats, out_train.data, rtol=1e-3, atol=1e-4
+        )
+        assert np.isfinite(logits_train.data).all()
