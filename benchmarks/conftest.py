@@ -10,6 +10,7 @@ and prints.  Outputs are echoed to stdout and written under
 from __future__ import annotations
 
 import functools
+import json
 import pathlib
 
 import pytest
@@ -30,6 +31,20 @@ def emit(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result as ``_out/BENCH_<name>.json``.
+
+    Companion to :func:`emit`: the text block is for EXPERIMENTS.md, the
+    JSON is for tooling (regression dashboards, CI artifact diffing).
+    See ``benchmarks/README.md`` for the format.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    with open(path, "w") as f:
+        json.dump({"bench": name, **payload}, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 @functools.lru_cache(maxsize=None)

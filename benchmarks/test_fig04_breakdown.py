@@ -10,7 +10,7 @@ from repro.core.engine import BaselineEngine, ExecutionContext
 from repro.models import CenterPoint, MinkUNet
 from repro.profiling.breakdown import format_breakdown, stage_breakdown
 
-from conftest import dataset_input, emit
+from conftest import dataset_input, emit, emit_json
 
 
 def _profile(model, tensor):
@@ -38,6 +38,15 @@ class TestFigure4:
             "fig04_minkunet",
             format_breakdown(seg_profile, "MinkUNet (1.0x) / SemanticKITTI-like, baseline"),
         )
+        emit_json(
+            "fig04_minkunet",
+            {
+                "model": "minkunet-1.0",
+                "dataset": "kitti",
+                "breakdown": b,
+                "latency": seg_profile.total_time,
+            },
+        )
         assert 0.25 < b["datamove"] < 0.65, "movement should dominate (paper 40-50%)"
         assert 0.15 < b["matmul"] < 0.6, "GEMM 20-50% in the paper"
 
@@ -46,6 +55,15 @@ class TestFigure4:
         emit(
             "fig04_centerpoint",
             format_breakdown(det_profile, "CenterPoint (3f) / Waymo-like, baseline"),
+        )
+        emit_json(
+            "fig04_centerpoint",
+            {
+                "model": "centerpoint-waymo",
+                "dataset": "waymo-3f",
+                "breakdown": b,
+                "latency": det_profile.total_time,
+            },
         )
         assert b["mapping"] > 0.08, "detector mapping is substantial (paper ~15%)"
         assert b["datamove"] > 0.2

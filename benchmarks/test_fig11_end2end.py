@@ -14,7 +14,7 @@ from repro.core.engine import BaselineEngine, TorchSparseEngine
 from repro.gpu.device import GPU_REGISTRY
 from repro.profiling import format_table, geomean, run_model
 
-from conftest import dataset_input, emit, model_instance
+from conftest import dataset_input, emit, emit_json, model_instance
 
 #: (zoo label, model key, dataset key, input scale) for the paper's
 #: seven pairs.  The nuScenes segmentation models run at full sensor
@@ -73,17 +73,22 @@ class TestFigure11:
                 )
             )
         emit("fig11_normalized_fps", "\n\n".join(blocks))
+        emit_json("fig11_normalized_fps", {"fps": fps_grid})
 
     def test_geomean_speedups_in_paper_band(self, fps_grid):
         lines = []
+        geomeans: dict = {}
         for dev_key, per_model in fps_grid.items():
+            geomeans[dev_key] = {}
             for rival in ("minkowski", "spconv", "baseline"):
                 g = geomean(
                     [f["torchsparse"] / f[rival] for f in per_model.values()]
                 )
+                geomeans[dev_key][rival] = g
                 lines.append(f"{dev_key}: TorchSparse vs {rival}: {g:.2f}x")
                 assert 1.1 < g < 6.0, f"{rival} geomean speedup out of band"
         emit("fig11_geomeans", "\n".join(lines))
+        emit_json("fig11_geomeans", {"speedup_vs": geomeans})
 
     def test_torchsparse_wins_every_model_on_3090(self, fps_grid):
         """TorchSparse leads everywhere except the paper's own noted

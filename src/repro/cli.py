@@ -6,6 +6,14 @@ Subcommands::
     repro-bench bench --model minkunet_1.0x_kitti --engine torchsparse
     repro-bench compare --model centerpoint_3f_waymo --device 3090
     repro-bench tune --model minkunet_0.5x_kitti --out strategies.json
+    repro-bench regress --model minkunet_0.5x_kitti --baseline base.json
+
+``bench`` can export observability artifacts: ``--trace`` writes a
+nested-span Chrome trace (open in Perfetto), ``--metrics`` a JSONL
+metrics dump, ``--json`` a machine-readable snapshot, ``--report`` a
+per-layer breakdown.  ``regress`` snapshots a baseline on first run and
+on later runs exits nonzero when modeled latency, stage times, or any
+gated metric drifts past tolerance.
 
 All latencies are modeled on the selected device spec (see
 ``repro.gpu``); wall-clock on the host is reported separately.
@@ -14,16 +22,28 @@ All latencies are modeled on the selected device spec (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.baselines import MinkowskiEngineLike, SpConvLike
 from repro.core.engine import BaseEngine, BaselineEngine, TorchSparseEngine
 from repro.gpu.device import CPU_16C, GPU_REGISTRY, GPUSpec
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.regress import (
+    DEFAULT_TOLERANCE,
+    compare_snapshots,
+    format_report,
+    load_snapshot,
+    snapshot,
+    write_snapshot,
+)
 from repro.models import MODEL_ZOO
 from repro.profiling import format_table, run_model, tune_model
 from repro.profiling.breakdown import format_breakdown
+from repro.profiling.report import format_layer_report
 from repro.profiling.runner import tuned_engine_config
+from repro.profiling.trace import write_chrome_trace
 
 ENGINE_FACTORIES = {
     "torchsparse": TorchSparseEngine,
@@ -59,23 +79,93 @@ def cmd_info(_args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
+def _bench_once(args):
+    """Run one bench under a fresh metrics registry.
+
+    Returns ``(result, registry)``; every engine/kernel metric emitted
+    during the run lands in the returned registry, isolated from any
+    other run in the same process.
+    """
     entry = _zoo_entry(args.model)
     device = DEVICES[args.device]
     engine = ENGINE_FACTORIES[args.engine]()
     xs = _inputs(entry, args.scale, args.samples, args.seed)
+    with use_registry(MetricsRegistry()) as reg:
+        result = run_model(entry.make_model(), xs, engine, device)
+    return entry, result, reg
+
+
+def cmd_bench(args) -> int:
     t0 = time.time()
-    result = run_model(entry.make_model(), xs, engine, device)
+    entry, result, reg = _bench_once(args)
     print(
-        f"{entry.label} | {engine.config.name} on {device.name} "
-        f"(scale {args.scale}, {len(xs)} samples)"
+        f"{entry.label} | {result.engine} on {result.device} "
+        f"(scale {args.scale}, {args.samples} samples)"
     )
     print(
         f"modeled latency {result.latency * 1e3:.3f} ms "
         f"({result.fps:.1f} FPS); host wall {time.time() - t0:.1f}s"
     )
     print(format_breakdown(result.profile))
+    if args.report:
+        print()
+        print(format_layer_report(result.profile, title="per-layer breakdown"))
+    if args.trace:
+        write_chrome_trace(result.profile, args.trace)
+        print(f"chrome trace written to {args.trace} (open in Perfetto)")
+    if args.metrics:
+        reg.dump_jsonl(args.metrics)
+        print(f"metrics JSONL written to {args.metrics}")
+    if args.json:
+        snap = snapshot(
+            model=args.model,
+            engine=args.engine,
+            device=args.device,
+            latency=result.latency,
+            profile=result.profile,
+            registry=reg,
+            extra={"scale": args.scale, "samples": args.samples,
+                   "seed": args.seed},
+        )
+        write_snapshot(snap, args.json)
+        print(f"snapshot written to {args.json}")
     return 0
+
+
+def cmd_regress(args) -> int:
+    _, result, reg = _bench_once(args)
+    current = snapshot(
+        model=args.model,
+        engine=args.engine,
+        device=args.device,
+        latency=result.latency,
+        profile=result.profile,
+        registry=reg,
+        extra={"scale": args.scale, "samples": args.samples,
+               "seed": args.seed},
+    )
+    if args.update or not os.path.exists(args.baseline):
+        write_snapshot(current, args.baseline)
+        print(f"baseline written to {args.baseline}")
+        return 0
+    try:
+        baseline = load_snapshot(args.baseline)
+    except ValueError as e:
+        raise SystemExit(str(e))
+    tolerances = {}
+    for spec in args.tol:
+        key, _, tol = spec.rpartition("=")
+        try:
+            tolerances[key] = float(tol)
+        except ValueError:
+            key = ""
+        if not key:
+            raise SystemExit(f"--tol expects NAME=REL, got {spec!r}")
+    drifts, failures, only = compare_snapshots(
+        baseline, current, tolerance=args.tolerance, tolerances=tolerances
+    )
+    print(format_report(drifts, failures, only))
+    return 1 if failures else 0
 
 
 def cmd_compare(args) -> int:
@@ -139,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--engine", choices=list(ENGINE_FACTORIES), default="torchsparse"
     )
+    p_bench.add_argument(
+        "--trace", metavar="PATH",
+        help="write a nested-span Chrome trace (open in Perfetto)",
+    )
+    p_bench.add_argument(
+        "--metrics", metavar="PATH",
+        help="dump the run's metrics registry as JSONL",
+    )
+    p_bench.add_argument(
+        "--json", metavar="PATH",
+        help="write a machine-readable snapshot of the run",
+    )
+    p_bench.add_argument(
+        "--report", action="store_true",
+        help="print the per-layer time/stage breakdown",
+    )
 
     p_cmp = sub.add_parser("compare", help="run one model under every engine")
     common(p_cmp)
@@ -146,6 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="Algorithm 5 offline strategy search")
     common(p_tune)
     p_tune.add_argument("--out", default="strategies.json")
+
+    p_reg = sub.add_parser(
+        "regress", help="gate a bench run against a snapshot baseline"
+    )
+    common(p_reg)
+    p_reg.add_argument(
+        "--engine", choices=list(ENGINE_FACTORIES), default="torchsparse"
+    )
+    p_reg.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="baseline snapshot; created on first run, diffed afterwards",
+    )
+    p_reg.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    p_reg.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="default relative tolerance (default %(default)s)",
+    )
+    p_reg.add_argument(
+        "--tol", action="append", default=[], metavar="NAME=REL",
+        help="per-key tolerance override; NAME may be an fnmatch pattern "
+        "(repeatable)",
+    )
 
     return parser
 
@@ -157,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "compare": cmd_compare,
         "tune": cmd_tune,
+        "regress": cmd_regress,
     }[args.command](args)
 
 

@@ -26,16 +26,22 @@ the paper's Table 3 ladder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from types import SimpleNamespace
 
 import numpy as np
 
 from repro.core.grouping import GroupingPlan
 from repro.gpu.device import GPUSpec
-from repro.gpu.gemm import bmm_cost, mm_cost
-from repro.gpu.memory import DType, MemoryAccessPattern, movement_time, traffic
+from repro.gpu.gemm import bmm_cost, mm_cost, record_gemm_cost, sequential_cost
+from repro.gpu.memory import (
+    DType,
+    MemoryAccessPattern,
+    movement_time,
+    record_traffic,
+    traffic,
+)
 from repro.gpu.timeline import KernelRecord, Profile
 from repro.mapping.kmap import KernelMap
+from repro.obs.metrics import get_registry
 
 #: Transaction efficiency of row-granular random access (rows usually
 #: shorter than / unaligned to 128-byte transactions).
@@ -87,8 +93,13 @@ def gather_record(
     cfg: MovementConfig,
     device: GPUSpec,
     skip_center: bool,
+    emit: bool = False,
 ) -> KernelRecord:
-    """Price the gather stage of one layer."""
+    """Price the gather stage of one layer.
+
+    ``emit`` publishes the traffic to the metrics registry; execution
+    paths set it, cost probes (dispatch comparisons) leave it off.
+    """
     offsets = _non_center_offsets(kmap, skip_center)
     total = int(sum(len(kmap.in_indices[n]) for n in offsets))
     dtype = _movement_dtype(cfg.dtype, "gather")
@@ -110,6 +121,9 @@ def gather_record(
         )
     launches = 1 if cfg.fused else max(1, len(offsets))
     t += launches * device.launch_overhead
+    if emit:
+        record_traffic(reads, "gather")
+        record_traffic(writes, "gather")
     return KernelRecord(
         name="gather",
         stage="gather",
@@ -125,8 +139,10 @@ def scatter_record(
     cfg: MovementConfig,
     device: GPUSpec,
     skip_center: bool,
+    emit: bool = False,
 ) -> KernelRecord:
-    """Price the scatter-accumulate stage of one layer."""
+    """Price the scatter-accumulate stage of one layer (``emit`` as in
+    :func:`gather_record`)."""
     offsets = _non_center_offsets(kmap, skip_center)
     total = int(sum(len(kmap.out_indices[n]) for n in offsets))
     dtype = _movement_dtype(cfg.dtype, "scatter")
@@ -149,6 +165,9 @@ def scatter_record(
         )
     launches = 1 if cfg.fused else max(1, len(offsets))
     t += launches * device.launch_overhead
+    if emit:
+        record_traffic(reads, "scatter")
+        record_traffic(writes, "scatter")
     return KernelRecord(
         name="scatter",
         stage="scatter",
@@ -248,62 +267,61 @@ def execute_gather_matmul_scatter(
         # (p = s*q + delta is injective in q), so plain indexed add is safe
         acc[co] += partial
         cost = mm_cost(len(ci), c_in, c_out, cfg.dtype, device)
-        profile.log(
-            "matmul.center",
-            "matmul",
-            cost.time,
-            bytes_moved=cost.bytes_moved,
-            flops=cost.flops,
-            launches=cost.launches,
-        )
+        record_gemm_cost(cost, "mm")
+        with profile.span("matmul"):
+            profile.log(
+                "matmul.center",
+                "matmul",
+                cost.time,
+                bytes_moved=cost.bytes_moved,
+                flops=cost.flops,
+                launches=cost.launches,
+            )
 
     # -- movement pricing (numerics below do the actual indexing) -----------
-    profile.add(gather_record(kmap, c_in, cfg, device, skip_center))
+    with profile.span("gather"):
+        profile.add(gather_record(kmap, c_in, cfg, device, skip_center, emit=True))
 
     # -- grouped matmul ------------------------------------------------------
-    for gi, group in enumerate(plan.groups):
-        sizes = [len(kmap.in_indices[n]) for n in group.members]
-        if group.use_bmm and exact_bmm:
-            # materialize the padded batch exactly as the GPU kernel would
-            m_pad = max(sizes)
-            batch = np.zeros((len(group.members), m_pad, c_in), dtype=x.dtype)
-            for bi, n in enumerate(group.members):
-                batch[bi, : sizes[bi]] = x[kmap.in_indices[n]]
-            stacked = np.stack([w[n] for n in group.members])
-            partial = np.matmul(batch, stacked).astype(np.float32)
-            for bi, n in enumerate(group.members):
-                acc[kmap.out_indices[n]] += partial[bi, : sizes[bi]]
-        else:
-            # zero-padding cannot change the products, so the per-member
-            # path is numerically identical to bmm and much faster here
-            for n in group.members:
-                idx = kmap.in_indices[n]
-                partial = (x[idx] @ w[n]).astype(np.float32)
-                acc[kmap.out_indices[n]] += partial
-        if group.use_bmm:
-            cost = bmm_cost(sizes, c_in, c_out, cfg.dtype, device)
-        else:
-            total_t = total_f = total_b = 0.0
-            launches = 0
-            for m in sizes:
-                c = mm_cost(m, c_in, c_out, cfg.dtype, device)
-                total_t += c.time
-                total_f += c.flops
-                total_b += c.bytes_moved
-                launches += c.launches
-            cost = SimpleNamespace(
-                time=total_t, flops=total_f, bytes_moved=total_b, launches=launches
+    with profile.span("matmul"):
+        for gi, group in enumerate(plan.groups):
+            sizes = [len(kmap.in_indices[n]) for n in group.members]
+            if group.use_bmm and exact_bmm:
+                # materialize the padded batch exactly as the GPU kernel would
+                m_pad = max(sizes)
+                batch = np.zeros((len(group.members), m_pad, c_in), dtype=x.dtype)
+                for bi, n in enumerate(group.members):
+                    batch[bi, : sizes[bi]] = x[kmap.in_indices[n]]
+                stacked = np.stack([w[n] for n in group.members])
+                partial = np.matmul(batch, stacked).astype(np.float32)
+                for bi, n in enumerate(group.members):
+                    acc[kmap.out_indices[n]] += partial[bi, : sizes[bi]]
+            else:
+                # zero-padding cannot change the products, so the per-member
+                # path is numerically identical to bmm and much faster here
+                for n in group.members:
+                    idx = kmap.in_indices[n]
+                    partial = (x[idx] @ w[n]).astype(np.float32)
+                    acc[kmap.out_indices[n]] += partial
+            if group.use_bmm:
+                cost = bmm_cost(sizes, c_in, c_out, cfg.dtype, device)
+                record_gemm_cost(cost, "bmm")
+            else:
+                cost = sequential_cost(sizes, c_in, c_out, cfg.dtype, device)
+                record_gemm_cost(cost, "mm")
+            profile.log(
+                f"matmul.group{gi}",
+                "matmul",
+                cost.time,
+                bytes_moved=cost.bytes_moved,
+                flops=cost.flops,
+                launches=cost.launches,
             )
-        profile.log(
-            f"matmul.group{gi}",
-            "matmul",
-            cost.time,
-            bytes_moved=cost.bytes_moved,
-            flops=cost.flops,
-            launches=cost.launches,
-        )
 
-    profile.add(scatter_record(kmap, c_out, cfg, device, skip_center))
+    with profile.span("scatter"):
+        profile.add(
+            scatter_record(kmap, c_out, cfg, device, skip_center, emit=True)
+        )
     return acc
 
 
@@ -364,20 +382,24 @@ def execute_fetch_on_demand(
     x = _cast(feats, dtype)
     w = _cast(weights, dtype)
     acc = np.zeros((kmap.n_out, c_out), dtype=np.float32)
-    for n in range(kmap.volume):
-        idx = kmap.in_indices[n]
-        if not len(idx):
-            continue
-        partial = (x[idx] @ w[n]).astype(np.float32)
-        acc[kmap.out_indices[n]] += partial
-        t, nbytes, flops = fetch_on_demand_offset_cost(
-            len(idx), c_in, c_out, dtype, device
-        )
-        profile.log(
-            f"fetch_on_demand.{n}",
-            "matmul",
-            t,
-            bytes_moved=nbytes,
-            flops=flops,
-        )
+    reg = get_registry()
+    with profile.span("matmul", dataflow="fetch_on_demand"):
+        for n in range(kmap.volume):
+            idx = kmap.in_indices[n]
+            if not len(idx):
+                continue
+            partial = (x[idx] @ w[n]).astype(np.float32)
+            acc[kmap.out_indices[n]] += partial
+            t, nbytes, flops = fetch_on_demand_offset_cost(
+                len(idx), c_in, c_out, dtype, device
+            )
+            reg.counter("dataflow.fetch_on_demand.launches").inc()
+            reg.counter("dataflow.fetch_on_demand.flops").inc(flops)
+            profile.log(
+                f"fetch_on_demand.{n}",
+                "matmul",
+                t,
+                bytes_moved=nbytes,
+                flops=flops,
+            )
     return acc

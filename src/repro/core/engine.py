@@ -32,7 +32,7 @@ from repro.core.dataflow import (
     execute_fetch_on_demand,
     execute_gather_matmul_scatter,
 )
-from repro.core.grouping import make_plan
+from repro.core.grouping import make_plan, record_plan
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.kernel import is_all_odd, normalize, to_tuple
 from repro.core.tuner import StrategyBook
@@ -41,6 +41,8 @@ from repro.gpu.memory import DType
 from repro.gpu.timeline import Profile
 from repro.mapping.downsample import downsample_coords
 from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Tracer
 
 #: Seconds of instruction work per table access in the map-search kernels.
 #: The baseline figure reflects un-specialized control flow; TorchSparse's
@@ -146,6 +148,13 @@ class ExecutionContext:
         self.engine = engine or TorchSparseEngine()
         self.device = device
         self.profile = profile if profile is not None else Profile()
+        if self.profile.tracer is None:
+            self.profile.tracer = Tracer()
+        #: hierarchical span tracer; records logged under an open span
+        #: carry its path (layer -> stage) for trace export and reports
+        self.trace = self.profile.tracer
+        #: metrics registry active when this context was created
+        self.metrics = get_registry()
         self.coords_at_stride: dict[int, np.ndarray] = {}
         self.index_at_stride: dict[int, CoordIndex] = {}
         self.kmap_cache: dict[tuple, KernelMap] = {}
@@ -223,10 +232,13 @@ class BaseEngine:
     ) -> CoordIndex:
         index = ctx.index_at_stride.get(stride)
         if index is None:
+            ctx.metrics.counter("engine.cache.misses", cache="index").inc()
             backend = self._choose_backend(coords)
             index = CoordIndex.build(coords, backend=backend, margin=2)
             ctx.index_at_stride[stride] = index
             self._price_table(index, ctx, f"table.build.s{stride}.{backend}")
+        else:
+            ctx.metrics.counter("engine.cache.hits", cache="index").inc()
         return index
 
     def _get_kmap(
@@ -241,18 +253,21 @@ class BaseEngine:
         key = (x.stride, out_stride, kernel_size)
         kmap = ctx.kmap_cache.get(key)
         if kmap is not None:
+            ctx.metrics.counter("engine.cache.hits", cache="kmap").inc()
             return kmap
-        index = self._get_index(x.stride, x.coords, ctx)
-        kmap = build_kmap(
-            x.coords,
-            index,
-            out_coords,
-            kernel_size,
-            stride=stride,
-            use_symmetry=self.config.use_map_symmetry,
-        )
-        self._price_table(index, ctx, f"kmap.search.k{kernel_size}.s{stride}")
-        self._price_map_write(kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}")
+        ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
+        with ctx.profile.span("mapping"):
+            index = self._get_index(x.stride, x.coords, ctx)
+            kmap = build_kmap(
+                x.coords,
+                index,
+                out_coords,
+                kernel_size,
+                stride=stride,
+                use_symmetry=self.config.use_map_symmetry,
+            )
+            self._price_table(index, ctx, f"kmap.search.k{kernel_size}.s{stride}")
+            self._price_map_write(kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}")
         ctx.kmap_cache[key] = kmap
         return kmap
 
@@ -304,38 +319,57 @@ class BaseEngine:
                 x, weights, ctx, kernel_size, stride, bias, layer_name
             )
 
-        if stride == 1:
-            out_coords, out_stride = x.coords, x.stride
-        else:
-            out_stride = normalize(
-                tuple(
-                    a * b
-                    for a, b in zip(to_tuple(x.stride), to_tuple(stride))
-                )
-            )
-            cached = ctx.coords_at_stride.get(out_stride)
-            if cached is not None:
-                out_coords = cached
+        span_name = layer_name or f"conv.k{kernel_size}.s{stride}"
+        with ctx.profile.span(
+            span_name,
+            kind="conv",
+            kernel_size=kernel_size,
+            stride=stride,
+            in_stride=x.stride,
+            c_in=int(weights.shape[1]),
+            c_out=int(weights.shape[2]),
+        ):
+            if stride == 1:
+                out_coords, out_stride = x.coords, x.stride
             else:
-                out_coords, ds_cost = downsample_coords(
-                    x.coords, kernel_size, stride
+                out_stride = normalize(
+                    tuple(
+                        a * b
+                        for a, b in zip(to_tuple(x.stride), to_tuple(stride))
+                    )
                 )
-                fused = self.config.fused_downsample
-                ctx.profile.log(
-                    f"downsample.coords.s{stride}",
-                    "mapping",
-                    ctx.device.mem_time(ds_cost.total_bytes(fused), efficiency=0.7)
-                    + ds_cost.launches(fused) * ctx.device.launch_overhead,
-                    bytes_moved=ds_cost.total_bytes(fused),
-                    launches=ds_cost.launches(fused),
-                )
-                ctx.register_coords(out_stride, out_coords)
+                cached = ctx.coords_at_stride.get(out_stride)
+                if cached is not None:
+                    ctx.metrics.counter("engine.cache.hits", cache="coords").inc()
+                    out_coords = cached
+                else:
+                    ctx.metrics.counter(
+                        "engine.cache.misses", cache="coords"
+                    ).inc()
+                    out_coords, ds_cost = downsample_coords(
+                        x.coords, kernel_size, stride
+                    )
+                    fused = self.config.fused_downsample
+                    with ctx.profile.span("mapping"):
+                        ctx.profile.log(
+                            f"downsample.coords.s{stride}",
+                            "mapping",
+                            ctx.device.mem_time(
+                                ds_cost.total_bytes(fused), efficiency=0.7
+                            )
+                            + ds_cost.launches(fused) * ctx.device.launch_overhead,
+                            bytes_moved=ds_cost.total_bytes(fused),
+                            launches=ds_cost.launches(fused),
+                        )
+                    ctx.register_coords(out_stride, out_coords)
 
-        kmap = self._get_kmap(x, out_coords, out_stride, kernel_size, stride, ctx)
-        feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
-        if bias is not None:
-            feats = feats + bias.astype(np.float32)
-        return SparseTensor(out_coords, feats, stride=out_stride)
+            kmap = self._get_kmap(
+                x, out_coords, out_stride, kernel_size, stride, ctx
+            )
+            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+            if bias is not None:
+                feats = feats + bias.astype(np.float32)
+            return SparseTensor(out_coords, feats, stride=out_stride)
 
     def _transposed(
         self,
@@ -362,26 +396,45 @@ class BaseEngine:
                 f"no cached coordinates at stride {fine_stride}; transposed "
                 "convolutions must mirror an earlier downsampling layer"
             )
-        key = (fine_stride, x.stride, kernel_size)
-        fwd = ctx.kmap_cache.get(key)
-        if fwd is None:
-            index = self._get_index(fine_stride, fine_coords, ctx)
-            fwd = build_kmap(
-                fine_coords,
-                index,
-                x.coords,
-                kernel_size,
-                stride=stride,
-                use_symmetry=False,
-            )
-            self._price_table(index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}")
-            self._price_map_write(fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}")
-            ctx.kmap_cache[key] = fwd
-        kmap = fwd.transposed()
-        feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
-        if bias is not None:
-            feats = feats + bias.astype(np.float32)
-        return SparseTensor(fine_coords, feats, stride=fine_stride)
+        span_name = layer_name or f"convT.k{kernel_size}.s{stride}"
+        with ctx.profile.span(
+            span_name,
+            kind="conv",
+            kernel_size=kernel_size,
+            stride=stride,
+            in_stride=x.stride,
+            c_in=int(weights.shape[1]),
+            c_out=int(weights.shape[2]),
+            transposed=True,
+        ):
+            key = (fine_stride, x.stride, kernel_size)
+            fwd = ctx.kmap_cache.get(key)
+            if fwd is None:
+                ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
+                with ctx.profile.span("mapping"):
+                    index = self._get_index(fine_stride, fine_coords, ctx)
+                    fwd = build_kmap(
+                        fine_coords,
+                        index,
+                        x.coords,
+                        kernel_size,
+                        stride=stride,
+                        use_symmetry=False,
+                    )
+                    self._price_table(
+                        index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}"
+                    )
+                    self._price_map_write(
+                        fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}"
+                    )
+                ctx.kmap_cache[key] = fwd
+            else:
+                ctx.metrics.counter("engine.cache.hits", cache="kmap").inc()
+            kmap = fwd.transposed()
+            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+            if bias is not None:
+                feats = feats + bias.astype(np.float32)
+            return SparseTensor(fine_coords, feats, stride=fine_stride)
 
     # -- dataflow dispatch -----------------------------------------------------
 
@@ -410,9 +463,11 @@ class BaseEngine:
             and mean_map < cfg.fetch_on_demand_threshold
             and self._fetch_on_demand_wins(kmap, weights, ctx.device)
         ):
+            ctx.metrics.counter("engine.dispatch", dataflow="fetch_on_demand").inc()
             return execute_fetch_on_demand(
                 feats, weights, kmap, ctx.device, ctx.profile, dtype=cfg.dtype
             )
+        ctx.metrics.counter("engine.dispatch", dataflow="gather_matmul_scatter").inc()
 
         eps, s_thr = cfg.epsilon, cfg.s_threshold
         if cfg.strategy_book is not None and layer_name:
@@ -428,6 +483,7 @@ class BaseEngine:
             epsilon=eps,
             s_threshold=s_thr if not math.isnan(s_thr) else math.inf,
         )
+        record_plan(plan, kmap.sizes)
         return execute_gather_matmul_scatter(
             feats,
             weights,
@@ -464,60 +520,85 @@ class BaseEngine:
         stride = normalize(stride)
         kernel_size = normalize(kernel_size)
         ctx.register_coords(x.stride, x.coords)
-        if stride == 1:
-            out_coords, out_stride = x.coords, x.stride
-        else:
-            out_stride = normalize(
-                tuple(
-                    a * b for a, b in zip(to_tuple(x.stride), to_tuple(stride))
+        with ctx.profile.span(
+            f"pool.{mode}.k{kernel_size}.s{stride}",
+            kind="pool",
+            kernel_size=kernel_size,
+            stride=stride,
+            in_stride=x.stride,
+        ):
+            if stride == 1:
+                out_coords, out_stride = x.coords, x.stride
+            else:
+                out_stride = normalize(
+                    tuple(
+                        a * b
+                        for a, b in zip(to_tuple(x.stride), to_tuple(stride))
+                    )
                 )
+                cached = ctx.coords_at_stride.get(out_stride)
+                if cached is not None:
+                    ctx.metrics.counter("engine.cache.hits", cache="coords").inc()
+                    out_coords = cached
+                else:
+                    ctx.metrics.counter(
+                        "engine.cache.misses", cache="coords"
+                    ).inc()
+                    out_coords, ds_cost = downsample_coords(
+                        x.coords, kernel_size, stride
+                    )
+                    fused = self.config.fused_downsample
+                    with ctx.profile.span("mapping"):
+                        ctx.profile.log(
+                            f"pool.downsample.coords.s{stride}",
+                            "mapping",
+                            ctx.device.mem_time(
+                                ds_cost.total_bytes(fused), efficiency=0.7
+                            )
+                            + ds_cost.launches(fused) * ctx.device.launch_overhead,
+                            bytes_moved=ds_cost.total_bytes(fused),
+                            launches=ds_cost.launches(fused),
+                        )
+                    ctx.register_coords(out_stride, out_coords)
+            kmap = self._get_kmap(
+                x, out_coords, out_stride, kernel_size, stride, ctx
             )
-            cached = ctx.coords_at_stride.get(out_stride)
-            if cached is not None:
-                out_coords = cached
-            else:
-                out_coords, ds_cost = downsample_coords(x.coords, kernel_size, stride)
-                fused = self.config.fused_downsample
-                ctx.profile.log(
-                    f"pool.downsample.coords.s{stride}",
-                    "mapping",
-                    ctx.device.mem_time(ds_cost.total_bytes(fused), efficiency=0.7)
-                    + ds_cost.launches(fused) * ctx.device.launch_overhead,
-                    bytes_moved=ds_cost.total_bytes(fused),
-                    launches=ds_cost.launches(fused),
-                )
-                ctx.register_coords(out_stride, out_coords)
-        kmap = self._get_kmap(x, out_coords, out_stride, kernel_size, stride, ctx)
 
-        c = x.num_channels
-        if mode == "max":
-            acc = np.full((kmap.n_out, c), -np.inf, dtype=np.float32)
-        else:
-            acc = np.zeros((kmap.n_out, c), dtype=np.float32)
-            counts = np.zeros(kmap.n_out, dtype=np.int64)
-        for n in range(kmap.volume):
-            i, o = kmap.in_indices[n], kmap.out_indices[n]
-            if not len(i):
-                continue
+            c = x.num_channels
             if mode == "max":
-                np.maximum.at(acc, o, x.feats[i])
+                acc = np.full((kmap.n_out, c), -np.inf, dtype=np.float32)
             else:
-                acc[o] += x.feats[i]
-                counts[o] += 1
-        if mode == "max":
-            acc[np.isneginf(acc)] = 0.0
-        else:
-            acc[counts > 0] /= counts[counts > 0, None]
+                acc = np.zeros((kmap.n_out, c), dtype=np.float32)
+                counts = np.zeros(kmap.n_out, dtype=np.int64)
+            for n in range(kmap.volume):
+                i, o = kmap.in_indices[n], kmap.out_indices[n]
+                if not len(i):
+                    continue
+                if mode == "max":
+                    np.maximum.at(acc, o, x.feats[i])
+                else:
+                    acc[o] += x.feats[i]
+                    counts[o] += 1
+            if mode == "max":
+                acc[np.isneginf(acc)] = 0.0
+            else:
+                acc[counts > 0] /= counts[counts > 0, None]
 
-        from repro.core.dataflow import gather_record, scatter_record
+            from repro.core.dataflow import gather_record, scatter_record
 
-        ctx.profile.add(
-            gather_record(kmap, c, self.config.movement, ctx.device, False)
-        )
-        ctx.profile.add(
-            scatter_record(kmap, c, self.config.movement, ctx.device, False)
-        )
-        return SparseTensor(out_coords, acc, stride=out_stride)
+            with ctx.profile.span("gather"):
+                ctx.profile.add(
+                    gather_record(
+                        kmap, c, self.config.movement, ctx.device, False, emit=True
+                    )
+                )
+            with ctx.profile.span("scatter"):
+                ctx.profile.add(
+                    scatter_record(
+                        kmap, c, self.config.movement, ctx.device, False, emit=True
+                    )
+                )
+            return SparseTensor(out_coords, acc, stride=out_stride)
 
     def _fetch_on_demand_wins(
         self, kmap: KernelMap, weights: np.ndarray, device: GPUSpec
@@ -561,12 +642,13 @@ class BaseEngine:
     ) -> SparseTensor:
         """Wrap an elementwise feature transform with an 'other'-stage cost."""
         nbytes = (reads + writes) * x.num_points * x.num_channels * self.config.dtype.nbytes
-        ctx.profile.log(
-            name,
-            "other",
-            ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
-            bytes_moved=nbytes,
-        )
+        with ctx.profile.span(name or "pointwise", kind="pointwise"):
+            ctx.profile.log(
+                name,
+                "other",
+                ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
+                bytes_moved=nbytes,
+            )
         return x.replace_feats(feats)
 
 

@@ -36,6 +36,7 @@ from repro.core.kernel import (
 from repro.gpu.device import GPUSpec
 from repro.gpu.gemm import GemmCost, bmm_cost, sequential_cost
 from repro.gpu.memory import DType
+from repro.obs.metrics import FRACTION_BUCKETS, get_registry
 
 STRATEGIES = ("separate", "symmetric", "fixed", "adaptive")
 
@@ -247,6 +248,34 @@ def make_plan(
             sizes, center, kernel_size, symmetric_ok, epsilon, s_threshold
         )
     raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+
+
+def record_plan(plan: GroupingPlan, sizes: Sequence[int]) -> None:
+    """Publish one *executed* plan's shape to the metrics registry.
+
+    Counts groups, group widths and row counts, and — for each batched
+    group — the padding-waste fraction ``1 - n_min/n_max`` (the quantity
+    the adaptive grouper's epsilon bounds) plus the padded rows it
+    implies.  Called by the engine at execution time only, never by the
+    tuner's offline search.
+    """
+    reg = get_registry()
+    reg.counter("grouping.plans", strategy=plan.strategy).inc()
+    reg.counter("grouping.groups", strategy=plan.strategy).inc(plan.num_groups)
+    members_hist = reg.histogram("grouping.group_members")
+    rows_hist = reg.histogram("grouping.group_rows")
+    waste_hist = reg.histogram("grouping.padding_waste", buckets=FRACTION_BUCKETS)
+    for g in plan.groups:
+        ms = [int(sizes[m]) for m in g.members]
+        if not ms or max(ms) == 0:
+            continue
+        members_hist.observe(len(ms))
+        rows_hist.observe(max(ms))
+        if g.use_bmm:
+            waste_hist.observe(1.0 - min(ms) / max(ms))
+            reg.counter("grouping.padded_rows").inc(
+                len(ms) * max(ms) - sum(ms)
+            )
 
 
 def plan_matmul_cost(

@@ -21,13 +21,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import FRACTION_BUCKETS, MetricsRegistry, get_registry
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one simulation run."""
+    """Hit/miss/eviction counters of one simulation run."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def accesses(self) -> int:
@@ -83,6 +86,8 @@ class LRUCache:
         empty = np.nonzero(tags == -1)[0]
         if empty.size:
             victim = int(empty[0])
+        else:
+            self.stats.evictions += 1
         self._tags[s, victim] = tag
         self._ages[s, victim] = self._clock
         return False
@@ -109,6 +114,29 @@ class LRUCache:
         last = (start + nbytes - 1) // self.line_bytes
         return self.access_lines(np.arange(first, last + 1))
 
+    def set_occupancy(self) -> np.ndarray:
+        """Valid-line fraction per set (how evenly the trace fills it)."""
+        return (self._tags != -1).mean(axis=1)
+
+    def publish(
+        self, stats: CacheStats | None = None, registry: MetricsRegistry | None = None
+    ) -> None:
+        """Emit hit/miss/eviction counters and the per-set occupancy
+        distribution to the metrics registry.
+
+        ``stats`` defaults to the cache's lifetime stats; trace drivers
+        pass the per-trace delta so repeated publishes never double
+        count.
+        """
+        stats = stats if stats is not None else self.stats
+        reg = registry if registry is not None else get_registry()
+        reg.counter("simcache.hits").inc(stats.hits)
+        reg.counter("simcache.misses").inc(stats.misses)
+        reg.counter("simcache.evictions").inc(stats.evictions)
+        occ = reg.histogram("simcache.set_occupancy", buckets=FRACTION_BUCKETS)
+        for frac in self.set_occupancy():
+            occ.observe(float(frac))
+
 
 def simulate_row_trace(
     cache: LRUCache,
@@ -123,12 +151,17 @@ def simulate_row_trace(
     for this trace.
     """
     before_h, before_m = cache.stats.hits, cache.stats.misses
+    before_e = cache.stats.evictions
     lines_per_row = max(1, -(-row_bytes // cache.line_bytes))
     row_indices = np.asarray(row_indices, dtype=np.int64)
     for r in row_indices:
         start = base_address + int(r) * row_bytes
         cache.access_range(start, row_bytes if row_bytes else cache.line_bytes)
     _ = lines_per_row
-    return CacheStats(
-        hits=cache.stats.hits - before_h, misses=cache.stats.misses - before_m
+    delta = CacheStats(
+        hits=cache.stats.hits - before_h,
+        misses=cache.stats.misses - before_m,
+        evictions=cache.stats.evictions - before_e,
     )
+    cache.publish(delta)
+    return delta

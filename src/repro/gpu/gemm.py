@@ -26,6 +26,7 @@ from typing import Sequence
 
 from repro.gpu.device import GPUSpec
 from repro.gpu.memory import DType
+from repro.obs.metrics import FRACTION_BUCKETS, get_registry
 
 #: GEMM thread-block tile (rows x cols of the output it produces).
 TILE_M = 64
@@ -53,6 +54,28 @@ class GemmCost:
     def achieved_tflops(self) -> float:
         """Achieved *total* (padded) TFLOP/s — the paper's Table 2 metric."""
         return 0.0 if self.time == 0 else self.flops / self.time / 1e12
+
+
+def record_gemm_cost(cost: GemmCost, kind: str) -> None:
+    """Publish one *executed* GEMM's accounting to the metrics registry.
+
+    Execution paths call this once per launched matmul; the tuner's
+    offline search prices thousands of candidate plans with the same
+    cost functions and must not pollute the metrics, which is why the
+    emission is a separate call rather than built into the models.
+    """
+    if cost.launches == 0:
+        return
+    reg = get_registry()
+    reg.counter("gemm.launches", kind=kind).inc(cost.launches)
+    reg.counter("gemm.flops", kind=kind).inc(cost.flops)
+    reg.counter("gemm.useful_flops", kind=kind).inc(cost.useful_flops)
+    reg.counter("gemm.padded_flops", kind=kind).inc(
+        max(0.0, cost.flops - cost.useful_flops)
+    )
+    reg.histogram(
+        "gemm.utilization", buckets=FRACTION_BUCKETS, kind=kind
+    ).observe(cost.utilization)
 
 
 def mm_cost(

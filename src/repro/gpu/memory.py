@@ -21,6 +21,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.metrics import FRACTION_BUCKETS, get_registry
+
 
 class DType(enum.Enum):
     """Feature storage types supported by the engine."""
@@ -103,6 +105,24 @@ def traffic(
     useful_per_txn = TRANSACTION_BYTES * eff
     txns = 0 if nbytes == 0 else int(-(-nbytes // useful_per_txn))
     return MemoryTraffic(bytes_moved=nbytes, transactions=txns, efficiency=eff)
+
+
+def record_traffic(t: MemoryTraffic, kind: str) -> None:
+    """Publish one *executed* movement's DRAM activity to the metrics
+    registry (transactions, bytes, coalescing efficiency).
+
+    Only execution paths call this; cost probes (e.g. the
+    fetch-on-demand dispatch comparison) price the same traffic without
+    recording it, so the metrics reflect what actually ran.
+    """
+    if t.transactions == 0:
+        return
+    reg = get_registry()
+    reg.counter("mem.bytes_moved", kind=kind).inc(t.bytes_moved)
+    reg.counter("mem.transactions", kind=kind).inc(t.transactions)
+    reg.histogram(
+        "mem.coalescing_efficiency", buckets=FRACTION_BUCKETS, kind=kind
+    ).observe(t.efficiency, count=t.transactions)
 
 
 def movement_time(t: MemoryTraffic, bandwidth: float) -> float:

@@ -10,8 +10,11 @@ end-to-end latency for Figures 11 and 14.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import Iterable
+
+from repro.obs.tracing import Tracer
 
 #: Canonical stage labels, in Figure 4's plotting order.
 STAGES = ("mapping", "gather", "matmul", "scatter", "other")
@@ -19,7 +22,12 @@ STAGES = ("mapping", "gather", "matmul", "scatter", "other")
 
 @dataclass(frozen=True)
 class KernelRecord:
-    """One priced device operation."""
+    """One priced device operation.
+
+    ``span`` is the hierarchical attribution path (layer -> stage)
+    stamped by the profile's tracer at log time; empty for records
+    logged outside any span.
+    """
 
     name: str
     stage: str
@@ -27,22 +35,45 @@ class KernelRecord:
     bytes_moved: float = 0.0
     flops: float = 0.0
     launches: int = 1
+    span: tuple = ()
 
     def __post_init__(self) -> None:
         if self.stage not in STAGES:
             raise ValueError(f"unknown stage {self.stage!r}; expected one of {STAGES}")
         if self.time < 0:
             raise ValueError("time must be non-negative")
+        object.__setattr__(self, "span", tuple(self.span))
+
+    @property
+    def layer(self) -> str:
+        """Root span element — the layer/module this kernel ran under."""
+        return self.span[0] if self.span else ""
 
 
 @dataclass
 class Profile:
-    """Accumulator of kernel records for one forward pass (or many)."""
+    """Accumulator of kernel records for one forward pass (or many).
+
+    When a :class:`~repro.obs.tracing.Tracer` is attached, every record
+    added while a span is open is stamped with the span path.
+    """
 
     records: list[KernelRecord] = field(default_factory=list)
+    tracer: Tracer | None = None
 
-    def add(self, record: KernelRecord) -> None:
+    def span(self, name: str, **attrs):
+        """Open a tracer span (no-op context when untraced)."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
+    def add(self, record: KernelRecord) -> KernelRecord:
+        if self.tracer is not None and not record.span:
+            path = self.tracer.current_path
+            if path:
+                record = replace(record, span=path)
         self.records.append(record)
+        return record
 
     def log(
         self,
@@ -53,9 +84,7 @@ class Profile:
         flops: float = 0.0,
         launches: int = 1,
     ) -> KernelRecord:
-        rec = KernelRecord(name, stage, time, bytes_moved, flops, launches)
-        self.add(rec)
-        return rec
+        return self.add(KernelRecord(name, stage, time, bytes_moved, flops, launches))
 
     def extend(self, records: Iterable[KernelRecord]) -> None:
         for r in records:

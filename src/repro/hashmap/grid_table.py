@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.hashmap.coords import ravel_coords
 from repro.hashmap.hash_table import HashStats
+from repro.obs.metrics import get_registry
 
 _EMPTY = np.int64(-1)
 
@@ -93,6 +94,11 @@ class GridTable:
         self._size += int(new_slots.shape[0])
         self._values[idx] = values + 1
         self.stats.build_accesses += coords.shape[0]
+        reg = get_registry()
+        reg.counter("table.accesses", backend="grid", op="build").inc(
+            coords.shape[0]
+        )
+        reg.gauge("table.load", backend="grid").set(self._size / self.volume)
 
     def lookup(self, coords: np.ndarray) -> np.ndarray:
         """Value per coordinate row, ``-1`` where absent or out of box."""
@@ -106,6 +112,9 @@ class GridTable:
             idx = ravel_coords(coords[inside], self.origin, self.shape)
             out[inside] = self._values[idx] - 1
         self.stats.query_accesses += coords.shape[0]
+        get_registry().counter("table.accesses", backend="grid", op="query").inc(
+            coords.shape[0]
+        )
         return out
 
     def contains(self, coords: np.ndarray) -> np.ndarray:

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 _EMPTY = np.int64(-1)
 
 # splitmix64 constants — a strong scalar mixer for 64-bit keys.
@@ -111,12 +113,16 @@ class HashTable:
                 f"{self._size + n_new} entries"
             )
 
+        reg = get_registry()
+        probe_hist = reg.histogram("hash.probe_length", op="build")
+        accesses_before = self.stats.build_accesses
         mask = np.int64(self.capacity - 1)
         slot = (splitmix64(keys) & np.uint64(mask)).astype(np.int64)
         pending = np.arange(keys.shape[0])
         probes = 0
         while pending.size:
             probes += 1
+            round_pending = pending.size
             self.stats.build_accesses += pending.size
             s = slot[pending]
             occupant = self._keys[s]
@@ -156,7 +162,17 @@ class HashTable:
                 slot[pending] = (slot[pending] + 1) & mask
             else:
                 slot[pending] = (slot[pending] + 1) & mask
+            done = round_pending - pending.size
+            if done:
+                probe_hist.observe(probes, count=done)
         self.stats.max_probe_len = max(self.stats.max_probe_len, probes)
+        reg.counter("table.accesses", backend="hash", op="build").inc(
+            self.stats.build_accesses - accesses_before
+        )
+        reg.counter("hash.collisions", op="build").inc(
+            self.stats.build_accesses - accesses_before - keys.shape[0]
+        )
+        reg.gauge("table.load", backend="hash").set(self.load)
 
     # -- queries ----------------------------------------------------------
 
@@ -165,6 +181,9 @@ class HashTable:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
+        reg = get_registry()
+        probe_hist = reg.histogram("hash.probe_length", op="query")
+        accesses_before = self.stats.query_accesses
         mask = np.int64(self.capacity - 1)
         slot = (splitmix64(keys) & np.uint64(mask)).astype(np.int64)
         out = np.full(keys.shape[0], _EMPTY, dtype=np.int64)
@@ -172,6 +191,7 @@ class HashTable:
         probes = 0
         while pending.size:
             probes += 1
+            round_pending = pending.size
             self.stats.query_accesses += pending.size
             s = slot[pending]
             occupant = self._keys[s]
@@ -180,7 +200,16 @@ class HashTable:
             out[pending[hit]] = self._values[s[hit]]
             pending = pending[~(hit | miss)]
             slot[pending] = (slot[pending] + 1) & mask
+            done = round_pending - pending.size
+            if done:
+                probe_hist.observe(probes, count=done)
         self.stats.max_probe_len = max(self.stats.max_probe_len, probes)
+        reg.counter("table.accesses", backend="hash", op="query").inc(
+            self.stats.query_accesses - accesses_before
+        )
+        reg.counter("hash.collisions", op="query").inc(
+            self.stats.query_accesses - accesses_before - keys.shape[0]
+        )
         return out
 
     def contains(self, keys: np.ndarray) -> np.ndarray:

@@ -176,13 +176,14 @@ class Linear(Module):
             ctx.engine.config.dtype,
             ctx.device,
         )
-        ctx.profile.log(
-            self.name,
-            "matmul",
-            cost.time,
-            bytes_moved=cost.bytes_moved,
-            flops=cost.flops,
-        )
+        with ctx.profile.span(self.name, kind="linear"):
+            ctx.profile.log(
+                self.name,
+                "matmul",
+                cost.time,
+                bytes_moved=cost.bytes_moved,
+                flops=cost.flops,
+            )
         return x.replace_feats(out.astype(np.float32))
 
 
@@ -275,12 +276,13 @@ class GlobalAvgPool(Module):
             if mask.any():
                 out[i] = x.feats[mask].mean(axis=0)
         nbytes = x.num_points * x.num_channels * ctx.engine.config.dtype.nbytes
-        ctx.profile.log(
-            self.name,
-            "other",
-            ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
-            bytes_moved=nbytes,
-        )
+        with ctx.profile.span(self.name, kind="pool"):
+            ctx.profile.log(
+                self.name,
+                "other",
+                ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
+                bytes_moved=nbytes,
+            )
         return out
 
 
@@ -290,10 +292,11 @@ def concat_skip(
     """U-Net skip concatenation, priced as a pointwise copy."""
     out = cat([a, b])
     nbytes = 2 * out.num_points * out.num_channels * ctx.engine.config.dtype.nbytes
-    ctx.profile.log(
-        name,
-        "other",
-        ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
-        bytes_moved=nbytes,
-    )
+    with ctx.profile.span(name, kind="cat"):
+        ctx.profile.log(
+            name,
+            "other",
+            ctx.device.mem_time(nbytes) + ctx.device.launch_overhead,
+            bytes_moved=nbytes,
+        )
     return out

@@ -1,0 +1,81 @@
+"""Hierarchical span tracer.
+
+A :class:`Tracer` maintains a stack of named spans.  Opening a span is a
+context manager::
+
+    with tracer.span("minkunet.enc1.conv", kind="conv", stride=2):
+        with tracer.span("gather"):
+            profile.log("gather", "gather", t)
+
+Any :class:`~repro.gpu.timeline.KernelRecord` added to a
+:class:`~repro.gpu.timeline.Profile` that carries this tracer is stamped
+with the current span *path* (``("minkunet.enc1.conv", "gather")``
+above).  The path is what nests the Chrome-trace export
+(layer -> stage -> kernel) and what the per-layer report groups by.
+
+The tracer is deliberately clock-free: the engine's time is *modeled*,
+so span intervals are reconstructed from the records inside them when a
+trace is exported, not sampled from the host clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One opened span: its full path and the attributes it carries."""
+
+    path: tuple
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else ""
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+
+class Tracer:
+    """A stack of nested spans plus a log of every span ever opened."""
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        #: every span opened, in open order (attrs survive for reports)
+        self.spans: list[Span] = []
+
+    @property
+    def current_path(self) -> tuple:
+        """Path of the innermost open span (empty tuple at top level)."""
+        return tuple(self._stack)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a nested span; yields the :class:`Span`."""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self._stack.append(str(name))
+        info = Span(path=tuple(self._stack), attrs=attrs)
+        self.spans.append(info)
+        try:
+            yield info
+        finally:
+            self._stack.pop()
+
+    def attrs_by_path(self) -> dict:
+        """Last-wins mapping of span path -> attributes."""
+        return {s.path: s.attrs for s in self.spans}
+
+    def reset(self) -> None:
+        """Drop the span log (the stack must already be empty)."""
+        if self._stack:
+            raise RuntimeError("cannot reset a tracer with open spans")
+        self.spans.clear()

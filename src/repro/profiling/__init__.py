@@ -7,7 +7,14 @@ from repro.profiling.runner import (
     run_model,
     tune_model,
 )
-from repro.profiling.report import format_series, format_table, geomean
+from repro.profiling.report import (
+    format_layer_report,
+    format_series,
+    format_table,
+    geomean,
+    layer_table,
+)
+from repro.profiling.trace import to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "run_model",
@@ -17,5 +24,9 @@ __all__ = [
     "stage_breakdown",
     "format_table",
     "format_series",
+    "format_layer_report",
+    "layer_table",
     "geomean",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

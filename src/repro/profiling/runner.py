@@ -30,7 +30,14 @@ class BenchResult:
 
     @property
     def fps(self) -> float:
-        return 0.0 if self.latency == 0 else 1.0 / self.latency
+        """Frames per second of the modeled latency.
+
+        Zero latency yields ``inf`` rather than ``0.0``: a broken run
+        must never masquerade as a "0 FPS" baseline in regression math
+        (a real run would then always look infinitely slower, while the
+        old ``0.0`` made every comparison against it silently pass).
+        """
+        return float("inf") if self.latency == 0 else 1.0 / self.latency
 
 
 def run_model(

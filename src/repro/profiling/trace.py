@@ -1,27 +1,51 @@
 """Chrome-trace export of execution profiles.
 
 Serializes a :class:`~repro.gpu.timeline.Profile` into the Trace Event
-Format consumed by ``chrome://tracing`` / Perfetto, laying kernels out
-back-to-back per stage track.  Useful for eyeballing where a model's
-modeled time goes, the way one would with an Nsight timeline.
+Format consumed by ``chrome://tracing`` / Perfetto.  The model is a
+single-stream device, so record order is execution order: kernels are
+laid out back-to-back on one ``pipeline`` track, and the span paths
+stamped on each record (by the hierarchical tracer) are rendered as
+enclosing ``X`` events, so the trace nests layer -> stage -> kernel the
+way a real Nsight timeline nests NVTX ranges over kernels.
+
+Untraced profiles (no span paths) degrade gracefully to a flat
+back-to-back kernel track.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.gpu.timeline import STAGES, Profile
+from repro.gpu.timeline import Profile
 
-#: Trace rows: one pseudo-thread per pipeline stage.
-_STAGE_TIDS = {stage: i + 1 for i, stage in enumerate(STAGES)}
+#: The single pseudo-thread all kernels and spans render on.
+PIPELINE_TID = 1
+
+#: Category assigned to span (non-kernel) events.
+SPAN_CATEGORY = "span"
+
+
+def _span_event(name: str, start_us: float, end_us: float, depth: int) -> dict:
+    return {
+        "name": name,
+        "cat": SPAN_CATEGORY,
+        "ph": "X",
+        "pid": 1,
+        "tid": PIPELINE_TID,
+        "ts": round(start_us, 3),
+        "dur": round(end_us - start_us, 3),
+        "args": {"depth": depth},
+    }
 
 
 def to_chrome_trace(profile: Profile, process_name: str = "repro") -> dict:
     """Build a Trace Event Format dict (``traceEvents`` + metadata).
 
-    Kernels are laid out sequentially in record order (the model is a
-    single-stream device, so record order is execution order); each
-    stage renders as its own thread row.
+    Span intervals are reconstructed from the records they contain:
+    consecutive records sharing a span-path prefix stay inside one span
+    event; when the path changes, the divergent spans close and new
+    ones open.  Re-entering an identical path after leaving it opens a
+    fresh span event (two calls to the same layer stay two boxes).
     """
     events = [
         {
@@ -29,20 +53,35 @@ def to_chrome_trace(profile: Profile, process_name: str = "repro") -> dict:
             "ph": "M",
             "pid": 1,
             "args": {"name": process_name},
-        }
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": PIPELINE_TID,
+            "args": {"name": "pipeline"},
+        },
     ]
-    for stage, tid in _STAGE_TIDS.items():
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": {"name": stage},
-            }
-        )
     clock_us = 0.0
+    open_spans: list = []  # (name, start_us), outermost first
+
+    def close_spans(down_to: int) -> None:
+        while len(open_spans) > down_to:
+            name, start = open_spans.pop()
+            events.append(
+                _span_event(name, start, clock_us, depth=len(open_spans))
+            )
+
     for rec in profile.records:
+        path = rec.span
+        common = 0
+        for (open_name, _), name in zip(open_spans, path):
+            if open_name != name:
+                break
+            common += 1
+        close_spans(common)
+        for name in path[len(open_spans):]:
+            open_spans.append((name, clock_us))
         dur_us = rec.time * 1e6
         events.append(
             {
@@ -50,18 +89,39 @@ def to_chrome_trace(profile: Profile, process_name: str = "repro") -> dict:
                 "cat": rec.stage,
                 "ph": "X",
                 "pid": 1,
-                "tid": _STAGE_TIDS[rec.stage],
+                "tid": PIPELINE_TID,
                 "ts": round(clock_us, 3),
                 "dur": round(dur_us, 3),
                 "args": {
+                    "stage": rec.stage,
                     "bytes_moved": rec.bytes_moved,
                     "flops": rec.flops,
                     "launches": rec.launches,
+                    "span": "/".join(path),
                 },
             }
         )
         clock_us += dur_us
+    close_spans(0)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def kernel_events(trace: dict) -> list:
+    """The kernel ``X`` events of a trace (span boxes filtered out)."""
+    return [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") != SPAN_CATEGORY
+    ]
+
+
+def span_events(trace: dict) -> list:
+    """The span ``X`` events of a trace (layer/stage boxes)."""
+    return [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == SPAN_CATEGORY
+    ]
 
 
 def write_chrome_trace(profile: Profile, path: str, **kwargs) -> None:

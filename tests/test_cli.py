@@ -1,5 +1,7 @@
 """Tests for the repro-bench CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import DEVICES, ENGINE_FACTORIES, build_parser, main
@@ -75,3 +77,67 @@ class TestCommands:
              "--device", "cpu"]
         )
         assert rc == 0
+
+
+BENCH = ["--model", "minkunet_0.5x_kitti", "--scale", "0.12"]
+
+
+class TestObservabilityExports:
+    def test_bench_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        snap = tmp_path / "snap.json"
+        rc = main(
+            ["bench", *BENCH, "--trace", str(trace), "--metrics", str(metrics),
+             "--json", str(snap), "--report"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-layer breakdown" in out
+
+        loaded = json.loads(trace.read_text())
+        spans = [
+            e for e in loaded["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "span"
+        ]
+        depths = {e["args"]["depth"] for e in spans}
+        assert {0, 1} <= depths  # layer spans nest stage spans
+
+        names = {json.loads(l)["name"] for l in metrics.read_text().splitlines()}
+        assert "gemm.utilization" in names
+        assert "gemm.padded_flops" in names
+        assert "engine.cache.hits" in names
+
+        s = json.loads(snap.read_text())
+        assert s["schema"] == "repro-bench.snapshot/1"
+        assert s["latency"] > 0
+        assert any(k.startswith("engine.cache.hit_rate") for k in s["metrics"])
+
+    def test_regress_gate(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        # first run writes the baseline
+        assert main(["regress", *BENCH, "--baseline", str(base)]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        # identical rerun passes (the model is deterministic)
+        assert main(["regress", *BENCH, "--baseline", str(base)]) == 0
+        assert "0 drifted" in capsys.readouterr().out
+        # tampered baseline fails the gate
+        snap = json.loads(base.read_text())
+        snap["latency"] *= 2.0
+        base.write_text(json.dumps(snap))
+        assert main(["regress", *BENCH, "--baseline", str(base)]) == 1
+        assert "FAIL latency" in capsys.readouterr().out
+        # ... unless the tolerance override forgives it
+        rc = main(
+            ["regress", *BENCH, "--baseline", str(base), "--tol", "latency=2.0"]
+        )
+        assert rc == 0
+        # --update rewrites the baseline and the gate passes again
+        assert main(["regress", *BENCH, "--baseline", str(base), "--update"]) == 0
+        assert main(["regress", *BENCH, "--baseline", str(base)]) == 0
+
+    def test_regress_bad_tol_spec(self, tmp_path):
+        base = tmp_path / "b.json"
+        main(["regress", *BENCH, "--baseline", str(base)])
+        with pytest.raises(SystemExit, match="NAME=REL"):
+            main(["regress", *BENCH, "--baseline", str(base), "--tol", "oops"])

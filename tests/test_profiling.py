@@ -60,7 +60,9 @@ class TestProfile:
         assert sum(fr.values()) == pytest.approx(1.0)
 
     def test_fractions_of_empty(self):
-        assert sum(Profile().stage_fractions().values()) == 0.0
+        fr = Profile().stage_fractions()
+        assert set(fr) == set(STAGES)
+        assert all(v == 0.0 for v in fr.values())
 
     def test_by_name_merges(self):
         assert self._profile().by_name()["a"] == pytest.approx(2e-3)
@@ -71,6 +73,36 @@ class TestProfile:
         assert q.total_time == pytest.approx(2 * p.total_time)
         p.clear()
         assert p.total_time == 0
+
+    def test_merge_clear_round_trip(self):
+        """merge copies records: clearing either side leaves the other."""
+        p, q = self._profile(), self._profile()
+        merged = p.merge(q)
+        n = len(merged.records)
+        p.clear()
+        assert len(merged.records) == n
+        merged.clear()
+        assert len(q.records) == 3 and merged.records == []
+        assert merged.stage_times() == Profile().stage_times()
+
+    def test_span_stamping(self):
+        from repro.obs.tracing import Tracer
+
+        p = Profile(tracer=Tracer())
+        with p.span("layer1"):
+            with p.span("gather"):
+                rec = p.log("g", "gather", 1e-3)
+        out = p.log("free", "other", 1e-3)
+        assert rec.span == ("layer1", "gather")
+        assert rec.layer == "layer1"
+        assert p.records[0] is rec  # add() returns the stored record
+        assert out.span == () and out.layer == ""
+
+    def test_span_noop_without_tracer(self):
+        p = Profile()
+        with p.span("ignored"):
+            rec = p.log("k", "other", 1e-3)
+        assert rec.span == ()
 
     def test_summary_text(self):
         assert "matmul" in self._profile().summary()
@@ -96,6 +128,40 @@ class TestReport:
         txt = format_series("s", [1, 2], [0.5, 1.5])
         assert txt.startswith("s:") and "1=0.50" in txt
 
+    def _traced_profile(self):
+        from repro.obs.tracing import Tracer
+
+        p = Profile(tracer=Tracer())
+        with p.span("conv1"):
+            p.log("gather", "gather", 1e-3)
+            p.log("mm", "matmul", 3e-3, launches=2)
+        with p.span("conv2"):
+            p.log("mm", "matmul", 1e-3)
+        p.log("head", "other", 1e-3)
+        return p
+
+    def test_layer_table(self):
+        from repro.profiling import layer_table
+
+        rows = {r["layer"]: r for r in layer_table(self._traced_profile())}
+        assert set(rows) == {"conv1", "conv2", "(untraced)"}
+        assert rows["conv1"]["time"] == pytest.approx(4e-3)
+        assert rows["conv1"]["matmul"] == pytest.approx(3e-3)
+        assert rows["conv1"]["kernels"] == 2
+        assert rows["conv1"]["launches"] == 3
+        assert rows["conv1"]["share"] == pytest.approx(4 / 6)
+
+    def test_format_layer_report(self):
+        from repro.profiling import format_layer_report
+
+        p = self._traced_profile()
+        txt = format_layer_report(p, title="T")
+        assert "T" in txt and "conv1" in txt and "(untraced)" in txt
+        # sorted by time: conv1 (4ms) before conv2 (1ms)
+        assert txt.index("conv1") < txt.index("conv2")
+        md = format_layer_report(p, markdown=True)
+        assert md.count("|") > 10 and "conv1" in md
+
 
 class TestRunner:
     @pytest.fixture(scope="class")
@@ -109,6 +175,14 @@ class TestRunner:
         r = run_model(model, xs, BaselineEngine(), RTX_2080TI, model_name="mu")
         assert r.model == "mu"
         assert r.latency > 0 and r.fps == pytest.approx(1 / r.latency)
+
+    def test_fps_of_zero_latency_is_inf(self):
+        from repro.profiling import BenchResult
+
+        r = BenchResult(
+            model="m", engine="e", device="d", latency=0.0, profile=Profile()
+        )
+        assert r.fps == float("inf")
 
     def test_run_model_empty_inputs(self, setup):
         model, _ = setup

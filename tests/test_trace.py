@@ -1,11 +1,18 @@
-"""Tests for Chrome-trace export."""
+"""Tests for Chrome-trace export (nested-span Trace Event Format)."""
 
 import json
 
 import numpy as np
 
 from repro.gpu.timeline import Profile
-from repro.profiling.trace import to_chrome_trace, write_chrome_trace
+from repro.obs.tracing import Tracer
+from repro.profiling.trace import (
+    PIPELINE_TID,
+    kernel_events,
+    span_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 
 def make_profile():
@@ -16,6 +23,20 @@ def make_profile():
     return p
 
 
+def make_traced_profile():
+    """Two layers, each nesting stage spans over kernels."""
+    p = Profile(tracer=Tracer())
+    for layer in ("conv1", "conv2"):
+        with p.span(layer, kind="conv"):
+            with p.span("gather"):
+                p.log("gather", "gather", 1e-3, bytes_moved=100)
+            with p.span("matmul"):
+                p.log("matmul.g0", "matmul", 2e-3, flops=500)
+            with p.span("scatter"):
+                p.log("scatter", "scatter", 1e-3)
+    return p
+
+
 class TestChromeTrace:
     def test_structure(self):
         trace = to_chrome_trace(make_profile())
@@ -23,9 +44,17 @@ class TestChromeTrace:
         kinds = {e["ph"] for e in trace["traceEvents"]}
         assert kinds == {"M", "X"}
 
+    def test_valid_trace_event_fields(self):
+        trace = to_chrome_trace(make_traced_profile())
+        for e in trace["traceEvents"]:
+            assert "name" in e and "ph" in e and "pid" in e
+            if e["ph"] == "X":
+                assert e["tid"] == PIPELINE_TID
+                assert e["ts"] >= 0 and e["dur"] >= 0
+
     def test_events_back_to_back(self):
         trace = to_chrome_trace(make_profile())
-        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        xs = kernel_events(trace)
         assert len(xs) == 3
         assert xs[0]["ts"] == 0.0
         assert xs[1]["ts"] == xs[0]["dur"]
@@ -33,17 +62,46 @@ class TestChromeTrace:
 
     def test_durations_microseconds(self):
         trace = to_chrome_trace(make_profile())
-        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        xs = kernel_events(trace)
         assert xs[0]["dur"] == 1000.0
 
-    def test_stage_threads_labeled(self):
+    def test_monotonic_timestamps(self):
+        trace = to_chrome_trace(make_traced_profile())
+        ts = [e["ts"] for e in kernel_events(trace)]
+        assert ts == sorted(ts)
+
+    def test_pipeline_thread_labeled(self):
         trace = to_chrome_trace(make_profile())
         names = {
             e["args"]["name"]
             for e in trace["traceEvents"]
             if e["ph"] == "M" and e["name"] == "thread_name"
         }
-        assert {"mapping", "gather", "matmul", "scatter", "other"} <= names
+        assert names == {"pipeline"}
+
+    def test_untraced_profile_has_no_spans(self):
+        assert span_events(to_chrome_trace(make_profile())) == []
+
+    def test_nested_span_shape(self):
+        """Layer spans contain stage spans contain kernel events."""
+        trace = to_chrome_trace(make_traced_profile())
+        spans = span_events(trace)
+        layers = [e for e in spans if e["args"]["depth"] == 0]
+        stages = [e for e in spans if e["args"]["depth"] == 1]
+        assert [e["name"] for e in layers] == ["conv1", "conv2"]
+        assert len(stages) == 6  # 3 stage spans per layer, not merged
+        for outer, inner in ((layers, stages), (stages, kernel_events(trace))):
+            for e in inner:
+                assert any(
+                    o["ts"] <= e["ts"]
+                    and e["ts"] + e["dur"] <= o["ts"] + o["dur"] + 1e-6
+                    for o in outer
+                ), f"{e['name']} not contained in any outer span"
+
+    def test_kernel_args_carry_span_path(self):
+        trace = to_chrome_trace(make_traced_profile())
+        paths = {e["args"]["span"] for e in kernel_events(trace)}
+        assert "conv1/gather" in paths and "conv2/matmul" in paths
 
     def test_args_carried(self):
         trace = to_chrome_trace(make_profile())
@@ -72,9 +130,12 @@ class TestChromeTrace:
         ctx = ExecutionContext(engine=TorchSparseEngine())
         nn.Conv3d(4, 8)(x, ctx)
         trace = to_chrome_trace(ctx.profile)
-        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        xs = kernel_events(trace)
         assert len(xs) == len(ctx.profile.records)
         total_us = sum(e["dur"] for e in xs)
-        assert total_us == round(ctx.profile.total_time * 1e6, 0) or abs(
-            total_us - ctx.profile.total_time * 1e6
-        ) < 1.0
+        assert abs(total_us - ctx.profile.total_time * 1e6) < 1.0
+        # the engine's conv span encloses every kernel of the layer
+        spans = span_events(trace)
+        assert spans, "engine execution should open spans"
+        root = next(e for e in spans if e["args"]["depth"] == 0)
+        assert root["name"].startswith("conv")
