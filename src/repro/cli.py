@@ -7,13 +7,16 @@ Subcommands::
     repro-bench compare --model centerpoint_3f_waymo --device 3090
     repro-bench tune --model minkunet_0.5x_kitti --out strategies.json
     repro-bench regress --model minkunet_0.5x_kitti --baseline base.json
+    repro-bench chaos --seeds 3 --json chaos.json
 
 ``bench`` can export observability artifacts: ``--trace`` writes a
 nested-span Chrome trace (open in Perfetto), ``--metrics`` a JSONL
 metrics dump, ``--json`` a machine-readable snapshot, ``--report`` a
 per-layer breakdown.  ``regress`` snapshots a baseline on first run and
 on later runs exits nonzero when modeled latency, stage times, or any
-gated metric drifts past tolerance.
+gated metric drifts past tolerance.  ``chaos`` runs seeded
+fault-injection campaigns end to end (see :mod:`repro.robust.chaos`)
+and exits nonzero unless every trial survives with bit-exact recovery.
 
 All latencies are modeled on the selected device spec (see
 ``repro.gpu``); wall-clock on the host is reported separately.
@@ -22,12 +25,15 @@ All latencies are modeled on the selected device spec (see
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+from dataclasses import replace
 
 from repro.baselines import MinkowskiEngineLike, SpConvLike
 from repro.core.engine import BaseEngine, BaselineEngine, TorchSparseEngine
+from repro.core.tuner import load_strategy_book
 from repro.gpu.device import CPU_16C, GPU_REGISTRY, GPUSpec
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.regress import (
@@ -89,6 +95,16 @@ def _bench_once(args):
     entry = _zoo_entry(args.model)
     device = DEVICES[args.device]
     engine = ENGINE_FACTORIES[args.engine]()
+    if getattr(args, "strategies", None):
+        book = load_strategy_book(args.strategies, fallback=True)
+        if book is None:
+            print(
+                f"warning: could not load strategy book {args.strategies!r} "
+                "(missing or corrupt); using the default per-layer strategy",
+                file=sys.stderr,
+            )
+        else:
+            engine.config = replace(engine.config, strategy_book=book)
     xs = _inputs(entry, args.scale, args.samples, args.seed)
     with use_registry(MetricsRegistry()) as reg:
         result = run_model(entry.make_model(), xs, engine, device)
@@ -211,6 +227,71 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.robust.chaos import PRESETS, run_campaign
+    from repro.robust.faults import FAULT_KINDS
+
+    kinds = (
+        [k.strip() for k in args.kinds.split(",") if k.strip()]
+        if args.kinds
+        else list(FAULT_KINDS)
+    )
+    presets = (
+        [p.strip() for p in args.presets.split(",") if p.strip()]
+        if args.presets
+        else list(PRESETS)
+    )
+    seeds = [args.seed + i for i in range(args.seeds)]
+    t0 = time.time()
+    try:
+        report = run_campaign(
+            kinds=kinds, presets=presets, seeds=seeds,
+            degrade=not args.no_degrade,
+        )
+    except ValueError as e:
+        raise SystemExit(str(e))
+    mark = {True: "yes", False: "NO", None: "-"}
+    rows = [
+        [
+            t.kind,
+            t.preset,
+            str(t.seed),
+            str(t.shots),
+            mark[t.survived],
+            ",".join(sorted(set(t.degraded_layers.values()))) or "-",
+            mark[t.bitexact],
+            "ok" if t.ok else ("typed" if t.error_kind else "FAIL"),
+        ]
+        for t in report.trials
+    ]
+    mode = "detect-only" if args.no_degrade else "graceful degradation"
+    print(
+        format_table(
+            ["fault", "preset", "seed", "shots", "survived", "rungs",
+             "bitexact", "status"],
+            rows,
+            title=f"chaos campaign ({mode})",
+        )
+    )
+    mix = (
+        ", ".join(f"{k} x{v}" for k, v in sorted(report.degradation_mix.items()))
+        or "none"
+    )
+    probes = ", ".join(
+        f"{k}={'ok' if v else 'FAIL'}" for k, v in report.reference_ok.items()
+    )
+    print(
+        f"survival {report.survival_rate:.0%} | ok {report.ok_rate:.0%} | "
+        f"degradation mix: {mix} | reference probes: {probes} | "
+        f"host wall {time.time() - t0:.1f}s"
+    )
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.json}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -245,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the per-layer time/stage breakdown",
     )
+    p_bench.add_argument(
+        "--strategies", metavar="PATH",
+        help="tuned strategy book (from 'tune'); a missing or corrupt "
+        "file falls back to the default per-layer strategy with a warning",
+    )
 
     p_cmp = sub.add_parser("compare", help="run one model under every engine")
     common(p_cmp)
@@ -278,6 +364,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(repeatable)",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign over the pipeline"
+    )
+    p_chaos.add_argument(
+        "--kinds", default="",
+        help="comma-separated fault kinds (default: all)",
+    )
+    p_chaos.add_argument(
+        "--presets", default="",
+        help="comma-separated engine presets (default: torchsparse,baseline)",
+    )
+    p_chaos.add_argument(
+        "--seeds", type=int, default=3,
+        help="seeds per (fault, preset) cell (default %(default)s)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="base seed")
+    p_chaos.add_argument(
+        "--no-degrade", action="store_true",
+        help="detection only: faults raise typed errors instead of "
+        "degrading down the ladder",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="PATH",
+        help="write the full campaign report as JSON",
+    )
+
     return parser
 
 
@@ -289,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "tune": cmd_tune,
         "regress": cmd_regress,
+        "chaos": cmd_chaos,
     }[args.command](args)
 
 

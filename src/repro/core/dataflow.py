@@ -42,6 +42,7 @@ from repro.gpu.memory import (
 from repro.gpu.timeline import KernelRecord, Profile
 from repro.mapping.kmap import KernelMap
 from repro.obs.metrics import get_registry
+from repro.robust.faults import maybe_inject_matmul_nan
 
 #: Transaction efficiency of row-granular random access (rows usually
 #: shorter than / unaligned to 128-byte transactions).
@@ -317,6 +318,10 @@ def execute_gather_matmul_scatter(
                 flops=cost.flops,
                 launches=cost.launches,
             )
+
+    # fault-injection site: reduced-precision accumulator overflow
+    # (no-op at FP32 — the ladder's fp32 rung is a genuine fix)
+    maybe_inject_matmul_nan(acc, cfg.dtype)
 
     with profile.span("scatter"):
         profile.add(

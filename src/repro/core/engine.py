@@ -43,6 +43,19 @@ from repro.mapping.downsample import downsample_coords
 from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
+from repro.robust.degrade import DEFAULT_LADDER, CircuitBreaker, RobustConfig
+from repro.robust.errors import (
+    FAULT_ERRORS,
+    DegradationExhaustedError,
+    InputValidationError,
+    KernelMapCorruptionError,
+    NumericFaultError,
+)
+from repro.robust.faults import (
+    maybe_corrupt_kmap,
+    maybe_drop_strategy,
+    maybe_grid_oom,
+)
 
 #: Seconds of instruction work per table access in the map-search kernels.
 #: The baseline figure reflects un-specialized control flow; TorchSparse's
@@ -82,6 +95,9 @@ class EngineConfig:
         fetch_on_demand_threshold: run the fetch-on-demand dataflow when
             the layer's mean map size falls below this (MinkowskiEngine's
             small-workload specialization); 0 disables it.
+        robustness: fault detection / graceful degradation knobs
+            (:class:`~repro.robust.degrade.RobustConfig`); ``None``
+            disables the robustness layer entirely (seed behavior).
     """
 
     name: str = "torchsparse"
@@ -98,6 +114,7 @@ class EngineConfig:
     simplified_logic: bool = True
     use_map_symmetry: bool = True
     fetch_on_demand_threshold: int = 0
+    robustness: RobustConfig | None = None
 
     # -- presets -----------------------------------------------------------
 
@@ -105,6 +122,13 @@ class EngineConfig:
     def torchsparse(cls, **overrides) -> "EngineConfig":
         """The full TorchSparse system (all Section 4 optimizations)."""
         return replace(cls(), **overrides) if overrides else cls()
+
+    @classmethod
+    def hardened(cls, base: "EngineConfig | None" = None, **robust_overrides):
+        """A preset with the robustness layer enabled (detection +
+        graceful degradation down the ladder)."""
+        cfg = base if base is not None else cls()
+        return replace(cfg, robustness=RobustConfig(**robust_overrides))
 
     @classmethod
     def baseline(cls, **overrides) -> "EngineConfig":
@@ -176,14 +200,28 @@ class ExecutionContext:
 
 @dataclass
 class BaseEngine:
-    """Configurable four-stage sparse convolution executor."""
+    """Configurable four-stage sparse convolution executor.
+
+    When ``config.robustness`` is set, every convolution runs under the
+    fault-detection + graceful-degradation protocol: detected faults
+    retry the layer down the ladder (``bmm -> mm``, ``FP16 vectorized ->
+    FP32 scalar``, ``grid -> hashmap``) with per-layer circuit breakers
+    (``self.breakers``) pinning the fallback after repeated failures.
+    The per-attempt engine configuration is threaded explicitly (the
+    ``cfg`` parameters below); ``cfg=None`` means ``self.config``.
+    """
 
     config: EngineConfig = field(default_factory=EngineConfig)
+    #: per-layer circuit breakers (populated only under robustness)
+    breakers: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- mapping helpers -----------------------------------------------------
 
-    def _choose_backend(self, coords: np.ndarray) -> str:
-        backend = self.config.map_backend
+    def _choose_backend(
+        self, coords: np.ndarray, cfg: EngineConfig | None = None
+    ) -> str:
+        cfg = cfg or self.config
+        backend = cfg.map_backend
         if backend == "hash":
             return backend
         if backend not in ("grid", "auto"):
@@ -199,14 +237,21 @@ class BaseEngine:
         # in large-scale scenes" (Section 5.1).
         return "grid" if volume * GRID_SLOT_BYTES <= MAX_GRID_BYTES else "hash"
 
-    def _mapping_instr(self) -> float:
+    def _mapping_instr(self, cfg: EngineConfig | None = None) -> float:
+        cfg = cfg or self.config
         return (
             MAPPING_INSTR_SIMPLIFIED
-            if self.config.simplified_logic
+            if cfg.simplified_logic
             else MAPPING_INSTR_BASELINE
         )
 
-    def _price_table(self, index: CoordIndex, ctx: ExecutionContext, label: str):
+    def _price_table(
+        self,
+        index: CoordIndex,
+        ctx: ExecutionContext,
+        label: str,
+        cfg: EngineConfig | None = None,
+    ):
         """Convert a table's access counters into mapping-stage records."""
         stats = index.stats
         slot = (
@@ -216,7 +261,7 @@ class BaseEngine:
         )
         accesses = stats.build_accesses + stats.query_accesses
         t_mem = ctx.device.mem_time(accesses * slot, efficiency=0.5)
-        t_instr = accesses * self._mapping_instr()
+        t_instr = accesses * self._mapping_instr(cfg)
         ctx.profile.log(
             label,
             "mapping",
@@ -228,15 +273,24 @@ class BaseEngine:
         stats.query_accesses = 0
 
     def _get_index(
-        self, stride: int, coords: np.ndarray, ctx: ExecutionContext
+        self,
+        stride: int,
+        coords: np.ndarray,
+        ctx: ExecutionContext,
+        cfg: EngineConfig | None = None,
     ) -> CoordIndex:
         index = ctx.index_at_stride.get(stride)
         if index is None:
             ctx.metrics.counter("engine.cache.misses", cache="index").inc()
-            backend = self._choose_backend(coords)
-            index = CoordIndex.build(coords, backend=backend, margin=2)
+            backend = self._choose_backend(coords, cfg)
+            if backend == "grid":
+                # fault-injection site: simulated grid allocation failure
+                maybe_grid_oom(f"table.build.s{stride}.grid")
+            index = CoordIndex.build(
+                coords, backend=backend, margin=2, max_grid_bytes=MAX_GRID_BYTES
+            )
             ctx.index_at_stride[stride] = index
-            self._price_table(index, ctx, f"table.build.s{stride}.{backend}")
+            self._price_table(index, ctx, f"table.build.s{stride}.{backend}", cfg)
         else:
             ctx.metrics.counter("engine.cache.hits", cache="index").inc()
         return index
@@ -249,7 +303,9 @@ class BaseEngine:
         kernel_size: int,
         stride: int,
         ctx: ExecutionContext,
+        cfg: EngineConfig | None = None,
     ) -> KernelMap:
+        cfg = cfg or self.config
         key = (x.stride, out_stride, kernel_size)
         kmap = ctx.kmap_cache.get(key)
         if kmap is not None:
@@ -257,21 +313,31 @@ class BaseEngine:
             return kmap
         ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
         with ctx.profile.span("mapping"):
-            index = self._get_index(x.stride, x.coords, ctx)
+            index = self._get_index(x.stride, x.coords, ctx, cfg)
             kmap = build_kmap(
                 x.coords,
                 index,
                 out_coords,
                 kernel_size,
                 stride=stride,
-                use_symmetry=self.config.use_map_symmetry,
+                use_symmetry=cfg.use_map_symmetry,
             )
-            self._price_table(index, ctx, f"kmap.search.k{kernel_size}.s{stride}")
-            self._price_map_write(kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}")
+            self._price_table(
+                index, ctx, f"kmap.search.k{kernel_size}.s{stride}", cfg
+            )
+            self._price_map_write(
+                kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}", cfg
+            )
         ctx.kmap_cache[key] = kmap
         return kmap
 
-    def _price_map_write(self, kmap: KernelMap, ctx: ExecutionContext, label: str):
+    def _price_map_write(
+        self,
+        kmap: KernelMap,
+        ctx: ExecutionContext,
+        label: str,
+        cfg: EngineConfig | None = None,
+    ):
         """Writing the searched map entries to DRAM.
 
         Every entry is an (input index, output index) pair written once;
@@ -280,13 +346,80 @@ class BaseEngine:
         what bounds the paper's symmetry gain to ~1.1x.
         """
         entry_bytes = kmap.total * 8 + kmap.mirrored_entries * 8
-        instr = (kmap.total + kmap.mirrored_entries) * self._mapping_instr()
+        instr = (kmap.total + kmap.mirrored_entries) * self._mapping_instr(cfg)
         ctx.profile.log(
             label,
             "mapping",
             max(ctx.device.mem_time(entry_bytes, efficiency=0.7), instr),
             bytes_moved=entry_bytes,
         )
+
+    # -- fault detection / recovery helpers ----------------------------------
+
+    def _detect_kmap_fault(self, kmap: KernelMap, label: str) -> None:
+        """Range-check a kernel map, converting defects to typed faults.
+
+        Active only under ``robustness.detect`` + ``verify_kmap``; the
+        unprotected engine runs maps unchecked (seed behavior).
+        """
+        robust = self.config.robustness
+        if robust is None or not (robust.detect and robust.verify_kmap):
+            return
+        try:
+            kmap.validate()
+        except ValueError as e:
+            raise KernelMapCorruptionError(f"{label}: {e}") from e
+
+    def _detect_numeric_fault(self, feats: np.ndarray, label: str) -> None:
+        """Raise on NaN/Inf layer outputs when numeric detection is on."""
+        robust = self.config.robustness
+        if robust is None or not (robust.detect and robust.verify_numerics):
+            return
+        if not np.isfinite(feats).all():
+            n_bad = int((~np.isfinite(feats)).sum())
+            raise NumericFaultError(
+                f"{label}: {n_bad} non-finite values in layer output"
+            )
+
+    def _check_input(
+        self, x: SparseTensor, ctx: ExecutionContext, robust: RobustConfig, label: str
+    ) -> SparseTensor:
+        """Boundary check on input features (repair or raise per policy)."""
+        if not robust.verify_numerics:
+            return x
+        finite = np.isfinite(x.feats)
+        if finite.all():
+            return x
+        n_bad = int((~finite).sum())
+        ctx.metrics.counter("robust.input_faults", layer=label).inc()
+        if robust.input_policy == "strict":
+            raise InputValidationError(
+                f"{label}: {n_bad} non-finite input feature values"
+            )
+        ctx.metrics.counter("robust.inputs", action="repaired").inc()
+        return x.replace_feats(np.where(finite, x.feats, np.float32(0.0)))
+
+    def _record_fault(
+        self, err: Exception, ctx: ExecutionContext, label: str, level: int
+    ) -> None:
+        """Make a detected fault visible as a counter and a span."""
+        kind = getattr(err, "kind", "fault")
+        ctx.metrics.counter("robust.faults", kind=kind, layer=label).inc()
+        with ctx.profile.span(
+            f"fault.{kind}", kind="fault", layer=label, level=level, error=str(err)
+        ):
+            ctx.profile.log(f"fault.{kind}", "other", 0.0)
+
+    def _purge_mapping_caches(self, ctx: ExecutionContext, x: SparseTensor) -> None:
+        """Drop cached tables/maps touching the input's stride level.
+
+        A corrupted kernel map or overflowed table may already have been
+        cached before detection; a retry must rebuild from scratch.
+        """
+        s = x.stride
+        for key in [k for k in ctx.kmap_cache if s in (k[0], k[1])]:
+            ctx.kmap_cache.pop(key, None)
+        ctx.index_at_stride.pop(s, None)
 
     # -- the public op -------------------------------------------------------
 
@@ -307,16 +440,135 @@ class BaseEngine:
         stride multiplies); ``transposed=True`` upsamples back onto the
         cached coordinates of the finer level, reusing the cached kernel
         map of the corresponding downsampling convolution.
+
+        With ``config.robustness`` set, detected faults retry the layer
+        down the degradation ladder (see :mod:`repro.robust.degrade`);
+        with ``degrade=False`` they surface as typed
+        :class:`~repro.robust.errors.RobustnessError` subclasses.
         """
         if x.num_points == 0:
-            raise ValueError("cannot convolve an empty tensor")
+            raise InputValidationError("cannot convolve an empty tensor")
         ctx.register_coords(x.stride, x.coords)
 
         stride = normalize(stride)
         kernel_size = normalize(kernel_size)
+        robust = self.config.robustness
+        if robust is None:
+            return self._convolve(
+                x,
+                weights,
+                ctx,
+                kernel_size,
+                stride,
+                transposed,
+                bias,
+                layer_name,
+                self.config,
+            )
+        return self._convolve_robust(
+            x, weights, ctx, kernel_size, stride, transposed, bias, layer_name, robust
+        )
+
+    def _convolve_robust(
+        self,
+        x: SparseTensor,
+        weights: np.ndarray,
+        ctx: ExecutionContext,
+        kernel_size: int,
+        stride: int,
+        transposed: bool,
+        bias: np.ndarray | None,
+        layer_name: str,
+        robust: RobustConfig,
+    ) -> SparseTensor:
+        """The retry protocol around :meth:`_convolve`.
+
+        Each attempt runs under the engine config degraded to the
+        current ladder level; a detected fault advances to the first
+        rung addressing its stage, purges mapping caches the fault may
+        have poisoned, and retries.  The layer's circuit breaker pins
+        the recovery level after repeated failures so later inputs skip
+        the known-bad fast path.
+        """
+        label = layer_name or (
+            f"conv{'T' if transposed else ''}.k{kernel_size}.s{stride}"
+        )
+        breaker = self.breakers.get(label)
+        if breaker is None:
+            breaker = CircuitBreaker(threshold=robust.breaker_threshold)
+            self.breakers[label] = breaker
+        if robust.detect:
+            x = self._check_input(x, ctx, robust, label)
+        level = breaker.pinned
+        attempts = 0
+        recovered = False
+        while True:
+            cfg = DEFAULT_LADDER.config_at(self.config, level)
+            try:
+                out = self._convolve(
+                    x,
+                    weights,
+                    ctx,
+                    kernel_size,
+                    stride,
+                    transposed,
+                    bias,
+                    layer_name,
+                    cfg,
+                )
+            except FAULT_ERRORS as err:
+                self._record_fault(err, ctx, label, level)
+                if not robust.degrade:
+                    raise
+                if err.stage == "mapping":
+                    self._purge_mapping_caches(ctx, x)
+                attempts += 1
+                nxt = DEFAULT_LADDER.next_level(level, err.stage)
+                if nxt is None or attempts > robust.max_retries:
+                    breaker.record_failure(DEFAULT_LADDER.floor)
+                    raise DegradationExhaustedError(
+                        f"{label}: fault persists at ladder level "
+                        f"{level} ({DEFAULT_LADDER.rung_name(level)}) after "
+                        f"{attempts} attempts: {err}"
+                    ) from err
+                if breaker.record_failure(nxt):
+                    ctx.metrics.counter(
+                        "robust.breaker_pinned",
+                        layer=label,
+                        rung=DEFAULT_LADDER.rung_name(nxt),
+                    ).inc()
+                level = nxt
+                recovered = True
+                continue
+            if level > 0:
+                rung = DEFAULT_LADDER.rung_name(level)
+                ctx.metrics.counter(
+                    "robust.degraded_runs", layer=label, rung=rung
+                ).inc()
+                if recovered:
+                    with ctx.profile.span(
+                        f"recovered.{label}", kind="recovery", level=level, rung=rung
+                    ):
+                        ctx.profile.log(f"recovered.{rung}", "other", 0.0)
+            breaker.record_success(level)
+            return out
+
+    def _convolve(
+        self,
+        x: SparseTensor,
+        weights: np.ndarray,
+        ctx: ExecutionContext,
+        kernel_size: int,
+        stride: int,
+        transposed: bool,
+        bias: np.ndarray | None,
+        layer_name: str,
+        cfg: EngineConfig,
+    ) -> SparseTensor:
+        """One attempt of the four-stage pipeline under ``cfg``."""
         if transposed:
             return self._transposed(
-                x, weights, ctx, kernel_size, stride, bias, layer_name
+                x, weights, ctx, kernel_size, stride, bias, layer_name, cfg
             )
 
         span_name = layer_name or f"conv.k{kernel_size}.s{stride}"
@@ -349,7 +601,7 @@ class BaseEngine:
                     out_coords, ds_cost = downsample_coords(
                         x.coords, kernel_size, stride
                     )
-                    fused = self.config.fused_downsample
+                    fused = cfg.fused_downsample
                     with ctx.profile.span("mapping"):
                         ctx.profile.log(
                             f"downsample.coords.s{stride}",
@@ -364,9 +616,13 @@ class BaseEngine:
                     ctx.register_coords(out_stride, out_coords)
 
             kmap = self._get_kmap(
-                x, out_coords, out_stride, kernel_size, stride, ctx
+                x, out_coords, out_stride, kernel_size, stride, ctx, cfg
             )
-            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+            # fault-injection site: corrupt searched map entries in place
+            maybe_corrupt_kmap(kmap, site=f"kmap.k{kernel_size}.s{stride}")
+            self._detect_kmap_fault(kmap, span_name)
+            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name, cfg)
+            self._detect_numeric_fault(feats, span_name)
             if bias is not None:
                 feats = feats + bias.astype(np.float32)
             return SparseTensor(out_coords, feats, stride=out_stride)
@@ -380,6 +636,7 @@ class BaseEngine:
         stride: int,
         bias: np.ndarray | None,
         layer_name: str,
+        cfg: EngineConfig,
     ) -> SparseTensor:
         s3 = to_tuple(stride, name="stride")
         if all(si == 1 for si in s3) or any(si < 1 for si in s3):
@@ -412,7 +669,7 @@ class BaseEngine:
             if fwd is None:
                 ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
                 with ctx.profile.span("mapping"):
-                    index = self._get_index(fine_stride, fine_coords, ctx)
+                    index = self._get_index(fine_stride, fine_coords, ctx, cfg)
                     fwd = build_kmap(
                         fine_coords,
                         index,
@@ -422,16 +679,20 @@ class BaseEngine:
                         use_symmetry=False,
                     )
                     self._price_table(
-                        index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}"
+                        index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}", cfg
                     )
                     self._price_map_write(
-                        fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}"
+                        fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}", cfg
                     )
                 ctx.kmap_cache[key] = fwd
             else:
                 ctx.metrics.counter("engine.cache.hits", cache="kmap").inc()
             kmap = fwd.transposed()
-            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name)
+            # fault-injection site: corrupt the (shared) transposed map
+            maybe_corrupt_kmap(kmap, site=f"kmap.T.k{kernel_size}.s{stride}")
+            self._detect_kmap_fault(kmap, span_name)
+            feats = self._run_dataflow(x.feats, weights, kmap, ctx, layer_name, cfg)
+            self._detect_numeric_fault(feats, span_name)
             if bias is not None:
                 feats = feats + bias.astype(np.float32)
             return SparseTensor(fine_coords, feats, stride=fine_stride)
@@ -445,8 +706,9 @@ class BaseEngine:
         kmap: KernelMap,
         ctx: ExecutionContext,
         layer_name: str,
+        cfg: EngineConfig | None = None,
     ) -> np.ndarray:
-        cfg = self.config
+        cfg = cfg or self.config
         ctx.layer_workloads.append(
             (
                 layer_name,
@@ -461,7 +723,7 @@ class BaseEngine:
         if (
             cfg.fetch_on_demand_threshold > 0
             and mean_map < cfg.fetch_on_demand_threshold
-            and self._fetch_on_demand_wins(kmap, weights, ctx.device)
+            and self._fetch_on_demand_wins(kmap, weights, ctx.device, cfg)
         ):
             ctx.metrics.counter("engine.dispatch", dataflow="fetch_on_demand").inc()
             return execute_fetch_on_demand(
@@ -471,9 +733,16 @@ class BaseEngine:
 
         eps, s_thr = cfg.epsilon, cfg.s_threshold
         if cfg.strategy_book is not None and layer_name:
-            tuned = cfg.strategy_book.get(layer_name)
-            if tuned is not None:
-                eps, s_thr = tuned.epsilon, tuned.s_threshold
+            # fault-injection site: the tuned entry for this layer vanishes;
+            # the engine falls back to the config's default parameters.
+            if maybe_drop_strategy(layer_name):
+                ctx.metrics.counter(
+                    "robust.strategy_fallback", layer=layer_name
+                ).inc()
+            else:
+                tuned = cfg.strategy_book.get(layer_name)
+                if tuned is not None:
+                    eps, s_thr = tuned.epsilon, tuned.s_threshold
         skip_center = kmap.is_submanifold
         plan = make_plan(
             cfg.grouping,
@@ -601,7 +870,11 @@ class BaseEngine:
             return SparseTensor(out_coords, acc, stride=out_stride)
 
     def _fetch_on_demand_wins(
-        self, kmap: KernelMap, weights: np.ndarray, device: GPUSpec
+        self,
+        kmap: KernelMap,
+        weights: np.ndarray,
+        device: GPUSpec,
+        cfg: EngineConfig | None = None,
     ) -> bool:
         """Cost comparison backing the small-workload dispatch.
 
@@ -618,7 +891,7 @@ class BaseEngine:
         from repro.gpu.gemm import sequential_cost
 
         c_in, c_out = weights.shape[1], weights.shape[2]
-        cfg = self.config
+        cfg = cfg or self.config
         fod = fetch_on_demand_cost(kmap, c_in, c_out, cfg.dtype, device)
         skip = kmap.is_submanifold
         active = [s for s in kmap.sizes if s > 0]

@@ -35,7 +35,7 @@ class SparseTensor:
     _validated: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.coords = np.ascontiguousarray(self.coords, dtype=np.int32)
+        self.coords = self._checked_coords(self.coords)
         self.feats = np.ascontiguousarray(np.asarray(self.feats))
         if self.feats.dtype not in (np.float32, np.float16, np.float64):
             self.feats = self.feats.astype(np.float32)
@@ -53,6 +53,66 @@ class SparseTensor:
         self.stride = normalize(self.stride)
         if any(s < 1 for s in to_tuple(self.stride, name="stride")):
             raise ValueError("stride must be >= 1")
+
+    @staticmethod
+    def _checked_coords(coords) -> np.ndarray:
+        """Cast coordinates to ``int32``, rejecting silent corruption.
+
+        ``ascontiguousarray(..., dtype=int32)`` happily truncates
+        fractional floats, turns NaN into ``INT_MIN`` and wraps
+        out-of-range integers — each of which used to surface much
+        later as a wrong kernel map.  Fail at the boundary instead
+        (mirroring the voxelizer's checks); errors are
+        :class:`~repro.robust.errors.InputValidationError`, still a
+        ``ValueError`` for existing callers.
+        """
+        from repro.robust.errors import InputValidationError
+
+        coords = np.asarray(coords)
+        if coords.dtype == object:
+            raise InputValidationError("coords must be a numeric array")
+        if coords.dtype == np.int32:
+            return np.ascontiguousarray(coords)
+        if np.issubdtype(coords.dtype, np.floating):
+            if coords.size and not np.isfinite(coords).all():
+                raise InputValidationError(
+                    "coords contain NaN/Inf values; sanitize first "
+                    "(SparseTensor.sanitized or repro.robust.validate)"
+                )
+            if coords.size and np.any(coords != np.round(coords)):
+                raise InputValidationError(
+                    "coords have fractional values; voxelize before "
+                    "constructing a SparseTensor"
+                )
+            coords = coords.astype(np.int64)
+        elif not np.issubdtype(coords.dtype, np.integer):
+            raise InputValidationError(
+                f"coords dtype {coords.dtype} is not integer or float"
+            )
+        info = np.iinfo(np.int32)
+        if coords.size and (
+            coords.min() < info.min or coords.max() > info.max
+        ):
+            raise InputValidationError(
+                "coords exceed the int32 range; they would wrap silently"
+            )
+        return np.ascontiguousarray(coords, dtype=np.int32)
+
+    @classmethod
+    def sanitized(
+        cls, coords, feats, stride: object = 1, policy: str = "repair"
+    ) -> "SparseTensor":
+        """Construct through the robust validation layer.
+
+        Runs :func:`repro.robust.validate.validate_cloud` under
+        ``policy`` (``repair`` fixes what it can — drops unpackable
+        rows, zeroes non-finite features, merges duplicates) before
+        constructing the tensor.
+        """
+        from repro.robust.validate import validate_cloud
+
+        c, f, _ = validate_cloud(coords, feats, policy=policy)
+        return cls(c, f, stride=stride)
 
     def validate_unique(self) -> None:
         """Assert coordinate rows are unique (O(N log N); opt-in)."""

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.grouping import make_plan, plan_matmul_cost
 from repro.gpu.device import GPUSpec
 from repro.gpu.memory import DType
+from repro.robust.errors import StrategyBookError
 
 #: Default search space: ~11 epsilon values x 8 thresholds < 1000 configs,
 #: matching the paper's "around 1,000 configurations" note.  The space
@@ -65,11 +66,20 @@ class LayerStrategy:
     @classmethod
     def from_json(cls, d: dict) -> "LayerStrategy":
         s = d["s_threshold"]
-        return cls(
+        strategy = cls(
             epsilon=float(d["epsilon"]),
             s_threshold=math.inf if s == "inf" else float(s),
             expected_time=float(d.get("expected_time", 0.0)),
         )
+        if not 0.0 <= strategy.epsilon <= 1.0:
+            raise ValueError(
+                f"epsilon must be in [0, 1], got {strategy.epsilon}"
+            )
+        if math.isnan(strategy.s_threshold) or strategy.s_threshold < 0:
+            raise ValueError(
+                f"s_threshold must be >= 0 or inf, got {strategy.s_threshold}"
+            )
+        return strategy
 
 
 @dataclass
@@ -97,11 +107,55 @@ class StrategyBook:
 
     @classmethod
     def loads(cls, text: str) -> "StrategyBook":
-        d = json.loads(text)
+        """Parse a serialized book.
+
+        Raises:
+            StrategyBookError: on malformed/truncated JSON, missing
+                fields, or out-of-range values — one typed error (still
+                a ``ValueError``) instead of whichever of
+                ``JSONDecodeError``/``KeyError``/``TypeError`` the
+                corruption happened to hit first.
+        """
+        try:
+            d = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise StrategyBookError(
+                f"strategy book is not valid JSON (truncated file?): {e}"
+            ) from e
+        if not isinstance(d, dict):
+            raise StrategyBookError(
+                f"strategy book must be a JSON object, got {type(d).__name__}"
+            )
         book = cls(device_name=d.get("device", ""))
-        for k, v in d.get("layers", {}).items():
-            book.set(k, LayerStrategy.from_json(v))
+        layers = d.get("layers", {})
+        if not isinstance(layers, dict):
+            raise StrategyBookError("'layers' must map layer names to entries")
+        for k, v in layers.items():
+            try:
+                book.set(k, LayerStrategy.from_json(v))
+            except StrategyBookError:
+                raise
+            except (KeyError, TypeError, ValueError) as e:
+                raise StrategyBookError(
+                    f"strategy book entry for layer {k!r} is invalid: {e}"
+                ) from e
         return book
+
+
+def load_strategy_book(path, fallback: bool = False) -> StrategyBook | None:
+    """Load a strategy book from ``path``.
+
+    With ``fallback=True`` a missing or corrupt file returns ``None``
+    (callers then run the engine's default per-layer strategy) instead
+    of raising — the graceful path used by ``repro-bench --strategies``.
+    """
+    try:
+        with open(path) as f:
+            return StrategyBook.loads(f.read())
+    except (OSError, StrategyBookError):
+        if fallback:
+            return None
+        raise
 
 
 def evaluate_config(

@@ -63,16 +63,27 @@ def sparse_quantize(
 
 
 def to_sparse_tensor(
-    cloud: PointCloud, voxel_size: float, batch_index: int = 0
+    cloud: PointCloud,
+    voxel_size: float,
+    batch_index: int = 0,
+    policy: str | None = None,
 ) -> SparseTensor:
     """Voxelize a scanned cloud into a ready-to-run :class:`SparseTensor`.
 
     Feature layout: ``(x, y, z, intensity)``.
+
+    Args:
+        policy: when set (``"strict"``/``"repair"``/``"reject"``), run
+            the voxelized cloud through :mod:`repro.robust.validate` —
+            the dataset-boundary hardening used by the chaos harness and
+            by loaders ingesting untrusted scans.  ``None`` skips it.
     """
     features = np.concatenate(
         [cloud.xyz, cloud.intensity[:, None]], axis=1
     ).astype(np.float32)
     coords, feats = sparse_quantize(cloud.xyz, features, voxel_size, batch_index)
+    if policy is not None:
+        return SparseTensor.sanitized(coords, feats, policy=policy)
     return SparseTensor(coords, feats)
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.hashmap.coords import ravel_coords
 from repro.hashmap.hash_table import HashStats
 from repro.obs.metrics import get_registry
+from repro.robust.errors import GridMemoryError
 
 _EMPTY = np.int64(-1)
 
@@ -58,11 +59,18 @@ class GridTable:
         coords: np.ndarray,
         values: np.ndarray | None = None,
         margin: int = 0,
+        max_bytes: int | None = None,
     ) -> "GridTable":
         """Build a grid table covering ``coords`` (plus a spatial margin).
 
         The margin widens the box so that neighbor queries at kernel
         offsets up to ``margin`` voxels stay inside the table.
+
+        Args:
+            max_bytes: memory budget for the dense slot array; exceeding
+                it raises :class:`~repro.robust.errors.GridMemoryError`
+                (a ``MemoryError``) instead of allocating — the modeled
+                GPU would OOM long before the lazily-mapped host pages do.
         """
         coords = np.asarray(coords, dtype=np.int64)
         if coords.shape[0] == 0:
@@ -71,7 +79,15 @@ class GridTable:
         hi = coords.max(axis=0)
         lo[1:] -= margin
         hi[1:] += margin
-        table = cls(origin=lo, shape=hi - lo + 1)
+        shape = hi - lo + 1
+        if max_bytes is not None:
+            volume = int(np.prod(shape.astype(np.int64)))
+            if volume * 8 > max_bytes:
+                raise GridMemoryError(
+                    f"grid table of {volume} slots ({volume * 8} bytes) "
+                    f"exceeds the {max_bytes}-byte budget"
+                )
+        table = cls(origin=lo, shape=shape)
         if values is None:
             values = np.arange(coords.shape[0], dtype=np.int64)
         table.insert(coords, values)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs.metrics import get_registry
+from repro.robust.errors import TableOverflowError
 
 _EMPTY = np.int64(-1)
 
@@ -87,7 +88,13 @@ class HashTable:
         keys = np.asarray(keys, dtype=np.int64)
         if values is None:
             values = np.arange(keys.shape[0], dtype=np.int64)
-        table = cls(capacity=max(2, int(np.ceil(keys.shape[0] / load_factor))))
+        capacity = max(2, int(np.ceil(keys.shape[0] / load_factor)))
+        # fault-injection site: under-size the allocation so insertion
+        # overflows (lazy import keeps this module robust-free otherwise)
+        from repro.robust.faults import maybe_shrink_capacity
+
+        capacity = maybe_shrink_capacity(capacity, keys.shape[0])
+        table = cls(capacity=capacity)
         table.insert(keys, values)
         return table
 
@@ -108,7 +115,9 @@ class HashTable:
             raise ValueError("key -1 is reserved as the empty sentinel")
         n_new = np.unique(keys).shape[0]
         if self._size + n_new > self.capacity:
-            raise ValueError(
+            # typed (still a ValueError) so the engine's recovery path can
+            # distinguish capacity faults from bad-argument errors
+            raise TableOverflowError(
                 f"table of capacity {self.capacity} cannot hold "
                 f"{self._size + n_new} entries"
             )

@@ -42,7 +42,11 @@ class CoordIndex:
 
     @classmethod
     def build(
-        cls, coords: np.ndarray, backend: str = "hash", margin: int = 0
+        cls,
+        coords: np.ndarray,
+        backend: str = "hash",
+        margin: int = 0,
+        max_grid_bytes: int | None = None,
     ) -> "CoordIndex":
         """Index ``coords`` rows by position using the chosen backend.
 
@@ -50,11 +54,15 @@ class CoordIndex:
             backend: ``"hash"`` or ``"grid"``.
             margin: spatial slack for grid tables so neighbor probes at
                 kernel offsets stay inside the box.
+            max_grid_bytes: grid-table memory budget; a grid build past
+                it raises :class:`~repro.robust.errors.GridMemoryError`.
         """
         if backend == "hash":
             return cls(HashTable.from_keys(pack_coords(coords)))
         if backend == "grid":
-            return cls(GridTable.from_coords(coords, margin=margin))
+            return cls(
+                GridTable.from_coords(coords, margin=margin, max_bytes=max_grid_bytes)
+            )
         raise ValueError(f"unknown coordinate table backend {backend!r}")
 
     def lookup(self, coords: np.ndarray) -> np.ndarray:

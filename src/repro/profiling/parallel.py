@@ -29,11 +29,22 @@ class ShardResult:
 
     @property
     def throughput(self) -> float:
-        """Inputs per second at steady state."""
-        return 0.0 if self.makespan == 0 else self.total_inputs / self.makespan
+        """Inputs per second at steady state.
+
+        A zero makespan (degenerate cost model / empty schedule) means
+        infinitely fast, not infinitely slow — mirroring
+        ``BenchResult.fps``.  Returning 0.0 here made empty runs look
+        like the *worst* shard instead of a vacuous one.
+        """
+        return float("inf") if self.makespan == 0 else self.total_inputs / self.makespan
 
     def speedup_over(self, single_device_time: float) -> float:
-        return 0.0 if self.makespan == 0 else single_device_time / self.makespan
+        """Speedup vs. a single-device run (``inf`` on zero makespan)."""
+        return (
+            float("inf")
+            if self.makespan == 0
+            else single_device_time / self.makespan
+        )
 
 
 def _latency(model: Module, x: SparseTensor, engine: BaseEngine, device: GPUSpec):

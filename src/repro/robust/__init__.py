@@ -1,0 +1,74 @@
+"""Fault tolerance for the sparse-conv pipeline.
+
+Four pieces (see DESIGN.md, "Robustness"):
+
+* :mod:`repro.robust.errors`   — the typed fault taxonomy;
+* :mod:`repro.robust.validate` — strict/repair/reject input validation
+  at the :class:`~repro.core.sparse_tensor.SparseTensor`/dataset
+  boundary;
+* :mod:`repro.robust.faults`   — deterministic seeded fault injection
+  threaded through the engine, tables, and dataflow;
+* :mod:`repro.robust.degrade`  — the graceful-degradation ladder and
+  per-layer circuit breakers the engine retries faults down.
+
+The chaos harness (:mod:`repro.robust.chaos`) is imported on demand —
+it pulls in the whole engine stack and backs ``repro-bench chaos``.
+"""
+
+from repro.robust.errors import (
+    FAULT_ERRORS,
+    DegradationExhaustedError,
+    GridMemoryError,
+    InputValidationError,
+    KernelMapCorruptionError,
+    NumericFaultError,
+    RobustnessError,
+    StrategyBookError,
+    TableOverflowError,
+)
+from repro.robust.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    get_injector,
+    inject_faults,
+)
+from repro.robust.degrade import (
+    DEFAULT_LADDER,
+    CircuitBreaker,
+    DegradationLadder,
+    RobustConfig,
+    Rung,
+)
+from repro.robust.validate import (
+    POLICIES,
+    ValidationReport,
+    clean_batch,
+    validate_cloud,
+)
+
+__all__ = [
+    "FAULT_ERRORS",
+    "FAULT_KINDS",
+    "POLICIES",
+    "DEFAULT_LADDER",
+    "CircuitBreaker",
+    "DegradationExhaustedError",
+    "DegradationLadder",
+    "FaultInjector",
+    "FaultSpec",
+    "GridMemoryError",
+    "InputValidationError",
+    "KernelMapCorruptionError",
+    "NumericFaultError",
+    "RobustConfig",
+    "RobustnessError",
+    "Rung",
+    "StrategyBookError",
+    "TableOverflowError",
+    "ValidationReport",
+    "clean_batch",
+    "get_injector",
+    "inject_faults",
+    "validate_cloud",
+]

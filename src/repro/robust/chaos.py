@@ -1,0 +1,337 @@
+"""Seeded chaos campaigns over the full sparse-conv pipeline.
+
+A campaign runs a small multi-layer model end to end while injecting
+one fault kind per trial (every kind in :data:`~repro.robust.faults.FAULT_KINDS`
+crossed with engine presets and seeds) and checks, per trial:
+
+* **survival** — with degradation enabled the run must complete;
+* **bit-exactness** — the surviving output must equal, bit for bit, a
+  fault-free replay whose per-layer circuit breakers are pre-pinned to
+  the degradation levels the faulted run recovered at (degraded rungs
+  only change *numerics* via the dtype rung, so pinning the replay to
+  the same levels must reproduce the same floats);
+* **visibility** — every injected shot must be observable in the
+  metrics registry (``faults.injected``) and every detection as
+  ``robust.faults`` counters and ``fault.*`` spans;
+* with degradation *disabled*, faults must surface as typed
+  :class:`~repro.robust.errors.RobustnessError` subclasses — never as
+  bare ``IndexError``/``AssertionError`` crashes.
+
+A per-preset reference probe additionally checks the hardened engine
+against :func:`repro.core.reference.sparse_conv_reference` on a clean
+input (tolerance scaled to the preset's dtype), guarding against the
+robustness layer itself perturbing fault-free numerics.
+
+Backs the ``repro-bench chaos`` CLI and the CI chaos smoke job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.engine import BaseEngine, EngineConfig, ExecutionContext
+from repro.core.reference import sparse_conv_reference
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.tuner import LayerStrategy, StrategyBook
+from repro.gpu.memory import DType
+from repro.nn.modules import Conv3d, ReLU, Sequential
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.robust.degrade import DEFAULT_LADDER, CircuitBreaker, RobustConfig
+from repro.robust.errors import RobustnessError
+from repro.robust.faults import (
+    FAULT_KINDS,
+    STICKY_KINDS,
+    FaultInjector,
+    FaultSpec,
+    inject_faults,
+    maybe_corrupt_cloud,
+)
+
+PRESETS = ("torchsparse", "baseline")
+
+_PRESET_FACTORIES = {
+    "torchsparse": EngineConfig.torchsparse,
+    "baseline": EngineConfig.baseline,
+}
+
+
+@dataclass
+class ChaosTrial:
+    """Outcome of one (fault kind, preset, seed) trial."""
+
+    kind: str
+    preset: str
+    seed: int
+    degrade: bool
+    survived: bool = False
+    #: injected shots actually fired (0 when the site never applied,
+    #: e.g. ``matmul_nan`` under an FP32 preset)
+    shots: int = 0
+    #: every fired shot is visible in the metrics registry
+    visible: bool = True
+    #: faults the engine detected (``robust.faults`` counter total)
+    detected: int = 0
+    #: layer name -> rung name for layers that recovered degraded
+    degraded_layers: dict = field(default_factory=dict)
+    #: surviving output equals the pre-pinned fault-free replay
+    bitexact: bool | None = None
+    error: str = ""
+    #: ``kind`` attribute of a typed RobustnessError, ``""`` otherwise
+    error_kind: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Did this trial meet its acceptance criterion?"""
+        if self.degrade:
+            return self.survived and self.visible and self.bitexact is not False
+        # detection-only mode: either nothing fired / the fault is
+        # absorbed inline, or the failure was a *typed* error
+        if self.survived:
+            return self.visible
+        return self.error_kind != ""
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "preset": self.preset,
+            "seed": self.seed,
+            "degrade": self.degrade,
+            "survived": self.survived,
+            "shots": self.shots,
+            "visible": self.visible,
+            "detected": self.detected,
+            "degraded_layers": dict(self.degraded_layers),
+            "bitexact": self.bitexact,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of a campaign: trials plus per-preset reference probes."""
+
+    trials: list = field(default_factory=list)
+    #: preset name -> hardened engine matches the reference implementation
+    reference_ok: dict = field(default_factory=dict)
+    degrade: bool = True
+
+    @property
+    def survival_rate(self) -> float:
+        if not self.trials:
+            return 1.0
+        return sum(t.survived for t in self.trials) / len(self.trials)
+
+    @property
+    def ok_rate(self) -> float:
+        if not self.trials:
+            return 1.0
+        return sum(t.ok for t in self.trials) / len(self.trials)
+
+    @property
+    def degradation_mix(self) -> dict:
+        """rung name -> number of layer recoveries across the campaign."""
+        mix: dict = {}
+        for t in self.trials:
+            for rung in t.degraded_layers.values():
+                mix[rung] = mix.get(rung, 0) + 1
+        return mix
+
+    @property
+    def passed(self) -> bool:
+        return self.ok_rate == 1.0 and all(self.reference_ok.values())
+
+    def to_json(self) -> dict:
+        return {
+            "degrade": self.degrade,
+            "survival_rate": self.survival_rate,
+            "ok_rate": self.ok_rate,
+            "degradation_mix": self.degradation_mix,
+            "reference_ok": dict(self.reference_ok),
+            "passed": self.passed,
+            "trials": [t.to_json() for t in self.trials],
+        }
+
+
+# -- trial machinery --------------------------------------------------------
+
+
+def _make_cloud(seed: int, kind: str, n: int = 160, channels: int = 4):
+    """A deterministic cloud; spread out for ``hash_overflow`` so the
+    auto backend picks the hashmap (the grid stays under budget on
+    compact clouds, and a grid build never exercises hash insertion)."""
+    rng = np.random.default_rng(seed)
+    extent = 4096 if kind == "hash_overflow" else 24
+    coords = np.concatenate(
+        [
+            np.zeros((n, 1), dtype=np.int64),
+            rng.integers(0, extent, size=(n, 3)),
+        ],
+        axis=1,
+    )
+    coords = np.unique(coords, axis=0)
+    feats = rng.normal(size=(coords.shape[0], channels)).astype(np.float32)
+    return coords.astype(np.int32), feats
+
+
+def _make_model(seed: int, channels: int = 4) -> Sequential:
+    rng = np.random.default_rng(seed + 1)
+    return Sequential(
+        Conv3d(channels, 8, kernel_size=3, rng=rng),
+        ReLU(),
+        Conv3d(8, 16, kernel_size=2, stride=2, rng=rng),
+        ReLU(),
+        Conv3d(16, 16, kernel_size=3, rng=rng),
+    )
+
+
+def _make_book(model: Sequential) -> StrategyBook:
+    book = StrategyBook(device_name="chaos")
+    for conv in model.conv_layers():
+        book.set(conv.name, LayerStrategy(epsilon=0.4, s_threshold=float("inf")))
+    return book
+
+
+def _trial_config(preset: str, book: StrategyBook, degrade: bool) -> EngineConfig:
+    base = _PRESET_FACTORIES[preset](strategy_book=book)
+    return replace(
+        base,
+        robustness=RobustConfig(
+            detect=True,
+            degrade=degrade,
+            input_policy="repair" if degrade else "strict",
+        ),
+    )
+
+
+def _specs_for(kind: str) -> list:
+    count = -1 if kind in STICKY_KINDS else 1
+    return [FaultSpec(kind=kind, count=count)]
+
+
+def _replay(
+    config: EngineConfig, model: Sequential, x: SparseTensor, faulted: BaseEngine
+) -> SparseTensor:
+    """Fault-free re-run with breakers pre-pinned to the faulted run's
+    recovery levels (``last_good``), on a fresh engine and context."""
+    engine = BaseEngine(config=config)
+    threshold = config.robustness.breaker_threshold
+    for label, breaker in faulted.breakers.items():
+        engine.breakers[label] = CircuitBreaker(
+            threshold=threshold, pinned=breaker.last_good
+        )
+    ctx = ExecutionContext(engine=engine)
+    return model(x, ctx)
+
+
+def run_trial(
+    kind: str, preset: str, seed: int, degrade: bool = True
+) -> ChaosTrial:
+    """Run one end-to-end trial under a fresh metrics registry."""
+    trial = ChaosTrial(kind=kind, preset=preset, seed=seed, degrade=degrade)
+    registry = MetricsRegistry()
+    coords, feats = _make_cloud(seed, kind)
+    model = _make_model(seed)
+    config = _trial_config(preset, _make_book(model), degrade)
+    engine = BaseEngine(config=config)
+    injector = FaultInjector(seed=seed, specs=_specs_for(kind))
+
+    out = None
+    x = None
+    with use_registry(registry):
+        try:
+            with inject_faults(injector):
+                if kind == "input_corrupt":
+                    coords, feats, _ = maybe_corrupt_cloud(coords, feats)
+                policy = "repair" if degrade else "strict"
+                x = SparseTensor.sanitized(coords, feats, policy=policy)
+                ctx = ExecutionContext(engine=engine)
+                out = model(x, ctx)
+            trial.survived = True
+        except RobustnessError as e:
+            trial.error = str(e)
+            trial.error_kind = e.kind
+        except Exception as e:  # untyped crash: always a failure
+            trial.error = f"{type(e).__name__}: {e}"
+
+    trial.shots = injector.shots
+    scalars = registry.scalars()
+    injected = sum(
+        v for k, v in scalars.items() if k.startswith("faults.injected")
+    )
+    trial.visible = trial.shots == 0 or injected >= trial.shots
+    trial.detected = int(
+        sum(v for k, v in scalars.items() if k.startswith("robust.faults"))
+    )
+    trial.degraded_layers = {
+        label: DEFAULT_LADDER.rung_name(b.last_good)
+        for label, b in engine.breakers.items()
+        if b.last_good > 0
+    }
+
+    if trial.survived and degrade and out is not None:
+        with use_registry(MetricsRegistry()):
+            replay = _replay(config, model, x, engine)
+        trial.bitexact = bool(
+            np.array_equal(out.coords, replay.coords)
+            and np.array_equal(out.feats, replay.feats)
+        )
+    return trial
+
+
+def reference_probe(preset: str, seed: int = 0) -> bool:
+    """Hardened engine vs. the literal Equation-1 reference on a clean
+    submanifold conv (tolerance matched to the preset's storage dtype)."""
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [
+                np.zeros((48, 1), dtype=np.int64),
+                rng.integers(0, 8, size=(48, 3)),
+            ],
+            axis=1,
+        ),
+        axis=0,
+    ).astype(np.int32)
+    feats = rng.normal(size=(coords.shape[0], 4)).astype(np.float32)
+    weights = (rng.normal(size=(27, 4, 6)) * 0.2).astype(np.float32)
+    config = EngineConfig.hardened(_PRESET_FACTORIES[preset]())
+    engine = BaseEngine(config=config)
+    with use_registry(MetricsRegistry()):
+        ctx = ExecutionContext(engine=engine)
+        out = engine.convolution(
+            SparseTensor(coords, feats), weights, ctx, kernel_size=3, stride=1
+        )
+    ref = sparse_conv_reference(coords, feats, weights, coords, 3, stride=1)
+    tol = 2e-2 if config.dtype is DType.FP16 else 1e-4
+    return bool(np.allclose(out.feats, ref, rtol=tol, atol=tol))
+
+
+def run_campaign(
+    kinds=FAULT_KINDS,
+    presets=PRESETS,
+    seeds=(0, 1, 2),
+    degrade: bool = True,
+) -> ChaosReport:
+    """The full cross product of fault kinds x presets x seeds."""
+    report = ChaosReport(degrade=degrade)
+    for preset in presets:
+        if preset not in _PRESET_FACTORIES:
+            raise ValueError(
+                f"unknown preset {preset!r}; expected one of {PRESETS}"
+            )
+        report.reference_ok[preset] = reference_probe(preset)
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        for preset in presets:
+            for seed in seeds:
+                report.trials.append(
+                    run_trial(kind, preset, int(seed), degrade=degrade)
+                )
+    return report

@@ -1,0 +1,167 @@
+"""The graceful-degradation ladder and per-layer circuit breakers.
+
+When the engine detects a typed fault in an optimized path it retries
+the layer *down the ladder* — each rung trades performance for a
+simpler, more robust configuration, cumulatively:
+
+====  ===============  =========================================
+rung  name             swaps
+====  ===============  =========================================
+1     ``mm``           adaptive-grouped ``bmm`` -> plain per-offset
+                       ``mm`` (``grouping="separate"``)
+2     ``fp32-scalar``  FP16/INT8 vectorized movement -> FP32 scalar
+3     ``hashmap``      grid table -> general hashmap, no map symmetry
+====  ===============  =========================================
+
+Rung selection is fault-aware: a mapping fault jumps straight to the
+rung that swaps the mapping backend instead of burning retries on
+matmul rungs that cannot help.  A per-layer :class:`CircuitBreaker`
+counts failures and, past a threshold, *pins* the layer at its
+recovered rung so later inputs skip the known-bad fast path entirely.
+
+Every retry, fallback and pin is recorded as spans and counters in the
+active :mod:`repro.obs` registry by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu.memory import DType
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One ladder step: which faults it addresses, what it swaps."""
+
+    name: str
+    stage: str  # fault stage this rung fixes: "matmul" | "numeric" | "mapping"
+    overrides: tuple  # ((config field, value), ...)
+
+
+DEFAULT_RUNGS = (
+    Rung("mm", "matmul", (("grouping", "separate"),)),
+    Rung(
+        "fp32-scalar",
+        "numeric",
+        (("dtype", DType.FP32), ("vectorized", False)),
+    ),
+    Rung(
+        "hashmap",
+        "mapping",
+        (("map_backend", "hash"), ("use_map_symmetry", False)),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class DegradationLadder:
+    """Cumulative sequence of config degradations.
+
+    Level ``L`` applies the overrides of the first ``L`` rungs; level 0
+    is the undegraded configuration, ``len(rungs)`` the floor.
+    """
+
+    rungs: tuple = DEFAULT_RUNGS
+
+    @property
+    def floor(self) -> int:
+        return len(self.rungs)
+
+    def rung_name(self, level: int) -> str:
+        """Display name of a level (its deepest applied rung)."""
+        if level <= 0:
+            return "full"
+        return self.rungs[min(level, self.floor) - 1].name
+
+    def config_at(self, config, level: int):
+        """The engine config degraded to ``level`` (0 = unchanged)."""
+        if level < 0 or level > self.floor:
+            raise ValueError(f"level must be in [0, {self.floor}], got {level}")
+        for rung in self.rungs[:level]:
+            config = replace(config, **dict(rung.overrides))
+        return config
+
+    def next_level(self, level: int, fault_stage: str) -> int | None:
+        """First level past ``level`` whose new rung addresses the fault.
+
+        A fault no remaining rung addresses still advances one step
+        (cumulative degradation may clear transient faults); ``None``
+        once the floor is exhausted.
+        """
+        if level >= self.floor:
+            return None
+        for i in range(level, self.floor):
+            if self.rungs[i].stage == fault_stage:
+                return i + 1
+        return level + 1
+
+
+DEFAULT_LADDER = DegradationLadder()
+
+
+@dataclass
+class CircuitBreaker:
+    """Failure memory for one layer.
+
+    After ``threshold`` recorded failures the breaker *pins* the layer
+    at the deepest level that recovered it: subsequent calls start
+    degraded instead of re-discovering the fault on every input.
+    """
+
+    threshold: int = 3
+    failures: int = 0
+    pinned: int = 0
+    #: level of the most recent successful execution
+    last_good: int = 0
+
+    @property
+    def open(self) -> bool:
+        """True once the breaker has pinned a fallback."""
+        return self.pinned > 0
+
+    def record_failure(self, recovered_level: int) -> bool:
+        """Count a failure; returns True if this call pinned the layer."""
+        self.failures += 1
+        if self.failures >= self.threshold and recovered_level > self.pinned:
+            self.pinned = recovered_level
+            return True
+        return False
+
+    def record_success(self, level: int) -> None:
+        self.last_good = level
+
+
+@dataclass(frozen=True)
+class RobustConfig:
+    """Robustness knobs carried by :class:`repro.core.engine.EngineConfig`.
+
+    Attributes:
+        detect: run fault detection (kernel-map verification, numeric
+            checks).  Detection without ``degrade`` turns faults into
+            *typed* errors instead of silent corruption or bare asserts.
+        degrade: retry detected faults down the ladder.
+        input_policy: what to do with non-finite input features at the
+            convolution boundary: ``"repair"`` (zero them, counted) or
+            ``"strict"`` (raise :class:`InputValidationError`).
+        verify_kmap: range-check kernel maps after construction.
+        verify_numerics: check layer outputs for NaN/Inf.
+        max_retries: ladder retries per layer call before giving up.
+        breaker_threshold: failures before a layer pins its fallback.
+    """
+
+    detect: bool = True
+    degrade: bool = True
+    input_policy: str = "repair"
+    verify_kmap: bool = True
+    verify_numerics: bool = True
+    max_retries: int = 4
+    breaker_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_policy not in ("repair", "strict"):
+            raise ValueError(
+                f"input_policy must be 'repair' or 'strict', got {self.input_policy!r}"
+            )
+        if self.max_retries < 0 or self.breaker_threshold < 1:
+            raise ValueError("max_retries >= 0 and breaker_threshold >= 1 required")

@@ -1,0 +1,87 @@
+"""Typed fault taxonomy of the robustness subsystem.
+
+Every failure mode the engine can *detect* raises a subclass of
+:class:`RobustnessError` carrying a ``kind`` (stable label used in
+metrics/spans) and a ``stage`` (which degradation rung addresses it —
+see :mod:`repro.robust.degrade`).  The hierarchy deliberately
+double-inherits from the builtin exception a pre-robustness caller
+would have expected (``ValueError`` for bad inputs, ``MemoryError``
+for allocation failures) so hardening the engine never *narrows* what
+existing ``except`` clauses catch.
+"""
+
+from __future__ import annotations
+
+
+class RobustnessError(RuntimeError):
+    """Base of every detectable engine fault.
+
+    Attributes:
+        kind: stable short label (metric/span dimension).
+        stage: pipeline aspect a degradation rung can swap out —
+            ``"mapping"``, ``"matmul"``, ``"numeric"`` or ``"input"``.
+    """
+
+    kind = "fault"
+    stage = "generic"
+
+
+class InputValidationError(RobustnessError, ValueError):
+    """Malformed point cloud or tensor at an API boundary."""
+
+    kind = "input"
+    stage = "input"
+
+
+class KernelMapCorruptionError(RobustnessError):
+    """A kernel map holds out-of-range or inconsistent index pairs."""
+
+    kind = "kmap_corrupt"
+    stage = "mapping"
+
+
+class TableOverflowError(RobustnessError, ValueError):
+    """A hash table cannot hold the requested entries."""
+
+    kind = "hash_overflow"
+    stage = "mapping"
+
+
+class GridMemoryError(RobustnessError, MemoryError):
+    """A grid table's bounding-box volume exceeds its memory budget."""
+
+    kind = "grid_oom"
+    stage = "mapping"
+
+
+class NumericFaultError(RobustnessError):
+    """Non-finite values appeared inside the compute pipeline."""
+
+    kind = "numeric"
+    stage = "numeric"
+
+
+class StrategyBookError(RobustnessError, ValueError):
+    """A tuned strategy book failed to load or parse."""
+
+    kind = "strategy_book"
+    stage = "matmul"
+
+
+class DegradationExhaustedError(RobustnessError):
+    """Every ladder rung failed; the layer cannot be salvaged."""
+
+    kind = "exhausted"
+    stage = "generic"
+
+
+#: Faults the engine's retry ladder is allowed to catch.  Deliberately
+#: excludes :class:`DegradationExhaustedError` (terminal) and plain
+#: builtin exceptions (programming errors must keep crashing loudly).
+FAULT_ERRORS = (
+    InputValidationError,
+    KernelMapCorruptionError,
+    TableOverflowError,
+    GridMemoryError,
+    NumericFaultError,
+)

@@ -1,0 +1,233 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultInjector` holds an armed list of :class:`FaultSpec`
+entries and a seeded generator; injection *sites* across the pipeline
+ask :func:`get_injector` whether a fault of their kind should fire at
+their location.  Sites are no-ops when no injector is installed, so
+production paths pay one ``is None`` check.
+
+Sites (mirroring where real engines break):
+
+* ``kmap_corrupt``   — scramble kernel-map entries out of range
+  (engine, after map search);
+* ``hash_overflow``  — under-size a hash table so insertion overflows
+  (:meth:`repro.hashmap.hash_table.HashTable.from_keys`);
+* ``grid_oom``       — fail a grid-table allocation as if the
+  ``MAX_GRID_BYTES`` budget were exceeded (engine, table build);
+* ``strategy_drop``  — drop the tuner's :class:`StrategyBook` entry for
+  a layer (engine, dataflow dispatch);
+* ``matmul_nan``     — flip matmul outputs to NaN, modeling reduced-
+  precision overflow: only fires when the pipeline runs below FP32
+  (:func:`repro.core.dataflow.execute_gather_matmul_scatter`);
+* ``input_corrupt``  — dirty a raw point cloud before tensor
+  construction (chaos harness, dataset boundary).
+
+Every shot is recorded on the injector (``fired``) and counted in the
+current metrics registry as ``faults.injected{kind=...}``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.robust.errors import GridMemoryError
+
+FAULT_KINDS = (
+    "kmap_corrupt",
+    "hash_overflow",
+    "grid_oom",
+    "strategy_drop",
+    "matmul_nan",
+    "input_corrupt",
+)
+
+#: Sticky by default: these model environmental conditions that persist
+#: until the engine routes around them; the rest are one-shot glitches.
+STICKY_KINDS = ("grid_oom", "strategy_drop")
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        site: substring the firing site's label must contain
+            (``""`` matches everywhere).
+        count: remaining shots; negative means unlimited (sticky).
+        severity: fraction of entries corrupted where applicable.
+    """
+
+    kind: str
+    site: str = ""
+    count: int = 1
+    severity: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+
+class FaultInjector:
+    """Seeded dispenser of armed faults.
+
+    Args:
+        seed: drives every corruption pattern — identical seeds and
+            specs reproduce identical campaigns bit for bit.
+        specs: initial :class:`FaultSpec` list (copied; arming more
+            later via :meth:`arm` is fine).
+    """
+
+    def __init__(self, seed: int = 0, specs=()):
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self._specs = [replace(s) for s in specs]
+        #: every shot taken: (kind, site) in firing order
+        self.fired: list[tuple[str, str]] = []
+
+    def arm(self, spec: FaultSpec) -> "FaultInjector":
+        self._specs.append(replace(spec))
+        return self
+
+    def fire(self, kind: str, site: str = "") -> FaultSpec | None:
+        """Take a shot of ``kind`` at ``site`` if one is armed."""
+        for spec in self._specs:
+            if spec.kind != kind or spec.count == 0:
+                continue
+            if spec.site and spec.site not in site:
+                continue
+            if spec.count > 0:
+                spec.count -= 1
+            self.fired.append((kind, site))
+            get_registry().counter("faults.injected", kind=kind).inc()
+            return spec
+        return None
+
+    @property
+    def shots(self) -> int:
+        return len(self.fired)
+
+
+# -- the process-wide current injector -------------------------------------
+
+_CURRENT: FaultInjector | None = None
+
+
+def get_injector() -> FaultInjector | None:
+    """The active injector, or ``None`` outside fault campaigns."""
+    return _CURRENT
+
+
+@contextmanager
+def inject_faults(injector: FaultInjector):
+    """Install ``injector`` for the duration of the block."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = injector
+    try:
+        yield injector
+    finally:
+        _CURRENT = previous
+
+
+# -- injection-site helpers (each a no-op without an active injector) ------
+
+
+def maybe_corrupt_kmap(kmap, site: str = "") -> bool:
+    """Scramble some of one non-empty offset's input indices out of range."""
+    inj = _CURRENT
+    if inj is None:
+        return False
+    spec = inj.fire("kmap_corrupt", site)
+    if spec is None:
+        return False
+    candidates = [n for n in range(kmap.volume) if len(kmap.in_indices[n])]
+    if not candidates:
+        return False
+    n = candidates[int(inj.rng.integers(len(candidates)))]
+    idx = kmap.in_indices[n]
+    hits = max(1, int(len(idx) * spec.severity))
+    where = inj.rng.choice(len(idx), size=min(hits, len(idx)), replace=False)
+    idx[where] = kmap.n_in + 1 + inj.rng.integers(0, 1 << 20, size=where.shape)
+    return True
+
+
+def maybe_shrink_capacity(capacity: int, n_keys: int) -> int:
+    """Return an under-sized hash-table capacity when an overflow is armed."""
+    inj = _CURRENT
+    if inj is None or n_keys <= 2:
+        return capacity
+    if inj.fire("hash_overflow", site=f"hash.build.n{n_keys}") is None:
+        return capacity
+    return 2  # rounds to capacity 2 < n_keys: insertion must overflow
+
+
+def maybe_grid_oom(site: str = "") -> None:
+    """Raise :class:`GridMemoryError` as if the grid budget were blown."""
+    inj = _CURRENT
+    if inj is None:
+        return
+    if inj.fire("grid_oom", site) is not None:
+        raise GridMemoryError(
+            f"injected grid-table allocation failure at {site or 'table build'}"
+        )
+
+
+def maybe_drop_strategy(layer_name: str) -> bool:
+    """True when the tuned strategy entry for this layer should vanish."""
+    inj = _CURRENT
+    if inj is None:
+        return False
+    return inj.fire("strategy_drop", site=layer_name) is not None
+
+
+def maybe_inject_matmul_nan(acc: np.ndarray, dtype) -> bool:
+    """Flip random accumulator entries to NaN (sub-FP32 pipelines only).
+
+    Models half-precision overflow: a pipeline degraded to FP32 is
+    genuinely immune, which is what makes the ladder's FP32 rung a
+    *fix* rather than a coin flip.
+    """
+    from repro.gpu.memory import DType
+
+    inj = _CURRENT
+    if inj is None or dtype is DType.FP32 or acc.size == 0:
+        return False
+    spec = inj.fire("matmul_nan", site=f"matmul.{dtype.name.lower()}")
+    if spec is None:
+        return False
+    hits = max(1, int(acc.size * spec.severity))
+    flat = inj.rng.choice(acc.size, size=min(hits, acc.size), replace=False)
+    acc.reshape(-1)[flat] = np.nan
+    return True
+
+
+def maybe_corrupt_cloud(
+    coords: np.ndarray, feats: np.ndarray, site: str = "dataset"
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Dirty a raw cloud: NaN features, a duplicated row, an OOB coordinate."""
+    inj = _CURRENT
+    if inj is None:
+        return coords, feats, False
+    spec = inj.fire("input_corrupt", site)
+    if spec is None:
+        return coords, feats, False
+    coords = np.array(coords, dtype=np.int64, copy=True)
+    feats = np.array(feats, dtype=np.float32, copy=True)
+    n = coords.shape[0]
+    if n:
+        hits = max(1, int(feats.size * spec.severity))
+        flat = inj.rng.choice(feats.size, size=min(hits, feats.size), replace=False)
+        feats.reshape(-1)[flat] = np.nan
+        dup = int(inj.rng.integers(n))
+        coords = np.concatenate([coords, coords[dup : dup + 1]], axis=0)
+        feats = np.concatenate([feats, feats[dup : dup + 1]], axis=0)
+        oob = int(inj.rng.integers(coords.shape[0]))
+        coords[oob, 1] = 1 << 20  # outside the packable coordinate range
+    return coords, feats, True

@@ -1,0 +1,195 @@
+"""Input validation and sanitization for point clouds.
+
+The outermost trust boundary of the engine: everything entering via
+:class:`~repro.core.sparse_tensor.SparseTensor` construction or dataset
+loading passes through :func:`validate_cloud` under one of three
+policies:
+
+* ``strict`` — raise :class:`InputValidationError` on the first issue
+  (the right default for tests and offline pipelines);
+* ``repair`` — fix what is fixable (zero non-finite features, round
+  integral-float coordinates, drop unpackable rows, merge duplicate
+  voxels by feature mean) and raise only on the unfixable (empty
+  clouds, shape mismatches);
+* ``reject`` — like strict, but callers treat the error as "skip this
+  sample" (:func:`clean_batch` implements exactly that for loaders).
+
+Each repair/rejection is counted in the metrics registry under
+``robust.inputs{action=...}`` so a long-running service can watch its
+ingress quality degrade before it becomes an outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.robust.errors import InputValidationError
+
+POLICIES = ("strict", "repair", "reject")
+
+
+@dataclass
+class ValidationReport:
+    """What :func:`validate_cloud` found and did."""
+
+    issues: list = field(default_factory=list)
+    repairs: list = field(default_factory=list)
+    dropped_rows: int = 0
+    merged_duplicates: int = 0
+    nonfinite_feats: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the input needed neither repairs nor complaints."""
+        return not self.issues and not self.repairs
+
+    def _issue(self, policy: str, message: str) -> None:
+        self.issues.append(message)
+        if policy != "repair":
+            raise InputValidationError(
+                "invalid point cloud: " + "; ".join(self.issues)
+            )
+        self.repairs.append(message)
+
+
+def _coord_range():
+    from repro.hashmap.coords import COORD_MAX, COORD_MIN
+
+    return COORD_MIN, COORD_MAX
+
+
+def validate_cloud(
+    coords: np.ndarray,
+    feats: np.ndarray,
+    policy: str = "strict",
+) -> tuple[np.ndarray, np.ndarray, ValidationReport]:
+    """Validate (and under ``repair``, sanitize) a raw cloud.
+
+    Returns ``(coords int32 (N,4), feats float32 (N,C), report)``.
+
+    Raises:
+        InputValidationError: on any issue under ``strict``/``reject``,
+            or on unfixable issues (empty cloud, shape mismatch,
+            non-numeric data) under every policy.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    report = ValidationReport()
+    reg = get_registry()
+    reg.counter("robust.inputs", action="validated").inc()
+
+    coords = np.asarray(coords)
+    feats = np.asarray(feats)
+    if coords.dtype == object or feats.dtype == object:
+        raise InputValidationError("coords/feats must be numeric arrays")
+    if coords.ndim != 2 or coords.shape[1] != 4:
+        raise InputValidationError(
+            f"coords must be (N, 4) (batch, x, y, z), got {coords.shape}"
+        )
+    if feats.ndim != 2:
+        raise InputValidationError(f"feats must be (N, C), got {feats.shape}")
+    if coords.shape[0] != feats.shape[0]:
+        raise InputValidationError(
+            f"coords ({coords.shape[0]}) and feats ({feats.shape[0]}) "
+            "disagree on the number of points"
+        )
+    if coords.shape[0] == 0:
+        raise InputValidationError("empty point cloud")
+
+    feats = feats.astype(np.float32, copy=True)
+
+    # -- coordinate dtype: floats must be finite and integral --------------
+    if np.issubdtype(coords.dtype, np.floating):
+        finite = np.isfinite(coords).all(axis=1)
+        if not finite.all():
+            bad = int((~finite).sum())
+            report._issue(policy, f"{bad} coordinate rows are non-finite")
+            coords, feats = coords[finite], feats[finite]
+            report.dropped_rows += bad
+        if coords.size and np.any(coords != np.round(coords)):
+            report._issue(policy, "coordinates have fractional values")
+            coords = np.round(coords)
+        coords = coords.astype(np.int64)
+    elif not np.issubdtype(coords.dtype, np.integer):
+        raise InputValidationError(
+            f"coords dtype {coords.dtype} is not integer or float"
+        )
+    else:
+        coords = coords.astype(np.int64)
+
+    # -- coordinate range: must survive int32 storage and key packing ------
+    lo, hi = _coord_range()
+    if coords.shape[0]:
+        ok = (
+            (coords[:, 1:] >= lo).all(axis=1)
+            & (coords[:, 1:] <= hi).all(axis=1)
+            & (coords[:, 0] >= 0)
+            & (coords[:, 0] < (1 << 15))
+        )
+        if not ok.all():
+            bad = int((~ok).sum())
+            report._issue(
+                policy,
+                f"{bad} coordinate rows outside the packable range "
+                f"[{lo}, {hi}] (batch in [0, 2^15))",
+            )
+            coords, feats = coords[ok], feats[ok]
+            report.dropped_rows += bad
+    if coords.shape[0] == 0:
+        raise InputValidationError(
+            "no valid points remain after dropping invalid coordinates"
+        )
+
+    # -- features: non-finite values --------------------------------------
+    finite = np.isfinite(feats)
+    if not finite.all():
+        n_bad = int((~finite).sum())
+        report.nonfinite_feats = n_bad
+        report._issue(policy, f"{n_bad} feature values are NaN/Inf")
+        feats = np.where(finite, feats, np.float32(0.0))
+
+    # -- duplicate voxels ---------------------------------------------------
+    from repro.hashmap.coords import pack_coords
+
+    keys = pack_coords(coords)
+    uniq, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+    if uniq.shape[0] != keys.shape[0]:
+        dups = int(keys.shape[0] - uniq.shape[0])
+        report.merged_duplicates = dups
+        report._issue(policy, f"{dups} duplicate coordinate rows")
+        merged = np.zeros((uniq.shape[0], feats.shape[1]), dtype=np.float64)
+        np.add.at(merged, inverse, feats.astype(np.float64))
+        merged /= counts[:, None]
+        order = np.argsort(inverse, kind="stable")
+        first = order[np.searchsorted(inverse[order], np.arange(uniq.shape[0]))]
+        coords = coords[first]
+        feats = merged.astype(np.float32)
+
+    if report.repairs:
+        reg.counter("robust.inputs", action="repaired").inc(len(report.repairs))
+    return coords.astype(np.int32), feats, report
+
+
+def clean_batch(clouds, policy: str = "reject") -> list:
+    """Filter/sanitize an iterable of ``(coords, feats)`` pairs.
+
+    Under ``reject`` (the loader default), invalid samples are dropped
+    and counted as ``robust.inputs{action=rejected}``; under ``repair``
+    they are sanitized in place; under ``strict`` the first bad sample
+    raises.  Returns the surviving ``(coords, feats)`` list.
+    """
+    out = []
+    reg = get_registry()
+    for coords, feats in clouds:
+        try:
+            c, f, _ = validate_cloud(coords, feats, policy=policy)
+        except InputValidationError:
+            if policy != "reject":
+                raise
+            reg.counter("robust.inputs", action="rejected").inc()
+            continue
+        out.append((c, f))
+    return out

@@ -1,0 +1,524 @@
+"""Tests for the robustness layer: validation, fault injection, the
+degradation ladder, circuit breakers, and the typed error taxonomy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    MAX_GRID_BYTES,
+    BaseEngine,
+    EngineConfig,
+    ExecutionContext,
+)
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.tuner import LayerStrategy, StrategyBook, load_strategy_book
+from repro.gpu.memory import DType
+from repro.hashmap.grid_table import GridTable
+from repro.hashmap.hash_table import HashTable
+from repro.mapping.kmap import CoordIndex
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.profiling.parallel import ShardResult
+from repro.robust.degrade import (
+    DEFAULT_LADDER,
+    CircuitBreaker,
+    DegradationLadder,
+    RobustConfig,
+)
+from repro.robust.errors import (
+    DegradationExhaustedError,
+    GridMemoryError,
+    InputValidationError,
+    KernelMapCorruptionError,
+    NumericFaultError,
+    RobustnessError,
+    StrategyBookError,
+    TableOverflowError,
+)
+from repro.robust.faults import FaultInjector, FaultSpec, inject_faults
+from repro.robust.validate import clean_batch, validate_cloud
+
+
+def make_cloud(n=80, c=4, seed=0, extent=16):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), dtype=np.int64),
+             rng.integers(0, extent, size=(n, 3))],
+            axis=1,
+        ),
+        axis=0,
+    )
+    feats = rng.standard_normal((coords.shape[0], c)).astype(np.float32)
+    return coords, feats
+
+
+def make_weights(k, c_in, c_out, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((k ** 3, c_in, c_out)) * 0.2).astype(np.float32)
+
+
+def hardened_engine(degrade=True, base=None, **overrides):
+    cfg = base if base is not None else EngineConfig.torchsparse()
+    return BaseEngine(
+        config=EngineConfig.hardened(cfg, degrade=degrade, **overrides)
+    )
+
+
+# -- validation --------------------------------------------------------------
+
+
+class TestValidateCloud:
+    def test_clean_cloud_passes_untouched(self):
+        coords, feats = make_cloud()
+        c, f, report = validate_cloud(coords, feats, policy="strict")
+        assert report.clean
+        assert np.array_equal(c, coords.astype(np.int32))
+        assert np.array_equal(f, feats)
+
+    def test_strict_raises_on_nan_features(self):
+        coords, feats = make_cloud()
+        feats[3, 1] = np.nan
+        with pytest.raises(InputValidationError):
+            validate_cloud(coords, feats, policy="strict")
+
+    def test_repair_zeroes_nan_features(self):
+        coords, feats = make_cloud()
+        feats[3, 1] = np.nan
+        feats[5, 0] = np.inf
+        _, f, report = validate_cloud(coords, feats, policy="repair")
+        assert np.isfinite(f).all()
+        assert report.nonfinite_feats == 2
+
+    def test_repair_drops_out_of_range_rows(self):
+        coords, feats = make_cloud()
+        coords = coords.copy()
+        coords[0, 1] = 1 << 20
+        c, f, report = validate_cloud(coords, feats, policy="repair")
+        assert c.shape[0] == coords.shape[0] - 1
+        assert report.dropped_rows == 1
+
+    def test_repair_merges_duplicates_by_mean(self):
+        coords = np.array([[0, 1, 1, 1], [0, 1, 1, 1], [0, 2, 2, 2]])
+        feats = np.array([[2.0], [4.0], [8.0]], dtype=np.float32)
+        c, f, report = validate_cloud(coords, feats, policy="repair")
+        assert c.shape[0] == 2
+        assert report.merged_duplicates == 1
+        row = f[np.where((c[:, 1] == 1))[0][0]]
+        assert row[0] == pytest.approx(3.0)
+
+    def test_repair_rounds_integral_floats(self):
+        coords = np.array([[0, 1.0, 2.0, 3.0]], dtype=np.float64)
+        feats = np.ones((1, 2), dtype=np.float32)
+        c, _, _ = validate_cloud(coords, feats, policy="repair")
+        assert c.dtype == np.int32
+        assert c[0, 3] == 3
+
+    def test_unfixable_always_raises(self):
+        with pytest.raises(InputValidationError):
+            validate_cloud(np.empty((0, 4)), np.empty((0, 2)), policy="repair")
+        coords, feats = make_cloud()
+        with pytest.raises(InputValidationError):
+            validate_cloud(coords[:, :3], feats, policy="repair")
+        with pytest.raises(InputValidationError):
+            validate_cloud(coords, feats[:-1], policy="repair")
+
+    def test_validation_error_is_a_value_error(self):
+        assert issubclass(InputValidationError, ValueError)
+        assert issubclass(InputValidationError, RobustnessError)
+
+    def test_clean_batch_rejects_bad_samples(self):
+        good = make_cloud(seed=1)
+        bad_coords, bad_feats = make_cloud(seed=2)
+        bad = (bad_coords[:, :3], bad_feats)
+        with use_registry(MetricsRegistry()) as reg:
+            out = clean_batch([good, bad], policy="reject")
+        assert len(out) == 1
+        assert reg.scalars()["robust.inputs{action=rejected}"] == 1
+
+
+class TestSparseTensorBoundary:
+    def test_nan_coords_rejected(self):
+        coords = np.array([[0, np.nan, 1, 1]], dtype=np.float64)
+        with pytest.raises(InputValidationError):
+            SparseTensor(coords, np.ones((1, 2), dtype=np.float32))
+
+    def test_fractional_coords_rejected(self):
+        coords = np.array([[0, 1.5, 1, 1]], dtype=np.float64)
+        with pytest.raises(InputValidationError):
+            SparseTensor(coords, np.ones((1, 2), dtype=np.float32))
+
+    def test_int64_overflow_rejected(self):
+        coords = np.array([[0, 1 << 40, 1, 1]], dtype=np.int64)
+        with pytest.raises(InputValidationError):
+            SparseTensor(coords, np.ones((1, 2), dtype=np.float32))
+
+    def test_integral_floats_accepted(self):
+        coords = np.array([[0, 1.0, 2.0, 3.0]], dtype=np.float64)
+        t = SparseTensor(coords, np.ones((1, 2), dtype=np.float32))
+        assert t.coords.dtype == np.int32
+
+    def test_sanitized_repairs_dirty_cloud(self):
+        coords, feats = make_cloud()
+        coords = coords.copy()
+        feats = feats.copy()
+        feats[0, 0] = np.nan
+        coords[1, 1] = 1 << 20
+        t = SparseTensor.sanitized(coords, feats, policy="repair")
+        assert np.isfinite(t.feats).all()
+        assert t.num_points == coords.shape[0] - 1
+
+
+# -- fault injection ---------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_noop_without_injector(self):
+        keys = np.arange(50, dtype=np.int64)
+        table = HashTable.from_keys(keys)  # no injector installed
+        assert len(table) == 50
+
+    def test_hash_overflow_injection(self):
+        keys = np.arange(50, dtype=np.int64)
+        inj = FaultInjector(seed=0, specs=[FaultSpec("hash_overflow")])
+        with inject_faults(inj):
+            with pytest.raises(TableOverflowError):
+                HashTable.from_keys(keys)
+        assert inj.shots == 1
+        # one-shot: a rebuild succeeds
+        with inject_faults(inj):
+            assert len(HashTable.from_keys(keys)) == 50
+
+    def test_overflow_error_is_value_error(self):
+        assert issubclass(TableOverflowError, ValueError)
+
+    def test_injection_counted_in_registry(self):
+        keys = np.arange(50, dtype=np.int64)
+        inj = FaultInjector(seed=0, specs=[FaultSpec("hash_overflow")])
+        with use_registry(MetricsRegistry()) as reg:
+            with inject_faults(inj):
+                with pytest.raises(TableOverflowError):
+                    HashTable.from_keys(keys)
+        assert reg.scalars()["faults.injected{kind=hash_overflow}"] == 1
+
+    def test_site_filter(self):
+        inj = FaultInjector(seed=0, specs=[FaultSpec("grid_oom", site="s2")])
+        from repro.robust.faults import maybe_grid_oom
+
+        with inject_faults(inj):
+            maybe_grid_oom("table.build.s1.grid")  # site mismatch: no fire
+            with pytest.raises(GridMemoryError):
+                maybe_grid_oom("table.build.s2.grid")
+
+    def test_deterministic_given_seed(self):
+        coords, feats = make_cloud()
+        outs = []
+        for _ in range(2):
+            from repro.robust.faults import maybe_corrupt_cloud
+
+            inj = FaultInjector(seed=7, specs=[FaultSpec("input_corrupt")])
+            with inject_faults(inj):
+                c, f, fired = maybe_corrupt_cloud(coords, feats)
+            assert fired
+            outs.append((c, f))
+        assert np.array_equal(outs[0][0], outs[1][0])
+        assert np.array_equal(outs[0][1], outs[1][1], equal_nan=True)
+
+
+class TestGridBudget:
+    def test_grid_table_respects_max_bytes(self):
+        coords = np.array([[0, 0, 0, 0], [0, 900, 900, 900]])
+        with pytest.raises(GridMemoryError):
+            GridTable.from_coords(coords, max_bytes=1024)
+
+    def test_grid_memory_error_is_memory_error(self):
+        assert issubclass(GridMemoryError, MemoryError)
+
+    def test_coord_index_passes_budget_through(self):
+        coords = np.array([[0, 0, 0, 0], [0, 900, 900, 900]])
+        with pytest.raises(GridMemoryError):
+            CoordIndex.build(coords, backend="grid", max_grid_bytes=1024)
+
+    def test_engine_auto_falls_back_to_hash_past_budget(self):
+        # extent ~8000 voxels per axis -> grid would need > MAX_GRID_BYTES
+        rng = np.random.default_rng(0)
+        coords = np.unique(
+            np.concatenate(
+                [np.zeros((200, 1), dtype=np.int64),
+                 rng.integers(0, 8000, size=(200, 3))],
+                axis=1,
+            ),
+            axis=0,
+        )
+        engine = BaseEngine(config=EngineConfig.torchsparse(map_backend="grid"))
+        extent = coords[:, 1:].max(axis=0) - coords[:, 1:].min(axis=0) + 3
+        assert int(np.prod(extent)) * 8 > MAX_GRID_BYTES
+        assert engine._choose_backend(coords) == "hash"
+
+    def test_engine_runs_oversized_scene_via_hash(self):
+        rng = np.random.default_rng(0)
+        coords = np.unique(
+            np.concatenate(
+                [np.zeros((150, 1), dtype=np.int64),
+                 rng.integers(0, 8000, size=(150, 3))],
+                axis=1,
+            ),
+            axis=0,
+        ).astype(np.int32)
+        feats = rng.standard_normal((coords.shape[0], 4)).astype(np.float32)
+        engine = BaseEngine(config=EngineConfig.torchsparse(map_backend="grid"))
+        ctx = ExecutionContext(engine=engine)
+        out = engine.convolution(
+            SparseTensor(coords, feats), make_weights(3, 4, 6), ctx
+        )
+        assert out.num_points == coords.shape[0]
+
+
+# -- the ladder and breakers -------------------------------------------------
+
+
+class TestLadder:
+    def test_levels_are_cumulative(self):
+        cfg = EngineConfig.torchsparse()
+        l1 = DEFAULT_LADDER.config_at(cfg, 1)
+        assert l1.grouping == "separate" and l1.dtype is DType.FP16
+        l2 = DEFAULT_LADDER.config_at(cfg, 2)
+        assert l2.grouping == "separate" and l2.dtype is DType.FP32
+        assert not l2.vectorized
+        l3 = DEFAULT_LADDER.config_at(cfg, 3)
+        assert l3.map_backend == "hash" and not l3.use_map_symmetry
+
+    def test_level_zero_is_identity(self):
+        cfg = EngineConfig.torchsparse()
+        assert DEFAULT_LADDER.config_at(cfg, 0) == cfg
+
+    def test_next_level_jumps_to_matching_stage(self):
+        assert DEFAULT_LADDER.next_level(0, "mapping") == 3
+        assert DEFAULT_LADDER.next_level(0, "numeric") == 2
+        assert DEFAULT_LADDER.next_level(0, "matmul") == 1
+        # unknown stage still advances one rung
+        assert DEFAULT_LADDER.next_level(0, "other") == 1
+        assert DEFAULT_LADDER.next_level(3, "mapping") is None
+
+    def test_rung_names(self):
+        assert DEFAULT_LADDER.rung_name(0) == "full"
+        assert DEFAULT_LADDER.rung_name(3) == "hashmap"
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.config_at(EngineConfig(), 99)
+
+
+class TestCircuitBreaker:
+    def test_pins_after_threshold(self):
+        b = CircuitBreaker(threshold=2)
+        assert not b.record_failure(3)
+        assert not b.open
+        assert b.record_failure(3)
+        assert b.open and b.pinned == 3
+
+    def test_engine_breaker_pins_sticky_fault(self):
+        engine = hardened_engine(breaker_threshold=2)
+        coords, feats = make_cloud()
+        x = SparseTensor(coords, feats)
+        w = make_weights(3, 4, 6)
+        inj = FaultInjector(
+            seed=0, specs=[FaultSpec("grid_oom", count=-1)]
+        )
+        with use_registry(MetricsRegistry()):
+            with inject_faults(inj):
+                for _ in range(3):
+                    ctx = ExecutionContext(engine=engine)
+                    engine.convolution(x, w, ctx, layer_name="layer")
+        breaker = engine.breakers["layer"]
+        assert breaker.open and breaker.pinned == 3
+        # pinned: later calls start degraded, so the sticky fault no
+        # longer fires at all
+        shots_before = inj.shots
+        with use_registry(MetricsRegistry()):
+            with inject_faults(inj):
+                ctx = ExecutionContext(engine=engine)
+                engine.convolution(x, w, ctx, layer_name="layer")
+        assert inj.shots == shots_before
+
+
+# -- engine recovery ---------------------------------------------------------
+
+
+class TestEngineRecovery:
+    def run_with_fault(self, kind, degrade=True, count=1, base=None):
+        engine = hardened_engine(degrade=degrade, base=base)
+        coords, feats = make_cloud()
+        x = SparseTensor(coords, feats)
+        w = make_weights(3, 4, 6)
+        inj = FaultInjector(seed=0, specs=[FaultSpec(kind, count=count)])
+        with use_registry(MetricsRegistry()) as reg:
+            with inject_faults(inj):
+                ctx = ExecutionContext(engine=engine)
+                out = engine.convolution(x, w, ctx, layer_name="conv")
+        return engine, out, inj, reg
+
+    def test_recovers_from_kmap_corruption(self):
+        engine, out, inj, reg = self.run_with_fault("kmap_corrupt")
+        assert inj.shots == 1
+        assert np.isfinite(out.feats).all()
+        assert engine.breakers["conv"].last_good == 3
+        scalars = reg.scalars()
+        assert scalars["robust.faults{kind=kmap_corrupt,layer=conv}"] == 1
+
+    def test_recovers_from_grid_oom(self):
+        engine, out, inj, _ = self.run_with_fault("grid_oom", count=-1)
+        assert inj.shots >= 1
+        assert engine.breakers["conv"].last_good == 3
+
+    def test_recovers_from_matmul_nan_via_fp32(self):
+        engine, out, inj, _ = self.run_with_fault("matmul_nan")
+        assert inj.shots == 1
+        assert np.isfinite(out.feats).all()
+        assert engine.breakers["conv"].last_good == 2
+
+    def test_degrade_disabled_raises_typed_errors(self):
+        with pytest.raises(KernelMapCorruptionError):
+            self.run_with_fault("kmap_corrupt", degrade=False)
+        with pytest.raises(NumericFaultError):
+            self.run_with_fault("matmul_nan", degrade=False)
+        with pytest.raises(GridMemoryError):
+            self.run_with_fault("grid_oom", degrade=False)
+
+    def test_exhaustion_raises_degradation_exhausted(self):
+        # a sticky numeric fault that even FP32 cannot fix does not
+        # exist in the kind set, so exhaust via an unfixable input:
+        # corrupt the kmap every single attempt
+        engine = hardened_engine()
+        coords, feats = make_cloud()
+        x = SparseTensor(coords, feats)
+        w = make_weights(3, 4, 6)
+        inj = FaultInjector(seed=0, specs=[FaultSpec("kmap_corrupt", count=-1)])
+        with use_registry(MetricsRegistry()):
+            with inject_faults(inj):
+                ctx = ExecutionContext(engine=engine)
+                with pytest.raises(DegradationExhaustedError):
+                    engine.convolution(x, w, ctx, layer_name="conv")
+
+    def test_input_nan_repaired_at_conv_boundary(self):
+        engine = hardened_engine()
+        coords, feats = make_cloud()
+        feats = feats.copy()
+        feats[0, 0] = np.nan
+        with use_registry(MetricsRegistry()) as reg:
+            ctx = ExecutionContext(engine=engine)
+            out = engine.convolution(
+                SparseTensor(coords, feats), make_weights(3, 4, 6), ctx,
+                layer_name="conv",
+            )
+        assert np.isfinite(out.feats).all()
+        assert reg.scalars()["robust.inputs{action=repaired}"] >= 1
+
+    def test_input_nan_strict_raises(self):
+        engine = hardened_engine(input_policy="strict")
+        coords, feats = make_cloud()
+        feats = feats.copy()
+        feats[0, 0] = np.nan
+        with use_registry(MetricsRegistry()):
+            ctx = ExecutionContext(engine=engine)
+            with pytest.raises(InputValidationError):
+                engine.convolution(
+                    SparseTensor(coords, feats), make_weights(3, 4, 6), ctx
+                )
+
+    def test_no_robustness_preserves_seed_behavior(self):
+        cfg = EngineConfig.torchsparse()
+        assert cfg.robustness is None
+        coords, feats = make_cloud()
+        x = SparseTensor(coords, feats)
+        w = make_weights(3, 4, 6)
+        with use_registry(MetricsRegistry()):
+            plain = BaseEngine(config=cfg)
+            out_plain = plain.convolution(x, w, ExecutionContext(engine=plain))
+            hard = hardened_engine()
+            out_hard = hard.convolution(x, w, ExecutionContext(engine=hard))
+        assert np.array_equal(out_plain.feats, out_hard.feats)
+
+    def test_empty_tensor_raises_typed_error(self):
+        engine = BaseEngine()
+        x = SparseTensor(
+            np.empty((0, 4), dtype=np.int32), np.empty((0, 3), dtype=np.float32)
+        )
+        with pytest.raises(InputValidationError):
+            engine.convolution(x, make_weights(3, 3, 3), ExecutionContext(engine=engine))
+
+    def test_strategy_drop_falls_back_to_defaults(self):
+        book = StrategyBook()
+        book.set("conv", LayerStrategy(epsilon=0.9, s_threshold=math.inf))
+        base = EngineConfig.torchsparse(strategy_book=book)
+        engine, out, inj, reg = self.run_with_fault(
+            "strategy_drop", count=-1, base=base
+        )
+        assert inj.shots >= 1
+        assert reg.scalars()["robust.strategy_fallback{layer=conv}"] >= 1
+        assert np.isfinite(out.feats).all()
+
+
+# -- strategy book hardening -------------------------------------------------
+
+
+class TestStrategyBookErrors:
+    def test_truncated_json(self):
+        good = StrategyBook(device_name="d")
+        good.set("a", LayerStrategy(epsilon=0.5, s_threshold=1e4))
+        text = good.dumps()
+        with pytest.raises(StrategyBookError):
+            StrategyBook.loads(text[: len(text) // 2])
+
+    def test_wrong_shape(self):
+        with pytest.raises(StrategyBookError):
+            StrategyBook.loads("[1, 2, 3]")
+        with pytest.raises(StrategyBookError):
+            StrategyBook.loads('{"layers": ["oops"]}')
+
+    def test_missing_field(self):
+        with pytest.raises(StrategyBookError):
+            StrategyBook.loads('{"layers": {"a": {"epsilon": 0.5}}}')
+
+    def test_out_of_range_epsilon(self):
+        with pytest.raises(StrategyBookError):
+            StrategyBook.loads(
+                '{"layers": {"a": {"epsilon": 3.0, "s_threshold": 1}}}'
+            )
+
+    def test_error_is_value_error(self):
+        assert issubclass(StrategyBookError, ValueError)
+
+    def test_roundtrip_still_works(self):
+        good = StrategyBook(device_name="d")
+        good.set("a", LayerStrategy(epsilon=0.5, s_threshold=math.inf))
+        loaded = StrategyBook.loads(good.dumps())
+        assert loaded.get("a").s_threshold == math.inf
+
+    def test_load_helper_fallback(self, tmp_path):
+        p = tmp_path / "book.json"
+        p.write_text("{nope")
+        assert load_strategy_book(str(p), fallback=True) is None
+        with pytest.raises(StrategyBookError):
+            load_strategy_book(str(p))
+        assert load_strategy_book(str(tmp_path / "absent"), fallback=True) is None
+
+
+# -- satellite: shard throughput ---------------------------------------------
+
+
+class TestShardResult:
+    def test_zero_makespan_is_infinitely_fast(self):
+        r = ShardResult(
+            per_device={}, assignments={}, makespan=0.0, total_inputs=0
+        )
+        assert r.throughput == float("inf")
+        assert r.speedup_over(1.0) == float("inf")
+
+    def test_normal_makespan(self):
+        r = ShardResult(
+            per_device={}, assignments={}, makespan=2.0, total_inputs=10
+        )
+        assert r.throughput == pytest.approx(5.0)
+        assert r.speedup_over(4.0) == pytest.approx(2.0)
