@@ -8,6 +8,7 @@ Subcommands::
     repro-bench tune --model minkunet_0.5x_kitti --out strategies.json
     repro-bench regress --model minkunet_0.5x_kitti --baseline base.json
     repro-bench chaos --seeds 3 --json chaos.json
+    repro-bench serve --faults device_crash,device_stall --json serve.json
 
 ``bench`` can export observability artifacts: ``--trace`` writes a
 nested-span Chrome trace (open in Perfetto), ``--metrics`` a JSONL
@@ -17,6 +18,10 @@ on later runs exits nonzero when modeled latency, stage times, or any
 gated metric drifts past tolerance.  ``chaos`` runs seeded
 fault-injection campaigns end to end (see :mod:`repro.robust.chaos`)
 and exits nonzero unless every trial survives with bit-exact recovery.
+``serve`` drives a simulated-clock serving campaign — Poisson traffic
+over a device fleet with deadlines, retry/hedging, and fleet health
+(see :mod:`repro.serve`) — and exits nonzero on any non-terminal
+request or SLO attainment below ``--slo-floor``.
 
 All latencies are modeled on the selected device spec (see
 ``repro.gpu``); wall-clock on the host is reported separately.
@@ -37,6 +42,7 @@ from repro.core.tuner import load_strategy_book
 from repro.gpu.device import CPU_16C, GPU_REGISTRY, GPUSpec
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.regress import (
+    CHAOS_SCHEMA,
     DEFAULT_TOLERANCE,
     compare_snapshots,
     format_report,
@@ -229,12 +235,12 @@ def cmd_tune(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.robust.chaos import PRESETS, run_campaign
-    from repro.robust.faults import FAULT_KINDS
+    from repro.robust.faults import PIPELINE_FAULT_KINDS
 
     kinds = (
         [k.strip() for k in args.kinds.split(",") if k.strip()]
         if args.kinds
-        else list(FAULT_KINDS)
+        else list(PIPELINE_FAULT_KINDS)
     )
     presets = (
         [p.strip() for p in args.presets.split(",") if p.strip()]
@@ -286,10 +292,115 @@ def cmd_chaos(args) -> int:
         f"host wall {time.time() - t0:.1f}s"
     )
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+        write_snapshot({"schema": CHAOS_SCHEMA, **report.to_json()}, args.json)
         print(f"chaos report written to {args.json}")
     return 0 if report.passed else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.gpu.device import GPU_REGISTRY
+    from repro.robust.faults import SERVE_FAULT_KINDS, FaultInjector, FaultSpec
+    from repro.serve import (
+        ServeConfig,
+        TrafficConfig,
+        format_serve_summary,
+        run_serve_campaign,
+    )
+    from repro.serve.request import HedgePolicy, RetryPolicy
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    for m in models:
+        _zoo_entry(m)  # fail fast on typos
+    devices = []
+    for key in (d.strip() for d in args.devices.split(",") if d.strip()):
+        if key not in DEVICES:
+            raise SystemExit(
+                f"unknown device {key!r}; expected one of {list(DEVICES)}"
+            )
+        devices.append(DEVICES[key])
+    from repro.profiling.parallel import device_labels
+
+    kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
+    specs = []
+    for kind in kinds:
+        if kind not in SERVE_FAULT_KINDS:
+            raise SystemExit(
+                f"unknown serve fault {kind!r}; expected one of "
+                f"{SERVE_FAULT_KINDS}"
+            )
+        if kind == "device_crash":
+            specs.append(FaultSpec(kind=kind, count=args.crashes))
+        elif kind == "device_stall":
+            # pin the sticky stall to the last fleet slot: one genuine
+            # straggler card, not a uniform fleet-wide slowdown
+            straggler = device_labels(devices)[-1]
+            specs.append(
+                FaultSpec(kind=kind, site=straggler, count=-1, severity=0.1)
+            )
+        else:  # queue_spike
+            specs.append(FaultSpec(kind=kind, count=max(1, args.crashes // 2)))
+    injector = FaultInjector(seed=args.seed, specs=specs) if specs else None
+
+    config = ServeConfig(
+        devices=tuple(devices),
+        preset=args.preset,
+        queue_capacity=args.queue_capacity,
+        deadline_factor=args.deadline_factor,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        hedge=HedgePolicy(enabled=not args.no_hedge),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    traffic = TrafficConfig(
+        rate=args.rate,
+        duration=args.duration,
+        models=tuple(models),
+        seed=args.seed,
+    )
+    t0 = time.time()
+    with use_registry(MetricsRegistry()) as reg:
+        report = run_serve_campaign(config, traffic, injector=injector)
+    rows = [
+        [
+            label,
+            report.fleet[label]["state"],
+            str(u["completed"]),
+            f"{u['busy_time'] * 1e3:.1f}",
+            str(report.fleet[label]["crashes"]),
+            str(report.fleet[label]["probes"]),
+        ]
+        for label, u in report.utilization.items()
+    ]
+    print(
+        format_table(
+            ["device", "health", "completed", "busy (ms)", "crashes",
+             "probes"],
+            rows,
+            title=f"serve campaign ({args.preset}, seed {args.seed}, "
+            f"{args.rate:.0f} req/s x {args.duration:.2f}s)",
+        )
+    )
+    print(format_serve_summary(report))
+    shots = injector.shots if injector else 0
+    print(
+        f"terminal states: {'all' if report.all_terminal else 'INCOMPLETE'} | "
+        f"fault shots {shots} | host wall {time.time() - t0:.1f}s"
+    )
+    if args.metrics:
+        reg.dump_jsonl(args.metrics)
+        print(f"metrics JSONL written to {args.metrics}")
+    if args.json:
+        write_snapshot(report.to_json(), args.json)
+        print(f"serve report written to {args.json}")
+    ok = report.all_terminal and report.slo_attainment >= args.slo_floor
+    if not ok:
+        print(
+            f"FAIL: slo_attainment {report.slo_attainment:.3f} < floor "
+            f"{args.slo_floor:.3f}"
+            if report.all_terminal
+            else "FAIL: non-terminal requests at campaign end"
+        )
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -387,7 +498,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--json", metavar="PATH",
-        help="write the full campaign report as JSON",
+        help="write the full campaign report as JSON "
+        f"(schema {CHAOS_SCHEMA})",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="seeded serving campaign: deadline-aware admission, "
+        "retry/hedging, fleet health",
+    )
+    p_serve.add_argument(
+        "--models", default="minkunet_0.5x_kitti",
+        help="comma-separated zoo models in the traffic mix",
+    )
+    p_serve.add_argument(
+        "--devices", default="2080ti,2080ti,3090",
+        help="comma-separated fleet (repeat a key for multiple cards)",
+    )
+    p_serve.add_argument(
+        "--preset", choices=["torchsparse", "baseline"],
+        default="torchsparse",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=250.0,
+        help="mean Poisson arrivals per sim second (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=1.0,
+        help="arrival window, sim seconds (default %(default)s)",
+    )
+    p_serve.add_argument("--scale", type=float, default=0.15)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--queue-capacity", type=int, default=64)
+    p_serve.add_argument(
+        "--deadline-factor", type=float, default=10.0,
+        help="per-request SLO: factor x base latency on the slowest card",
+    )
+    p_serve.add_argument("--max-retries", type=int, default=2)
+    p_serve.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable straggler hedging",
+    )
+    p_serve.add_argument(
+        "--faults", default="",
+        help="comma-separated serve fault kinds to inject "
+        "(device_crash, device_stall, queue_spike)",
+    )
+    p_serve.add_argument(
+        "--crashes", type=int, default=4,
+        help="armed device_crash shots (default %(default)s); "
+        "queue_spike bursts arm at half this",
+    )
+    p_serve.add_argument(
+        "--slo-floor", type=float, default=0.0,
+        help="exit nonzero when SLO attainment falls below this",
+    )
+    p_serve.add_argument(
+        "--metrics", metavar="PATH",
+        help="dump the campaign's metrics registry as JSONL",
+    )
+    p_serve.add_argument(
+        "--json", metavar="PATH",
+        help="write the campaign report (schema repro-bench.serve/1)",
     )
 
     return parser
@@ -402,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": cmd_tune,
         "regress": cmd_regress,
         "chaos": cmd_chaos,
+        "serve": cmd_serve,
     }[args.command](args)
 
 

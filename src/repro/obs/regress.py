@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 
 SNAPSHOT_SCHEMA = "repro-bench.snapshot/1"
+#: machine-readable chaos-campaign summaries (``repro-bench chaos --json``)
+CHAOS_SCHEMA = "repro-bench.chaos/1"
 
 #: Relative drift allowed by default.  The engine's latency is modeled
 #: (deterministic given model/input/device), so the default is tight;
@@ -66,13 +68,13 @@ def write_snapshot(snap: dict, path: str) -> None:
         f.write("\n")
 
 
-def load_snapshot(path: str) -> dict:
+def load_snapshot(path: str, schema: str = SNAPSHOT_SCHEMA) -> dict:
     with open(path) as f:
         snap = json.load(f)
-    if snap.get("schema") != SNAPSHOT_SCHEMA:
+    if snap.get("schema") != schema:
         raise ValueError(
             f"{path}: not a repro-bench snapshot "
-            f"(schema {snap.get('schema')!r}, expected {SNAPSHOT_SCHEMA!r})"
+            f"(schema {snap.get('schema')!r}, expected {schema!r})"
         )
     return snap
 

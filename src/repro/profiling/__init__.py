@@ -13,6 +13,7 @@ from repro.profiling.report import (
     format_table,
     geomean,
     layer_table,
+    percentile,
 )
 from repro.profiling.trace import to_chrome_trace, write_chrome_trace
 
@@ -27,6 +28,7 @@ __all__ = [
     "format_layer_report",
     "layer_table",
     "geomean",
+    "percentile",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

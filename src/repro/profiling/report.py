@@ -22,6 +22,24 @@ def geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The single definition shared by the batch sharding path
+    (:class:`~repro.profiling.parallel.ShardResult`) and the serving
+    layer (:class:`~repro.serve.report.ServeReport`) so both quote the
+    same p50/p99.  Nearest-rank (no interpolation) keeps results exactly
+    reproducible across platforms; an empty sample yields 0.0.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(vals)))
+    return float(vals[rank - 1])
+
+
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
 ) -> str:

@@ -28,6 +28,8 @@ from repro.robust.errors import (
 )
 from repro.robust.faults import (
     FAULT_KINDS,
+    PIPELINE_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
     get_injector,
@@ -50,6 +52,8 @@ from repro.robust.validate import (
 __all__ = [
     "FAULT_ERRORS",
     "FAULT_KINDS",
+    "PIPELINE_FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "POLICIES",
     "DEFAULT_LADDER",
     "CircuitBreaker",

@@ -41,7 +41,7 @@ from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.robust.degrade import DEFAULT_LADDER, CircuitBreaker, RobustConfig
 from repro.robust.errors import RobustnessError
 from repro.robust.faults import (
-    FAULT_KINDS,
+    PIPELINE_FAULT_KINDS,
     STICKY_KINDS,
     FaultInjector,
     FaultSpec,
@@ -144,6 +144,23 @@ class ChaosReport:
     def passed(self) -> bool:
         return self.ok_rate == 1.0 and all(self.reference_ok.values())
 
+    @property
+    def per_preset(self) -> dict:
+        """preset -> {trials, survived, ok, reference_ok} summary."""
+        out: dict = {}
+        for t in self.trials:
+            entry = out.setdefault(
+                t.preset, {"trials": 0, "survived": 0, "ok": 0}
+            )
+            entry["trials"] += 1
+            entry["survived"] += int(t.survived)
+            entry["ok"] += int(t.ok)
+        for preset, ok in self.reference_ok.items():
+            out.setdefault(
+                preset, {"trials": 0, "survived": 0, "ok": 0}
+            )["reference_ok"] = bool(ok)
+        return out
+
     def to_json(self) -> dict:
         return {
             "degrade": self.degrade,
@@ -151,6 +168,7 @@ class ChaosReport:
             "ok_rate": self.ok_rate,
             "degradation_mix": self.degradation_mix,
             "reference_ok": dict(self.reference_ok),
+            "per_preset": self.per_preset,
             "passed": self.passed,
             "trials": [t.to_json() for t in self.trials],
         }
@@ -311,12 +329,17 @@ def reference_probe(preset: str, seed: int = 0) -> bool:
 
 
 def run_campaign(
-    kinds=FAULT_KINDS,
+    kinds=PIPELINE_FAULT_KINDS,
     presets=PRESETS,
     seeds=(0, 1, 2),
     degrade: bool = True,
 ) -> ChaosReport:
-    """The full cross product of fault kinds x presets x seeds."""
+    """The full cross product of fault kinds x presets x seeds.
+
+    Serve-layer kinds (``device_crash`` & co.) have no injection site in
+    the single-request pipeline and are rejected here — campaign them
+    through ``repro-bench serve`` instead.
+    """
     report = ChaosReport(degrade=degrade)
     for preset in presets:
         if preset not in _PRESET_FACTORIES:
@@ -325,9 +348,10 @@ def run_campaign(
             )
         report.reference_ok[preset] = reference_probe(preset)
     for kind in kinds:
-        if kind not in FAULT_KINDS:
+        if kind not in PIPELINE_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{PIPELINE_FAULT_KINDS}"
             )
         for preset in presets:
             for seed in seeds:

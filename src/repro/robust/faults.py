@@ -22,6 +22,15 @@ Sites (mirroring where real engines break):
 * ``input_corrupt``  — dirty a raw point cloud before tensor
   construction (chaos harness, dataset boundary).
 
+Serving-layer sites (fleet-level failures, see :mod:`repro.serve`):
+
+* ``device_crash``   — a device dies mid-request: the in-flight attempt
+  fails and the device is quarantined until a probe readmits it;
+* ``device_stall``   — a device turns straggler: its service times are
+  multiplied by a severity-derived factor until the fault is disarmed;
+* ``queue_spike``    — a burst of extra arrivals lands on the admission
+  queue at once, modeling a traffic spike.
+
 Every shot is recorded on the injector (``fired``) and counted in the
 current metrics registry as ``faults.injected{kind=...}``.
 """
@@ -36,7 +45,9 @@ import numpy as np
 from repro.obs.metrics import get_registry
 from repro.robust.errors import GridMemoryError
 
-FAULT_KINDS = (
+#: Faults inside the single-request sparse-conv pipeline; the chaos
+#: harness crosses exactly these with presets and seeds.
+PIPELINE_FAULT_KINDS = (
     "kmap_corrupt",
     "hash_overflow",
     "grid_oom",
@@ -45,9 +56,18 @@ FAULT_KINDS = (
     "input_corrupt",
 )
 
+#: Fleet-level faults fired by the serving layer (:mod:`repro.serve`).
+SERVE_FAULT_KINDS = (
+    "device_crash",
+    "device_stall",
+    "queue_spike",
+)
+
+FAULT_KINDS = PIPELINE_FAULT_KINDS + SERVE_FAULT_KINDS
+
 #: Sticky by default: these model environmental conditions that persist
 #: until the engine routes around them; the rest are one-shot glitches.
-STICKY_KINDS = ("grid_oom", "strategy_drop")
+STICKY_KINDS = ("grid_oom", "strategy_drop", "device_stall")
 
 
 @dataclass
@@ -206,6 +226,50 @@ def maybe_inject_matmul_nan(acc: np.ndarray, dtype) -> bool:
     flat = inj.rng.choice(acc.size, size=min(hits, acc.size), replace=False)
     acc.reshape(-1)[flat] = np.nan
     return True
+
+
+def maybe_crash_device(device_label: str) -> bool:
+    """True when the device serving this attempt should die mid-flight.
+
+    The serving layer asks at dispatch time; a crash fails the in-flight
+    attempt partway through its service time and quarantines the device
+    until a health probe readmits it.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return False
+    return inj.fire("device_crash", site=device_label) is not None
+
+
+def stall_factor(device_label: str) -> float:
+    """Service-time multiplier for a stalled (straggler) device.
+
+    ``1.0`` when no stall is armed; otherwise ``1 + 40 * severity`` —
+    the default severity (0.05) triples the device's service time, deep
+    enough past any hedging threshold to make duplicates worthwhile.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return 1.0
+    spec = inj.fire("device_stall", site=device_label)
+    if spec is None:
+        return 1.0
+    return 1.0 + 40.0 * spec.severity
+
+
+def queue_spike_burst(site: str = "traffic") -> int:
+    """Number of extra arrivals to inject at once (0 when unarmed).
+
+    Severity maps to burst size: the default (0.05) yields a burst of
+    5 requests landing on the admission queue at the same instant.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return 0
+    spec = inj.fire("queue_spike", site)
+    if spec is None:
+        return 0
+    return max(1, int(round(100.0 * spec.severity)))
 
 
 def maybe_corrupt_cloud(

@@ -1,0 +1,87 @@
+"""The resilient serving layer: deadline-aware admission, retry and
+hedging, and fleet health over sharded inference.
+
+PR 2 hardened the *single-request* path (fault detection, the
+degradation ladder, per-layer circuit breakers); this package extends
+robustness to the *fleet and traffic* level.  A seeded, simulated-clock
+discrete-event loop serves open-loop Poisson traffic (zoo models) over
+a :class:`~repro.gpu.device.GPUSpec` fleet with:
+
+* a bounded admission queue with backpressure and load shedding
+  (:mod:`repro.serve.queue`);
+* per-request deadlines, retry with exponential backoff + jitter, and
+  straggler hedging with first-result-wins duplicate cancellation
+  (:mod:`repro.serve.server`);
+* per-device health — crash-fed circuit breakers, quarantine, and
+  probed re-admission (:mod:`repro.serve.health`), reusing the breaker
+  machinery from :mod:`repro.robust.degrade`;
+* fleet-level fault sites (``device_crash``, ``device_stall``,
+  ``queue_spike``) from :mod:`repro.robust.faults`.
+
+Every request ends in exactly one terminal state (completed / shed /
+deadline_exceeded / failed), surfaced as ``serve.*`` metrics and spans
+through :mod:`repro.obs`.  ``repro-bench serve`` runs campaigns from
+the command line.
+"""
+
+from repro.serve.cluster import DeviceWorker, LatencyOracle
+from repro.serve.health import (
+    DEAD,
+    HEALTHY,
+    PROBING,
+    QUARANTINED,
+    DeviceHealth,
+    FleetHealth,
+)
+from repro.serve.queue import AdmissionQueue
+from repro.serve.report import SERVE_SCHEMA, ServeReport, format_serve_summary
+from repro.serve.request import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TERMINAL_STATES,
+    HedgePolicy,
+    Request,
+    RetryPolicy,
+)
+from repro.serve.server import (
+    Attempt,
+    ServeConfig,
+    Server,
+    run_serve_campaign,
+)
+from repro.serve.traffic import TrafficConfig, generate_arrivals
+
+__all__ = [
+    "AdmissionQueue",
+    "Attempt",
+    "COMPLETED",
+    "DEAD",
+    "DEADLINE_EXCEEDED",
+    "DeviceHealth",
+    "DeviceWorker",
+    "FAILED",
+    "FleetHealth",
+    "HEALTHY",
+    "HedgePolicy",
+    "LatencyOracle",
+    "PROBING",
+    "QUARANTINED",
+    "QUEUED",
+    "RUNNING",
+    "Request",
+    "RetryPolicy",
+    "SERVE_SCHEMA",
+    "SHED",
+    "ServeConfig",
+    "ServeReport",
+    "Server",
+    "TERMINAL_STATES",
+    "TrafficConfig",
+    "format_serve_summary",
+    "generate_arrivals",
+    "run_serve_campaign",
+]

@@ -1,0 +1,112 @@
+"""Device workers and the memoized base-latency oracle.
+
+A :class:`DeviceWorker` is one fleet slot: a :class:`GPUSpec` plus the
+minimal serving state (busy flag, accumulated busy time, completion
+count).  Service times come from the :class:`LatencyOracle`, which runs
+each (zoo model, device spec) pair through the engine **once** and
+memoizes the modeled latency — the simulation then reuses that base
+latency for every request, perturbed per attempt by stall faults and
+log-normal noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import BaseEngine, ExecutionContext
+from repro.gpu.device import GPUSpec
+from repro.models import MODEL_ZOO
+
+
+@dataclass
+class DeviceWorker:
+    """One serving slot in the fleet."""
+
+    index: int
+    label: str
+    spec: GPUSpec
+    busy: bool = False
+    #: attempt id currently running (None when idle)
+    current: int | None = None
+    #: sim seconds spent serving (the placement load signal)
+    busy_time: float = 0.0
+    completed: int = 0
+
+    def start(self, attempt_id: int) -> None:
+        if self.busy:
+            raise RuntimeError(f"device {self.label} already busy")
+        self.busy = True
+        self.current = attempt_id
+
+    def release(self, elapsed: float) -> None:
+        if not self.busy:
+            raise RuntimeError(f"device {self.label} is not busy")
+        self.busy = False
+        self.current = None
+        self.busy_time += elapsed
+
+
+class LatencyOracle:
+    """Modeled base latency per (zoo model key, device spec), memoized.
+
+    Args:
+        engine: engine whose config prices the latency.
+        scale: dataset sample scale fed to ``sample_tensor``.
+        seed: sample seed (one fixed input per model keeps the oracle
+            deterministic and cheap).
+        overrides: optional ``model_key -> seconds`` map bypassing the
+            engine entirely (unit tests, synthetic campaigns).
+    """
+
+    def __init__(
+        self,
+        engine: BaseEngine,
+        scale: float = 0.15,
+        seed: int = 0,
+        overrides: dict | None = None,
+    ) -> None:
+        self.engine = engine
+        self.scale = scale
+        self.seed = seed
+        self.overrides = dict(overrides or {})
+        self._latency: dict = {}
+        self._models: dict = {}
+        self._inputs: dict = {}
+
+    def _entry(self, key: str):
+        for e in MODEL_ZOO:
+            if e.key == key:
+                return e
+        raise ValueError(f"unknown zoo model {key!r}")
+
+    def base_latency(self, model_key: str, spec: GPUSpec) -> float:
+        if model_key in self.overrides:
+            return float(self.overrides[model_key])
+        memo_key = (model_key, spec)
+        if memo_key not in self._latency:
+            entry = self._entry(model_key)
+            if model_key not in self._models:
+                self._models[model_key] = entry.make_model()
+                self._inputs[model_key] = entry.make_dataset().sample_tensor(
+                    seed=self.seed, scale=self.scale
+                )
+            ctx = ExecutionContext(engine=self.engine, device=spec)
+            self._models[model_key](self._inputs[model_key], ctx)
+            self._latency[memo_key] = ctx.profile.total_time
+        return self._latency[memo_key]
+
+    def mean_latency(self, model_keys, specs) -> float:
+        """Mean base latency over a traffic mix x fleet (scale anchor
+        for backoff and probe cadence).
+
+        Unique specs are taken in first-seen order, not via ``set``:
+        summation order must not depend on string hashing, or two
+        processes would disagree on the last float bit and break the
+        campaign's bit-for-bit reproducibility.
+        """
+        uniq: list = []
+        for s in specs:
+            if s not in uniq:
+                uniq.append(s)
+        lats = [self.base_latency(m, s) for m in model_keys for s in uniq]
+        return sum(lats) / len(lats) if lats else 0.0

@@ -1,0 +1,142 @@
+"""Per-device health tracking: quarantine and probed re-admission.
+
+Reuses the :class:`~repro.robust.degrade.CircuitBreaker` machinery that
+pins per-layer fallbacks in the single-request path — here a breaker
+counts *device* failures (crashes, failed probes) and, once open,
+quarantines the device: placement skips it until a health probe
+succeeds and the breaker is reset.
+
+A device that keeps failing probes is eventually declared **dead**
+(``max_probes`` exhausted) so a sticky crash fault cannot spin the
+probe loop forever; dead devices never rejoin the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_registry
+from repro.robust.degrade import CircuitBreaker
+
+HEALTHY = "healthy"
+QUARANTINED = "quarantined"
+PROBING = "probing"
+DEAD = "dead"
+
+
+@dataclass
+class DeviceHealth:
+    """Health record of one fleet device."""
+
+    label: str
+    breaker: CircuitBreaker
+    state: str = HEALTHY
+    quarantined_at: float = 0.0
+    crashes: int = 0
+    probes: int = 0
+    quarantines: int = 0
+
+    @property
+    def available(self) -> bool:
+        """May placement send work here?"""
+        return self.state == HEALTHY
+
+
+class FleetHealth:
+    """Health state of every device, keyed by label.
+
+    Args:
+        labels: fleet device labels (see
+            :func:`repro.profiling.parallel.device_labels`).
+        threshold: breaker failures before quarantine.
+        max_probes: failed probes before a device is declared dead.
+    """
+
+    def __init__(
+        self, labels, threshold: int = 2, max_probes: int = 8
+    ) -> None:
+        if threshold < 1 or max_probes < 1:
+            raise ValueError("threshold >= 1 and max_probes >= 1 required")
+        self.max_probes = max_probes
+        self.devices = {
+            label: DeviceHealth(
+                label=label, breaker=CircuitBreaker(threshold=threshold)
+            )
+            for label in labels
+        }
+
+    def __getitem__(self, label: str) -> DeviceHealth:
+        return self.devices[label]
+
+    def mask(self, labels) -> list:
+        """Availability mask aligned with ``labels`` (placement input)."""
+        return [self.devices[label].available for label in labels]
+
+    def record_failure(self, label: str, now: float) -> bool:
+        """Count a device failure; True when this one quarantined it."""
+        dev = self.devices[label]
+        dev.crashes += 1
+        dev.breaker.record_failure(recovered_level=1)
+        if dev.breaker.open and dev.state == HEALTHY:
+            dev.state = QUARANTINED
+            dev.quarantined_at = now
+            dev.quarantines += 1
+            get_registry().counter("serve.quarantines", device=label).inc()
+            return True
+        return False
+
+    def record_success(self, label: str) -> None:
+        dev = self.devices[label]
+        if dev.state == HEALTHY:
+            dev.breaker.record_success(0)
+
+    def begin_probe(self, label: str) -> None:
+        dev = self.devices[label]
+        if dev.state not in (QUARANTINED, PROBING):
+            raise RuntimeError(
+                f"probe on {label!r} in state {dev.state!r}"
+            )
+        dev.state = PROBING
+        dev.probes += 1
+
+    def probe_result(self, label: str, ok: bool, now: float) -> bool:
+        """Apply a probe outcome; True when the device was readmitted."""
+        dev = self.devices[label]
+        reg = get_registry()
+        reg.counter(
+            "serve.probes", device=label, result="ok" if ok else "fail"
+        ).inc()
+        if ok:
+            dev.state = HEALTHY
+            # reset the breaker: a probed device starts with a clean slate
+            dev.breaker.failures = 0
+            dev.breaker.pinned = 0
+            reg.counter("serve.readmissions", device=label).inc()
+            return True
+        if dev.probes >= self.max_probes:
+            dev.state = DEAD
+            reg.counter("serve.dead_devices", device=label).inc()
+        else:
+            dev.state = QUARANTINED
+            dev.quarantined_at = now
+        return False
+
+    @property
+    def any_available(self) -> bool:
+        return any(d.available for d in self.devices.values())
+
+    @property
+    def all_dead(self) -> bool:
+        return all(d.state == DEAD for d in self.devices.values())
+
+    def summary(self) -> dict:
+        """label -> health summary (for reports)."""
+        return {
+            label: {
+                "state": d.state,
+                "crashes": d.crashes,
+                "probes": d.probes,
+                "quarantines": d.quarantines,
+            }
+            for label, d in self.devices.items()
+        }

@@ -1,0 +1,87 @@
+"""Bounded admission queue with backpressure and load shedding.
+
+Two shedding rules, both surfaced as ``serve.shed{reason=...}``:
+
+* **reject-on-full** — an arrival finding the queue at capacity is shed
+  immediately (after first evicting any already-expired entries to make
+  room, so a burst doesn't reject live requests while dead ones hold
+  slots);
+* **oldest-first expiry** — whenever the queue is inspected, entries
+  whose deadline has passed are shed front-to-back before anything is
+  dispatched; a request that cannot possibly meet its SLO must not
+  occupy a device.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.obs.metrics import get_registry
+from repro.serve.request import QUEUED, SHED, Request
+
+
+class AdmissionQueue:
+    """FIFO of admitted-but-not-yet-dispatched requests."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._q: deque = deque()
+        #: requests shed by this queue, in shed order
+        self.shed: list = []
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def depth(self) -> int:
+        return len(self._q)
+
+    def _shed(self, req: Request, reason: str, now: float) -> None:
+        req.shed_reason = reason
+        req.resolve(SHED, now)
+        self.shed.append(req)
+        get_registry().counter("serve.shed", reason=reason).inc()
+
+    def shed_expired(self, now: float) -> list:
+        """Drop queued requests past their deadline, oldest first."""
+        kept: deque = deque()
+        dropped = []
+        while self._q:
+            req = self._q.popleft()
+            if req.deadline <= now:
+                self._shed(req, "expired", now)
+                dropped.append(req)
+            else:
+                kept.append(req)
+        self._q = kept
+        return dropped
+
+    def offer(self, req: Request, now: float) -> bool:
+        """Admit ``req`` or shed it (reject-on-full); True if admitted."""
+        if req.state != QUEUED:
+            raise ValueError(
+                f"request {req.id} is {req.state!r}, cannot enqueue"
+            )
+        if len(self._q) >= self.capacity:
+            self.shed_expired(now)
+        if len(self._q) >= self.capacity:
+            self._shed(req, "queue_full", now)
+            return False
+        self._q.append(req)
+        reg = get_registry()
+        reg.counter("serve.admitted").inc()
+        reg.histogram("serve.queue_depth").observe(len(self._q))
+        return True
+
+    def pop(self, now: float) -> Request | None:
+        """Next live request (expired entries are shed on the way)."""
+        self.shed_expired(now)
+        return self._q.popleft() if self._q else None
+
+    def drain(self) -> list:
+        """Remove and return everything still queued (campaign teardown)."""
+        out = list(self._q)
+        self._q.clear()
+        return out

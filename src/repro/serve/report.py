@@ -1,0 +1,148 @@
+"""Campaign aggregates: latency percentiles, SLO attainment, hedging.
+
+Percentiles use the same nearest-rank
+:func:`repro.profiling.report.percentile` as the batch sharding path,
+so ``repro-bench serve`` and ``ShardResult.p99`` quote comparable
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiling.report import percentile
+from repro.serve.request import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    FAILED,
+    SHED,
+    TERMINAL_STATES,
+)
+
+SERVE_SCHEMA = "repro-bench.serve/1"
+
+
+@dataclass
+class ServeReport:
+    """Everything a finished campaign produced."""
+
+    requests: list = field(default_factory=list)
+    #: label -> {state, crashes, probes, quarantines}
+    fleet: dict = field(default_factory=dict)
+    #: label -> {busy_time, completed}
+    utilization: dict = field(default_factory=dict)
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    retries: int = 0
+    seed: int = 0
+    duration: float = 0.0
+    #: sim time the last event fired at
+    end_time: float = 0.0
+
+    # -- terminal-state taxonomy -------------------------------------------
+
+    def count(self, state: str) -> int:
+        return sum(r.state == state for r in self.requests)
+
+    @property
+    def total(self) -> int:
+        return len(self.requests)
+
+    @property
+    def outcomes(self) -> dict:
+        """state -> count over the whole taxonomy."""
+        return {s: self.count(s) for s in TERMINAL_STATES}
+
+    @property
+    def all_terminal(self) -> bool:
+        """The core liveness invariant: nothing stuck queued/running."""
+        return all(r.terminal for r in self.requests)
+
+    # -- SLO metrics ---------------------------------------------------------
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *all* arrivals completed within deadline."""
+        return 1.0 if not self.requests else self.count(COMPLETED) / self.total
+
+    @property
+    def shed_rate(self) -> float:
+        return 0.0 if not self.requests else self.count(SHED) / self.total
+
+    def _latencies(self) -> list:
+        return [
+            r.latency
+            for r in self.requests
+            if r.state in (COMPLETED, DEADLINE_EXCEEDED)
+            and r.latency is not None
+        ]
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of end-to-end finished latencies."""
+        return percentile(self._latencies(), q)
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    # -- hedging -------------------------------------------------------------
+
+    @property
+    def hedge_effectiveness(self) -> float:
+        """Fraction of launched hedges whose duplicate produced the
+        result (0.0 when hedging never fired)."""
+        return (
+            0.0
+            if self.hedges_launched == 0
+            else self.hedges_won / self.hedges_launched
+        )
+
+    @property
+    def passed(self) -> bool:
+        """Liveness only — SLO floors are the caller's policy."""
+        return self.all_terminal
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SERVE_SCHEMA,
+            "seed": self.seed,
+            "duration": self.duration,
+            "end_time": self.end_time,
+            "total": self.total,
+            "outcomes": self.outcomes,
+            "all_terminal": self.all_terminal,
+            "slo_attainment": self.slo_attainment,
+            "shed_rate": self.shed_rate,
+            "p50": self.p50,
+            "p99": self.p99,
+            "retries": self.retries,
+            "hedges": {
+                "launched": self.hedges_launched,
+                "won": self.hedges_won,
+                "cancelled": self.hedges_cancelled,
+                "effectiveness": self.hedge_effectiveness,
+            },
+            "fleet": dict(self.fleet),
+            "utilization": dict(self.utilization),
+            "requests": [r.to_json() for r in self.requests],
+        }
+
+
+def format_serve_summary(report: ServeReport) -> str:
+    """One-paragraph human summary (the CLI's footer line)."""
+    o = report.outcomes
+    return (
+        f"{report.total} requests: {o[COMPLETED]} completed, "
+        f"{o[SHED]} shed, {o[DEADLINE_EXCEEDED]} late, "
+        f"{o[FAILED]} failed | "
+        f"SLO {report.slo_attainment:.1%} | shed {report.shed_rate:.1%} | "
+        f"p50 {report.p50 * 1e3:.2f} ms, p99 {report.p99 * 1e3:.2f} ms | "
+        f"hedges {report.hedges_launched} launched / "
+        f"{report.hedges_won} won / {report.hedges_cancelled} cancelled | "
+        f"retries {report.retries}"
+    )

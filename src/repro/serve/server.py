@@ -1,0 +1,496 @@
+"""The simulated-clock serving loop.
+
+A :class:`Server` drives a seeded, fully deterministic discrete-event
+simulation over the fleet:
+
+* arrivals land on the bounded :class:`~repro.serve.queue.AdmissionQueue`
+  (reject-on-full, oldest-first expiry);
+* queued requests dispatch to the least-loaded healthy idle device
+  (via :func:`repro.profiling.parallel.least_loaded` — the same
+  placement primitive the batch sharding path uses);
+* a crashed attempt retries with exponential backoff + jitter while the
+  deadline allows, and the crash feeds the device's circuit breaker:
+  past the threshold the device is quarantined and periodically probed
+  until readmission (or declared dead);
+* an attempt running past the observed service-time percentile is
+  *hedged*: a duplicate dispatches to the least-loaded healthy idle
+  device, first result wins, and the loser is cancelled with its device
+  reclaimed immediately.
+
+Determinism: one seeded RNG drawn in event order, a heap ordered by
+``(time, seq)``, and modeled (not wall-clock) service times — the same
+seed reproduces every per-request outcome bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.engine import BaseEngine, EngineConfig
+from repro.gpu.device import GPUSpec
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Tracer
+from repro.profiling.parallel import device_labels, least_loaded
+from repro.robust.faults import (
+    FaultInjector,
+    inject_faults,
+    maybe_crash_device,
+    stall_factor,
+)
+from repro.serve.cluster import DeviceWorker, LatencyOracle
+from repro.serve.health import DEAD, HEALTHY, QUARANTINED, FleetHealth
+from repro.serve.queue import AdmissionQueue
+from repro.serve.report import ServeReport
+from repro.serve.request import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    HedgePolicy,
+    Request,
+    RetryPolicy,
+)
+from repro.serve.traffic import TrafficConfig, generate_arrivals
+
+PRESET_FACTORIES = {
+    "torchsparse": EngineConfig.torchsparse,
+    "baseline": EngineConfig.baseline,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Fleet and policy knobs of one serving campaign.
+
+    ``None`` time constants resolve against the traffic mix's mean base
+    latency so campaigns stay meaningful across input scales:
+    ``backoff_base`` to 0.5x, ``probe_cooldown`` to 4x.
+    """
+
+    devices: tuple
+    preset: str = "torchsparse"
+    queue_capacity: int = 64
+    #: deadline = arrival + factor x (model's base latency on the
+    #: slowest card) — the per-request SLO
+    deadline_factor: float = 10.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge: HedgePolicy = field(default_factory=HedgePolicy)
+    breaker_threshold: int = 2
+    probe_cooldown: float | None = None
+    max_probes: int = 8
+    #: sigma of the log-normal service-time noise (0 disables)
+    noise_sigma: float = 0.15
+    #: dataset sample scale for the latency oracle
+    scale: float = 0.15
+    seed: int = 0
+    #: model key -> seconds, bypassing the engine (tests/synthetic runs)
+    latency_overrides: dict | None = None
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("need at least one device")
+        if self.preset not in PRESET_FACTORIES:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; expected one of "
+                f"{tuple(PRESET_FACTORIES)}"
+            )
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+
+
+@dataclass
+class Attempt:
+    """One dispatch of a request (or a health probe) onto a device."""
+
+    id: int
+    request: Request | None  # None for probes
+    device: int
+    kind: str  # "primary" | "retry" | "hedge" | "probe"
+    start: float
+    finish: float
+    will_fail: bool = False
+    cancelled: bool = False
+    done: bool = False
+
+
+class Server:
+    """Event loop over one fleet; see the module docstring."""
+
+    def __init__(self, config: ServeConfig, oracle: LatencyOracle) -> None:
+        self.config = config
+        self.oracle = oracle
+        self.labels = device_labels(config.devices)
+        self.workers = [
+            DeviceWorker(index=i, label=label, spec=spec)
+            for i, (label, spec) in enumerate(zip(self.labels, config.devices))
+        ]
+        self.health = FleetHealth(
+            self.labels,
+            threshold=config.breaker_threshold,
+            max_probes=config.max_probes,
+        )
+        self.queue = AdmissionQueue(config.queue_capacity)
+        self.rng = np.random.default_rng(config.seed + 1)
+        self.tracer = Tracer()
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._attempts: dict = {}
+        #: request id -> in-flight attempt ids
+        self._live: dict = {}
+        self._service_samples: list = []
+        self._requests: list = []
+        self._probe_model = ""
+        # time constants resolved in run()
+        self._backoff_base = 0.0
+        self._probe_cooldown = 0.0
+        # report tallies
+        self.retries = 0
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self.hedges_cancelled = 0
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(self, when: float, kind: str, ref) -> None:
+        heapq.heappush(self._heap, (when, self._seq, kind, ref))
+        self._seq += 1
+
+    def _noise(self) -> float:
+        sigma = self.config.noise_sigma
+        if sigma == 0:
+            return 1.0
+        return float(np.exp(self.rng.normal(0.0, sigma)))
+
+    def _service_time(self, model: str, worker: DeviceWorker) -> float:
+        base = self.oracle.base_latency(model, worker.spec)
+        return base * stall_factor(worker.label) * self._noise()
+
+    def deadline_for(self, model: str) -> float:
+        """SLO budget: factor x base latency on the slowest card."""
+        worst = max(
+            self.oracle.base_latency(model, w.spec) for w in self.workers
+        )
+        return self.config.deadline_factor * worst
+
+    def _hedge_delay(self, model: str, spec: GPUSpec) -> float:
+        from repro.profiling.report import percentile
+
+        hedge = self.config.hedge
+        if len(self._service_samples) >= hedge.min_samples:
+            return percentile(self._service_samples, hedge.quantile)
+        return hedge.bootstrap_factor * self.oracle.base_latency(model, spec)
+
+    # -- campaign entry ------------------------------------------------------
+
+    def run(self, requests: list) -> ServeReport:
+        """Serve ``requests`` to completion; returns the campaign report."""
+        cfg = self.config
+        self._requests = requests
+        models = sorted({r.model for r in requests}) or ["minkunet_0.5x_kitti"]
+        self._probe_model = models[0]
+        mean = self.oracle.mean_latency(models, [w.spec for w in self.workers])
+        self._backoff_base = (
+            cfg.retry.backoff_base
+            if cfg.retry.backoff_base is not None
+            else 0.5 * mean
+        )
+        self._probe_cooldown = (
+            cfg.probe_cooldown if cfg.probe_cooldown is not None else 4.0 * mean
+        )
+        with self.tracer.span("serve.campaign", requests=len(requests)):
+            for req in requests:
+                self._push(req.arrival, "arrival", req.id)
+            handlers = {
+                "arrival": self._on_arrival,
+                "complete": self._on_complete,
+                "retry": self._on_retry,
+                "hedge": self._on_hedge,
+                "probe": self._on_probe,
+            }
+            while self._heap:
+                when, _, kind, ref = heapq.heappop(self._heap)
+                self.now = when
+                handlers[kind](ref)
+            self._final_sweep()
+        return self._report()
+
+    def _req(self, req_id: int) -> Request:
+        return self._requests[req_id]
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_arrival(self, req_id: int) -> None:
+        req = self._req(req_id)
+        get_registry().counter("serve.arrivals").inc()
+        if self.queue.offer(req, self.now):
+            self._pump()
+
+    def _pump(self) -> None:
+        """Dispatch queued requests while idle healthy devices exist."""
+        while True:
+            eligible = [
+                not w.busy and self.health[w.label].available
+                for w in self.workers
+            ]
+            if not any(eligible):
+                return
+            req = self.queue.pop(self.now)
+            if req is None:
+                return
+            d = least_loaded(
+                [w.busy_time for w in self.workers], eligible
+            )
+            self._dispatch(req, d, "retry" if req.retries else "primary")
+
+    def _dispatch(self, req: Request, d: int, kind: str) -> None:
+        w = self.workers[d]
+        reg = get_registry()
+        if kind == "primary":
+            reg.histogram("serve.wait_ms").observe(
+                (self.now - req.arrival) * 1e3
+            )
+        service = self._service_time(req.model, w)
+        will_fail = maybe_crash_device(w.label)
+        dur = 0.5 * service if will_fail else service
+        req.state = RUNNING
+        req.in_flight += 1
+        req.devices.append(w.label)
+        attempt = Attempt(
+            id=len(self._attempts),
+            request=req,
+            device=d,
+            kind=kind,
+            start=self.now,
+            finish=self.now + dur,
+            will_fail=will_fail,
+        )
+        self._attempts[attempt.id] = attempt
+        self._live.setdefault(req.id, []).append(attempt.id)
+        w.start(attempt.id)
+        reg.counter("serve.dispatches", kind=kind).inc()
+        with self.tracer.span(
+            "serve.dispatch", request=req.id, device=w.label, kind=kind
+        ):
+            pass
+        self._push(attempt.finish, "complete", attempt.id)
+        if self.config.hedge.enabled and kind != "hedge":
+            self._push(
+                self.now + self._hedge_delay(req.model, w.spec),
+                "hedge",
+                attempt.id,
+            )
+
+    def _on_hedge(self, attempt_id: int) -> None:
+        a = self._attempts[attempt_id]
+        req = a.request
+        reg = get_registry()
+        if a.done or a.cancelled or req.terminal or req.hedged:
+            return
+        eligible = [
+            not w.busy
+            and self.health[w.label].available
+            and w.index != a.device
+            for w in self.workers
+        ]
+        if not any(eligible):
+            reg.counter("serve.hedges", outcome="skipped").inc()
+            return
+        d = least_loaded([w.busy_time for w in self.workers], eligible)
+        req.hedged = True
+        self.hedges_launched += 1
+        reg.counter("serve.hedges", outcome="launched").inc()
+        with self.tracer.span(
+            "serve.hedge", request=req.id, device=self.labels[d]
+        ):
+            pass
+        self._dispatch(req, d, "hedge")
+
+    def _on_complete(self, attempt_id: int) -> None:
+        a = self._attempts[attempt_id]
+        if a.done:
+            return
+        a.done = True
+        if a.cancelled:
+            # device was reclaimed when the sibling won
+            return
+        w = self.workers[a.device]
+        w.release(self.now - a.start)
+        if a.kind == "probe":
+            self._finish_probe(a)
+            return
+        req = a.request
+        req.in_flight -= 1
+        self._live[req.id].remove(a.id)
+        if a.will_fail:
+            self._attempt_crashed(a, req, w)
+        else:
+            self._attempt_succeeded(a, req, w)
+        self._pump()
+
+    def _attempt_crashed(self, a: Attempt, req: Request, w: DeviceWorker) -> None:
+        reg = get_registry()
+        reg.counter("serve.crashes", device=w.label).inc()
+        with self.tracer.span("serve.crash", request=req.id, device=w.label):
+            pass
+        if self.health.record_failure(w.label, self.now):
+            self._push(self.now + self._probe_cooldown, "probe", w.index)
+        if req.terminal:
+            return
+        if req.in_flight > 0:
+            # a hedge twin is still running; it will decide the outcome
+            return
+        retry = self.config.retry
+        if req.retries < retry.max_retries:
+            delay = retry.delay(req.retries, self._backoff_base, self.rng)
+            if self.now + delay < req.deadline:
+                req.retries += 1
+                req.state = QUEUED
+                self.retries += 1
+                reg.counter("serve.retries").inc()
+                self._push(self.now + delay, "retry", req.id)
+                return
+        req.error = "every attempt crashed"
+        req.resolve(FAILED, self.now)
+        reg.counter("serve.failed").inc()
+
+    def _attempt_succeeded(
+        self, a: Attempt, req: Request, w: DeviceWorker
+    ) -> None:
+        reg = get_registry()
+        self.health.record_success(w.label)
+        w.completed += 1
+        service = self.now - a.start
+        self._service_samples.append(service)
+        reg.histogram("serve.service_ms").observe(service * 1e3)
+        # first result wins: cancel any twin and reclaim its device now
+        for sid in list(self._live[req.id]):
+            twin = self._attempts[sid]
+            twin.cancelled = True
+            self.workers[twin.device].release(self.now - twin.start)
+            self._live[req.id].remove(sid)
+            req.in_flight -= 1
+            self.hedges_cancelled += 1
+            reg.counter("serve.hedges", outcome="cancelled").inc()
+        if a.kind == "hedge":
+            req.hedge_won = True
+            self.hedges_won += 1
+            reg.counter("serve.hedges", outcome="won").inc()
+        if self.now <= req.deadline:
+            req.resolve(COMPLETED, self.now)
+            reg.counter("serve.completed").inc()
+        else:
+            req.resolve(DEADLINE_EXCEEDED, self.now)
+            reg.counter("serve.deadline_exceeded").inc()
+        reg.histogram("serve.latency_ms").observe(req.latency * 1e3)
+
+    def _on_retry(self, req_id: int) -> None:
+        req = self._req(req_id)
+        if req.terminal:
+            return
+        if self.queue.offer(req, self.now):
+            self._pump()
+
+    def _on_probe(self, d: int) -> None:
+        w = self.workers[d]
+        dev = self.health[w.label]
+        if dev.state in (HEALTHY, DEAD) or w.busy:
+            return
+        self.health.begin_probe(w.label)
+        service = self._service_time(self._probe_model, w)
+        will_fail = maybe_crash_device(w.label)
+        dur = 0.5 * service if will_fail else service
+        attempt = Attempt(
+            id=len(self._attempts),
+            request=None,
+            device=d,
+            kind="probe",
+            start=self.now,
+            finish=self.now + dur,
+            will_fail=will_fail,
+        )
+        self._attempts[attempt.id] = attempt
+        w.start(attempt.id)
+        with self.tracer.span("serve.probe", device=w.label):
+            pass
+        self._push(attempt.finish, "complete", attempt.id)
+
+    def _finish_probe(self, a: Attempt) -> None:
+        w = self.workers[a.device]
+        ok = not a.will_fail
+        if self.health.probe_result(w.label, ok, self.now):
+            self._pump()
+        elif self.health[w.label].state == QUARANTINED:
+            self._push(self.now + self._probe_cooldown, "probe", w.index)
+
+    def _final_sweep(self) -> None:
+        """Force every survivor into a terminal state (liveness)."""
+        reg = get_registry()
+        for req in self.queue.drain():
+            req.shed_reason = "no_capacity"
+            req.resolve(SHED, self.now)
+            reg.counter("serve.shed", reason="no_capacity").inc()
+        for req in self._requests:
+            if not req.terminal:
+                req.error = req.error or "stranded at campaign end"
+                req.resolve(FAILED, self.now)
+                reg.counter("serve.failed").inc()
+
+    # -- report --------------------------------------------------------------
+
+    def _report(self) -> ServeReport:
+        return ServeReport(
+            requests=list(self._requests),
+            fleet=self.health.summary(),
+            utilization={
+                w.label: {
+                    "busy_time": w.busy_time,
+                    "completed": w.completed,
+                }
+                for w in self.workers
+            },
+            hedges_launched=self.hedges_launched,
+            hedges_won=self.hedges_won,
+            hedges_cancelled=self.hedges_cancelled,
+            retries=self.retries,
+            seed=self.config.seed,
+            end_time=self.now,
+        )
+
+
+def run_serve_campaign(
+    config: ServeConfig,
+    traffic: TrafficConfig,
+    injector: FaultInjector | None = None,
+) -> ServeReport:
+    """Generate traffic, serve it, and report — one deterministic run.
+
+    Base latencies are warmed *before* the injector is installed so the
+    oracle's engine runs can never trip pipeline fault sites; serve
+    campaigns exercise exactly the fleet-level kinds.
+    """
+    engine = BaseEngine(config=PRESET_FACTORIES[config.preset]())
+    oracle = LatencyOracle(
+        engine,
+        scale=config.scale,
+        seed=config.seed,
+        overrides=config.latency_overrides,
+    )
+    server = Server(config, oracle)
+    for model in traffic.models:
+        for w in server.workers:
+            oracle.base_latency(model, w.spec)
+    ctx = inject_faults(injector) if injector is not None else nullcontext()
+    with ctx:
+        requests = generate_arrivals(traffic, server.deadline_for)
+        report = server.run(requests)
+    report.duration = traffic.duration
+    return report

@@ -1,0 +1,90 @@
+"""Seeded open-loop traffic generation (Poisson arrivals).
+
+The generator is *open-loop*: arrival times are drawn up front from a
+seeded exponential inter-arrival process, independent of how the fleet
+keeps up — overload therefore manifests as queue growth and shedding,
+exactly the regime admission control exists for.
+
+The ``queue_spike`` fault site lives here: when armed, a burst of extra
+requests lands at a single arrival instant, modeling a traffic spike.
+Because generation is seeded, the full arrival schedule (bursts
+included) is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.robust.faults import queue_spike_burst
+from repro.serve.request import Request
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Open-loop Poisson traffic over a zoo model mix.
+
+    Attributes:
+        rate: mean arrivals per sim second.
+        duration: arrival window in sim seconds (service may run past
+            it; nothing *arrives* after).
+        models: zoo model keys in the mix.
+        weights: per-model probabilities (uniform when None).
+        seed: drives arrival times, model choices, and burst contents.
+    """
+
+    rate: float
+    duration: float
+    models: tuple = ("minkunet_0.5x_kitti",)
+    weights: tuple | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        if not self.models:
+            raise ValueError("need at least one model in the mix")
+        if self.weights is not None and len(self.weights) != len(self.models):
+            raise ValueError("weights must match models")
+
+
+def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
+    """Materialize the arrival schedule.
+
+    Args:
+        cfg: traffic parameters.
+        deadline_for: ``model_key -> seconds`` SLO budget; a request
+            arriving at ``t`` gets deadline ``t + deadline_for(model)``.
+
+    Returns:
+        Requests sorted by arrival time, ids dense from 0.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    weights = None
+    if cfg.weights is not None:
+        total = float(sum(cfg.weights))
+        weights = [w / total for w in cfg.weights]
+
+    def pick_model() -> str:
+        i = int(rng.choice(len(cfg.models), p=weights))
+        return cfg.models[i]
+
+    requests: list = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / cfg.rate))
+        if t >= cfg.duration:
+            break
+        burst = 1 + queue_spike_burst(site=f"traffic.t{len(requests)}")
+        for _ in range(burst):
+            model = pick_model()
+            requests.append(
+                Request(
+                    id=len(requests),
+                    model=model,
+                    arrival=t,
+                    deadline=t + float(deadline_for(model)),
+                )
+            )
+    return requests

@@ -13,7 +13,7 @@ from repro.robust.chaos import (
     run_campaign,
     run_trial,
 )
-from repro.robust.faults import FAULT_KINDS
+from repro.robust.faults import PIPELINE_FAULT_KINDS
 
 
 class TestCampaign:
@@ -23,8 +23,8 @@ class TestCampaign:
 
     def test_covers_all_kinds_and_presets(self, campaign):
         cells = {(t.kind, t.preset) for t in campaign.trials}
-        assert cells == {(k, p) for k in FAULT_KINDS for p in PRESETS}
-        assert len(FAULT_KINDS) >= 5
+        assert cells == {(k, p) for k in PIPELINE_FAULT_KINDS for p in PRESETS}
+        assert len(PIPELINE_FAULT_KINDS) >= 5
 
     def test_full_survival(self, campaign):
         assert campaign.survival_rate == 1.0

@@ -141,3 +141,88 @@ class TestObservabilityExports:
         main(["regress", *BENCH, "--baseline", str(base)])
         with pytest.raises(SystemExit, match="NAME=REL"):
             main(["regress", *BENCH, "--baseline", str(base), "--tol", "oops"])
+
+
+class TestServeCli:
+    SERVE = ["serve", "--scale", "0.1", "--rate", "300", "--duration", "0.3",
+             "--seed", "3"]
+    CHAOS = [*SERVE, "--faults", "device_crash,device_stall,queue_spike"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.devices == "2080ti,2080ti,3090"
+        assert args.preset == "torchsparse"
+        assert args.faults == ""  # clean campaign unless asked
+        assert args.slo_floor == 0.0
+
+    def test_clean_campaign_passes(self, capsys):
+        rc = main(self.SERVE)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve campaign" in out
+        assert "terminal states: all" in out
+        assert "SLO" in out
+
+    def test_chaos_campaign_artifacts(self, tmp_path, capsys):
+        snap = tmp_path / "serve.json"
+        metrics = tmp_path / "serve-metrics.jsonl"
+        rc = main(
+            [*self.CHAOS, "--json", str(snap), "--metrics", str(metrics)]
+        )
+        assert rc == 0
+        d = json.loads(snap.read_text())
+        assert d["schema"] == "repro-bench.serve/1"
+        assert d["all_terminal"] is True
+        assert d["total"] == len(d["requests"])
+        names = {
+            json.loads(l)["name"] for l in metrics.read_text().splitlines()
+        }
+        assert "serve.arrivals" in names
+        assert "serve.latency_ms" in names
+        assert any(n.startswith("faults.injected") for n in names)
+
+    def test_same_seed_bit_for_bit_json(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.CHAOS, "--json", str(a)]) == 0
+        assert main([*self.CHAOS, "--json", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_slo_floor_gate_fails(self, capsys):
+        # an impossible floor flips the exit code, not the report
+        rc = main([*self.SERVE, "--slo-floor", "1.01"])
+        assert rc == 1
+        assert "FAIL: slo_attainment" in capsys.readouterr().out
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit, match="unknown device"):
+            main([*self.SERVE, "--devices", "quantum9000"])
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit, match="unknown serve fault"):
+            main([*self.SERVE, "--faults", "kmap_corrupt"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main([*self.SERVE, "--models", "nope"])
+
+
+class TestChaosJsonSchema:
+    def test_chaos_snapshot_schema_and_per_preset(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        rc = main(
+            ["chaos", "--seeds", "1", "--kinds", "matmul_nan",
+             "--json", str(out)]
+        )
+        assert rc == 0
+        d = json.loads(out.read_text())
+        assert d["schema"] == "repro-bench.chaos/1"
+        assert set(d["per_preset"]) == {"torchsparse", "baseline"}
+        for stats in d["per_preset"].values():
+            assert stats["trials"] >= 1
+        from repro.obs.regress import CHAOS_SCHEMA, load_snapshot
+
+        # the snapshot loader accepts it under the chaos schema...
+        assert load_snapshot(str(out), schema=CHAOS_SCHEMA)["passed"] is True
+        # ...and rejects it under the default benchmark schema
+        with pytest.raises(ValueError, match="expected"):
+            load_snapshot(str(out))

@@ -8,7 +8,13 @@ from repro.core.sparse_tensor import SparseTensor
 from repro.datasets.collate import batch_collate
 from repro.gpu.device import GTX_1080TI, RTX_2080TI, RTX_3090
 from repro.models import MinkUNet
-from repro.profiling.parallel import data_parallel_batch, shard_inference
+from repro.profiling.parallel import (
+    LazyLatencyMatrix,
+    data_parallel_batch,
+    device_labels,
+    least_loaded,
+    shard_inference,
+)
 
 
 def make_inputs(n, seed0=0, points=400):
@@ -83,6 +89,198 @@ class TestShardInference:
                 model, make_inputs(1), TorchSparseEngine(), [RTX_2080TI],
                 policy="magic",
             )
+
+
+class TestHeterogeneousLPT:
+    def test_faster_card_gets_at_least_as_much_work(self, model):
+        """LPT sends at least as many inputs to whichever card the
+        cost model rates faster (at this size that is the 1080Ti —
+        small workloads are launch-bound, not compute-bound)."""
+        xs = make_inputs(9)
+        engine = TorchSparseEngine()
+        r = shard_inference(
+            model, xs, engine, [RTX_3090, GTX_1080TI], policy="greedy"
+        )
+        mean = {
+            label: sum(ts) / len(ts) for label, ts in r.latencies.items()
+        }
+        fast = min(mean, key=mean.get)
+        slow = max(mean, key=mean.get)
+        assert len(r.assignments[fast]) >= len(r.assignments[slow])
+
+    def test_makespan_near_optimal(self, model):
+        """LPT's makespan is within one worst-case input of the
+        perfect-balance lower bound."""
+        xs = make_inputs(9)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_3090, GTX_1080TI],
+            policy="greedy",
+        )
+        total = sum(sum(ts) for ts in r.latencies.values())
+        worst = max(t for ts in r.latencies.values() for t in ts)
+        assert r.makespan <= total / 2 + worst
+
+    def test_loads_balanced_within_one_input(self, model):
+        """LPT never leaves a device idle while another holds two or
+        more inputs' worth of extra time."""
+        xs = make_inputs(10)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_3090, RTX_2080TI],
+            policy="greedy",
+        )
+        worst = max(max(ts) for ts in r.latencies.values() if ts)
+        loads = sorted(r.per_device.values())
+        assert loads[-1] - loads[0] <= worst + 1e-12
+
+    def test_healthy_mask_excludes_device(self, model):
+        xs = make_inputs(4)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(),
+            [RTX_2080TI, RTX_3090, RTX_2080TI],
+            healthy=[True, False, True],
+        )
+        assert r.assignments["RTX 3090"] == []
+        assert r.per_device["RTX 3090"] == 0.0
+        assigned = sorted(i for a in r.assignments.values() for i in a)
+        assert assigned == list(range(4))
+
+    def test_healthy_round_robin_rotates_subset(self, model):
+        xs = make_inputs(4)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(),
+            [RTX_2080TI, RTX_3090, GTX_1080TI],
+            policy="round_robin", healthy=[True, False, True],
+        )
+        assert r.assignments["RTX 2080Ti"] == [0, 2]
+        assert r.assignments["GTX 1080Ti"] == [1, 3]
+        assert r.assignments["RTX 3090"] == []
+
+    def test_healthy_mask_validation(self, model):
+        xs = make_inputs(1)
+        with pytest.raises(ValueError, match="healthy mask"):
+            shard_inference(
+                model, xs, TorchSparseEngine(), [RTX_2080TI],
+                healthy=[True, False],
+            )
+        with pytest.raises(ValueError, match="no healthy device"):
+            shard_inference(
+                model, xs, TorchSparseEngine(), [RTX_2080TI],
+                healthy=[False],
+            )
+
+
+class TestDeviceLabels:
+    def test_unique_names_unchanged(self):
+        assert device_labels([RTX_2080TI, RTX_3090]) == [
+            "RTX 2080Ti", "RTX 3090",
+        ]
+
+    def test_duplicates_numbered_by_position(self):
+        labels = device_labels([RTX_2080TI, RTX_3090, RTX_2080TI])
+        assert labels == ["RTX 2080Ti #0", "RTX 3090", "RTX 2080Ti #2"]
+
+    def test_shard_result_keys_use_labels(self, model):
+        xs = make_inputs(3)
+        r = shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_2080TI]
+        )
+        assert set(r.per_device) == {"RTX 2080Ti #0", "RTX 2080Ti #1"}
+        assert set(r.assignments) == set(r.per_device)
+        assert set(r.latencies) == set(r.per_device)
+
+
+class TestLeastLoaded:
+    def test_picks_minimum(self):
+        assert least_loaded([3.0, 1.0, 2.0]) == 1
+
+    def test_ties_go_lowest_index(self):
+        assert least_loaded([1.0, 1.0, 1.0]) == 0
+
+    def test_eligibility_mask(self):
+        assert least_loaded([0.0, 1.0, 2.0], [False, True, True]) == 1
+
+    def test_no_eligible_raises(self):
+        with pytest.raises(ValueError, match="no eligible device"):
+            least_loaded([1.0], [False])
+
+
+class TestLazyLatencyMatrix:
+    def test_round_robin_pays_one_eval_per_input(self, model):
+        """round_robin must not pay D× evaluations (the satellite)."""
+        xs = make_inputs(4)
+        lat = LazyLatencyMatrix(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_3090]
+        )
+        for i in range(4):
+            lat(i, i % 2)
+        assert lat.evaluations == 4
+
+    def test_homogeneous_fleet_shares_entries(self, model):
+        """D copies of one spec collapse to one eval per input even
+        when every (input, device) pair is read."""
+        xs = make_inputs(3)
+        lat = LazyLatencyMatrix(
+            model, xs, TorchSparseEngine(),
+            [RTX_2080TI, RTX_2080TI, RTX_2080TI],
+        )
+        for i in range(3):
+            for d in range(3):
+                lat(i, d)
+        assert lat.evaluations == 3
+
+    def test_memo_hit_returns_same_value(self, model):
+        xs = make_inputs(1)
+        lat = LazyLatencyMatrix(model, xs, TorchSparseEngine(), [RTX_3090])
+        assert lat(0, 0) == lat(0, 0)
+        assert lat.evaluations == 1
+
+    def test_heterogeneous_evaluates_per_spec(self, model):
+        xs = make_inputs(2)
+        lat = LazyLatencyMatrix(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_3090]
+        )
+        lat.mean_over_devices(0)
+        lat.mean_over_devices(1)
+        assert lat.evaluations == 4
+
+
+class TestLatencyAccessors:
+    @pytest.fixture(scope="class")
+    def result(self, model):
+        xs = make_inputs(6)
+        return shard_inference(
+            model, xs, TorchSparseEngine(), [RTX_2080TI, RTX_3090]
+        )
+
+    def test_latencies_cover_every_input(self, result):
+        n = sum(len(ts) for ts in result.latencies.values())
+        assert n == result.total_inputs
+
+    def test_per_device_sums_match(self, result):
+        for label, ts in result.latencies.items():
+            assert sum(ts) == pytest.approx(result.per_device[label])
+
+    def test_p50_p99_ordering(self, result):
+        assert 0 < result.p50() <= result.p99()
+        assert result.p99() <= max(
+            t for ts in result.latencies.values() for t in ts
+        )
+
+    def test_device_scoped_percentiles(self, result):
+        pooled = {t for ts in result.latencies.values() for t in ts}
+        for label in result.latencies:
+            if result.latencies[label]:
+                assert result.p99(label) in pooled
+
+    def test_matches_shared_percentile_helper(self, result):
+        from repro.profiling.report import percentile
+
+        pooled = [t for ts in result.latencies.values() for t in ts]
+        assert result.latency_percentile(75.0) == percentile(pooled, 75.0)
+
+    def test_unknown_device_raises(self, result):
+        with pytest.raises(KeyError):
+            result.p50("Imaginary GPU")
 
 
 class TestDataParallelBatch:

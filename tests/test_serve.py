@@ -1,0 +1,481 @@
+"""Tests for the resilient serving layer (repro.serve)."""
+
+import json
+
+import pytest
+
+from repro.gpu.device import GTX_1080TI, RTX_2080TI, RTX_3090
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.robust.degrade import CircuitBreaker
+from repro.robust.faults import (
+    FaultInjector,
+    FaultSpec,
+    inject_faults,
+    maybe_crash_device,
+    queue_spike_burst,
+    stall_factor,
+)
+from repro.serve import (
+    COMPLETED,
+    DEAD,
+    DEADLINE_EXCEEDED,
+    FAILED,
+    HEALTHY,
+    QUARANTINED,
+    SHED,
+    TERMINAL_STATES,
+    AdmissionQueue,
+    FleetHealth,
+    HedgePolicy,
+    Request,
+    RetryPolicy,
+    ServeConfig,
+    TrafficConfig,
+    format_serve_summary,
+    generate_arrivals,
+    run_serve_campaign,
+)
+
+#: synthetic base latency; no engine evaluation in these tests
+LAT = {"m": 0.004, "big": 0.012}
+
+
+def make_config(**kw):
+    defaults = dict(
+        devices=(RTX_2080TI, RTX_2080TI, RTX_3090),
+        latency_overrides=LAT,
+        seed=7,
+    )
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def make_traffic(**kw):
+    defaults = dict(rate=300.0, duration=0.5, models=("m",), seed=7)
+    defaults.update(kw)
+    return TrafficConfig(**defaults)
+
+
+def campaign(config=None, traffic=None, specs=(), seed=7):
+    injector = FaultInjector(seed=seed, specs=list(specs)) if specs else None
+    with use_registry(MetricsRegistry()) as reg:
+        report = run_serve_campaign(
+            config or make_config(), traffic or make_traffic(),
+            injector=injector,
+        )
+    return report, reg, injector
+
+
+class TestRequest:
+    def test_resolve_is_single_shot(self):
+        r = Request(id=0, model="m", arrival=0.0, deadline=1.0)
+        r.resolve(COMPLETED, 0.5)
+        assert r.terminal and r.latency == 0.5
+        with pytest.raises(RuntimeError):
+            r.resolve(FAILED, 0.6)
+
+    def test_resolve_rejects_transient_state(self):
+        r = Request(id=0, model="m", arrival=0.0, deadline=1.0)
+        with pytest.raises(ValueError):
+            r.resolve("running")
+
+    def test_retry_policy_backoff_and_jitter_bounds(self):
+        import numpy as np
+
+        p = RetryPolicy(max_retries=3, backoff_base=0.01, jitter=0.25)
+        rng = np.random.default_rng(0)
+        for retry in range(3):
+            d = p.delay(retry, 0.01, rng)
+            nominal = 0.01 * 2.0**retry
+            assert 0.75 * nominal <= d <= 1.25 * nominal
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_samples=0)
+
+
+class TestAdmissionQueue:
+    def _req(self, i, deadline=10.0):
+        return Request(id=i, model="m", arrival=0.0, deadline=deadline)
+
+    def test_reject_on_full(self):
+        with use_registry(MetricsRegistry()) as reg:
+            q = AdmissionQueue(capacity=2)
+            assert q.offer(self._req(0), 0.0)
+            assert q.offer(self._req(1), 0.0)
+            r = self._req(2)
+            assert not q.offer(r, 0.0)
+        assert r.state == SHED and r.shed_reason == "queue_full"
+        assert reg.scalars()["serve.shed{reason=queue_full}"] == 1.0
+
+    def test_expired_evicted_before_reject(self):
+        with use_registry(MetricsRegistry()):
+            q = AdmissionQueue(capacity=1)
+            dead = self._req(0, deadline=1.0)
+            assert q.offer(dead, 0.0)
+            live = self._req(1, deadline=10.0)
+            # at t=2 the queued request is expired: it is shed, not live
+            assert q.offer(live, 2.0)
+        assert dead.state == SHED and dead.shed_reason == "expired"
+        assert live.state == "queued"
+
+    def test_shed_expired_oldest_first(self):
+        with use_registry(MetricsRegistry()):
+            q = AdmissionQueue(capacity=8)
+            a = self._req(0, deadline=1.0)
+            b = self._req(1, deadline=2.0)
+            c = self._req(2, deadline=10.0)
+            for r in (a, b, c):
+                q.offer(r, 0.0)
+            dropped = q.shed_expired(3.0)
+        assert [r.id for r in dropped] == [0, 1]
+        assert q.depth == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestFleetHealth:
+    def test_quarantine_after_threshold(self):
+        with use_registry(MetricsRegistry()) as reg:
+            h = FleetHealth(["a", "b"], threshold=2)
+            assert not h.record_failure("a", 1.0)
+            assert h.record_failure("a", 2.0)
+        assert h["a"].state == QUARANTINED
+        assert h["b"].state == HEALTHY
+        assert h.mask(["a", "b"]) == [False, True]
+        assert reg.scalars()["serve.quarantines{device=a}"] == 1.0
+
+    def test_probe_readmission_resets_breaker(self):
+        with use_registry(MetricsRegistry()):
+            h = FleetHealth(["a"], threshold=1)
+            h.record_failure("a", 0.0)
+            h.begin_probe("a")
+            assert h.probe_result("a", True, 1.0)
+        assert h["a"].state == HEALTHY
+        assert h["a"].breaker.failures == 0 and not h["a"].breaker.open
+
+    def test_dead_after_max_probes(self):
+        with use_registry(MetricsRegistry()):
+            h = FleetHealth(["a"], threshold=1, max_probes=2)
+            h.record_failure("a", 0.0)
+            for _ in range(2):
+                h.begin_probe("a")
+                assert not h.probe_result("a", False, 1.0)
+        assert h["a"].state == DEAD
+        assert h.all_dead
+
+    def test_reuses_circuit_breaker(self):
+        h = FleetHealth(["a"], threshold=3)
+        assert isinstance(h["a"].breaker, CircuitBreaker)
+        assert h["a"].breaker.threshold == 3
+
+
+class TestFaultSites:
+    def test_sites_are_noops_without_injector(self):
+        assert not maybe_crash_device("x")
+        assert stall_factor("x") == 1.0
+        assert queue_spike_burst() == 0
+
+    def test_crash_site_filter(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(kind="device_crash", site="gpu1", count=1)
+        ])
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            assert not maybe_crash_device("gpu0")
+            assert maybe_crash_device("gpu1")
+            assert not maybe_crash_device("gpu1")  # shot spent
+
+    def test_stall_factor_scales_with_severity(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(kind="device_stall", count=-1, severity=0.1)
+        ])
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            assert stall_factor("x") == pytest.approx(5.0)
+
+    def test_queue_spike_burst_size(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(kind="queue_spike", count=1, severity=0.05)
+        ])
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            assert queue_spike_burst() == 5
+            assert queue_spike_burst() == 0
+
+
+class TestTraffic:
+    def test_arrivals_sorted_and_dense_ids(self):
+        reqs = generate_arrivals(make_traffic(), lambda m: 0.1)
+        assert [r.id for r in reqs] == list(range(len(reqs)))
+        assert all(
+            a.arrival <= b.arrival for a, b in zip(reqs, reqs[1:])
+        )
+        assert all(r.deadline == pytest.approx(r.arrival + 0.1) for r in reqs)
+
+    def test_poisson_rate_roughly_held(self):
+        reqs = generate_arrivals(
+            make_traffic(rate=500.0, duration=2.0), lambda m: 0.1
+        )
+        assert 800 <= len(reqs) <= 1200
+
+    def test_seeded_determinism(self):
+        a = generate_arrivals(make_traffic(), lambda m: 0.1)
+        b = generate_arrivals(make_traffic(), lambda m: 0.1)
+        assert [r.to_json() for r in a] == [r.to_json() for r in b]
+
+    def test_queue_spike_adds_burst(self):
+        base = generate_arrivals(make_traffic(), lambda m: 0.1)
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(kind="queue_spike", count=2, severity=0.05)
+        ])
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            spiked = generate_arrivals(make_traffic(), lambda m: 0.1)
+        assert len(spiked) == len(base) + 10  # two bursts of five
+
+    def test_model_mix_and_weights(self):
+        cfg = make_traffic(models=("m", "big"), weights=(0.9, 0.1))
+        reqs = generate_arrivals(cfg, lambda m: 0.1)
+        models = {r.model for r in reqs}
+        assert models == {"m", "big"}
+        share = sum(r.model == "m" for r in reqs) / len(reqs)
+        assert share > 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(rate=1.0, duration=1.0, models=())
+        with pytest.raises(ValueError):
+            TrafficConfig(rate=1.0, duration=1.0, models=("m",),
+                          weights=(0.5, 0.5))
+
+
+class TestServeCampaign:
+    def test_clean_campaign_completes_everything(self):
+        report, reg, _ = campaign()
+        assert report.all_terminal
+        assert report.count(COMPLETED) == report.total > 50
+        assert report.slo_attainment == 1.0
+        assert report.shed_rate == 0.0
+        assert reg.scalars()["serve.completed"] == report.total
+
+    def test_every_request_exactly_one_terminal_state(self):
+        specs = [
+            FaultSpec(kind="device_crash", count=6),
+            FaultSpec(kind="device_stall", site="RTX 3090", count=-1,
+                      severity=0.1),
+            FaultSpec(kind="queue_spike", count=2),
+        ]
+        report, _, inj = campaign(specs=specs)
+        assert inj.shots > 0
+        assert report.all_terminal
+        assert sum(report.outcomes.values()) == report.total
+        for r in report.requests:
+            assert r.state in TERMINAL_STATES
+            assert r.in_flight == 0
+
+    def test_bit_for_bit_reproducible_under_chaos(self):
+        specs = lambda: [  # noqa: E731 — fresh specs per run (mutable count)
+            FaultSpec(kind="device_crash", count=6),
+            FaultSpec(kind="device_stall", site="RTX 3090", count=-1,
+                      severity=0.1),
+            FaultSpec(kind="queue_spike", count=2),
+        ]
+        a, _, _ = campaign(specs=specs())
+        b, _, _ = campaign(specs=specs())
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_different_schedule(self):
+        a, _, _ = campaign()
+        b, _, _ = campaign(
+            config=make_config(seed=8), traffic=make_traffic(seed=8)
+        )
+        assert a.to_json() != b.to_json()
+
+    def test_overload_sheds_with_backpressure(self):
+        config = make_config(
+            devices=(RTX_2080TI,), queue_capacity=4,
+            hedge=HedgePolicy(enabled=False),
+        )
+        traffic = make_traffic(rate=2000.0, duration=0.3)
+        report, reg, _ = campaign(config=config, traffic=traffic)
+        assert report.all_terminal
+        assert report.count(SHED) > 0
+        shed_full = reg.scalars().get("serve.shed{reason=queue_full}", 0)
+        shed_exp = reg.scalars().get("serve.shed{reason=expired}", 0)
+        assert shed_full + shed_exp == report.count(SHED)
+
+    def test_tight_deadline_exceeded(self):
+        config = make_config(
+            deadline_factor=1.01, hedge=HedgePolicy(enabled=False),
+            noise_sigma=0.5,
+        )
+        report, _, _ = campaign(config=config)
+        assert report.all_terminal
+        assert report.count(DEADLINE_EXCEEDED) > 0
+
+    def test_crashes_retry_then_fail_when_exhausted(self):
+        # every dispatch crashes: no request can ever complete
+        specs = [FaultSpec(kind="device_crash", count=-1)]
+        config = make_config(
+            devices=(RTX_2080TI, RTX_2080TI),
+            retry=RetryPolicy(max_retries=1),
+        )
+        traffic = make_traffic(rate=50.0, duration=0.2)
+        report, reg, _ = campaign(config=config, traffic=traffic, specs=specs)
+        assert report.all_terminal
+        assert report.count(COMPLETED) == 0
+        assert report.count(FAILED) + report.count(SHED) == report.total
+        assert reg.scalars().get("serve.retries", 0) > 0
+
+    def test_crashes_quarantine_and_probe_readmits(self):
+        specs = [FaultSpec(kind="device_crash", site="RTX 2080Ti #0",
+                           count=2)]
+        config = make_config(breaker_threshold=2)
+        report, reg, _ = campaign(config=config, specs=specs)
+        fleet = report.fleet["RTX 2080Ti #0"]
+        assert fleet["crashes"] == 2
+        assert fleet["quarantines"] == 1
+        assert fleet["probes"] >= 1
+        assert fleet["state"] == HEALTHY  # probe readmitted it
+        scal = reg.scalars()
+        assert scal["serve.quarantines{device=RTX 2080Ti #0}"] == 1.0
+        assert scal["serve.readmissions{device=RTX 2080Ti #0}"] == 1.0
+
+    def test_sticky_crash_kills_device_not_campaign(self):
+        specs = [FaultSpec(kind="device_crash", site="RTX 3090", count=-1)]
+        config = make_config(max_probes=3)
+        report, _, _ = campaign(config=config, specs=specs)
+        assert report.all_terminal
+        assert report.fleet["RTX 3090"]["state"] == DEAD
+        # the two healthy cards absorbed the traffic
+        assert report.count(COMPLETED) > 0.8 * report.total
+
+    def test_straggler_hedging_wins_and_cancels(self):
+        specs = [FaultSpec(kind="device_stall", site="RTX 3090", count=-1,
+                           severity=0.2)]
+        report, reg, _ = campaign(specs=specs)
+        assert report.hedges_launched > 0
+        assert report.hedges_won > 0
+        assert report.hedges_cancelled == report.hedges_launched
+        winners = [r for r in report.requests if r.hedge_won]
+        assert len(winners) == report.hedges_won
+        assert all(r.hedged for r in winners)
+        scal = reg.scalars()
+        assert scal["serve.hedges{outcome=won}"] == report.hedges_won
+        assert scal["serve.hedges{outcome=cancelled}"] == (
+            report.hedges_cancelled
+        )
+
+    def test_no_hedge_config_never_hedges(self):
+        specs = [FaultSpec(kind="device_stall", site="RTX 3090", count=-1,
+                           severity=0.2)]
+        config = make_config(hedge=HedgePolicy(enabled=False))
+        report, reg, _ = campaign(config=config, specs=specs)
+        assert report.hedges_launched == 0
+        assert "serve.hedges{outcome=launched}" not in reg.scalars()
+
+    def test_heterogeneous_fleet_supported(self):
+        config = make_config(devices=(GTX_1080TI, RTX_3090))
+        report, _, _ = campaign(config=config)
+        assert report.all_terminal
+        assert set(report.utilization) == {"GTX 1080Ti", "RTX 3090"}
+
+    def test_serve_metrics_surface(self):
+        _, reg, _ = campaign()
+        names = set(reg.scalars())
+        for required in ("serve.arrivals", "serve.admitted",
+                         "serve.completed", "serve.latency_ms.count",
+                         "serve.wait_ms.count", "serve.queue_depth.count"):
+            assert any(k.startswith(required) for k in names), required
+
+
+class TestServeSpans:
+    def test_dispatch_spans_recorded(self):
+        from repro.core.engine import BaseEngine
+        from repro.serve.cluster import LatencyOracle
+        from repro.serve.server import Server
+
+        config = make_config()
+        oracle = LatencyOracle(BaseEngine(), overrides=LAT)
+        server = Server(config, oracle)
+        with use_registry(MetricsRegistry()):
+            reqs = generate_arrivals(
+                make_traffic(duration=0.1), server.deadline_for
+            )
+            server.run(reqs)
+        names = {s.name for s in server.tracer.spans}
+        assert "serve.campaign" in names
+        assert "serve.dispatch" in names
+        # dispatch spans nest under the campaign span
+        paths = {s.path for s in server.tracer.spans}
+        assert ("serve.campaign", "serve.dispatch") in paths
+
+
+class TestServeReport:
+    def _report(self):
+        report, _, _ = campaign()
+        return report
+
+    def test_percentiles_match_shared_definition(self):
+        from repro.profiling.report import percentile
+
+        report = self._report()
+        lats = [r.latency for r in report.requests
+                if r.state == COMPLETED]
+        assert report.p50 == percentile(lats, 50.0)
+        assert report.p99 == percentile(lats, 99.0)
+        assert report.p50 <= report.p99
+
+    def test_json_roundtrip_and_schema(self):
+        report = self._report()
+        d = json.loads(json.dumps(report.to_json(), sort_keys=True))
+        assert d["schema"] == "repro-bench.serve/1"
+        assert d["all_terminal"] is True
+        assert d["total"] == len(d["requests"])
+        assert sum(d["outcomes"].values()) == d["total"]
+
+    def test_summary_line_mentions_key_numbers(self):
+        report = self._report()
+        line = format_serve_summary(report)
+        assert "SLO" in line and "p99" in line and "hedges" in line
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(devices=())
+        with pytest.raises(ValueError):
+            make_config(preset="nope")
+        with pytest.raises(ValueError):
+            make_config(deadline_factor=0.0)
+        with pytest.raises(ValueError):
+            make_config(noise_sigma=-1.0)
+
+
+class TestLatencyOracle:
+    def test_memoizes_per_spec_not_per_device(self):
+        from repro.core.engine import BaseEngine
+        from repro.serve.cluster import LatencyOracle
+
+        oracle = LatencyOracle(BaseEngine(), scale=0.08)
+        a = oracle.base_latency("minkunet_0.5x_kitti", RTX_2080TI)
+        b = oracle.base_latency("minkunet_0.5x_kitti", RTX_2080TI)
+        assert a == b
+        assert len(oracle._latency) == 1
+        assert oracle.base_latency("minkunet_0.5x_kitti", RTX_3090) != a
+
+    def test_overrides_bypass_engine(self):
+        from repro.serve.cluster import LatencyOracle
+
+        oracle = LatencyOracle(None, overrides={"m": 0.002})
+        assert oracle.base_latency("m", RTX_2080TI) == 0.002
+
+    def test_unknown_model_rejected(self):
+        from repro.core.engine import BaseEngine
+        from repro.serve.cluster import LatencyOracle
+
+        with pytest.raises(ValueError, match="unknown zoo model"):
+            LatencyOracle(BaseEngine()).base_latency("nope", RTX_2080TI)
