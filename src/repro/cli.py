@@ -9,6 +9,7 @@ Subcommands::
     repro-bench regress --model minkunet_0.5x_kitti --baseline base.json
     repro-bench chaos --seeds 3 --json chaos.json
     repro-bench serve --faults device_crash,device_stall --json serve.json
+    repro-bench integrity --seeds 3 --json integrity.json
 
 ``bench`` can export observability artifacts: ``--trace`` writes a
 nested-span Chrome trace (open in Perfetto), ``--metrics`` a JSONL
@@ -21,7 +22,12 @@ and exits nonzero unless every trial survives with bit-exact recovery.
 ``serve`` drives a simulated-clock serving campaign — Poisson traffic
 over a device fleet with deadlines, retry/hedging, and fleet health
 (see :mod:`repro.serve`) — and exits nonzero on any non-terminal
-request or SLO attainment below ``--slo-floor``.
+request or SLO attainment below ``--slo-floor``.  ``integrity`` runs
+the seeded silent-data-corruption campaign against the ABFT verifier
+(:mod:`repro.robust.integrity`): bit flips in feature/weight buffers
+crossed with storage dtypes, measuring detection recall and
+false-positive rate, plus clean control runs asserting that verified
+output is bit-exact with the unverified engine.
 
 All latencies are modeled on the selected device spec (see
 ``repro.gpu``); wall-clock on the host is reported separately.
@@ -297,9 +303,93 @@ def cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_integrity(args) -> int:
+    from repro.robust.integrity import (
+        DTYPE_PRESET_KEYS,
+        INTEGRITY_SCHEMA,
+        run_integrity_campaign,
+    )
+    from repro.robust.faults import SDC_FAULT_KINDS
+
+    kinds = (
+        [k.strip() for k in args.kinds.split(",") if k.strip()]
+        if args.kinds
+        else list(SDC_FAULT_KINDS)
+    )
+    dtypes = (
+        [d.strip() for d in args.dtypes.split(",") if d.strip()]
+        if args.dtypes
+        else list(DTYPE_PRESET_KEYS)
+    )
+    seeds = [args.seed + i for i in range(args.seeds)]
+    t0 = time.time()
+    try:
+        report = run_integrity_campaign(
+            kinds=kinds, dtypes=dtypes, seeds=seeds, severity=args.severity
+        )
+    except ValueError as e:
+        raise SystemExit(str(e))
+    mark = {True: "yes", False: "NO"}
+    rows = [
+        [
+            t.kind,
+            t.dtype,
+            str(t.seed),
+            str(t.shots),
+            str(t.detected),
+            mark[t.caught],
+            mark[t.survived],
+            ",".join(sorted(set(t.recovered_layers.values()))) or "-",
+            "ok" if t.ok else "FAIL",
+        ]
+        for t in report.trials
+    ]
+    print(
+        format_table(
+            ["fault", "dtype", "seed", "shots", "detected", "caught",
+             "survived", "rungs", "status"],
+            rows,
+            title="integrity campaign (ABFT verification)",
+        )
+    )
+    clean = ", ".join(
+        f"{p.dtype}: {p.false_positives}/{p.checks} FP, "
+        f"bitexact={'yes' if p.bitexact else 'NO'}, "
+        f"ref={'ok' if p.reference_ok else 'FAIL'}"
+        for p in report.clean
+    )
+    recall = ", ".join(
+        f"{k}={v:.0%}" for k, v in sorted(report.recall_by_kind.items())
+    )
+    print(f"clean probes: {clean}")
+    print(
+        f"recall {report.recall:.0%} ({recall or 'no shots'}) | "
+        f"fp32 false positives {report.fp32_false_positives} | "
+        f"host wall {time.time() - t0:.1f}s"
+    )
+    if args.json:
+        write_snapshot(report.to_json(), args.json)
+        print(f"integrity report written to {args.json} "
+              f"(schema {INTEGRITY_SCHEMA})")
+    ok = report.gate(recall_floor=args.recall_floor)
+    if not ok:
+        print(
+            f"FAIL: recall {report.recall:.3f} < floor {args.recall_floor:.3f}"
+            if report.recall < args.recall_floor
+            else "FAIL: clean-run false positive, non-bit-exact verified "
+            "output, or unrecovered trial"
+        )
+    return 0 if ok else 1
+
+
 def cmd_serve(args) -> int:
     from repro.gpu.device import GPU_REGISTRY
-    from repro.robust.faults import SERVE_FAULT_KINDS, FaultInjector, FaultSpec
+    from repro.robust.faults import (
+        SDC_FAULT_KINDS,
+        SERVE_FAULT_KINDS,
+        FaultInjector,
+        FaultSpec,
+    )
     from repro.serve import (
         ServeConfig,
         TrafficConfig,
@@ -320,15 +410,21 @@ def cmd_serve(args) -> int:
         devices.append(DEVICES[key])
     from repro.profiling.parallel import device_labels
 
+    # the SDC bit-flip kinds are valid fleet faults too: a device starts
+    # returning corrupted-but-finished results (checksum_mismatch has no
+    # serving-layer site — it lives inside the pipeline verifier)
+    serve_kinds = SERVE_FAULT_KINDS + SDC_FAULT_KINDS[:2]
     kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
     specs = []
     for kind in kinds:
-        if kind not in SERVE_FAULT_KINDS:
+        if kind not in serve_kinds:
             raise SystemExit(
                 f"unknown serve fault {kind!r}; expected one of "
-                f"{SERVE_FAULT_KINDS}"
+                f"{serve_kinds}"
             )
-        if kind == "device_crash":
+        if kind in SDC_FAULT_KINDS:
+            specs.append(FaultSpec(kind=kind, count=args.crashes))
+        elif kind == "device_crash":
             specs.append(FaultSpec(kind=kind, count=args.crashes))
         elif kind == "device_stall":
             # pin the sticky stall to the last fleet slot: one genuine
@@ -348,6 +444,7 @@ def cmd_serve(args) -> int:
         deadline_factor=args.deadline_factor,
         retry=RetryPolicy(max_retries=args.max_retries),
         hedge=HedgePolicy(enabled=not args.no_hedge),
+        verify_integrity=not args.no_verify,
         scale=args.scale,
         seed=args.seed,
     )
@@ -392,14 +489,20 @@ def cmd_serve(args) -> int:
     if args.json:
         write_snapshot(report.to_json(), args.json)
         print(f"serve report written to {args.json}")
-    ok = report.all_terminal and report.slo_attainment >= args.slo_floor
+    ok = report.passed and report.slo_attainment >= args.slo_floor
     if not ok:
-        print(
-            f"FAIL: slo_attainment {report.slo_attainment:.3f} < floor "
-            f"{args.slo_floor:.3f}"
-            if report.all_terminal
-            else "FAIL: non-terminal requests at campaign end"
-        )
+        if not report.all_terminal:
+            print("FAIL: non-terminal requests at campaign end")
+        elif report.corrupted_completions:
+            print(
+                f"FAIL: {report.corrupted_completions} corrupted results "
+                "shipped as completed (silent-data-corruption hole)"
+            )
+        else:
+            print(
+                f"FAIL: slo_attainment {report.slo_attainment:.3f} < floor "
+                f"{args.slo_floor:.3f}"
+            )
     return 0 if ok else 1
 
 
@@ -542,7 +645,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--faults", default="",
         help="comma-separated serve fault kinds to inject "
-        "(device_crash, device_stall, queue_spike)",
+        "(device_crash, device_stall, queue_spike, bitflip_feature, "
+        "bitflip_weight)",
+    )
+    p_serve.add_argument(
+        "--no-verify", action="store_true",
+        help="disable fleet integrity verification: corrupted results "
+        "ship silently as completed (models the pre-ABFT hole)",
     )
     p_serve.add_argument(
         "--crashes", type=int, default=4,
@@ -562,6 +671,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign report (schema repro-bench.serve/1)",
     )
 
+    p_int = sub.add_parser(
+        "integrity",
+        help="seeded silent-data-corruption campaign against the ABFT "
+        "verifier",
+    )
+    p_int.add_argument(
+        "--kinds", default="",
+        help="comma-separated SDC fault kinds (default: bitflip_feature, "
+        "bitflip_weight, checksum_mismatch)",
+    )
+    p_int.add_argument(
+        "--dtypes", default="",
+        help="comma-separated storage-dtype presets (default: "
+        "fp32,fp16,int8)",
+    )
+    p_int.add_argument(
+        "--seeds", type=int, default=3,
+        help="seeds per (fault, dtype) cell (default %(default)s)",
+    )
+    p_int.add_argument("--seed", type=int, default=0, help="base seed")
+    p_int.add_argument(
+        "--severity", type=float, default=0.05,
+        help="fraction of buffer entries flipped per shot "
+        "(default %(default)s)",
+    )
+    p_int.add_argument(
+        "--recall-floor", type=float, default=0.95,
+        help="exit nonzero when detection recall falls below this "
+        "(default %(default)s)",
+    )
+    p_int.add_argument(
+        "--json", metavar="PATH",
+        help="write the campaign report (schema repro-bench.integrity/1)",
+    )
+
     return parser
 
 
@@ -575,6 +719,7 @@ def main(argv: list[str] | None = None) -> int:
         "regress": cmd_regress,
         "chaos": cmd_chaos,
         "serve": cmd_serve,
+        "integrity": cmd_integrity,
     }[args.command](args)
 
 

@@ -42,7 +42,11 @@ from repro.gpu.memory import (
 from repro.gpu.timeline import KernelRecord, Profile
 from repro.mapping.kmap import KernelMap
 from repro.obs.metrics import get_registry
-from repro.robust.faults import maybe_inject_matmul_nan
+from repro.robust.faults import (
+    maybe_bitflip_features,
+    maybe_bitflip_weights,
+    maybe_inject_matmul_nan,
+)
 
 #: Transaction efficiency of row-granular random access (rows usually
 #: shorter than / unaligned to 128-byte transactions).
@@ -221,6 +225,7 @@ def execute_gather_matmul_scatter(
     profile: Profile,
     skip_center: bool = True,
     exact_bmm: bool = False,
+    integrity=None,
 ) -> np.ndarray:
     """Run one sparse convolution via Algorithm 2 with a grouping plan.
 
@@ -240,6 +245,11 @@ def execute_gather_matmul_scatter(
             the default per-member path (a property the tests assert),
             so by default only the *cost* reflects bmm and the numerics
             take the faster per-member route.
+        integrity: optional
+            :class:`~repro.robust.integrity.IntegrityChecker` verifying
+            each stage with ABFT checksums (observation only — never
+            changes numerics; raises
+            :class:`~repro.robust.errors.IntegrityError` on mismatch).
 
     Returns:
         ``(N_out, C_out)`` output features (float32).
@@ -257,6 +267,13 @@ def execute_gather_matmul_scatter(
 
     x = _cast(feats, cfg.dtype)
     w = _cast(weights, cfg.dtype)
+    if integrity is not None:
+        # golden checksums right after the cast: the model of load-time
+        # ABFT — anything that corrupts the buffers later is visible
+        integrity.begin(x, w)
+    # fault-injection site: weight buffer flips *after* the golden
+    # checksum (GEMM checksums agree with it; only the sentinel sees it)
+    maybe_bitflip_weights(w, site=f"weights.v{kmap.volume}")
     acc = np.zeros((kmap.n_out, c_out), dtype=np.float32)
 
     # -- center offset: direct mm, no data movement -------------------------
@@ -264,6 +281,10 @@ def execute_gather_matmul_scatter(
     if skip_center and center is not None and len(kmap.in_indices[center]):
         ci, co = kmap.in_indices[center], kmap.out_indices[center]
         partial = (x[ci] @ w[center]).astype(np.float32)
+        if integrity is not None:
+            src = integrity.source_checksum(x, ci)
+            integrity.check_matmul(partial, src, w[center], len(ci), "matmul.center")
+            integrity.absorb(partial)
         # within one offset each output index appears at most once
         # (p = s*q + delta is injective in q), so plain indexed add is safe
         acc[co] += partial
@@ -293,16 +314,40 @@ def execute_gather_matmul_scatter(
                 batch = np.zeros((len(group.members), m_pad, c_in), dtype=x.dtype)
                 for bi, n in enumerate(group.members):
                     batch[bi, : sizes[bi]] = x[kmap.in_indices[n]]
+                # fault-injection site: flips in the staged padded batch
+                maybe_bitflip_features(batch, site=f"gather.group{gi}")
                 stacked = np.stack([w[n] for n in group.members])
                 partial = np.matmul(batch, stacked).astype(np.float32)
                 for bi, n in enumerate(group.members):
-                    acc[kmap.out_indices[n]] += partial[bi, : sizes[bi]]
+                    pm = partial[bi, : sizes[bi]]
+                    if integrity is not None:
+                        idx = kmap.in_indices[n]
+                        src = integrity.source_checksum(x, idx)
+                        integrity.check_buffer(
+                            batch[bi, : sizes[bi]], src, f"gather.o{n}"
+                        )
+                        integrity.check_matmul(
+                            pm, src, w[n], sizes[bi], f"matmul.o{n}"
+                        )
+                        integrity.absorb(pm)
+                    acc[kmap.out_indices[n]] += pm
             else:
                 # zero-padding cannot change the products, so the per-member
                 # path is numerically identical to bmm and much faster here
                 for n in group.members:
                     idx = kmap.in_indices[n]
-                    partial = (x[idx] @ w[n]).astype(np.float32)
+                    gathered = x[idx]
+                    # fault-injection site: flips in the staged gather rows
+                    maybe_bitflip_features(gathered, site=f"gather.o{n}")
+                    if integrity is not None:
+                        src = integrity.source_checksum(x, idx)
+                        integrity.check_buffer(gathered, src, f"gather.o{n}")
+                    partial = (gathered @ w[n]).astype(np.float32)
+                    if integrity is not None:
+                        integrity.check_matmul(
+                            partial, src, w[n], len(idx), f"matmul.o{n}"
+                        )
+                        integrity.absorb(partial)
                     acc[kmap.out_indices[n]] += partial
             if group.use_bmm:
                 cost = bmm_cost(sizes, c_in, c_out, cfg.dtype, device)
@@ -322,11 +367,17 @@ def execute_gather_matmul_scatter(
     # fault-injection site: reduced-precision accumulator overflow
     # (no-op at FP32 — the ladder's fp32 rung is a genuine fix)
     maybe_inject_matmul_nan(acc, cfg.dtype)
+    # fault-injection site: flips in the scatter accumulator
+    maybe_bitflip_features(acc, site="scatter.out")
 
     with profile.span("scatter"):
         profile.add(
             scatter_record(kmap, c_out, cfg, device, skip_center, emit=True)
         )
+    if integrity is not None:
+        integrity.check_output(acc, "scatter.out")
+        integrity.verify_weights(w, "weights")
+        integrity.finish(profile)
     return acc
 
 
@@ -372,6 +423,7 @@ def execute_fetch_on_demand(
     device: GPUSpec,
     profile: Profile,
     dtype: DType = DType.FP32,
+    integrity=None,
 ) -> np.ndarray:
     """MinkowskiEngine's fetch-on-demand dataflow (Lin et al., 2021).
 
@@ -386,6 +438,10 @@ def execute_fetch_on_demand(
     c_in, c_out = weights.shape[1], weights.shape[2]
     x = _cast(feats, dtype)
     w = _cast(weights, dtype)
+    if integrity is not None:
+        integrity.begin(x, w)
+    # fault-injection site: post-checksum weight-buffer flips
+    maybe_bitflip_weights(w, site="fetch_on_demand.weights")
     acc = np.zeros((kmap.n_out, c_out), dtype=np.float32)
     reg = get_registry()
     with profile.span("matmul", dataflow="fetch_on_demand"):
@@ -394,6 +450,12 @@ def execute_fetch_on_demand(
             if not len(idx):
                 continue
             partial = (x[idx] @ w[n]).astype(np.float32)
+            if integrity is not None:
+                src = integrity.source_checksum(x, idx)
+                integrity.check_matmul(
+                    partial, src, w[n], len(idx), f"fetch_on_demand.o{n}"
+                )
+                integrity.absorb(partial)
             acc[kmap.out_indices[n]] += partial
             t, nbytes, flops = fetch_on_demand_offset_cost(
                 len(idx), c_in, c_out, dtype, device
@@ -407,4 +469,10 @@ def execute_fetch_on_demand(
                 bytes_moved=nbytes,
                 flops=flops,
             )
+    # fault-injection site: flips in the atomic accumulator
+    maybe_bitflip_features(acc, site="fetch_on_demand.out")
+    if integrity is not None:
+        integrity.check_output(acc, "fetch_on_demand.out")
+        integrity.verify_weights(w, "fetch_on_demand.weights")
+        integrity.finish(profile)
     return acc

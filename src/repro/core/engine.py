@@ -44,6 +44,7 @@ from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
 from repro.robust.degrade import DEFAULT_LADDER, CircuitBreaker, RobustConfig
+from repro.robust.integrity import IntegrityChecker
 from repro.robust.errors import (
     FAULT_ERRORS,
     DegradationExhaustedError,
@@ -719,6 +720,7 @@ class BaseEngine:
                 tuple(int(s) for s in kmap.sizes),
             )
         )
+        integrity = self._make_integrity(ctx, layer_name, cfg)
         mean_map = kmap.total / max(1, kmap.volume)
         if (
             cfg.fetch_on_demand_threshold > 0
@@ -727,7 +729,13 @@ class BaseEngine:
         ):
             ctx.metrics.counter("engine.dispatch", dataflow="fetch_on_demand").inc()
             return execute_fetch_on_demand(
-                feats, weights, kmap, ctx.device, ctx.profile, dtype=cfg.dtype
+                feats,
+                weights,
+                kmap,
+                ctx.device,
+                ctx.profile,
+                dtype=cfg.dtype,
+                integrity=integrity,
             )
         ctx.metrics.counter("engine.dispatch", dataflow="gather_matmul_scatter").inc()
 
@@ -762,6 +770,28 @@ class BaseEngine:
             ctx.device,
             ctx.profile,
             skip_center=skip_center,
+            integrity=integrity,
+        )
+
+    def _make_integrity(
+        self, ctx: ExecutionContext, layer_name: str, cfg: EngineConfig
+    ) -> IntegrityChecker | None:
+        """Fresh ABFT checker for one dataflow attempt, or ``None``.
+
+        The checker's *settings* come from the engine's own robustness
+        config (verification never degrades down the ladder); the
+        verified dtype is the attempt's ``cfg.dtype``, so a layer
+        retried at the FP32 rung is checked against the FP32 envelope.
+        """
+        robust = self.config.robustness
+        if robust is None or not robust.detect or robust.integrity is None:
+            return None
+        return IntegrityChecker(
+            robust.integrity,
+            cfg.dtype,
+            ctx.device,
+            metrics=ctx.metrics,
+            label=layer_name or "conv",
         )
 
     def pooling(

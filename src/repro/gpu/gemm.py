@@ -134,6 +134,40 @@ def bmm_cost(
     )
 
 
+def checksum_cost(
+    m: int, k: int, n: int, dtype: DType, device: GPUSpec
+) -> GemmCost:
+    """Cost of maintaining ABFT column checksums through one
+    ``(m x k) @ (k x n)`` GEMM (:mod:`repro.robust.integrity`).
+
+    The checksum row of the inputs (``k`` adds over ``m`` rows done in
+    the epilogue of the producing kernel, modeled here), one
+    ``(1 x k) @ (k x n)`` multiply of that row by the weights, the
+    reduction of the output's ``n`` columns, and the ``n``-wide residual
+    compare.  Fused into the GEMM epilogue, so ``launches == 0`` — the
+    overhead is extra math and a few checksum vectors of traffic, not
+    extra kernels; :func:`record_gemm_cost` deliberately skips it and
+    the integrity layer reports it under ``integrity.*`` instead.
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        return GemmCost(0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    flops = float(m * k + 2 * k * n + m * n + n)
+    nbytes = float(k + 2 * n) * DType.FP32.nbytes
+    occ = device.occupancy(_blocks(m, n))
+    t_math = device.compute_time(flops, DType.FP32, utilization=occ)
+    t_mem = device.mem_time(nbytes, efficiency=occ)
+    time = max(t_math, t_mem)
+    peak = device.math_throughput(DType.FP32)
+    return GemmCost(
+        time=time,
+        flops=flops,
+        useful_flops=flops,
+        bytes_moved=nbytes,
+        launches=0,
+        utilization=flops / time / peak if time else 0.0,
+    )
+
+
 def sequential_cost(
     map_sizes: Sequence[int], k: int, n: int, dtype: DType, device: GPUSpec
 ) -> GemmCost:

@@ -9,7 +9,11 @@ Four pieces (see DESIGN.md, "Robustness"):
 * :mod:`repro.robust.faults`   — deterministic seeded fault injection
   threaded through the engine, tables, and dataflow;
 * :mod:`repro.robust.degrade`  — the graceful-degradation ladder and
-  per-layer circuit breakers the engine retries faults down.
+  per-layer circuit breakers the engine retries faults down;
+* :mod:`repro.robust.tolerance` — the shared numeric tolerance
+  envelopes (test comparisons and ABFT residual bounds);
+* :mod:`repro.robust.integrity` — ABFT checksum verification of the
+  dataflow (silent-data-corruption defense).
 
 The chaos harness (:mod:`repro.robust.chaos`) is imported on demand —
 it pulls in the whole engine stack and backs ``repro-bench chaos``.
@@ -20,6 +24,7 @@ from repro.robust.errors import (
     DegradationExhaustedError,
     GridMemoryError,
     InputValidationError,
+    IntegrityError,
     KernelMapCorruptionError,
     NumericFaultError,
     RobustnessError,
@@ -29,11 +34,19 @@ from repro.robust.errors import (
 from repro.robust.faults import (
     FAULT_KINDS,
     PIPELINE_FAULT_KINDS,
+    SDC_FAULT_KINDS,
     SERVE_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
     get_injector,
     inject_faults,
+)
+from repro.robust.integrity import (
+    INTEGRITY_SCHEMA,
+    IntegrityChecker,
+    IntegrityConfig,
+    IntegrityReport,
+    run_integrity_campaign,
 )
 from repro.robust.degrade import (
     DEFAULT_LADDER,
@@ -52,7 +65,9 @@ from repro.robust.validate import (
 __all__ = [
     "FAULT_ERRORS",
     "FAULT_KINDS",
+    "INTEGRITY_SCHEMA",
     "PIPELINE_FAULT_KINDS",
+    "SDC_FAULT_KINDS",
     "SERVE_FAULT_KINDS",
     "POLICIES",
     "DEFAULT_LADDER",
@@ -63,6 +78,10 @@ __all__ = [
     "FaultSpec",
     "GridMemoryError",
     "InputValidationError",
+    "IntegrityChecker",
+    "IntegrityConfig",
+    "IntegrityError",
+    "IntegrityReport",
     "KernelMapCorruptionError",
     "NumericFaultError",
     "RobustConfig",
@@ -74,5 +93,6 @@ __all__ = [
     "clean_batch",
     "get_injector",
     "inject_faults",
+    "run_integrity_campaign",
     "validate_cloud",
 ]

@@ -35,10 +35,11 @@ from repro.core.engine import BaseEngine, EngineConfig, ExecutionContext
 from repro.core.reference import sparse_conv_reference
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.tuner import LayerStrategy, StrategyBook
-from repro.gpu.memory import DType
 from repro.nn.modules import Conv3d, ReLU, Sequential
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.robust.degrade import DEFAULT_LADDER, CircuitBreaker, RobustConfig
+from repro.robust.integrity import IntegrityConfig
+from repro.robust.tolerance import envelope
 from repro.robust.errors import RobustnessError
 from repro.robust.faults import (
     PIPELINE_FAULT_KINDS,
@@ -221,6 +222,9 @@ def _trial_config(preset: str, book: StrategyBook, degrade: bool) -> EngineConfi
             detect=True,
             degrade=degrade,
             input_policy="repair" if degrade else "strict",
+            # ABFT verification armed so the SDC kinds in
+            # PIPELINE_FAULT_KINDS are detectable by every campaign
+            integrity=IntegrityConfig(),
         ),
     )
 
@@ -316,7 +320,9 @@ def reference_probe(preset: str, seed: int = 0) -> bool:
     ).astype(np.int32)
     feats = rng.normal(size=(coords.shape[0], 4)).astype(np.float32)
     weights = (rng.normal(size=(27, 4, 6)) * 0.2).astype(np.float32)
-    config = EngineConfig.hardened(_PRESET_FACTORIES[preset]())
+    config = EngineConfig.hardened(
+        _PRESET_FACTORIES[preset](), integrity=IntegrityConfig()
+    )
     engine = BaseEngine(config=config)
     with use_registry(MetricsRegistry()):
         ctx = ExecutionContext(engine=engine)
@@ -324,8 +330,7 @@ def reference_probe(preset: str, seed: int = 0) -> bool:
             SparseTensor(coords, feats), weights, ctx, kernel_size=3, stride=1
         )
     ref = sparse_conv_reference(coords, feats, weights, coords, 3, stride=1)
-    tol = 2e-2 if config.dtype is DType.FP16 else 1e-4
-    return bool(np.allclose(out.feats, ref, rtol=tol, atol=tol))
+    return envelope(config.dtype).allclose(out.feats, ref)
 
 
 def run_campaign(

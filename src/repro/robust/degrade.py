@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.gpu.memory import DType
+from repro.robust.integrity import IntegrityConfig
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,16 @@ class RobustConfig:
         verify_numerics: check layer outputs for NaN/Inf.
         max_retries: ladder retries per layer call before giving up.
         breaker_threshold: failures before a layer pins its fallback.
+        integrity: ABFT checksum verification of the dataflow
+            (:class:`~repro.robust.integrity.IntegrityConfig`); ``None``
+            keeps the NaN/Inf-only detection (an exponent bit flip in a
+            feature buffer then ships silently).  A detected mismatch
+            raises :class:`~repro.robust.errors.IntegrityError` (stage
+            ``"numeric"``), so with ``degrade`` on the layer is
+            recomputed once at FP32 scalar before escalating.  The
+            checker itself never degrades: verification settings are
+            identical at every ladder level, only the verified dtype's
+            envelope follows the attempt.
     """
 
     detect: bool = True
@@ -157,6 +168,7 @@ class RobustConfig:
     verify_numerics: bool = True
     max_retries: int = 4
     breaker_threshold: int = 3
+    integrity: IntegrityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.input_policy not in ("repair", "strict"):

@@ -61,6 +61,22 @@ class NumericFaultError(RobustnessError):
     stage = "numeric"
 
 
+class IntegrityError(RobustnessError):
+    """An ABFT checksum residual left its tolerance envelope.
+
+    Raised by the integrity verifier (:mod:`repro.robust.integrity`)
+    when a carried checksum disagrees with the recomputed one — the
+    signature of silent data corruption (a flipped bit in a feature
+    buffer, a corrupted weight, a dropped scatter update).  The stage
+    is ``"numeric"`` so the degradation ladder's response is a full
+    FP32-scalar recompute of the layer; only if the mismatch persists
+    does the error escalate out of the retry loop.
+    """
+
+    kind = "integrity"
+    stage = "numeric"
+
+
 class StrategyBookError(RobustnessError, ValueError):
     """A tuned strategy book failed to load or parse."""
 
@@ -84,4 +100,5 @@ FAULT_ERRORS = (
     TableOverflowError,
     GridMemoryError,
     NumericFaultError,
+    IntegrityError,
 )

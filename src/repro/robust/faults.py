@@ -22,6 +22,19 @@ Sites (mirroring where real engines break):
 * ``input_corrupt``  — dirty a raw point cloud before tensor
   construction (chaos harness, dataset boundary).
 
+Silent-data-corruption sites (the ABFT integrity layer's prey — none
+of these crash or go NaN on their own; see
+:mod:`repro.robust.integrity`):
+
+* ``bitflip_feature`` — XOR an exponent bit of random entries in a
+  gathered feature buffer or the scatter accumulator (dataflow,
+  gather/scatter staging);
+* ``bitflip_weight``  — the same flip in a weight matrix *after* its
+  load-time golden checksum was taken (dataflow, post-cast);
+* ``checksum_mismatch`` — corrupt the verifier's own checksum state so
+  a clean layer reports a mismatch (integrity verifier), exercising the
+  false-positive/recompute path.
+
 Serving-layer sites (fleet-level failures, see :mod:`repro.serve`):
 
 * ``device_crash``   — a device dies mid-request: the in-flight attempt
@@ -54,6 +67,18 @@ PIPELINE_FAULT_KINDS = (
     "strategy_drop",
     "matmul_nan",
     "input_corrupt",
+    "bitflip_feature",
+    "bitflip_weight",
+    "checksum_mismatch",
+)
+
+#: The silent-data-corruption subset: these sites never crash or emit
+#: NaN, so only the ABFT integrity layer can see them.  The serving
+#: layer also arms them per device to model SDC in responses.
+SDC_FAULT_KINDS = (
+    "bitflip_feature",
+    "bitflip_weight",
+    "checksum_mismatch",
 )
 
 #: Fleet-level faults fired by the serving layer (:mod:`repro.serve`).
@@ -226,6 +251,85 @@ def maybe_inject_matmul_nan(acc: np.ndarray, dtype) -> bool:
     flat = inj.rng.choice(acc.size, size=min(hits, acc.size), replace=False)
     acc.reshape(-1)[flat] = np.nan
     return True
+
+
+#: XORed into the float32 bit pattern by the bit-flip sites: the
+#: second-highest exponent bit.  Flipping it rescales the value by
+#: ~2^64 in either direction — a large, *finite* perturbation (sign
+#: and NaN/Inf patterns stay untouched), exactly the corruption class
+#: that ships silently without checksum verification.
+_FLIP_MASK = np.uint32(1 << 29)
+
+
+def _flip_exponent_bits(arr: np.ndarray, severity: float, rng) -> None:
+    """XOR :data:`_FLIP_MASK` into ``severity`` of ``arr``'s entries."""
+    flat = arr.reshape(-1)
+    hits = max(1, int(flat.size * severity))
+    where = rng.choice(flat.size, size=min(hits, flat.size), replace=False)
+    bits = flat[where].astype(np.float32).view(np.uint32)
+    flat[where] = (bits ^ _FLIP_MASK).view(np.float32)
+
+
+def maybe_bitflip_features(arr: np.ndarray, site: str = "") -> bool:
+    """Flip exponent bits in a staged feature buffer (gather output or
+    the scatter accumulator) — silent corruption the NaN check misses."""
+    inj = _CURRENT
+    if inj is None or arr.size == 0:
+        return False
+    spec = inj.fire("bitflip_feature", site)
+    if spec is None:
+        return False
+    _flip_exponent_bits(arr, spec.severity, inj.rng)
+    return True
+
+
+def maybe_bitflip_weights(w: np.ndarray, site: str = "") -> bool:
+    """Flip exponent bits in the cast weight tensor.
+
+    Fires *after* the integrity layer's load-time golden checksum is
+    taken, so the carried-through GEMM checksums agree with the
+    corrupted weights — only the weight sentinel can catch it.
+    """
+    inj = _CURRENT
+    if inj is None or w.size == 0:
+        return False
+    spec = inj.fire("bitflip_weight", site)
+    if spec is None:
+        return False
+    _flip_exponent_bits(w, spec.severity, inj.rng)
+    return True
+
+
+def maybe_force_checksum_mismatch(site: str = "") -> bool:
+    """True when the verifier's checksum state should read corrupted.
+
+    Models corruption of the ABFT metadata itself: the layer's data is
+    fine but a checksum register flipped, so verification must fail,
+    trigger the FP32 recompute, and converge (the recompute re-derives
+    clean checksums).  Measures the detector's recovery path and the
+    cost of a false alarm.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return False
+    return inj.fire("checksum_mismatch", site) is not None
+
+
+def maybe_silent_corruption(device_label: str) -> bool:
+    """True when the attempt dispatched to this device will produce a
+    corrupted-but-finished response (serving-layer SDC site).
+
+    The serving layer asks at dispatch time, mirroring
+    :func:`maybe_crash_device`; any armed bit-flip kind matches, so the
+    same campaign specs drive pipeline and fleet-level SDC.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return False
+    for kind in ("bitflip_feature", "bitflip_weight"):
+        if inj.fire(kind, site=device_label) is not None:
+            return True
+    return False
 
 
 def maybe_crash_device(device_label: str) -> bool:

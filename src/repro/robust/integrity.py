@@ -1,0 +1,621 @@
+"""Algorithm-based fault tolerance (ABFT) for the sparse-conv pipeline.
+
+The fast paths this engine reproduces (FP16 vectorized movement,
+adaptive-grouping ``bmm``) are exactly the ones where a flipped bit in
+a feature buffer ships silently: nothing crashes, nothing goes NaN, a
+``completed`` request carries garbage.  This module closes that hole
+with checksums carried *through* the algebra instead of recomputation:
+
+* **Checksummed GEMM** — for ``Y = X @ W`` the column-sum identity
+  ``1ᵀY = (1ᵀX) W`` holds exactly in real arithmetic, so the checksum
+  row of the inputs, multiplied once by the weights (``O(k·n)`` extra
+  work against the GEMM's ``O(m·k·n)``), predicts the checksum row of
+  the output.  The float32 residual between prediction and the reduced
+  output is bounded by the per-dtype envelope in
+  :mod:`repro.robust.tolerance`; anything outside it is corruption.
+* **Buffer sentinels** — additive checksums over gather inputs and the
+  scatter accumulator.  Both exploit permutation invariance of the
+  kernel map: a sum over gathered rows does not care in which order the
+  movement kernel visited them, and the scatter accumulator's column
+  sum equals the sum of every partial's column sum regardless of how
+  output rows interleave across offsets.
+* **Weight sentinels** — a golden per-offset checksum taken at load
+  time (right after the storage-dtype cast); corruption of the weight
+  buffer *after* that point fools the GEMM checksums (both sides use
+  the corrupted operand) but not the golden sum.
+
+On mismatch the checker raises
+:class:`~repro.robust.errors.IntegrityError` (stage ``"numeric"``), so
+the engine's degradation ladder recomputes the layer once at FP32
+scalar; only a persistent mismatch escalates out of the retry loop.
+
+Verification is *observation only*: it never modifies features or
+weights, so verified runs are bit-exact with unverified ones on clean
+inputs.  Its cost (the checksum traffic's extra bytes and FLOPs) is
+modeled through :func:`repro.gpu.gemm.checksum_cost` and surfaced as an
+``integrity.checksum`` profile record plus ``integrity.*`` metrics, so
+the overhead is visible in BENCH reports.
+
+:func:`run_integrity_campaign` drives seeded bit-flip campaigns
+(``repro-bench integrity``) measuring detection recall and
+false-positive rate per storage dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.memory import DType
+from repro.obs.metrics import get_registry
+from repro.robust.errors import IntegrityError
+from repro.robust.faults import maybe_force_checksum_mismatch
+from repro.robust.tolerance import (
+    DEFAULT_SAFETY,
+    checksum_tolerance,
+    gemm_residual_tolerance,
+)
+
+INTEGRITY_SCHEMA = "repro-bench.integrity/1"
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Knobs of the ABFT verifier (all checks on by default).
+
+    Attributes:
+        verify_gemm: carry column checksums through ``mm``/``bmm`` and
+            verify the post-matmul residual.
+        verify_movement: additive sentinels over gathered buffers.
+        verify_output: sentinel over the scatter accumulator.
+        verify_weights: golden load-time weight checksum.
+        safety: multiple of the random-walk residual estimate
+            (:mod:`repro.robust.tolerance`).
+        model_overhead: price the checksum traffic into the profile so
+            BENCH reports show the verification cost.
+    """
+
+    verify_gemm: bool = True
+    verify_movement: bool = True
+    verify_output: bool = True
+    verify_weights: bool = True
+    safety: float = DEFAULT_SAFETY
+    model_overhead: bool = True
+
+    def __post_init__(self) -> None:
+        if self.safety <= 0:
+            raise ValueError("safety must be positive")
+
+
+class IntegrityChecker:
+    """Per-layer ABFT state: golden checksums, running output checksum,
+    and the modeled cost of maintaining them.
+
+    One checker covers one dataflow execution
+    (:func:`repro.core.dataflow.execute_gather_matmul_scatter` or the
+    fetch-on-demand path).  The dataflow calls, in order: :meth:`begin`
+    once, then per offset :meth:`source_checksum` /
+    :meth:`check_buffer` / :meth:`check_matmul` / :meth:`absorb`, then
+    :meth:`verify_weights` and :meth:`check_output`, and finally
+    :meth:`finish` to emit the priced overhead.
+    """
+
+    def __init__(
+        self,
+        config: IntegrityConfig,
+        dtype: DType,
+        device,
+        metrics=None,
+        label: str = "",
+    ) -> None:
+        self.config = config
+        self.dtype = dtype
+        self.device = device
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.label = label or "conv"
+        self._c_in = 0
+        self._amax_x = 0.0
+        self._amax_w = 0.0
+        self._w_golden: np.ndarray | None = None
+        self._expected_out: np.ndarray | None = None
+        #: feature rows absorbed into the output checksum (its n_accum)
+        self._rows = 0
+        self._time = 0.0
+        self._flops = 0.0
+        self._bytes = 0.0
+        self.checks = 0
+        self.mismatches = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, x: np.ndarray, w: np.ndarray) -> None:
+        """Take operand magnitudes and the golden weight checksum.
+
+        Runs immediately after the storage-dtype cast — the model of a
+        load-time checksum: every later corruption of the weight buffer
+        is visible against it.
+        """
+        self._c_in = int(x.shape[1]) if x.ndim == 2 else 0
+        self._amax_x = float(np.abs(x).max()) if x.size else 0.0
+        self._amax_w = float(np.abs(w).max()) if w.size else 0.0
+        if self.config.verify_weights:
+            self._w_golden = w.astype(np.float64).sum(axis=(1, 2))
+            self._account(flops=float(w.size), nbytes=8.0 * w.shape[0])
+        self._expected_out = None
+        self._rows = 0
+
+    def finish(self, profile=None) -> None:
+        """Emit the accumulated verification cost (metrics + profile)."""
+        reg = self.metrics
+        reg.counter("integrity.flops").inc(self._flops)
+        reg.counter("integrity.bytes").inc(self._bytes)
+        if (
+            self.config.model_overhead
+            and profile is not None
+            and self._time > 0.0
+        ):
+            profile.log(
+                "integrity.checksum",
+                "other",
+                self._time,
+                bytes_moved=self._bytes,
+                flops=self._flops,
+            )
+
+    # -- checks --------------------------------------------------------------
+
+    def source_checksum(self, x: np.ndarray, idx) -> np.ndarray:
+        """Input-side checksum of one offset's rows, from the source
+        tensor (permutation-invariant over the kernel map's order)."""
+        return x[idx].astype(np.float64).sum(axis=0)
+
+    def check_buffer(self, buffer: np.ndarray, src: np.ndarray, site: str) -> None:
+        """Gather sentinel: the staged buffer must sum to the source
+        checksum (zero residual when clean — same rows, same order)."""
+        if not self.config.verify_movement:
+            return
+        rows = int(buffer.shape[0])
+        self._account(
+            flops=2.0 * buffer.size + buffer.shape[-1],
+            nbytes=16.0 * buffer.shape[-1],
+        )
+        actual = buffer.astype(np.float64).sum(axis=0)
+        tol = checksum_tolerance(
+            self.dtype, rows, self._amax_x, safety=self.config.safety
+        )
+        self._verdict(actual, src, tol, "gather", site)
+
+    def check_matmul(
+        self,
+        partial: np.ndarray,
+        src: np.ndarray,
+        w_n: np.ndarray,
+        m: int,
+        site: str,
+    ) -> None:
+        """Checksummed GEMM: ``partial``'s column sums must equal the
+        carried input checksum times the weights, within the envelope."""
+        if not self.config.verify_gemm:
+            return
+        from repro.gpu.gemm import checksum_cost
+
+        k, n = int(w_n.shape[0]), int(w_n.shape[1])
+        cost = checksum_cost(m, k, n, self.dtype, self.device)
+        self._account(flops=cost.flops, nbytes=cost.bytes_moved, time=cost.time)
+        expected = src @ w_n.astype(np.float64)
+        actual = partial.astype(np.float64).sum(axis=0)
+        tol = gemm_residual_tolerance(
+            self.dtype, m, k, self._amax_x, self._amax_w,
+            safety=self.config.safety,
+        )
+        self._verdict(actual, expected, tol, "matmul", site)
+
+    def absorb(self, partial: np.ndarray) -> None:
+        """Fold one partial's column checksum into the expected output
+        checksum (linearity: scatter-add cannot change column sums)."""
+        if not self.config.verify_output:
+            return
+        s = partial.astype(np.float64).sum(axis=0)
+        self._rows += int(partial.shape[0])
+        if self._expected_out is None:
+            self._expected_out = s
+        else:
+            self._expected_out = self._expected_out + s
+
+    def check_output(self, acc: np.ndarray, site: str) -> None:
+        """Scatter sentinel: the accumulator's column sums must equal
+        the absorbed partials' (output-order invariant)."""
+        if not self.config.verify_output or self._expected_out is None:
+            return
+        self._account(
+            flops=2.0 * acc.size + acc.shape[-1],
+            nbytes=16.0 * acc.shape[-1],
+        )
+        actual = acc.astype(np.float64).sum(axis=0)
+        magnitude = max(1, self._c_in) * self._amax_x * self._amax_w
+        tol = checksum_tolerance(
+            self.dtype, self._rows, magnitude, safety=self.config.safety
+        )
+        self._verdict(actual, self._expected_out, tol, "scatter", site)
+
+    def verify_weights(self, w: np.ndarray, site: str) -> None:
+        """Weight sentinel: the buffer must still match its golden
+        load-time checksum (exact when clean — same buffer)."""
+        if self._w_golden is None:
+            return
+        self._account(flops=float(w.size), nbytes=8.0 * w.shape[0])
+        actual = w.astype(np.float64).sum(axis=(1, 2))
+        tol = checksum_tolerance(
+            self.dtype,
+            w.shape[1] * w.shape[2],
+            self._amax_w,
+            safety=self.config.safety,
+        )
+        self._verdict(actual, self._w_golden, tol, "weights", site)
+
+    # -- internals -----------------------------------------------------------
+
+    def _verdict(
+        self,
+        actual: np.ndarray,
+        expected: np.ndarray,
+        tol: float,
+        stage: str,
+        site: str,
+    ) -> None:
+        self.checks += 1
+        self.metrics.counter("integrity.checks", stage=stage).inc()
+        residual = float(np.max(np.abs(np.subtract(actual, expected))))
+        clean = np.isfinite(residual) and residual <= tol
+        # fault-injection site: the checksum state itself corrupted
+        if maybe_force_checksum_mismatch(f"{self.label}.{stage}.{site}"):
+            clean = False
+        if clean:
+            return
+        self.mismatches += 1
+        self.metrics.counter("integrity.mismatches", stage=stage).inc()
+        raise IntegrityError(
+            f"{self.label}: {stage} checksum residual {residual:.3e} exceeds "
+            f"envelope {tol:.3e} at {site} ({self.dtype.name})"
+        )
+
+    def _account(self, flops: float, nbytes: float, time: float | None = None) -> None:
+        self._flops += flops
+        self._bytes += nbytes
+        if time is None:
+            # sentinel reductions: streaming adds on CUDA cores
+            time = max(
+                self.device.compute_time(flops, DType.FP32, utilization=0.5),
+                self.device.mem_time(nbytes),
+            )
+        self._time += time
+
+
+# -- seeded SDC campaigns ----------------------------------------------------
+
+#: Storage-dtype presets the campaign crosses with fault kinds.  Keys
+#: double as the report's dtype labels.
+DTYPE_PRESET_KEYS = ("fp32", "fp16", "int8")
+
+
+def _dtype_config(key: str):
+    """Engine config for one dtype preset, integrity armed."""
+    from repro.core.engine import EngineConfig
+    from repro.robust.degrade import RobustConfig
+
+    if key == "fp32":
+        base = EngineConfig.baseline()
+    elif key == "fp16":
+        base = EngineConfig.torchsparse()
+    elif key == "int8":
+        base = EngineConfig.torchsparse(dtype=DType.INT8)
+    else:
+        raise ValueError(
+            f"unknown dtype preset {key!r}; expected one of {DTYPE_PRESET_KEYS}"
+        )
+    from dataclasses import replace
+
+    return replace(
+        base,
+        robustness=RobustConfig(integrity=IntegrityConfig()),
+    )
+
+
+@dataclass
+class IntegrityTrial:
+    """Outcome of one (SDC kind, dtype preset, seed) trial."""
+
+    kind: str
+    dtype: str
+    seed: int
+    #: injected shots fired
+    shots: int = 0
+    #: integrity mismatches the verifier reported
+    detected: int = 0
+    #: run finished (recompute absorbed the fault)
+    survived: bool = False
+    #: layer -> rung for layers that recovered degraded
+    recovered_layers: dict = field(default_factory=dict)
+    error: str = ""
+    error_kind: str = ""
+
+    @property
+    def caught(self) -> bool:
+        """Every fired shot was flagged by the verifier."""
+        return self.shots == 0 or self.detected > 0
+
+    @property
+    def ok(self) -> bool:
+        return self.survived and self.caught
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "dtype": self.dtype,
+            "seed": self.seed,
+            "shots": self.shots,
+            "detected": self.detected,
+            "caught": self.caught,
+            "survived": self.survived,
+            "recovered_layers": dict(self.recovered_layers),
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class CleanProbe:
+    """Clean-input control run for one dtype preset."""
+
+    dtype: str
+    seed: int
+    #: verification checks executed
+    checks: int = 0
+    #: mismatches on clean input (false positives)
+    false_positives: int = 0
+    #: verified output is bit-for-bit the unverified engine's output
+    bitexact: bool = False
+    #: single conv within the dtype's envelope of the Equation-1 reference
+    reference_ok: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.false_positives == 0 and self.bitexact and self.reference_ok
+
+    def to_json(self) -> dict:
+        return {
+            "dtype": self.dtype,
+            "seed": self.seed,
+            "checks": self.checks,
+            "false_positives": self.false_positives,
+            "false_positive_rate": (
+                0.0 if not self.checks else self.false_positives / self.checks
+            ),
+            "bitexact": self.bitexact,
+            "reference_ok": self.reference_ok,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class IntegrityReport:
+    """Aggregate of one SDC campaign: recall, FP rate, clean probes."""
+
+    trials: list = field(default_factory=list)
+    clean: list = field(default_factory=list)
+    severity: float = 0.05
+
+    @property
+    def recall(self) -> float:
+        """Fraction of fired-fault trials the verifier caught."""
+        fired = [t for t in self.trials if t.shots > 0]
+        if not fired:
+            return 1.0
+        return sum(t.caught for t in fired) / len(fired)
+
+    @property
+    def recall_by_kind(self) -> dict:
+        out: dict = {}
+        for t in self.trials:
+            if t.shots == 0:
+                continue
+            hit, total = out.get(t.kind, (0, 0))
+            out[t.kind] = (hit + int(t.caught), total + 1)
+        return {k: hit / total for k, (hit, total) in out.items()}
+
+    @property
+    def false_positive_rate(self) -> dict:
+        """dtype -> clean-run mismatches per executed check."""
+        return {
+            p.dtype: (0.0 if not p.checks else p.false_positives / p.checks)
+            for p in self.clean
+        }
+
+    @property
+    def fp32_false_positives(self) -> int:
+        return sum(p.false_positives for p in self.clean if p.dtype == "fp32")
+
+    def gate(self, recall_floor: float = 0.95, fp_budget: float = 0.0) -> bool:
+        """The acceptance gate ``repro-bench integrity`` exits on."""
+        if self.recall < recall_floor:
+            return False
+        if self.fp32_false_positives > 0:
+            return False
+        for probe in self.clean:
+            if not probe.bitexact or not probe.reference_ok:
+                return False
+            if probe.dtype != "fp32" and probe.checks:
+                if probe.false_positives / probe.checks > fp_budget:
+                    return False
+        return all(t.ok for t in self.trials)
+
+    @property
+    def passed(self) -> bool:
+        return self.gate()
+
+    def to_json(self) -> dict:
+        return {
+            "schema": INTEGRITY_SCHEMA,
+            "severity": self.severity,
+            "recall": self.recall,
+            "recall_by_kind": dict(sorted(self.recall_by_kind.items())),
+            "false_positive_rate": dict(
+                sorted(self.false_positive_rate.items())
+            ),
+            "fp32_false_positives": self.fp32_false_positives,
+            "passed": self.passed,
+            "clean": [p.to_json() for p in self.clean],
+            "trials": [t.to_json() for t in self.trials],
+        }
+
+
+def run_integrity_trial(
+    kind: str, dtype_key: str, seed: int, severity: float = 0.05
+) -> IntegrityTrial:
+    """One seeded SDC shot against an integrity-hardened model run."""
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.robust.chaos import _make_book, _make_cloud, _make_model
+    from repro.robust.degrade import DEFAULT_LADDER
+    from repro.robust.errors import RobustnessError
+    from repro.robust.faults import FaultInjector, FaultSpec, inject_faults
+
+    from repro.core.engine import BaseEngine, ExecutionContext
+    from repro.core.sparse_tensor import SparseTensor
+
+    trial = IntegrityTrial(kind=kind, dtype=dtype_key, seed=seed)
+    registry = MetricsRegistry()
+    coords, feats = _make_cloud(seed, kind)
+    model = _make_model(seed)
+    from dataclasses import replace
+
+    config = replace(_dtype_config(dtype_key), strategy_book=_make_book(model))
+    engine = BaseEngine(config=config)
+    injector = FaultInjector(
+        seed=seed, specs=[FaultSpec(kind=kind, count=1, severity=severity)]
+    )
+    with use_registry(registry):
+        try:
+            with inject_faults(injector):
+                x = SparseTensor.sanitized(coords, feats, policy="repair")
+                ctx = ExecutionContext(engine=engine)
+                model(x, ctx)
+            trial.survived = True
+        except RobustnessError as e:
+            trial.error = str(e)
+            trial.error_kind = e.kind
+        except Exception as e:  # untyped crash: always a failure
+            trial.error = f"{type(e).__name__}: {e}"
+    trial.shots = injector.shots
+    scalars = registry.scalars()
+    trial.detected = int(
+        sum(
+            v
+            for k, v in scalars.items()
+            if k.startswith("integrity.mismatches")
+        )
+    )
+    trial.recovered_layers = {
+        label: DEFAULT_LADDER.rung_name(b.last_good)
+        for label, b in engine.breakers.items()
+        if b.last_good > 0
+    }
+    return trial
+
+
+def run_clean_probe(dtype_key: str, seed: int = 0) -> CleanProbe:
+    """Clean control: zero mismatches, bit-exact, reference-close."""
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.robust.chaos import _make_cloud, _make_model
+    from repro.robust.tolerance import envelope
+
+    from repro.core.engine import BaseEngine, ExecutionContext
+    from repro.core.reference import sparse_conv_reference
+    from repro.core.sparse_tensor import SparseTensor
+
+    probe = CleanProbe(dtype=dtype_key, seed=seed)
+    coords, feats = _make_cloud(seed, "clean")
+    model = _make_model(seed)
+    config = _dtype_config(dtype_key)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        ctx = ExecutionContext(engine=BaseEngine(config=config))
+        verified = model(SparseTensor(coords, feats), ctx)
+    scalars = registry.scalars()
+    probe.checks = int(
+        sum(v for k, v in scalars.items() if k.startswith("integrity.checks"))
+    )
+    probe.false_positives = int(
+        sum(
+            v
+            for k, v in scalars.items()
+            if k.startswith("integrity.mismatches")
+        )
+    )
+    from dataclasses import replace
+
+    with use_registry(MetricsRegistry()):
+        ctx = ExecutionContext(
+            engine=BaseEngine(config=replace(config, robustness=None))
+        )
+        unverified = model(SparseTensor(coords, feats), ctx)
+    probe.bitexact = bool(
+        np.array_equal(verified.coords, unverified.coords)
+        and np.array_equal(verified.feats, unverified.feats)
+    )
+
+    # single conv against the Equation-1 reference, dtype envelope
+    rng = np.random.default_rng(seed)
+    ref_coords = np.unique(
+        np.concatenate(
+            [np.zeros((48, 1), dtype=np.int64),
+             rng.integers(0, 8, size=(48, 3))],
+            axis=1,
+        ),
+        axis=0,
+    ).astype(np.int32)
+    ref_feats = rng.normal(size=(ref_coords.shape[0], 4)).astype(np.float32)
+    weights = (rng.normal(size=(27, 4, 6)) * 0.2).astype(np.float32)
+    with use_registry(MetricsRegistry()):
+        engine = BaseEngine(config=config)
+        ctx = ExecutionContext(engine=engine)
+        out = engine.convolution(
+            SparseTensor(ref_coords, ref_feats), weights, ctx,
+            kernel_size=3, stride=1,
+        )
+    ref = sparse_conv_reference(
+        ref_coords, ref_feats, weights, ref_coords, 3, stride=1
+    )
+    probe.reference_ok = envelope(config.dtype).allclose(out.feats, ref)
+    return probe
+
+
+def run_integrity_campaign(
+    kinds=None,
+    dtypes=DTYPE_PRESET_KEYS,
+    seeds=(0, 1, 2),
+    severity: float = 0.05,
+) -> IntegrityReport:
+    """Cross SDC kinds x dtype presets x seeds, plus clean controls."""
+    from repro.robust.faults import SDC_FAULT_KINDS
+
+    kinds = tuple(kinds) if kinds else SDC_FAULT_KINDS
+    for kind in kinds:
+        if kind not in SDC_FAULT_KINDS:
+            raise ValueError(
+                f"unknown SDC fault kind {kind!r}; expected one of "
+                f"{SDC_FAULT_KINDS}"
+            )
+    report = IntegrityReport(severity=severity)
+    for dtype_key in dtypes:
+        report.clean.append(run_clean_probe(dtype_key, seed=int(seeds[0])))
+    for kind in kinds:
+        for dtype_key in dtypes:
+            for seed in seeds:
+                report.trials.append(
+                    run_integrity_trial(
+                        kind, dtype_key, int(seed), severity=severity
+                    )
+                )
+    return report

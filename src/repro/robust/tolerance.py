@@ -1,0 +1,152 @@
+"""Shared numeric tolerance envelopes.
+
+One place for every ``atol``/``rtol`` pair the project compares floats
+with.  Two families live here:
+
+* **Comparison envelopes** — named :class:`Envelope` constants for
+  "how close must two runs of the same math be", keyed either by name
+  (``EXACT_FP32`` for identical-pipeline identities, ``CLOSE_FP32`` for
+  reassociated FP32, ...) or by storage dtype via :func:`envelope`.
+  Tests and the chaos harness's reference probes draw from these
+  instead of scattering literals.
+* **ABFT residual bounds** — :func:`checksum_tolerance` and
+  :func:`gemm_residual_tolerance`, the detection thresholds of the
+  integrity verifier (:mod:`repro.robust.integrity`).  Checksums are
+  taken *after* the storage-dtype cast (``repro.core.dataflow._cast``
+  returns float32 arrays for every dtype), so the residual between the
+  carried checksum and the recomputed one contains only float32
+  accumulation error — quantization error cancels.  The bound is the
+  probabilistic (random-walk) model
+
+      ``safety * eps(dtype) * sqrt(n_accum) * magnitude``
+
+  where ``n_accum`` counts the float32 additions behind the checksum
+  and ``magnitude`` is the operand-derived scale of one accumulated
+  term.  ``eps`` is float32 machine epsilon with per-dtype slack for
+  the reduced-precision pipelines (vectorized FP16 and INT8 reorder
+  their reductions more aggressively).  Corruption below this envelope
+  is undetectable *by design* — the same is true of hardware ABFT; the
+  ``repro-bench integrity`` campaign measures the recall that the
+  envelope actually delivers against seeded bit flips.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.memory import DType
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A relative + absolute tolerance pair for ``allclose`` checks."""
+
+    rtol: float
+    atol: float
+
+    def allclose(self, actual, desired) -> bool:
+        return bool(
+            np.allclose(actual, desired, rtol=self.rtol, atol=self.atol)
+        )
+
+    def assert_close(self, actual, desired, err_msg: str = "") -> None:
+        np.testing.assert_allclose(
+            actual, desired, rtol=self.rtol, atol=self.atol, err_msg=err_msg
+        )
+
+
+#: Identical pipeline, identical dtype: only launch-order reassociation.
+EXACT_FP32 = Envelope(rtol=1e-5, atol=1e-6)
+
+#: FP32 result vs. an independent FP32 implementation (reference conv,
+#: different summation order).
+CLOSE_FP32 = Envelope(rtol=1e-4, atol=1e-5)
+
+#: FP32 inference vs. the training stack (autograd graph reorders more).
+TRAIN_FP32 = Envelope(rtol=1e-3, atol=1e-4)
+
+#: Anything routed through a half-precision storage round-trip.
+HALF = Envelope(rtol=2e-2, atol=2e-2)
+
+#: Symmetric per-tensor INT8 quantization round-trip.
+INT8_QUANT = Envelope(rtol=5e-2, atol=5e-2)
+
+#: Whole-model FP16 engine vs. whole-model FP32 engine (errors compound
+#: across layers).
+END_TO_END = Envelope(rtol=1e-1, atol=1e-1)
+
+#: Storage dtype -> the envelope for comparing that pipeline's output
+#: against an FP32 reference.
+ENVELOPES: dict[DType, Envelope] = {
+    DType.FP32: CLOSE_FP32,
+    DType.FP16: HALF,
+    DType.INT8: INT8_QUANT,
+}
+
+
+def envelope(dtype: DType) -> Envelope:
+    """Comparison envelope for one storage dtype's pipeline output."""
+    return ENVELOPES[dtype]
+
+
+# -- ABFT residual bounds ----------------------------------------------------
+
+#: Effective epsilon of the float32 checksum accumulation per storage
+#: dtype.  All pipelines accumulate in float32 (see module docstring);
+#: the sub-FP32 rows carry 2x/4x slack for the wider reduction reorder
+#: of the vectorized and quantized kernels.
+CHECKSUM_EPS: dict[DType, float] = {
+    DType.FP32: 2.0**-23,
+    DType.FP16: 2.0**-22,
+    DType.INT8: 2.0**-21,
+}
+
+#: Default multiple of the random-walk error estimate.  8x the
+#: square-root model sits far above observed clean residuals (the
+#: integrity campaign asserts zero FP32 false positives) while staying
+#: orders of magnitude below a single exponent-bit flip.
+DEFAULT_SAFETY = 8.0
+
+#: Floor keeping the bound meaningful when operands are all-zero.
+_TINY = 1e-30
+
+
+def checksum_tolerance(
+    dtype: DType,
+    n_accum: float,
+    magnitude: float,
+    safety: float = DEFAULT_SAFETY,
+) -> float:
+    """Allowed |carried - recomputed| for one additive checksum.
+
+    Args:
+        dtype: storage dtype of the verified pipeline.
+        n_accum: float32 additions behind the checksum entry.
+        magnitude: scale of one accumulated term (operand-derived).
+        safety: multiple of the random-walk estimate.
+    """
+    if safety <= 0:
+        raise ValueError("safety must be positive")
+    n = max(1.0, float(n_accum))
+    return safety * CHECKSUM_EPS[dtype] * math.sqrt(n) * abs(magnitude) + _TINY
+
+
+def gemm_residual_tolerance(
+    dtype: DType,
+    m: int,
+    k: int,
+    amax_x: float,
+    amax_w: float,
+    safety: float = DEFAULT_SAFETY,
+) -> float:
+    """ABFT bound for an ``(m x k) @ (k x n)`` column checksum.
+
+    Each checksum entry sums ``m`` dot products of length ``k``; one
+    term's scale is bounded by ``k * amax_x * amax_w`` (the dot product
+    magnitude), and the random walk runs over the ``m`` row additions.
+    """
+    term = max(1, int(k)) * abs(amax_x) * abs(amax_w)
+    return checksum_tolerance(dtype, m, term, safety=safety)

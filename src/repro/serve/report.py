@@ -35,6 +35,11 @@ class ServeReport:
     hedges_won: int = 0
     hedges_cancelled: int = 0
     retries: int = 0
+    #: finished attempts that failed ABFT verification (each handled
+    #: like a crash: breaker + retry budget)
+    integrity_failures: int = 0
+    #: whether the fleet ran with integrity verification enabled
+    verify_integrity: bool = True
     seed: int = 0
     duration: float = 0.0
     #: sim time the last event fired at
@@ -103,9 +108,19 @@ class ServeReport:
         )
 
     @property
+    def corrupted_completions(self) -> int:
+        """Requests that *delivered* a corrupted result — the silent-
+        data-corruption hole.  Structurally zero with verification on
+        (a corrupted attempt is failed like a crash, never completed)."""
+        return sum(
+            r.corrupted and r.state == COMPLETED for r in self.requests
+        )
+
+    @property
     def passed(self) -> bool:
-        """Liveness only — SLO floors are the caller's policy."""
-        return self.all_terminal
+        """Liveness plus integrity: nothing stuck transient, and no
+        corrupted result ever shipped as ``completed``."""
+        return self.all_terminal and self.corrupted_completions == 0
 
     def to_json(self) -> dict:
         return {
@@ -121,6 +136,11 @@ class ServeReport:
             "p50": self.p50,
             "p99": self.p99,
             "retries": self.retries,
+            "integrity": {
+                "verify": self.verify_integrity,
+                "failures": self.integrity_failures,
+                "corrupted_completions": self.corrupted_completions,
+            },
             "hedges": {
                 "launched": self.hedges_launched,
                 "won": self.hedges_won,
@@ -144,5 +164,7 @@ def format_serve_summary(report: ServeReport) -> str:
         f"p50 {report.p50 * 1e3:.2f} ms, p99 {report.p99 * 1e3:.2f} ms | "
         f"hedges {report.hedges_launched} launched / "
         f"{report.hedges_won} won / {report.hedges_cancelled} cancelled | "
-        f"retries {report.retries}"
+        f"retries {report.retries} | "
+        f"integrity {report.integrity_failures} caught / "
+        f"{report.corrupted_completions} shipped"
     )

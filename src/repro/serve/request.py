@@ -11,7 +11,10 @@ state               meaning
                     arrival (``queue_full``) or the request expired while
                     still queued (``expired``, shed oldest-first)
 ``deadline_exceeded``  finished, but after its deadline
-``failed``          every attempt crashed and retries/deadline ran out
+``failed``          every attempt crashed *or failed integrity
+                    verification* and retries/deadline ran out — a
+                    corrupted-but-finished attempt is never allowed to
+                    resolve ``completed`` while verification is on
 ==================  =====================================================
 
 ``queued`` and ``running`` are the only transient states; the server's
@@ -55,6 +58,12 @@ class Request:
     error: str = ""
     #: device labels in dispatch order (probes excluded)
     devices: list = field(default_factory=list)
+    #: attempts that finished but failed ABFT verification (each counts
+    #: toward the device breaker and this request's retry budget)
+    integrity_failures: int = 0
+    #: a corrupted result was *delivered* — only possible with fleet
+    #: verification off (the silent-data-corruption hole)
+    corrupted: bool = False
 
     @property
     def terminal(self) -> bool:
@@ -92,6 +101,8 @@ class Request:
             "shed_reason": self.shed_reason,
             "error": self.error,
             "devices": list(self.devices),
+            "integrity_failures": self.integrity_failures,
+            "corrupted": self.corrupted,
         }
 
 

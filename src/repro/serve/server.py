@@ -39,6 +39,7 @@ from repro.robust.faults import (
     FaultInjector,
     inject_faults,
     maybe_crash_device,
+    maybe_silent_corruption,
     stall_factor,
 )
 from repro.serve.cluster import DeviceWorker, LatencyOracle
@@ -84,6 +85,12 @@ class ServeConfig:
     breaker_threshold: int = 2
     probe_cooldown: float | None = None
     max_probes: int = 8
+    #: run ABFT integrity verification on every finished attempt: a
+    #: corrupted result is detected at completion and handled exactly
+    #: like a crash (device breaker + retry budget), so it can never
+    #: resolve ``completed``.  Off models the pre-ABFT fleet, where
+    #: corruption ships silently (reported as ``corrupted`` requests).
+    verify_integrity: bool = True
     #: sigma of the log-normal service-time noise (0 disables)
     noise_sigma: float = 0.15
     #: dataset sample scale for the latency oracle
@@ -117,6 +124,8 @@ class Attempt:
     start: float
     finish: float
     will_fail: bool = False
+    #: finishes on time but its result is silently corrupted (SDC)
+    will_corrupt: bool = False
     cancelled: bool = False
     done: bool = False
 
@@ -157,6 +166,7 @@ class Server:
         self.hedges_launched = 0
         self.hedges_won = 0
         self.hedges_cancelled = 0
+        self.integrity_failures = 0
 
     # -- event plumbing ------------------------------------------------------
 
@@ -260,6 +270,9 @@ class Server:
             )
         service = self._service_time(req.model, w)
         will_fail = maybe_crash_device(w.label)
+        # an SDC attempt runs its *full* service time: nothing crashes,
+        # the corruption is only discoverable once the result exists
+        will_corrupt = not will_fail and maybe_silent_corruption(w.label)
         dur = 0.5 * service if will_fail else service
         req.state = RUNNING
         req.in_flight += 1
@@ -272,6 +285,7 @@ class Server:
             start=self.now,
             finish=self.now + dur,
             will_fail=will_fail,
+            will_corrupt=will_corrupt,
         )
         self._attempts[attempt.id] = attempt
         self._live.setdefault(req.id, []).append(attempt.id)
@@ -332,6 +346,8 @@ class Server:
         self._live[req.id].remove(a.id)
         if a.will_fail:
             self._attempt_crashed(a, req, w)
+        elif a.will_corrupt and self.config.verify_integrity:
+            self._attempt_corrupted(a, req, w)
         else:
             self._attempt_succeeded(a, req, w)
         self._pump()
@@ -341,6 +357,31 @@ class Server:
         reg.counter("serve.crashes", device=w.label).inc()
         with self.tracer.span("serve.crash", request=req.id, device=w.label):
             pass
+        self._fail_attempt(req, w, "every attempt crashed")
+
+    def _attempt_corrupted(
+        self, a: Attempt, req: Request, w: DeviceWorker
+    ) -> None:
+        """A finished attempt failed ABFT verification.
+
+        Same consequences as a crash — the breaker hears about it (a
+        device producing corrupted results is as unhealthy as one that
+        dies) and the retry budget is spent — the only difference being
+        that the full service time was already burned.
+        """
+        reg = get_registry()
+        self.integrity_failures += 1
+        req.integrity_failures += 1
+        reg.counter("serve.integrity_failures", device=w.label).inc()
+        with self.tracer.span(
+            "serve.integrity_failure", request=req.id, device=w.label
+        ):
+            pass
+        self._fail_attempt(req, w, "result failed integrity verification")
+
+    def _fail_attempt(self, req: Request, w: DeviceWorker, reason: str) -> None:
+        """Shared crash/corruption tail: breaker, retry budget, verdict."""
+        reg = get_registry()
         if self.health.record_failure(w.label, self.now):
             self._push(self.now + self._probe_cooldown, "probe", w.index)
         if req.terminal:
@@ -358,7 +399,7 @@ class Server:
                 reg.counter("serve.retries").inc()
                 self._push(self.now + delay, "retry", req.id)
                 return
-        req.error = "every attempt crashed"
+        req.error = reason
         req.resolve(FAILED, self.now)
         reg.counter("serve.failed").inc()
 
@@ -384,6 +425,10 @@ class Server:
             req.hedge_won = True
             self.hedges_won += 1
             reg.counter("serve.hedges", outcome="won").inc()
+        if a.will_corrupt:
+            # verification off: the SDC hole — garbage ships as a result
+            req.corrupted = True
+            reg.counter("serve.corrupted_completions", device=w.label).inc()
         if self.now <= req.deadline:
             req.resolve(COMPLETED, self.now)
             reg.counter("serve.completed").inc()
@@ -407,6 +452,7 @@ class Server:
         self.health.begin_probe(w.label)
         service = self._service_time(self._probe_model, w)
         will_fail = maybe_crash_device(w.label)
+        will_corrupt = not will_fail and maybe_silent_corruption(w.label)
         dur = 0.5 * service if will_fail else service
         attempt = Attempt(
             id=len(self._attempts),
@@ -416,6 +462,7 @@ class Server:
             start=self.now,
             finish=self.now + dur,
             will_fail=will_fail,
+            will_corrupt=will_corrupt,
         )
         self._attempts[attempt.id] = attempt
         w.start(attempt.id)
@@ -425,7 +472,9 @@ class Server:
 
     def _finish_probe(self, a: Attempt) -> None:
         w = self.workers[a.device]
-        ok = not a.will_fail
+        ok = not a.will_fail and not (
+            a.will_corrupt and self.config.verify_integrity
+        )
         if self.health.probe_result(w.label, ok, self.now):
             self._pump()
         elif self.health[w.label].state == QUARANTINED:
@@ -461,6 +510,8 @@ class Server:
             hedges_won=self.hedges_won,
             hedges_cancelled=self.hedges_cancelled,
             retries=self.retries,
+            integrity_failures=self.integrity_failures,
+            verify_integrity=self.config.verify_integrity,
             seed=self.config.seed,
             end_time=self.now,
         )

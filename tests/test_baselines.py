@@ -12,6 +12,7 @@ from repro.baselines import (
 from repro.core.engine import ExecutionContext, TorchSparseEngine
 from repro.core.sparse_tensor import SparseTensor
 from repro.gpu.memory import DType
+from repro.robust.tolerance import HALF
 
 
 def make_tensor(n=400, extent=25, seed=0, c=8):
@@ -65,7 +66,7 @@ class TestNumericalAgreement:
         for eng in (MinkowskiEngineLike(), SpConvLike(), SpConvLike(fp16=False)):
             ctx = ExecutionContext(engine=eng)
             got = eng.convolution(x, w, ctx).feats
-            np.testing.assert_allclose(got, ref, rtol=2e-2, atol=2e-2)
+            HALF.assert_close(got, ref)
 
 
 class TestPerformanceCharacter:

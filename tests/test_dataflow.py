@@ -17,6 +17,7 @@ from repro.gpu.memory import DType
 from repro.gpu.timeline import Profile
 from repro.mapping.downsample import downsample_coords
 from repro.mapping.kmap import CoordIndex, build_kmap
+from repro.robust.tolerance import CLOSE_FP32, EXACT_FP32, HALF
 
 
 def random_instance(n=80, c_in=8, c_out=12, kernel_size=3, seed=0, extent=10):
@@ -57,19 +58,19 @@ class TestNumericsVsReferences:
         coords, feats, weights = random_instance()
         got = run_gms(coords, feats, weights, coords, 3, 1)
         want = sparse_conv_reference(coords, feats, weights, coords, 3, 1)
-        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(got, want)
 
     def test_submanifold_matches_dense_reference(self):
         coords, feats, weights = random_instance(seed=3)
         got = run_gms(coords, feats, weights, coords, 3, 1)
         want = dense_conv3d_reference(coords, feats, weights, coords, 3, 1)
-        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(got, want)
 
     def test_two_references_agree(self):
         coords, feats, weights = random_instance(seed=9)
         a = sparse_conv_reference(coords, feats, weights, coords, 3, 1)
         b = dense_conv3d_reference(coords, feats, weights, coords, 3, 1)
-        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(a, b)
 
     @pytest.mark.parametrize("kernel_size,stride", [(2, 2), (3, 2)])
     def test_strided_matches_equation1(self, kernel_size, stride):
@@ -83,7 +84,7 @@ class TestNumericsVsReferences:
         want = sparse_conv_reference(
             coords, feats, weights, out_coords, kernel_size, stride
         )
-        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(got, want)
 
     @pytest.mark.parametrize(
         "strategy,kw",
@@ -100,7 +101,7 @@ class TestNumericsVsReferences:
         coords, feats, weights = random_instance(seed=4)
         base = run_gms(coords, feats, weights, coords, 3, 1)
         got = run_gms(coords, feats, weights, coords, 3, 1, strategy=strategy, **kw)
-        np.testing.assert_allclose(got, base, rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(got, base)
 
     def test_exact_bmm_equals_per_member(self):
         """Zero padding cannot change the products."""
@@ -117,7 +118,7 @@ class TestNumericsVsReferences:
                     Profile(), exact_bmm=exact,
                 )
             )
-        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(outs[0], outs[1])
 
     def test_fp16_close_to_fp32(self):
         coords, feats, weights = random_instance(seed=6)
@@ -127,7 +128,7 @@ class TestNumericsVsReferences:
             cfg=MovementConfig(dtype=DType.FP16, vectorized=True),
         )
         assert not np.array_equal(f16, f32)  # quantization visible
-        np.testing.assert_allclose(f16, f32, rtol=2e-2, atol=2e-2)
+        HALF.assert_close(f16, f32)
 
     def test_fetch_on_demand_same_output(self):
         coords, feats, weights = random_instance(seed=7)
@@ -137,7 +138,7 @@ class TestNumericsVsReferences:
         fod = execute_fetch_on_demand(
             feats, weights, kmap, RTX_2080TI, Profile()
         )
-        np.testing.assert_allclose(fod, base, rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(fod, base)
 
     def test_shape_validation(self):
         coords, feats, weights = random_instance()

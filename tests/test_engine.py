@@ -15,6 +15,7 @@ from repro.core.sparse_tensor import SparseTensor
 from repro.gpu.device import GTX_1080TI, RTX_2080TI, RTX_3090
 from repro.gpu.memory import DType
 from repro.mapping.downsample import downsample_coords
+from repro.robust.tolerance import CLOSE_FP32, EXACT_FP32, HALF
 
 
 def make_tensor(n=60, c=6, seed=0, extent=12):
@@ -62,7 +63,7 @@ class TestConvolutionOp:
         ctx = ExecutionContext(engine=BaselineEngine())
         y = ctx.engine.convolution(x, w, ctx, kernel_size=3)
         want = sparse_conv_reference(x.coords, x.feats, w, x.coords, 3, 1)
-        np.testing.assert_allclose(y.feats, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(y.feats, want)
         assert np.array_equal(y.coords, x.coords)
         assert y.stride == 1
 
@@ -77,7 +78,7 @@ class TestConvolutionOp:
             np.unique(y.coords, axis=0), np.unique(want_coords, axis=0)
         )
         want = sparse_conv_reference(x.coords, x.feats, w, y.coords, 2, 2)
-        np.testing.assert_allclose(y.feats, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(y.feats, want)
 
     def test_bias_applied(self):
         x = make_tensor()
@@ -86,8 +87,7 @@ class TestConvolutionOp:
         ctx = ExecutionContext(engine=BaselineEngine())
         y0 = ctx.engine.convolution(x, w, ctx, kernel_size=1)
         y1 = ctx.engine.convolution(x, w, ctx, kernel_size=1, bias=bias)
-        np.testing.assert_allclose(y1.feats - y0.feats, np.tile(bias, (x.num_points, 1)),
-                                   rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(y1.feats - y0.feats, np.tile(bias, (x.num_points, 1)))
 
     def test_transposed_restores_coords(self):
         x = make_tensor()
@@ -125,7 +125,7 @@ class TestConvolutionOp:
                 j = table.get(p)
                 if j is not None:
                     want[j] += y.feats[k].astype(np.float64) @ w_up[n]
-        np.testing.assert_allclose(z.feats, want, rtol=1e-4, atol=1e-5)
+        CLOSE_FP32.assert_close(z.feats, want)
 
     def test_transposed_without_history_fails(self):
         x = make_tensor()
@@ -168,7 +168,7 @@ class TestConvolutionOp:
             ctx = ExecutionContext(engine=eng)
             outs.append(eng.convolution(x, w, ctx, kernel_size=3).feats)
         for o in outs[1:]:
-            np.testing.assert_allclose(o, outs[0], rtol=2e-2, atol=2e-2)
+            HALF.assert_close(o, outs[0])
 
 
 class TestCaching:

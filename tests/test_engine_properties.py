@@ -21,6 +21,7 @@ from repro.core.kernel import kernel_volume
 from repro.core.reference import sparse_conv_reference
 from repro.core.sparse_tensor import SparseTensor
 from repro.gpu.memory import DType
+from repro.robust.tolerance import EXACT_FP32, TRAIN_FP32
 
 coord_sets = st.lists(
     st.tuples(
@@ -62,7 +63,7 @@ class TestConvolutionProperties:
         want = sparse_conv_reference(
             x.coords, x.feats, w, y.coords, kernel_size, 1
         )
-        np.testing.assert_allclose(y.feats, want, rtol=1e-3, atol=1e-4)
+        TRAIN_FP32.assert_close(y.feats, want)
 
     @given(coord_sets)
     @settings(max_examples=30, deadline=None)
@@ -71,7 +72,7 @@ class TestConvolutionProperties:
         ctx = ExecutionContext(engine=BaselineEngine())
         y = ctx.engine.convolution(x, w, ctx, kernel_size=2, stride=2)
         want = sparse_conv_reference(x.coords, x.feats, w, y.coords, 2, 2)
-        np.testing.assert_allclose(y.feats, want, rtol=1e-3, atol=1e-4)
+        TRAIN_FP32.assert_close(y.feats, want)
         assert y.stride == 2
 
     @given(coord_sets, st.sampled_from(["separate", "symmetric", "fixed",
@@ -84,7 +85,7 @@ class TestConvolutionProperties:
         eng = BaseEngine(EngineConfig.baseline(grouping=strategy))
         ctx = ExecutionContext(engine=eng)
         got = eng.convolution(x, w, ctx)
-        np.testing.assert_allclose(got.feats, base.feats, rtol=1e-5, atol=1e-6)
+        EXACT_FP32.assert_close(got.feats, base.feats)
 
     @given(coord_sets)
     @settings(max_examples=20, deadline=None)
@@ -138,9 +139,7 @@ class TestConvolutionProperties:
         ctx2 = ExecutionContext(engine=BaselineEngine())
         y_zero = ctx2.engine.convolution(x2, w, ctx2)
         out0 = y_full.coords[:, 0] == 0
-        np.testing.assert_allclose(
-            y_full.feats[out0], y_zero.feats[out0], rtol=1e-5, atol=1e-6
-        )
+        EXACT_FP32.assert_close(y_full.feats[out0], y_zero.feats[out0])
 
 
 class TestPoolingProperties:

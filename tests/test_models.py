@@ -7,6 +7,7 @@ from repro.core.engine import BaselineEngine, ExecutionContext, TorchSparseEngin
 from repro.datasets.configs import nuscenes_like, waymo_like
 from repro.models import MODEL_ZOO, CenterPoint, MinkUNet
 from repro.models.centerpoint import Detection, bev_iou, nms
+from repro.robust.tolerance import END_TO_END
 
 
 @pytest.fixture(scope="module")
@@ -47,9 +48,7 @@ class TestMinkUNet:
         for eng in (BaselineEngine(), TorchSparseEngine()):
             ctx = ExecutionContext(engine=eng)
             feats[eng.config.name] = net(small_input, ctx).feats
-        np.testing.assert_allclose(
-            feats["torchsparse"], feats["baseline-fp32"], rtol=0.1, atol=0.1
-        )
+        END_TO_END.assert_close(feats["torchsparse"], feats["baseline-fp32"])
 
     def test_profile_covers_all_stages(self, small_input):
         net = MinkUNet(width=0.5)

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.reference import dense_conv3d_reference, sparse_conv_reference
+from repro.robust.tolerance import EXACT_FP32
 
 
 def micro_instance():
@@ -34,7 +35,7 @@ class TestMicroInstances:
         out = sparse_conv_reference(coords, feats, w, coords, 3, 1)
         # output at (0,0,0) reads input at (1,0,0) = 10; at (1,0,0) reads
         # (2,0,0) which is absent = 0
-        np.testing.assert_allclose(out[:, 0], [10.0, 0.0])
+        EXACT_FP32.assert_close(out[:, 0], [10.0, 0.0])
 
     def test_offset_index_convention(self):
         """Offset index 22 really is (+1, 0, 0)."""
@@ -74,7 +75,7 @@ class TestOracleAgreement:
                                   kernel_size, stride)
         b = dense_conv3d_reference(coords, feats, weights, out_coords,
                                    kernel_size, stride)
-        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(a, b)
 
     def test_dense_reference_rejects_multibatch(self):
         coords = np.array([[0, 0, 0, 0], [1, 0, 0, 0]], dtype=np.int32)

@@ -479,3 +479,93 @@ class TestLatencyOracle:
 
         with pytest.raises(ValueError, match="unknown zoo model"):
             LatencyOracle(BaseEngine()).base_latency("nope", RTX_2080TI)
+
+
+class TestSilentDataCorruption:
+    """The fleet-level SDC hole and its ABFT fix (verify_integrity)."""
+
+    def _specs(self, count=6, site=""):
+        return [FaultSpec(kind="bitflip_feature", site=site, count=count)]
+
+    def test_corrupted_attempt_never_completes_verified(self):
+        report, reg, inj = campaign(specs=self._specs())
+        assert inj.shots > 0
+        assert report.integrity_failures > 0
+        assert report.corrupted_completions == 0
+        assert report.verify_integrity
+        assert report.passed
+        # no request that ever failed verification carries a corrupted
+        # *delivered* result
+        for r in report.requests:
+            if r.state == COMPLETED:
+                assert not r.corrupted
+
+    def test_integrity_failure_spends_retry_budget(self):
+        report, reg, _ = campaign(specs=self._specs())
+        scalars = reg.scalars()
+        assert scalars.get("serve.retries", 0) > 0
+        assert any(
+            k.startswith("serve.integrity_failures") for k in scalars
+        )
+        retried = [r for r in report.requests if r.integrity_failures]
+        assert retried
+        assert all(r.terminal for r in retried)
+
+    def test_integrity_failure_feeds_the_breaker(self):
+        # every SDC lands on one device: the breaker must hear about it
+        # exactly like crashes and eventually quarantine the card
+        config = make_config(devices=(RTX_2080TI, RTX_3090))
+        label = "RTX 3090"
+        report, reg, inj = campaign(
+            config=config,
+            specs=[FaultSpec(kind="bitflip_weight", site=label, count=3)],
+        )
+        assert inj.shots >= 2
+        assert report.fleet[label]["crashes"] >= 2
+        assert report.corrupted_completions == 0
+
+    def test_verification_off_ships_corruption(self):
+        # the pre-ABFT fleet: same faults, nothing notices
+        config = make_config(verify_integrity=False)
+        report, reg, inj = campaign(config=config, specs=self._specs())
+        assert inj.shots > 0
+        assert report.integrity_failures == 0
+        assert report.corrupted_completions > 0
+        assert not report.passed  # liveness holds, integrity does not
+        assert report.all_terminal
+        shipped = [r for r in report.requests if r.corrupted]
+        assert all(r.state == COMPLETED for r in shipped)
+        assert reg.scalars().get(
+            "serve.corrupted_completions{device=RTX 2080Ti}", 0
+        ) + sum(
+            v
+            for k, v in reg.scalars().items()
+            if k.startswith("serve.corrupted_completions")
+        ) > 0
+
+    def test_sdc_does_not_shorten_service_time(self):
+        # corruption is only discoverable at completion: the attempt
+        # burns its full service time (a crash burns half)
+        report_sdc, _, _ = campaign(specs=self._specs(count=2))
+        busy_sdc = sum(u["busy_time"] for u in report_sdc.utilization.values())
+        report_crash, _, _ = campaign(
+            specs=[FaultSpec(kind="device_crash", count=2)]
+        )
+        busy_crash = sum(
+            u["busy_time"] for u in report_crash.utilization.values()
+        )
+        assert busy_sdc > busy_crash
+
+    def test_request_json_carries_integrity_fields(self):
+        report, _, _ = campaign(specs=self._specs())
+        blob = report.to_json()
+        assert blob["integrity"]["verify"] is True
+        assert blob["integrity"]["failures"] == report.integrity_failures
+        assert blob["integrity"]["corrupted_completions"] == 0
+        row = blob["requests"][0]
+        assert "integrity_failures" in row and "corrupted" in row
+
+    def test_summary_line_reports_integrity(self):
+        report, _, _ = campaign(specs=self._specs())
+        line = format_serve_summary(report)
+        assert "integrity" in line and "caught" in line and "shipped" in line

@@ -1,0 +1,128 @@
+"""Tests for the shared tolerance envelopes and ABFT residual bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import DType
+from repro.robust.tolerance import (
+    CHECKSUM_EPS,
+    CLOSE_FP32,
+    DEFAULT_SAFETY,
+    END_TO_END,
+    ENVELOPES,
+    EXACT_FP32,
+    HALF,
+    INT8_QUANT,
+    TRAIN_FP32,
+    Envelope,
+    checksum_tolerance,
+    envelope,
+    gemm_residual_tolerance,
+)
+
+
+class TestEnvelopes:
+    def test_allclose_and_assert_close_agree(self):
+        env = Envelope(rtol=1e-3, atol=1e-4)
+        a = np.array([1.0, 2.0])
+        assert env.allclose(a, a * (1 + 5e-4))
+        env.assert_close(a, a * (1 + 5e-4))
+        assert not env.allclose(a, a * 1.1)
+        with pytest.raises(AssertionError):
+            env.assert_close(a, a * 1.1)
+
+    def test_named_envelopes_ordered_loosest_last(self):
+        # the ladder of comparisons must widen monotonically
+        ladder = [EXACT_FP32, CLOSE_FP32, TRAIN_FP32, HALF, INT8_QUANT,
+                  END_TO_END]
+        for tight, loose in zip(ladder, ladder[1:]):
+            assert tight.rtol <= loose.rtol
+            assert tight.atol <= loose.atol
+
+    def test_dtype_mapping_covers_every_storage_dtype(self):
+        for dtype in (DType.FP32, DType.FP16, DType.INT8):
+            assert envelope(dtype) is ENVELOPES[dtype]
+        assert envelope(DType.FP32) is CLOSE_FP32
+        assert envelope(DType.FP16) is HALF
+        assert envelope(DType.INT8) is INT8_QUANT
+
+
+class TestChecksumTolerance:
+    def test_eps_widens_below_fp32(self):
+        assert (
+            CHECKSUM_EPS[DType.FP32]
+            < CHECKSUM_EPS[DType.FP16]
+            < CHECKSUM_EPS[DType.INT8]
+        )
+
+    def test_monotonic_in_accumulation_and_magnitude(self):
+        t = checksum_tolerance(DType.FP32, 100, 1.0)
+        assert t > 0
+        assert checksum_tolerance(DType.FP32, 400, 1.0) == pytest.approx(2 * t)
+        assert checksum_tolerance(DType.FP32, 100, 3.0) > t
+        assert checksum_tolerance(
+            DType.FP32, 100, 1.0, safety=2 * DEFAULT_SAFETY
+        ) > t
+
+    def test_zero_magnitude_keeps_a_floor(self):
+        assert checksum_tolerance(DType.FP32, 10, 0.0) > 0
+
+    def test_rejects_nonpositive_safety(self):
+        with pytest.raises(ValueError):
+            checksum_tolerance(DType.FP32, 10, 1.0, safety=0.0)
+
+    def test_gemm_bound_is_checksum_bound_of_dot_magnitude(self):
+        got = gemm_residual_tolerance(DType.FP16, m=64, k=16, amax_x=2.0,
+                                      amax_w=0.5)
+        want = checksum_tolerance(DType.FP16, 64, 16 * 2.0 * 0.5)
+        assert got == pytest.approx(want)
+
+    def test_bound_sits_below_an_exponent_flip(self):
+        # a single flipped exponent bit rescales by ~2^64; the envelope
+        # must stay orders of magnitude under it or detection is dead
+        tol = gemm_residual_tolerance(DType.INT8, m=4096, k=512,
+                                      amax_x=10.0, amax_w=10.0)
+        assert tol < 10.0 * 2.0**32
+
+
+class TestResidualBoundProperty:
+    """The random-walk bound must dominate real float32 residuals."""
+
+    @given(
+        st.integers(2, 48),
+        st.integers(1, 24),
+        st.integers(1, 12),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gemm_column_checksum_within_bound(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, k)).astype(np.float32)
+        w = rng.standard_normal((k, n)).astype(np.float32)
+        y = x @ w  # the float32 GEMM under verification
+        actual = y.astype(np.float64).sum(axis=0)
+        expected = x.astype(np.float64).sum(axis=0) @ w.astype(np.float64)
+        residual = float(np.max(np.abs(actual - expected)))
+        tol = gemm_residual_tolerance(
+            DType.FP32, m, k,
+            float(np.abs(x).max()), float(np.abs(w).max()),
+        )
+        assert residual <= tol
+
+    @given(st.integers(1, 200), st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_additive_checksum_within_bound(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        buf = rng.standard_normal((rows, cols)).astype(np.float32)
+        # two float64 reductions of the same float32 data are exact, so
+        # the bound trivially holds; perturb one side by a float32
+        # round-off-sized wiggle to model the carried checksum
+        carried = buf.astype(np.float64).sum(axis=0)
+        recomputed = buf[::-1].astype(np.float64).sum(axis=0)
+        residual = float(np.max(np.abs(carried - recomputed)))
+        tol = checksum_tolerance(
+            DType.FP32, rows, float(np.abs(buf).max()) if buf.size else 0.0
+        )
+        assert residual <= tol
