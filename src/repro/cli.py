@@ -367,11 +367,15 @@ def cmd_integrity(args) -> int:
         f"fp32 false positives {report.fp32_false_positives} | "
         f"host wall {time.time() - t0:.1f}s"
     )
+    # one verdict for both the JSON report and the exit status — a
+    # custom --recall-floor must never make them disagree
+    ok = report.gate(recall_floor=args.recall_floor)
     if args.json:
-        write_snapshot(report.to_json(), args.json)
+        write_snapshot(
+            report.to_json(recall_floor=args.recall_floor), args.json
+        )
         print(f"integrity report written to {args.json} "
               f"(schema {INTEGRITY_SCHEMA})")
-    ok = report.gate(recall_floor=args.recall_floor)
     if not ok:
         print(
             f"FAIL: recall {report.recall:.3f} < floor {args.recall_floor:.3f}"

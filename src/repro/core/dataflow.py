@@ -43,6 +43,7 @@ from repro.gpu.timeline import KernelRecord, Profile
 from repro.mapping.kmap import KernelMap
 from repro.obs.metrics import get_registry
 from repro.robust.faults import (
+    get_injector,
     maybe_bitflip_features,
     maybe_bitflip_weights,
     maybe_inject_matmul_nan,
@@ -194,7 +195,13 @@ def _cast(feats: np.ndarray, dtype: DType) -> np.ndarray:
     (Section 4.3.1), which is handled by the cost model, not here.
     """
     if dtype is DType.FP32:
-        return feats.astype(np.float32, copy=False)
+        # The bit-flip fault sites mutate the cast buffer in place.  An
+        # aliased return would let them corrupt the caller's tensor —
+        # the model's weights — so the detect->recompute loop would
+        # re-take its golden checksum from the corrupted buffer, verify
+        # clean, and ship the corruption as a recovery.  Copy whenever
+        # an injector is armed; the production path stays zero-copy.
+        return feats.astype(np.float32, copy=get_injector() is not None)
     if dtype is DType.INT8:
         scale = max(1e-12, float(np.abs(feats).max()) / 127.0)
         q = np.clip(np.round(feats / scale), -127, 127)
@@ -314,8 +321,13 @@ def execute_gather_matmul_scatter(
                 batch = np.zeros((len(group.members), m_pad, c_in), dtype=x.dtype)
                 for bi, n in enumerate(group.members):
                     batch[bi, : sizes[bi]] = x[kmap.in_indices[n]]
-                # fault-injection site: flips in the staged padded batch
-                maybe_bitflip_features(batch, site=f"gather.group{gi}")
+                    # fault-injection site: flips in the staged batch,
+                    # restricted to the unpadded rows — a hit in a
+                    # zero-padding row is sliced off before scatter and
+                    # would make the shot undetectable by construction
+                    maybe_bitflip_features(
+                        batch[bi, : sizes[bi]], site=f"gather.o{n}"
+                    )
                 stacked = np.stack([w[n] for n in group.members])
                 partial = np.matmul(batch, stacked).astype(np.float32)
                 for bi, n in enumerate(group.members):

@@ -262,12 +262,16 @@ _FLIP_MASK = np.uint32(1 << 29)
 
 
 def _flip_exponent_bits(arr: np.ndarray, severity: float, rng) -> None:
-    """XOR :data:`_FLIP_MASK` into ``severity`` of ``arr``'s entries."""
-    flat = arr.reshape(-1)
-    hits = max(1, int(flat.size * severity))
-    where = rng.choice(flat.size, size=min(hits, flat.size), replace=False)
-    bits = flat[where].astype(np.float32).view(np.uint32)
-    flat[where] = (bits ^ _FLIP_MASK).view(np.float32)
+    """XOR :data:`_FLIP_MASK` into ``severity`` of ``arr``'s entries.
+
+    Writes go through ``arr.flat`` so the flips land even when ``arr``
+    is a non-contiguous view (``reshape(-1)`` would silently copy and
+    drop them while still consuming the shot).
+    """
+    hits = max(1, int(arr.size * severity))
+    where = rng.choice(arr.size, size=min(hits, arr.size), replace=False)
+    bits = arr.flat[where].astype(np.float32).view(np.uint32)
+    arr.flat[where] = (bits ^ _FLIP_MASK).view(np.float32)
 
 
 def maybe_bitflip_features(arr: np.ndarray, site: str = "") -> bool:

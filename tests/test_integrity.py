@@ -26,6 +26,7 @@ from repro.robust.faults import (
     maybe_force_checksum_mismatch,
     maybe_silent_corruption,
 )
+from repro.robust.tolerance import CLOSE_FP32
 from repro.robust.integrity import (
     DTYPE_PRESET_KEYS,
     INTEGRITY_SCHEMA,
@@ -268,6 +269,54 @@ class TestFaultSites:
             assert not maybe_silent_corruption("RTX 3090")
         assert maybe_silent_corruption("RTX 3090") is False  # no injector
 
+    def test_bitflip_writes_through_noncontiguous_views(self):
+        # reshape(-1) on a non-contiguous view returns a copy, which
+        # would silently drop the flips while still consuming the shot
+        arr = np.ones((8, 8), dtype=np.float32)
+        view = arr[:, ::2]
+        inj = FaultInjector(
+            seed=0, specs=[FaultSpec(kind="bitflip_feature", severity=0.25)]
+        )
+        with inject_faults(inj):
+            assert maybe_bitflip_features(view, site="gather.o0")
+        changed = int((view != 1.0).sum())
+        assert changed == max(1, int(view.size * 0.25))
+        # the flips landed in the parent buffer, not a throwaway copy
+        assert int((arr != 1.0).sum()) == changed
+
+    def test_exact_bmm_flip_lands_in_real_rows(self):
+        # a shot against the padded bmm batch must corrupt rows that
+        # reach the output; a hit in a zero-padding row is sliced off
+        # before scatter and the fired fault becomes undetectable
+        from repro.core.dataflow import (
+            MovementConfig,
+            execute_gather_matmul_scatter,
+        )
+        from repro.core.grouping import make_plan
+        from repro.gpu.timeline import Profile
+        from repro.mapping.kmap import CoordIndex, build_kmap
+
+        coords, feats, w = small_instance()
+        index = CoordIndex.build(coords, backend="hash")
+        kmap = build_kmap(coords, index, coords, 3)
+        plan = make_plan(
+            "adaptive", kmap.sizes, 3, 1, epsilon=1.0, s_threshold=np.inf
+        )
+        assert any(g.use_bmm for g in plan.groups)
+        for seed in range(8):
+            chk = make_checker()
+            inj = FaultInjector(
+                seed=seed,
+                specs=[FaultSpec(kind="bitflip_feature", site="gather")],
+            )
+            with inject_faults(inj):
+                with pytest.raises(IntegrityError):
+                    execute_gather_matmul_scatter(
+                        feats, w, kmap, plan, MovementConfig(), RTX_2080TI,
+                        Profile(), exact_bmm=True, integrity=chk,
+                    )
+            assert inj.shots == 1
+
     def test_sites_are_noops_without_injector(self):
         arr = np.ones((4, 4), dtype=np.float32)
         assert not maybe_bitflip_features(arr)
@@ -352,14 +401,46 @@ class TestEngineIntegration:
         ) == 0
         assert scalars.get("integrity.flops", 0) > 0
 
+    @pytest.mark.parametrize("dtype_key", DTYPE_PRESET_KEYS)
     @pytest.mark.parametrize("kind", SDC_FAULT_KINDS)
-    def test_detect_recompute_recovers(self, kind):
+    def test_detect_recompute_recovers(self, kind, dtype_key):
         # one seeded shot: detected, recomputed at fp32-scalar, survives
-        trial = run_integrity_trial(kind, "fp16", seed=0)
+        # -- and the recovered output matches a clean (uninjected) run,
+        # so a "recovery" that ships corrupted data cannot pass
+        trial = run_integrity_trial(kind, dtype_key, seed=0)
         assert trial.shots == 1
         assert trial.detected >= 1
-        assert trial.survived and trial.caught and trial.ok
+        assert trial.survived and trial.caught
+        assert trial.output_ok, "recovered output differs from a clean run"
+        assert trial.ok
         assert "fp32-scalar" in trial.recovered_layers.values()
+
+    def test_fp32_weight_flip_cannot_corrupt_caller_weights(self):
+        # regression: the FP32 dtype cast used to alias the caller's
+        # weight tensor, so an injected flip outlived the failed
+        # attempt, the recompute re-took its golden checksum from the
+        # corrupted buffer, and the corruption shipped as a recovery
+        coords, feats, w = small_instance()
+        pristine = w.copy()
+        inj = FaultInjector(
+            seed=0, specs=[FaultSpec(kind="bitflip_weight", count=1)]
+        )
+        with use_registry(MetricsRegistry()):
+            engine = BaseEngine(config=hardened())
+            ctx = ExecutionContext(engine=engine)
+            with inject_faults(inj):
+                out = engine.convolution(
+                    SparseTensor(coords, feats), w, ctx, kernel_size=3
+                )
+        assert inj.shots == 1
+        assert np.array_equal(w, pristine), "model weights were mutated"
+        with use_registry(MetricsRegistry()):
+            clean = BaseEngine(config=hardened())
+            ref = clean.convolution(
+                SparseTensor(coords, feats), w,
+                ExecutionContext(engine=clean), kernel_size=3,
+            )
+        CLOSE_FP32.assert_close(out.feats, ref.feats)
 
     @pytest.mark.parametrize("kind", SDC_FAULT_KINDS[:2])
     def test_undetected_without_integrity(self, kind):
@@ -443,6 +524,13 @@ class TestCampaign:
             kinds=("bitflip_weight",), dtypes=("int8",), seeds=(3,)
         )
         assert a.to_json() == b.to_json()
+
+    def test_report_json_passed_matches_custom_floor(self):
+        # the serialized 'passed' must honour the same recall floor as
+        # the CLI exit status (they used to diverge on --recall-floor)
+        report = IntegrityReport()
+        assert report.to_json()["passed"]
+        assert not report.to_json(recall_floor=1.01)["passed"]
 
     def test_campaign_rejects_unknown_kind(self):
         with pytest.raises(ValueError):
