@@ -123,7 +123,66 @@ def _bench_once(args):
     return entry, result, reg
 
 
+STEADY_SCHEMA = "repro-bench.steady/1"
+
+
+def cmd_bench_steady(args) -> int:
+    """Temporal-coherence stream: one cold frame, then warm frames
+    through the persistent content-addressed mapping cache."""
+    from repro.profiling.runner import run_steady_state
+
+    t0 = time.time()
+    entry = _zoo_entry(args.model)
+    device = DEVICES[args.device]
+    engine = ENGINE_FACTORIES[args.engine]()
+    x = entry.make_dataset().sample_tensor(seed=args.seed, scale=args.scale)
+    with use_registry(MetricsRegistry()) as reg:
+        result = run_steady_state(
+            entry.make_model(), x, engine, device,
+            frames=args.frames, seed=args.seed,
+        )
+    print(
+        f"{entry.label} | {result.engine} on {result.device} "
+        f"(scale {args.scale}, {result.frames} frames, seed {args.seed})"
+    )
+    print(
+        f"cold frame {result.cold_latency * 1e3:.3f} ms "
+        f"(mapping {result.cold_mapping * 1e3:.3f} ms) | "
+        f"warm frames {result.warm_latency * 1e3:.3f} ms "
+        f"(mapping {result.warm_mapping * 1e3:.3f} ms)"
+    )
+    print(
+        f"warm reduction: end-to-end {result.latency_reduction:.1%}, "
+        f"mapping {result.mapping_reduction:.1%} | "
+        f"cache {result.cache_stats['entries']} entries, "
+        f"{result.cache_stats['bytes'] / 1e6:.1f} MB | "
+        f"host wall {time.time() - t0:.1f}s"
+    )
+    if args.metrics:
+        reg.dump_jsonl(args.metrics)
+        print(f"metrics JSONL written to {args.metrics}")
+    if args.json:
+        scalars = reg.scalars()
+        write_snapshot(
+            {
+                "schema": STEADY_SCHEMA,
+                "scale": args.scale,
+                "seed": args.seed,
+                **result.to_json(),
+                "mapcache_metrics": {
+                    k: v for k, v in sorted(scalars.items())
+                    if k.startswith("mapcache.")
+                },
+            },
+            args.json,
+        )
+        print(f"steady-state snapshot written to {args.json}")
+    return 0
+
+
 def cmd_bench(args) -> int:
+    if args.steady_state:
+        return cmd_bench_steady(args)
     t0 = time.time()
     entry, result, reg = _bench_once(args)
     print(
@@ -451,13 +510,18 @@ def cmd_serve(args) -> int:
         verify_integrity=not args.no_verify,
         scale=args.scale,
         seed=args.seed,
+        steady_state=args.steady_state,
     )
-    traffic = TrafficConfig(
-        rate=args.rate,
-        duration=args.duration,
-        models=tuple(models),
-        seed=args.seed,
-    )
+    try:
+        traffic = TrafficConfig(
+            rate=args.rate,
+            duration=args.duration,
+            models=tuple(models),
+            seed=args.seed,
+            coherence=args.coherence,
+        )
+    except ValueError as e:
+        raise SystemExit(str(e))
     t0 = time.time()
     with use_registry(MetricsRegistry()) as reg:
         report = run_serve_campaign(config, traffic, injector=injector)
@@ -482,6 +546,13 @@ def cmd_serve(args) -> int:
         )
     )
     print(format_serve_summary(report))
+    if report.steady_state:
+        print(
+            f"steady state: {report.warm_dispatches} warm / "
+            f"{report.cold_dispatches} cold dispatches "
+            f"({report.warm_fraction:.1%} warm, "
+            f"coherence {args.coherence:.2f})"
+        )
     shots = injector.shots if injector else 0
     print(
         f"terminal states: {'all' if report.all_terminal else 'INCOMPLETE'} | "
@@ -548,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies", metavar="PATH",
         help="tuned strategy book (from 'tune'); a missing or corrupt "
         "file falls back to the default per-layer strategy with a warning",
+    )
+    p_bench.add_argument(
+        "--steady-state", action="store_true",
+        help="stream temporally coherent frames through the persistent "
+        "content-addressed mapping cache: frame 0 cold, the rest warm "
+        "(same coordinates, fresh features)",
+    )
+    p_bench.add_argument(
+        "--frames", type=int, default=4,
+        help="frames in the --steady-state stream (default %(default)s)",
     )
 
     p_cmp = sub.add_parser("compare", help="run one model under every engine")
@@ -665,6 +746,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--slo-floor", type=float, default=0.0,
         help="exit nonzero when SLO attainment falls below this",
+    )
+    p_serve.add_argument(
+        "--steady-state", action="store_true",
+        help="per-device persistent mapping reuse: repeats of a "
+        "(model, scene) pair on a device serve at the warm base latency",
+    )
+    p_serve.add_argument(
+        "--coherence", type=float, default=0.0,
+        help="probability a request repeats its model's current scene "
+        "(temporal coherence of the traffic; default %(default)s)",
     )
     p_serve.add_argument(
         "--metrics", metavar="PATH",

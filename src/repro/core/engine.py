@@ -39,6 +39,16 @@ from repro.core.tuner import StrategyBook
 from repro.gpu.device import GPUSpec, RTX_2080TI
 from repro.gpu.memory import DType
 from repro.gpu.timeline import Profile
+from repro.mapping.cache import (
+    MappingCache,
+    coords_fingerprint,
+    coords_key,
+    coords_nbytes,
+    index_key,
+    index_nbytes,
+    kmap_key,
+    kmap_nbytes,
+)
 from repro.mapping.downsample import downsample_coords
 from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap
 from repro.obs.metrics import get_registry
@@ -53,6 +63,7 @@ from repro.robust.errors import (
     NumericFaultError,
 )
 from repro.robust.faults import (
+    get_injector,
     maybe_corrupt_kmap,
     maybe_drop_strategy,
     maybe_grid_oom,
@@ -162,6 +173,11 @@ class ExecutionContext:
     """Per-input state: device, profile and the coordinate/map caches.
 
     Create one context per point cloud (or reuse after :meth:`reset`).
+    Passing a :class:`~repro.mapping.cache.MappingCache` turns on
+    persistent, content-addressed reuse of coordinate tables and kernel
+    maps across contexts (steady-state serving of temporally coherent
+    streams); without one, every context builds its maps from scratch
+    (the seed-exact cold path).
     """
 
     def __init__(
@@ -169,6 +185,7 @@ class ExecutionContext:
         engine: "BaseEngine | None" = None,
         device: GPUSpec = RTX_2080TI,
         profile: Profile | None = None,
+        mapcache: MappingCache | None = None,
     ):
         self.engine = engine or TorchSparseEngine()
         self.device = device
@@ -180,15 +197,22 @@ class ExecutionContext:
         self.trace = self.profile.tracer
         #: metrics registry active when this context was created
         self.metrics = get_registry()
+        #: persistent content-addressed cache (None = cold path)
+        self.mapcache = mapcache
         self.coords_at_stride: dict[int, np.ndarray] = {}
         self.index_at_stride: dict[int, CoordIndex] = {}
-        self.kmap_cache: dict[tuple, KernelMap] = {}
+        self.kmap_cache: dict[object, KernelMap] = {}
         #: (layer_name, kernel_size, stride, c_in, c_out, map sizes) per
         #: executed convolution — the tuner's training signal.
         self.layer_workloads: list[tuple] = []
 
     def reset(self) -> None:
-        """Drop caches and profiling for a fresh input."""
+        """Drop caches and profiling for a fresh input.
+
+        The persistent :attr:`mapcache` (if any) survives — its entries
+        are content-addressed, so a new input can only ever hit entries
+        whose coordinates match exactly.
+        """
         self.profile.clear()
         self.coords_at_stride.clear()
         self.index_at_stride.clear()
@@ -196,7 +220,30 @@ class ExecutionContext:
         self.layer_workloads.clear()
 
     def register_coords(self, stride: int, coords: np.ndarray) -> None:
-        self.coords_at_stride.setdefault(stride, coords)
+        """Pin ``coords`` as *the* coordinate set of ``stride``.
+
+        Re-registering the same content (by fingerprint) is a no-op.
+        Re-registering *different* content — a new input flowing through
+        a reused context without :meth:`reset` — drops every cached
+        coordinate set, table and kernel map before registering, so
+        nothing derived from the old input can be served against the
+        new one.  (The old ``setdefault`` silently kept the stale
+        entries, which made the stride-only cache keys serve one
+        input's maps against another input's features.)
+        """
+        cached = self.coords_at_stride.get(stride)
+        if cached is None:
+            self.coords_at_stride[stride] = coords
+            return
+        if cached is coords or coords_fingerprint(cached) == coords_fingerprint(
+            coords
+        ):
+            return
+        self.metrics.counter("engine.ctx_rebuilds").inc()
+        self.coords_at_stride.clear()
+        self.index_at_stride.clear()
+        self.kmap_cache.clear()
+        self.coords_at_stride[stride] = coords
 
 
 @dataclass
@@ -281,19 +328,29 @@ class BaseEngine:
         cfg: EngineConfig | None = None,
     ) -> CoordIndex:
         index = ctx.index_at_stride.get(stride)
-        if index is None:
-            ctx.metrics.counter("engine.cache.misses", cache="index").inc()
-            backend = self._choose_backend(coords, cfg)
-            if backend == "grid":
-                # fault-injection site: simulated grid allocation failure
-                maybe_grid_oom(f"table.build.s{stride}.grid")
-            index = CoordIndex.build(
-                coords, backend=backend, margin=2, max_grid_bytes=MAX_GRID_BYTES
-            )
-            ctx.index_at_stride[stride] = index
-            self._price_table(index, ctx, f"table.build.s{stride}.{backend}", cfg)
-        else:
+        if index is not None:
             ctx.metrics.counter("engine.cache.hits", cache="index").inc()
+            return index
+        ctx.metrics.counter("engine.cache.misses", cache="index").inc()
+        backend = self._choose_backend(coords, cfg)
+        cache = ctx.mapcache
+        key = index_key(coords, backend) if cache is not None else None
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                ctx.index_at_stride[stride] = cached
+                ctx.profile.log(f"mapcache.hit.index.s{stride}", "mapping", 0.0)
+                return cached
+        if backend == "grid":
+            # fault-injection site: simulated grid allocation failure
+            maybe_grid_oom(f"table.build.s{stride}.grid")
+        index = CoordIndex.build(
+            coords, backend=backend, margin=2, max_grid_bytes=MAX_GRID_BYTES
+        )
+        ctx.index_at_stride[stride] = index
+        self._price_table(index, ctx, f"table.build.s{stride}.{backend}", cfg)
+        if cache is not None:
+            cache.put(key, index, index_nbytes(index))
         return index
 
     def _get_kmap(
@@ -307,29 +364,86 @@ class BaseEngine:
         cfg: EngineConfig | None = None,
     ) -> KernelMap:
         cfg = cfg or self.config
-        key = (x.stride, out_stride, kernel_size)
+        return self._lookup_kmap(
+            x.coords,
+            x.stride,
+            out_coords,
+            out_stride,
+            kernel_size,
+            stride,
+            ctx,
+            cfg,
+            use_symmetry=cfg.use_map_symmetry,
+            label=f"k{kernel_size}.s{stride}",
+        )
+
+    def _lookup_kmap(
+        self,
+        in_coords: np.ndarray,
+        in_stride,
+        out_coords: np.ndarray,
+        out_stride,
+        kernel_size,
+        stride,
+        ctx: ExecutionContext,
+        cfg: EngineConfig,
+        use_symmetry: bool,
+        label: str,
+    ) -> KernelMap:
+        """Kernel-map lookup through both cache tiers, building on miss.
+
+        The key is fully content-addressed (coordinate fingerprints plus
+        every map-shaping parameter — the old per-context key omitted
+        symmetry and coordinate identity, so per-context and persistent
+        tiers could never have diverged even before the keying fix).
+        A persistent hit skips table build, map search and map write
+        entirely; it is logged as a zero-cost ``mapcache.hit`` mapping
+        record so traces still attribute the stage.
+        """
+        key = kmap_key(
+            in_coords,
+            out_coords,
+            in_stride,
+            out_stride,
+            kernel_size,
+            stride,
+            use_symmetry,
+        )
         kmap = ctx.kmap_cache.get(key)
         if kmap is not None:
             ctx.metrics.counter("engine.cache.hits", cache="kmap").inc()
             return kmap
         ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
+        cache = ctx.mapcache
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                if get_injector() is not None:
+                    # in-place fault injection must not reach the shared entry
+                    cached = cached.clone()
+                ctx.kmap_cache[key] = cached
+                with ctx.profile.span("mapping"):
+                    ctx.profile.log(f"mapcache.hit.kmap.{label}", "mapping", 0.0)
+                return cached
         with ctx.profile.span("mapping"):
-            index = self._get_index(x.stride, x.coords, ctx, cfg)
+            index = self._get_index(in_stride, in_coords, ctx, cfg)
             kmap = build_kmap(
-                x.coords,
+                in_coords,
                 index,
                 out_coords,
                 kernel_size,
                 stride=stride,
-                use_symmetry=cfg.use_map_symmetry,
+                use_symmetry=use_symmetry,
             )
-            self._price_table(
-                index, ctx, f"kmap.search.k{kernel_size}.s{stride}", cfg
-            )
-            self._price_map_write(
-                kmap, ctx, f"kmap.write.k{kernel_size}.s{stride}", cfg
-            )
+            self._price_table(index, ctx, f"kmap.search.{label}", cfg)
+            self._price_map_write(kmap, ctx, f"kmap.write.{label}", cfg)
         ctx.kmap_cache[key] = kmap
+        if cache is not None:
+            cache.put(
+                key,
+                kmap.clone() if get_injector() is not None else kmap,
+                kmap_nbytes(kmap),
+            )
         return kmap
 
     def _price_map_write(
@@ -354,6 +468,55 @@ class BaseEngine:
             max(ctx.device.mem_time(entry_bytes, efficiency=0.7), instr),
             bytes_moved=entry_bytes,
         )
+
+    def _output_coords(
+        self,
+        x: SparseTensor,
+        kernel_size,
+        stride,
+        out_stride,
+        ctx: ExecutionContext,
+        fused: bool,
+        label: str,
+    ) -> np.ndarray:
+        """Downsampled output coordinates through both cache tiers.
+
+        Per-context first (one build per stride level per input), then
+        the persistent cache keyed by the parent coordinates' content —
+        a warm frame re-registers the exact cached array, which keeps
+        every downstream fingerprint identical and lets the kernel-map
+        lookups hit as well.
+        """
+        cached = ctx.coords_at_stride.get(out_stride)
+        if cached is not None:
+            ctx.metrics.counter("engine.cache.hits", cache="coords").inc()
+            return cached
+        ctx.metrics.counter("engine.cache.misses", cache="coords").inc()
+        cache = ctx.mapcache
+        key = coords_key(x.coords, kernel_size, stride) if cache is not None else None
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                with ctx.profile.span("mapping"):
+                    ctx.profile.log(
+                        f"mapcache.hit.coords.s{stride}", "mapping", 0.0
+                    )
+                ctx.register_coords(out_stride, hit)
+                return hit
+        out_coords, ds_cost = downsample_coords(x.coords, kernel_size, stride)
+        with ctx.profile.span("mapping"):
+            ctx.profile.log(
+                f"{label}.s{stride}",
+                "mapping",
+                ctx.device.mem_time(ds_cost.total_bytes(fused), efficiency=0.7)
+                + ds_cost.launches(fused) * ctx.device.launch_overhead,
+                bytes_moved=ds_cost.total_bytes(fused),
+                launches=ds_cost.launches(fused),
+            )
+        ctx.register_coords(out_stride, out_coords)
+        if cache is not None:
+            cache.put(key, out_coords, coords_nbytes(out_coords))
+        return out_coords
 
     # -- fault detection / recovery helpers ----------------------------------
 
@@ -416,11 +579,22 @@ class BaseEngine:
 
         A corrupted kernel map or overflowed table may already have been
         cached before detection; a retry must rebuild from scratch.
+        Persistent entries built from the same coordinates are purged
+        too — a chaos-corrupted map must never survive into another
+        request as a "warm hit".
         """
         s = x.stride
-        for key in [k for k in ctx.kmap_cache if s in (k[0], k[1])]:
+        for key in [
+            k for k in ctx.kmap_cache if s in (k.in_stride, k.out_stride)
+        ]:
             ctx.kmap_cache.pop(key, None)
         ctx.index_at_stride.pop(s, None)
+        if ctx.mapcache is not None:
+            fps = {coords_fingerprint(x.coords)}
+            cached = ctx.coords_at_stride.get(s)
+            if cached is not None and cached is not x.coords:
+                fps.add(coords_fingerprint(cached))
+            ctx.mapcache.purge(fps)
 
     # -- the public op -------------------------------------------------------
 
@@ -591,30 +765,15 @@ class BaseEngine:
                         for a, b in zip(to_tuple(x.stride), to_tuple(stride))
                     )
                 )
-                cached = ctx.coords_at_stride.get(out_stride)
-                if cached is not None:
-                    ctx.metrics.counter("engine.cache.hits", cache="coords").inc()
-                    out_coords = cached
-                else:
-                    ctx.metrics.counter(
-                        "engine.cache.misses", cache="coords"
-                    ).inc()
-                    out_coords, ds_cost = downsample_coords(
-                        x.coords, kernel_size, stride
-                    )
-                    fused = cfg.fused_downsample
-                    with ctx.profile.span("mapping"):
-                        ctx.profile.log(
-                            f"downsample.coords.s{stride}",
-                            "mapping",
-                            ctx.device.mem_time(
-                                ds_cost.total_bytes(fused), efficiency=0.7
-                            )
-                            + ds_cost.launches(fused) * ctx.device.launch_overhead,
-                            bytes_moved=ds_cost.total_bytes(fused),
-                            launches=ds_cost.launches(fused),
-                        )
-                    ctx.register_coords(out_stride, out_coords)
+                out_coords = self._output_coords(
+                    x,
+                    kernel_size,
+                    stride,
+                    out_stride,
+                    ctx,
+                    cfg.fused_downsample,
+                    "downsample.coords",
+                )
 
             kmap = self._get_kmap(
                 x, out_coords, out_stride, kernel_size, stride, ctx, cfg
@@ -665,29 +824,21 @@ class BaseEngine:
             c_out=int(weights.shape[2]),
             transposed=True,
         ):
-            key = (fine_stride, x.stride, kernel_size)
-            fwd = ctx.kmap_cache.get(key)
-            if fwd is None:
-                ctx.metrics.counter("engine.cache.misses", cache="kmap").inc()
-                with ctx.profile.span("mapping"):
-                    index = self._get_index(fine_stride, fine_coords, ctx, cfg)
-                    fwd = build_kmap(
-                        fine_coords,
-                        index,
-                        x.coords,
-                        kernel_size,
-                        stride=stride,
-                        use_symmetry=False,
-                    )
-                    self._price_table(
-                        index, ctx, f"kmap.search.T.k{kernel_size}.s{stride}", cfg
-                    )
-                    self._price_map_write(
-                        fwd, ctx, f"kmap.write.T.k{kernel_size}.s{stride}", cfg
-                    )
-                ctx.kmap_cache[key] = fwd
-            else:
-                ctx.metrics.counter("engine.cache.hits", cache="kmap").inc()
+            # the forward map of the mirrored downsampling layer; the
+            # canonical (effective-symmetry) key makes it shareable with
+            # that layer's own cache entry, per-context and persistent
+            fwd = self._lookup_kmap(
+                fine_coords,
+                fine_stride,
+                x.coords,
+                x.stride,
+                kernel_size,
+                stride,
+                ctx,
+                cfg,
+                use_symmetry=False,
+                label=f"T.k{kernel_size}.s{stride}",
+            )
             kmap = fwd.transposed()
             # fault-injection site: corrupt the (shared) transposed map
             maybe_corrupt_kmap(kmap, site=f"kmap.T.k{kernel_size}.s{stride}")
@@ -835,30 +986,15 @@ class BaseEngine:
                         for a, b in zip(to_tuple(x.stride), to_tuple(stride))
                     )
                 )
-                cached = ctx.coords_at_stride.get(out_stride)
-                if cached is not None:
-                    ctx.metrics.counter("engine.cache.hits", cache="coords").inc()
-                    out_coords = cached
-                else:
-                    ctx.metrics.counter(
-                        "engine.cache.misses", cache="coords"
-                    ).inc()
-                    out_coords, ds_cost = downsample_coords(
-                        x.coords, kernel_size, stride
-                    )
-                    fused = self.config.fused_downsample
-                    with ctx.profile.span("mapping"):
-                        ctx.profile.log(
-                            f"pool.downsample.coords.s{stride}",
-                            "mapping",
-                            ctx.device.mem_time(
-                                ds_cost.total_bytes(fused), efficiency=0.7
-                            )
-                            + ds_cost.launches(fused) * ctx.device.launch_overhead,
-                            bytes_moved=ds_cost.total_bytes(fused),
-                            launches=ds_cost.launches(fused),
-                        )
-                    ctx.register_coords(out_stride, out_coords)
+                out_coords = self._output_coords(
+                    x,
+                    kernel_size,
+                    stride,
+                    out_stride,
+                    ctx,
+                    self.config.fused_downsample,
+                    "pool.downsample.coords",
+                )
             kmap = self._get_kmap(
                 x, out_coords, out_stride, kernel_size, stride, ctx
             )

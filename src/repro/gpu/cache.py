@@ -152,12 +152,10 @@ def simulate_row_trace(
     """
     before_h, before_m = cache.stats.hits, cache.stats.misses
     before_e = cache.stats.evictions
-    lines_per_row = max(1, -(-row_bytes // cache.line_bytes))
     row_indices = np.asarray(row_indices, dtype=np.int64)
     for r in row_indices:
         start = base_address + int(r) * row_bytes
         cache.access_range(start, row_bytes if row_bytes else cache.line_bytes)
-    _ = lines_per_row
     delta = CacheStats(
         hits=cache.stats.hits - before_h,
         misses=cache.stats.misses - before_m,

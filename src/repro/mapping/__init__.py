@@ -8,6 +8,11 @@ here: grid vs. hashmap backends, fused downsampling kernels, simplified
 control logic and map symmetry.
 """
 
+from repro.mapping.cache import (
+    MappingCache,
+    coords_fingerprint,
+    get_mapping_cache,
+)
 from repro.mapping.downsample import (
     DownsampleCost,
     downsample_coords,
@@ -18,9 +23,12 @@ from repro.mapping.kmap import CoordIndex, KernelMap, build_kmap, identity_kmap
 __all__ = [
     "KernelMap",
     "CoordIndex",
+    "MappingCache",
     "build_kmap",
     "identity_kmap",
     "downsample_coords",
     "downsample_coords_reference",
     "DownsampleCost",
+    "coords_fingerprint",
+    "get_mapping_cache",
 ]

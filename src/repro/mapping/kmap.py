@@ -158,6 +158,24 @@ class KernelMap:
         offset is an identity and needs no data movement."""
         return self.stride == 1 and is_all_odd(self.kernel_size)
 
+    def clone(self) -> "KernelMap":
+        """Deep copy (fresh index arrays).
+
+        Used by the persistent mapping cache whenever a fault injector
+        is armed: in-place corruption of the working copy must never
+        reach the shared cached entry (or another request through it).
+        """
+        return KernelMap(
+            kernel_size=self.kernel_size,
+            stride=self.stride,
+            n_in=self.n_in,
+            n_out=self.n_out,
+            in_indices=[a.copy() for a in self.in_indices],
+            out_indices=[a.copy() for a in self.out_indices],
+            queries_issued=self.queries_issued,
+            mirrored_entries=self.mirrored_entries,
+        )
+
     def transposed(self) -> "KernelMap":
         """Swap input/output roles (drives inverse/transposed conv)."""
         return KernelMap(

@@ -3,8 +3,10 @@
 from repro.profiling.breakdown import stage_breakdown
 from repro.profiling.runner import (
     BenchResult,
+    SteadyStateResult,
     collect_workloads,
     run_model,
+    run_steady_state,
     tune_model,
 )
 from repro.profiling.report import (
@@ -19,9 +21,11 @@ from repro.profiling.trace import to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "run_model",
+    "run_steady_state",
     "collect_workloads",
     "tune_model",
     "BenchResult",
+    "SteadyStateResult",
     "stage_breakdown",
     "format_table",
     "format_series",

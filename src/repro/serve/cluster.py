@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import BaseEngine, ExecutionContext
 from repro.gpu.device import GPUSpec
+from repro.mapping.cache import MappingCache
 from repro.models import MODEL_ZOO
 
 
@@ -72,6 +73,9 @@ class LatencyOracle:
         self._latency: dict = {}
         self._models: dict = {}
         self._inputs: dict = {}
+        #: spec -> MappingCache — the per-device persistent mapping
+        #: cache of the steady-state serving path
+        self._mapcaches: dict = {}
 
     def _entry(self, key: str):
         for e in MODEL_ZOO:
@@ -79,10 +83,28 @@ class LatencyOracle:
                 return e
         raise ValueError(f"unknown zoo model {key!r}")
 
-    def base_latency(self, model_key: str, spec: GPUSpec) -> float:
+    def mapcache(self, spec: GPUSpec) -> MappingCache:
+        """The device's persistent mapping cache (one per spec)."""
+        cache = self._mapcaches.get(spec)
+        if cache is None:
+            cache = self._mapcaches[spec] = MappingCache()
+        return cache
+
+    def base_latency(
+        self, model_key: str, spec: GPUSpec, warm: bool = False
+    ) -> float:
+        """Modeled latency of one frame.
+
+        ``warm=True`` prices a *warm* frame: the device already served
+        this scene, so every mapping-stage artifact (coordinate tables,
+        downsampled coordinates, kernel maps) comes out of the device's
+        persistent :class:`~repro.mapping.cache.MappingCache` and the
+        mapping stage collapses to (modeled) zero.  Latency overrides
+        bypass the engine for both temperatures.
+        """
         if model_key in self.overrides:
             return float(self.overrides[model_key])
-        memo_key = (model_key, spec)
+        memo_key = (model_key, spec, bool(warm))
         if memo_key not in self._latency:
             entry = self._entry(model_key)
             if model_key not in self._models:
@@ -90,8 +112,21 @@ class LatencyOracle:
                 self._inputs[model_key] = entry.make_dataset().sample_tensor(
                     seed=self.seed, scale=self.scale
                 )
-            ctx = ExecutionContext(engine=self.engine, device=spec)
-            self._models[model_key](self._inputs[model_key], ctx)
+            model, x = self._models[model_key], self._inputs[model_key]
+            if warm:
+                # populate the device cache (the cold frame), then price
+                # a second frame of the same scene through it
+                cache = self.mapcache(spec)
+                warmup = ExecutionContext(
+                    engine=self.engine, device=spec, mapcache=cache
+                )
+                model(x, warmup)
+                ctx = ExecutionContext(
+                    engine=self.engine, device=spec, mapcache=cache
+                )
+            else:
+                ctx = ExecutionContext(engine=self.engine, device=spec)
+            model(x, ctx)
             self._latency[memo_key] = ctx.profile.total_time
         return self._latency[memo_key]
 

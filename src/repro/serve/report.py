@@ -40,6 +40,12 @@ class ServeReport:
     integrity_failures: int = 0
     #: whether the fleet ran with integrity verification enabled
     verify_integrity: bool = True
+    #: whether per-device persistent mapping reuse was on
+    steady_state: bool = False
+    #: dispatches served at the warm base latency (mapping cached on
+    #: the device) vs. cold — both zero when ``steady_state`` is off
+    warm_dispatches: int = 0
+    cold_dispatches: int = 0
     seed: int = 0
     duration: float = 0.0
     #: sim time the last event fired at
@@ -108,6 +114,12 @@ class ServeReport:
         )
 
     @property
+    def warm_fraction(self) -> float:
+        """Fraction of dispatches served from a warm mapping cache."""
+        total = self.warm_dispatches + self.cold_dispatches
+        return 0.0 if total == 0 else self.warm_dispatches / total
+
+    @property
     def corrupted_completions(self) -> int:
         """Requests that *delivered* a corrupted result — the silent-
         data-corruption hole.  Structurally zero with verification on
@@ -140,6 +152,12 @@ class ServeReport:
                 "verify": self.verify_integrity,
                 "failures": self.integrity_failures,
                 "corrupted_completions": self.corrupted_completions,
+            },
+            "steady_state": {
+                "enabled": self.steady_state,
+                "warm_dispatches": self.warm_dispatches,
+                "cold_dispatches": self.cold_dispatches,
+                "warm_fraction": self.warm_fraction,
             },
             "hedges": {
                 "launched": self.hedges_launched,

@@ -45,6 +45,10 @@ class Request:
     model: str
     arrival: float
     deadline: float
+    #: scene id within the model's stream — requests sharing a scene
+    #: voxelize to the same coordinates (temporal coherence), so a
+    #: device that already served the scene has its mapping cached
+    scene: int = 0
     state: str = QUEUED
     #: retries consumed (primary dispatch not counted)
     retries: int = 0
@@ -92,6 +96,7 @@ class Request:
             "model": self.model,
             "arrival": self.arrival,
             "deadline": self.deadline,
+            "scene": self.scene,
             "state": self.state,
             "retries": self.retries,
             "hedged": self.hedged,

@@ -98,6 +98,12 @@ class ServeConfig:
     seed: int = 0
     #: model key -> seconds, bypassing the engine (tests/synthetic runs)
     latency_overrides: dict | None = None
+    #: per-device persistent mapping reuse: a device that already
+    #: served a (model, scene) pair serves repeats at the *warm* base
+    #: latency (mapping stage collapsed by the content-addressed
+    #: :class:`~repro.mapping.cache.MappingCache`).  Off (default)
+    #: keeps every dispatch cold — bit-exact with pre-cache campaigns.
+    steady_state: bool = False
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -161,12 +167,19 @@ class Server:
         # time constants resolved in run()
         self._backoff_base = 0.0
         self._probe_cooldown = 0.0
+        #: per-device (model, scene) pairs already dispatched — a
+        #: repeat on the same device is a warm frame for its mapping
+        #: cache.  Marked at dispatch: the mapping stage runs first, so
+        #: even an attempt that later crashes leaves the cache primed.
+        self._seen: list = [set() for _ in self.workers]
         # report tallies
         self.retries = 0
         self.hedges_launched = 0
         self.hedges_won = 0
         self.hedges_cancelled = 0
         self.integrity_failures = 0
+        self.warm_dispatches = 0
+        self.cold_dispatches = 0
 
     # -- event plumbing ------------------------------------------------------
 
@@ -180,8 +193,10 @@ class Server:
             return 1.0
         return float(np.exp(self.rng.normal(0.0, sigma)))
 
-    def _service_time(self, model: str, worker: DeviceWorker) -> float:
-        base = self.oracle.base_latency(model, worker.spec)
+    def _service_time(
+        self, model: str, worker: DeviceWorker, warm: bool = False
+    ) -> float:
+        base = self.oracle.base_latency(model, worker.spec, warm=warm)
         return base * stall_factor(worker.label) * self._noise()
 
     def deadline_for(self, model: str) -> float:
@@ -268,7 +283,19 @@ class Server:
             reg.histogram("serve.wait_ms").observe(
                 (self.now - req.arrival) * 1e3
             )
-        service = self._service_time(req.model, w)
+        warm = False
+        if self.config.steady_state:
+            frame = (req.model, req.scene)
+            warm = frame in self._seen[d]
+            self._seen[d].add(frame)
+            if warm:
+                self.warm_dispatches += 1
+            else:
+                self.cold_dispatches += 1
+            reg.counter(
+                "serve.mapcache", result="warm" if warm else "cold"
+            ).inc()
+        service = self._service_time(req.model, w, warm=warm)
         will_fail = maybe_crash_device(w.label)
         # an SDC attempt runs its *full* service time: nothing crashes,
         # the corruption is only discoverable once the result exists
@@ -512,6 +539,9 @@ class Server:
             retries=self.retries,
             integrity_failures=self.integrity_failures,
             verify_integrity=self.config.verify_integrity,
+            steady_state=self.config.steady_state,
+            warm_dispatches=self.warm_dispatches,
+            cold_dispatches=self.cold_dispatches,
             seed=self.config.seed,
             end_time=self.now,
         )
@@ -539,6 +569,8 @@ def run_serve_campaign(
     for model in traffic.models:
         for w in server.workers:
             oracle.base_latency(model, w.spec)
+            if config.steady_state:
+                oracle.base_latency(model, w.spec, warm=True)
     ctx = inject_faults(injector) if injector is not None else nullcontext()
     with ctx:
         requests = generate_arrivals(traffic, server.deadline_for)

@@ -32,6 +32,13 @@ class TrafficConfig:
         models: zoo model keys in the mix.
         weights: per-model probabilities (uniform when None).
         seed: drives arrival times, model choices, and burst contents.
+        coherence: probability that a request repeats its model's
+            current scene instead of opening a new one — the streaming
+            LiDAR regime, where consecutive (ego-motion-compensated)
+            frames voxelize to the same sparsity pattern.  ``0``
+            (default) keeps every request a fresh scene and draws
+            nothing extra from the RNG, so existing seeded arrival
+            schedules stay bit-exact.
     """
 
     rate: float
@@ -39,6 +46,7 @@ class TrafficConfig:
     models: tuple = ("minkunet_0.5x_kitti",)
     weights: tuple | None = None
     seed: int = 0
+    coherence: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -47,6 +55,8 @@ class TrafficConfig:
             raise ValueError("need at least one model in the mix")
         if self.weights is not None and len(self.weights) != len(self.models):
             raise ValueError("weights must match models")
+        if not 0.0 <= self.coherence < 1.0:
+            raise ValueError("coherence must be in [0, 1)")
 
 
 def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
@@ -70,6 +80,25 @@ def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
         i = int(rng.choice(len(cfg.models), p=weights))
         return cfg.models[i]
 
+    # per-model scene process: with probability ``coherence`` a request
+    # rides the model's current scene (same coordinates, fresh features
+    # — a warm frame for the mapping cache), otherwise the scene
+    # changes.  The RNG is only consulted when coherence > 0 so the
+    # default arrival stream is byte-identical to pre-coherence runs.
+    next_scene: dict = {}
+    current_scene: dict = {}
+
+    def pick_scene(model: str) -> int:
+        coherent = (
+            cfg.coherence > 0.0
+            and model in current_scene
+            and float(rng.random()) < cfg.coherence
+        )
+        if not coherent:
+            current_scene[model] = next_scene.get(model, 0)
+            next_scene[model] = current_scene[model] + 1
+        return current_scene[model]
+
     requests: list = []
     t = 0.0
     while True:
@@ -85,6 +114,7 @@ def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
                     model=model,
                     arrival=t,
                     deadline=t + float(deadline_for(model)),
+                    scene=pick_scene(model),
                 )
             )
     return requests

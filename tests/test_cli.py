@@ -226,3 +226,57 @@ class TestChaosJsonSchema:
         # ...and rejects it under the default benchmark schema
         with pytest.raises(ValueError, match="expected"):
             load_snapshot(str(out))
+
+
+class TestSteadyStateCli:
+    BENCH = ["bench", "--model", "minkunet_0.5x_kitti", "--scale", "0.12",
+             "--engine", "baseline", "--steady-state", "--frames", "3"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "--model", "x"])
+        assert args.steady_state is False
+        assert args.frames == 4
+        serve = build_parser().parse_args(["serve"])
+        assert serve.steady_state is False
+        assert serve.coherence == 0.0
+
+    def test_bench_steady_state_runs(self, capsys):
+        assert main(self.BENCH) == 0
+        out = capsys.readouterr().out
+        assert "cold frame" in out and "warm frames" in out
+        assert "warm reduction" in out and "mapping 100.0%" in out
+
+    def test_bench_steady_state_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "steady.json"
+        assert main([*self.BENCH, "--json", str(snap)]) == 0
+        d = json.loads(snap.read_text())
+        assert d["schema"] == "repro-bench.steady/1"
+        assert d["frames"] == 3
+        assert d["warm_mapping"] == 0.0
+        assert d["mapping_reduction"] == 1.0
+        assert d["latency_reduction"] > 0.0
+        assert d["cache"]["entries"] > 0
+        assert any(
+            k.startswith("mapcache.hits") and v > 0
+            for k, v in d["mapcache_metrics"].items()
+        )
+
+    def test_bench_steady_state_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.BENCH, "--json", str(a)]) == 0
+        assert main([*self.BENCH, "--json", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_serve_steady_state_smoke(self, capsys):
+        rc = main(
+            ["serve", "--scale", "0.1", "--rate", "300", "--duration", "0.3",
+             "--seed", "3", "--coherence", "0.8", "--steady-state"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "steady state:" in out and "warm" in out
+
+    def test_bad_coherence_rejected(self):
+        with pytest.raises(SystemExit, match="coherence"):
+            main(["serve", "--scale", "0.1", "--rate", "100",
+                  "--duration", "0.2", "--coherence", "1.5"])

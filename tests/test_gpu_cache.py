@@ -57,6 +57,38 @@ class TestLRUCache:
         assert CacheStats().hit_rate == 0.0
 
 
+class TestRowTraceLineCounts:
+    """Pin the exact line counts simulate_row_trace generates per row."""
+
+    def _run(self, row_bytes, rows):
+        cache = LRUCache(capacity_bytes=1024 * 128 * 4, line_bytes=128)
+        return simulate_row_trace(cache, np.asarray(rows), row_bytes)
+
+    def test_zero_row_bytes_touches_one_line(self):
+        """row_bytes == 0 falls back to a single line_bytes probe at the
+        base address: every row lands on line 0 — one cold miss, then
+        all hits."""
+        st = self._run(0, [0, 1, 2, 3])
+        assert st.misses == 1 and st.hits == 3
+
+    def test_sub_line_rows_share_lines(self):
+        """64-byte rows with 128-byte lines: rows 2k and 2k+1 share one
+        line, so 4 rows touch 2 lines (2 misses, 2 hits)."""
+        st = self._run(64, [0, 1, 2, 3])
+        assert st.misses == 2 and st.hits == 2
+
+    def test_spanning_rows_touch_two_lines_each(self):
+        """192-byte rows with 128-byte lines: each row spans 2 lines
+        and adjacent rows share the boundary line."""
+        st = self._run(192, [0, 1])
+        # row 0 -> lines {0, 1}; row 1 -> lines {1, 2}: 3 misses, 1 hit
+        assert st.misses == 3 and st.hits == 1
+
+    def test_exact_line_rows_are_disjoint(self):
+        st = self._run(128, [0, 1, 2])
+        assert st.misses == 3 and st.hits == 0
+
+
 class TestLocalityClaim:
     """Demonstrate the Figure 9 mechanism with real traces."""
 

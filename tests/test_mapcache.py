@@ -1,0 +1,365 @@
+"""Tests for the persistent content-addressed mapping cache.
+
+Covers the stale-keying bugfix (context reuse across different inputs),
+the content-addressed key derivation, byte-budget LRU eviction, the
+cold-vs-warm bit-exactness guarantee, and the robustness purge hook
+(a chaos-corrupted kernel map must never survive as a warm hit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    EngineConfig,
+    ExecutionContext,
+    TorchSparseEngine,
+)
+from repro.core.sparse_tensor import SparseTensor
+from repro.mapping.cache import (
+    ENTRY_OVERHEAD_BYTES,
+    CoordsKey,
+    IndexKey,
+    KmapKey,
+    MappingCache,
+    coords_fingerprint,
+    kmap_key,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.robust.degrade import RobustConfig
+from repro.robust.faults import FaultInjector, FaultSpec, inject_faults
+
+
+def make_cloud(n=80, seed=0, span=24):
+    """A unique random voxel cloud with features."""
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(0, span, size=(4 * n, 3))
+    coords = np.unique(coords, axis=0)[:n]
+    coords = np.hstack([np.zeros((len(coords), 1), dtype=np.int64), coords])
+    feats = rng.standard_normal((len(coords), 4)).astype(np.float32)
+    return SparseTensor(coords.astype(np.int32), feats)
+
+
+def make_weights(k, c_in, c_out, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((k**3, c_in, c_out)).astype(np.float32)
+
+
+def run_stack(x, ctx, w3, w2, wt):
+    """conv(k3,s1) -> downsample(k2,s2) -> transposed(k2,s2)."""
+    engine = ctx.engine
+    y = engine.convolution(x, w3, ctx, kernel_size=3, stride=1)
+    z = engine.convolution(y, w2, ctx, kernel_size=2, stride=2)
+    return engine.convolution(z, wt, ctx, kernel_size=2, stride=2,
+                              transposed=True)
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_content_equal_across_objects(self):
+        a = np.array([[0, 1, 2, 3], [0, 4, 5, 6]], dtype=np.int32)
+        b = a.copy()
+        assert a is not b
+        assert coords_fingerprint(a) == coords_fingerprint(b)
+
+    def test_dtype_canonicalized(self):
+        a = np.array([[0, 1, 2, 3]], dtype=np.int32)
+        b = a.astype(np.int64)
+        assert coords_fingerprint(a) == coords_fingerprint(b)
+
+    def test_any_differing_row_changes_fingerprint(self):
+        a = np.array([[0, 1, 2, 3], [0, 4, 5, 6]], dtype=np.int32)
+        b = a.copy()
+        b[1, 3] += 1
+        assert coords_fingerprint(a) != coords_fingerprint(b)
+
+    def test_shape_folded_in(self):
+        a = np.arange(8, dtype=np.int64).reshape(2, 4)
+        b = a.reshape(4, 2)
+        assert coords_fingerprint(a) != coords_fingerprint(b)
+
+    def test_memo_is_identity_guarded(self):
+        a = np.array([[0, 1, 2, 3]], dtype=np.int32)
+        fp1 = coords_fingerprint(a)
+        assert coords_fingerprint(a) == fp1  # memo hit, same answer
+
+
+# -- keys --------------------------------------------------------------------
+
+
+class TestKeys:
+    def test_kmap_key_symmetry_is_effective_not_raw(self):
+        """A stride-2 map has identical content either way, so the raw
+        flag must not split the key; at stride 1 with an odd kernel the
+        probe order differs and the key must split."""
+        a = make_cloud(seed=0)
+        b = make_cloud(seed=1, n=40)
+        k_s2_sym = kmap_key(a.coords, b.coords, 1, 2, 2, 2, True)
+        k_s2_raw = kmap_key(a.coords, b.coords, 1, 2, 2, 2, False)
+        assert k_s2_sym == k_s2_raw
+        k_s1_sym = kmap_key(a.coords, a.coords, 1, 1, 3, 1, True)
+        k_s1_raw = kmap_key(a.coords, a.coords, 1, 1, 3, 1, False)
+        assert k_s1_sym != k_s1_raw
+
+    def test_key_kinds_and_fingerprints(self):
+        a = make_cloud(seed=0)
+        key = kmap_key(a.coords, a.coords, 1, 1, 3, 1, True)
+        assert key.kind == "kmap"
+        assert coords_fingerprint(a.coords) in key.fingerprints
+        idx = IndexKey(fp="f", backend="hash")
+        assert idx.kind == "index" and idx.fingerprints == ("f",)
+        ck = CoordsKey(parent_fp="f", kernel_size=2, stride=2)
+        assert ck.kind == "coords" and ck.fingerprints == ("f",)
+
+
+# -- the LRU cache -----------------------------------------------------------
+
+
+class TestMappingCache:
+    def key(self, i):
+        return IndexKey(fp=f"fp{i}", backend="hash")
+
+    def test_get_put_and_metrics(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache(max_bytes=4096)
+            assert cache.get(self.key(0)) is None
+            cache.put(self.key(0), "v0", 256)
+            assert cache.get(self.key(0)) == "v0"
+            s = reg.scalars()
+            assert s["mapcache.hits{kind=index}"] == 1
+            assert s["mapcache.misses{kind=index}"] == 1
+            assert s["mapcache.hit_rate{kind=index}"] == 0.5
+            assert s["mapcache.bytes"] == 256.0
+            assert s["mapcache.entries"] == 1.0
+
+    def test_lru_eviction_order(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache(max_bytes=3 * 256)
+            for i in range(3):
+                cache.put(self.key(i), i, 256)
+            cache.get(self.key(0))  # touch 0: 1 is now least recent
+            cache.put(self.key(3), 3, 256)
+            assert self.key(1) not in cache
+            assert self.key(0) in cache and self.key(3) in cache
+            assert cache.bytes == 3 * 256
+            assert reg.scalars()["mapcache.evictions{reason=lru}"] == 1
+
+    def test_oversize_rejected_without_flushing(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache(max_bytes=1024)
+            cache.put(self.key(0), "keep", 512)
+            assert not cache.put(self.key(1), "huge", 4096)
+            assert self.key(0) in cache and self.key(1) not in cache
+            s = reg.scalars()
+            assert s["mapcache.evictions{reason=oversize}"] == 1
+
+    def test_replacement_reaccounts_bytes(self):
+        with use_registry(MetricsRegistry()):
+            cache = MappingCache(max_bytes=4096)
+            cache.put(self.key(0), "a", 1024)
+            cache.put(self.key(0), "b", 512)
+            assert cache.bytes == 512 and len(cache) == 1
+
+    def test_nbytes_floor_is_entry_overhead(self):
+        with use_registry(MetricsRegistry()):
+            cache = MappingCache(max_bytes=4096)
+            cache.put(self.key(0), "tiny", 0)
+            assert cache.bytes == ENTRY_OVERHEAD_BYTES
+
+    def test_purge_by_fingerprint(self):
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache(max_bytes=1 << 20)
+            cache.put(IndexKey(fp="a", backend="hash"), 1, 256)
+            cache.put(CoordsKey(parent_fp="a", kernel_size=2, stride=2), 2, 256)
+            cache.put(
+                KmapKey(in_fp="a", out_fp="b", in_stride=1, out_stride=2,
+                        kernel_size=2, stride=2, symmetric=False),
+                3, 256,
+            )
+            cache.put(IndexKey(fp="c", backend="hash"), 4, 256)
+            assert cache.purge({"a"}) == 3
+            assert len(cache) == 1 and cache.bytes == 256
+            assert cache.purge(set()) == 0
+            assert reg.scalars()["mapcache.purged"] == 3
+
+    def test_stats_and_clear(self):
+        with use_registry(MetricsRegistry()):
+            cache = MappingCache(max_bytes=4096)
+            cache.put(self.key(0), "v", 256)
+            st = cache.stats()
+            assert st["entries"] == 1 and st["by_kind"] == {"index": 1}
+            cache.clear()
+            assert len(cache) == 0 and cache.bytes == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            MappingCache(max_bytes=0)
+
+
+# -- the stale-keying regression (satellite bugfix) --------------------------
+
+
+class TestContextReuse:
+    def test_reused_ctx_matches_fresh_ctx(self):
+        """One context across two different inputs without reset():
+        the second run must match a fresh-context run bit for bit.
+
+        Against the old stride-only keying (``register_coords`` was a
+        bare ``setdefault`` and kernel maps were keyed by
+        ``(stride, out_stride, kernel_size)``) the second input was
+        silently served the first input's tables — this test fails
+        there.
+        """
+        xa, xb = make_cloud(seed=0), make_cloud(seed=1)
+        w3, w2, wt = (make_weights(3, 4, 8), make_weights(2, 8, 8),
+                      make_weights(2, 8, 8))
+        engine = TorchSparseEngine()
+        with use_registry(MetricsRegistry()):
+            shared = ExecutionContext(engine=engine)
+            run_stack(xa, shared, w3, w2, wt)
+            out_shared = run_stack(xb, shared, w3, w2, wt)
+            fresh = ExecutionContext(engine=engine)
+            out_fresh = run_stack(xb, fresh, w3, w2, wt)
+        assert out_shared.feats.tobytes() == out_fresh.feats.tobytes()
+        assert (out_shared.coords == out_fresh.coords).all()
+
+    def test_rebuild_is_counted(self):
+        xa, xb = make_cloud(seed=0), make_cloud(seed=1)
+        engine = TorchSparseEngine()
+        with use_registry(MetricsRegistry()) as reg:
+            ctx = ExecutionContext(engine=engine)
+            ctx.register_coords(1, xa.coords)
+            ctx.register_coords(1, xa.coords.copy())  # same content: no-op
+            assert reg.scalars().get("engine.ctx_rebuilds", 0) == 0
+            ctx.register_coords(1, xb.coords)
+            assert reg.scalars()["engine.ctx_rebuilds"] == 1
+            assert ctx.coords_at_stride[1] is xb.coords
+
+    def test_per_ctx_key_includes_symmetry(self):
+        """Two configs differing only in use_map_symmetry sharing one
+        context must not share stride-1 kernel maps (old key omitted
+        the flag)."""
+        x = make_cloud(seed=0)
+        w3 = make_weights(3, 4, 8)
+        sym = TorchSparseEngine(EngineConfig.torchsparse())
+        nosym = TorchSparseEngine(
+            EngineConfig.torchsparse(use_map_symmetry=False)
+        )
+        assert sym.config.use_map_symmetry
+        with use_registry(MetricsRegistry()):
+            ctx = ExecutionContext(engine=sym)
+            out_sym = sym.convolution(x, w3, ctx, kernel_size=3, stride=1)
+            ctx.engine = nosym
+            out_shared = nosym.convolution(x, w3, ctx, kernel_size=3, stride=1)
+            fresh = ExecutionContext(engine=nosym)
+            out_fresh = nosym.convolution(x, w3, fresh, kernel_size=3, stride=1)
+        # both keyings live side by side in the shared context
+        keys = {k.symmetric for k in ctx.kmap_cache}
+        assert keys == {True, False}
+        assert out_shared.feats.tobytes() == out_fresh.feats.tobytes()
+        assert out_sym.feats.shape == out_shared.feats.shape
+
+
+# -- cold vs. warm through the persistent cache ------------------------------
+
+
+class TestWarmBitExactness:
+    def test_warm_run_bit_exact_with_nonzero_hits(self):
+        x = make_cloud(seed=0)
+        w3, w2, wt = (make_weights(3, 4, 8), make_weights(2, 8, 8),
+                      make_weights(2, 8, 8))
+        engine = TorchSparseEngine()
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache()
+            cold = ExecutionContext(engine=engine, mapcache=cache)
+            out_cold = run_stack(x, cold, w3, w2, wt)
+            warm = ExecutionContext(engine=engine, mapcache=cache)
+            out_warm = run_stack(x, warm, w3, w2, wt)
+            plain = ExecutionContext(engine=engine)
+            out_plain = run_stack(x, plain, w3, w2, wt)
+        assert out_warm.feats.tobytes() == out_cold.feats.tobytes()
+        # the cold path through the cache is bit-exact with no cache
+        assert out_cold.feats.tobytes() == out_plain.feats.tobytes()
+        scalars = reg.scalars()
+        hits = sum(v for k, v in scalars.items()
+                   if k.startswith("mapcache.hits"))
+        assert hits > 0
+        # full hits: the warm frame's mapping stage collapses to zero
+        assert warm.profile.stage_times().get("mapping", 0.0) == 0.0
+        assert cold.profile.stage_times()["mapping"] > 0.0
+
+    def test_cold_profile_bit_exact_with_no_cache(self):
+        """Opting into the cache must not change modeled cold pricing."""
+        x = make_cloud(seed=2)
+        w3 = make_weights(3, 4, 8)
+        engine = TorchSparseEngine()
+        with use_registry(MetricsRegistry()):
+            a = ExecutionContext(engine=engine, mapcache=MappingCache())
+            engine.convolution(x, w3, a, kernel_size=3, stride=1)
+            b = ExecutionContext(engine=engine)
+            engine.convolution(x, w3, b, kernel_size=3, stride=1)
+        assert a.profile.total_time == b.profile.total_time
+        assert a.profile.stage_times() == b.profile.stage_times()
+
+
+# -- robustness purge (no stale recovery) ------------------------------------
+
+
+class TestChaosPurge:
+    def hardened(self):
+        cfg = EngineConfig.torchsparse(
+            robustness=RobustConfig(max_retries=3)
+        )
+        return TorchSparseEngine(cfg)
+
+    def test_corrupted_kmap_purges_persistent_entry(self):
+        x = make_cloud(seed=0)
+        w3 = make_weights(3, 4, 8)
+        engine = self.hardened()
+        cache = MappingCache()
+        with use_registry(MetricsRegistry()) as reg:
+            clean = ExecutionContext(engine=engine, mapcache=cache)
+            out_clean = engine.convolution(x, w3, clean, kernel_size=3,
+                                           stride=1, layer_name="conv")
+            inj = FaultInjector(
+                seed=0, specs=[FaultSpec("kmap_corrupt", count=1)]
+            )
+            with inject_faults(inj):
+                ctx = ExecutionContext(engine=engine, mapcache=cache)
+                out_fault = engine.convolution(x, w3, ctx, kernel_size=3,
+                                               stride=1, layer_name="conv")
+            assert inj.shots == 1
+            scalars = reg.scalars()
+            assert scalars["mapcache.purged"] > 0
+            # recovery rebuilt a clean map; a later warm run through the
+            # cache must match the original clean run bit for bit
+            warm = ExecutionContext(engine=engine, mapcache=cache)
+            out_warm = engine.convolution(x, w3, warm, kernel_size=3,
+                                          stride=1, layer_name="conv")
+        assert np.isfinite(out_fault.feats).all()
+        assert out_warm.feats.tobytes() == out_clean.feats.tobytes()
+
+    def test_injector_armed_hits_are_cloned(self):
+        """A warm hit under an armed injector must hand out a copy:
+        in-place corruption of the working map never reaches the
+        shared cached entry."""
+        x = make_cloud(seed=0)
+        w3 = make_weights(3, 4, 8)
+        engine = self.hardened()
+        cache = MappingCache()
+        with use_registry(MetricsRegistry()):
+            cold = ExecutionContext(engine=engine, mapcache=cache)
+            engine.convolution(x, w3, cold, kernel_size=3, stride=1,
+                               layer_name="conv")
+            # injector armed but pointing at a different fault kind:
+            # nothing fires, yet the hit path must still clone
+            inj = FaultInjector(
+                seed=0, specs=[FaultSpec("matmul_nan", count=0)]
+            )
+            with inject_faults(inj):
+                warm = ExecutionContext(engine=engine, mapcache=cache)
+                engine.convolution(x, w3, warm, kernel_size=3, stride=1,
+                                   layer_name="conv")
+            key = next(k for k in warm.kmap_cache if k.kind == "kmap")
+            assert warm.kmap_cache[key] is not cache.get(key)

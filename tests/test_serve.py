@@ -569,3 +569,100 @@ class TestSilentDataCorruption:
         report, _, _ = campaign(specs=self._specs())
         line = format_serve_summary(report)
         assert "integrity" in line and "caught" in line and "shipped" in line
+
+
+class TestTemporalCoherence:
+    def test_coherence_zero_scenes_increment_per_model(self):
+        reqs = generate_arrivals(
+            make_traffic(models=("m", "big"), weights=(0.5, 0.5)),
+            lambda m: 0.1,
+        )
+        for model in ("m", "big"):
+            scenes = [r.scene for r in reqs if r.model == model]
+            assert scenes == list(range(len(scenes)))
+
+    def test_coherence_zero_stream_unchanged(self):
+        """Adding the scene field must not perturb the seeded arrival
+        stream: the rng is only consulted when coherence > 0."""
+        a = generate_arrivals(make_traffic(), lambda m: 0.1)
+        b = generate_arrivals(make_traffic(coherence=0.0), lambda m: 0.1)
+        assert [(r.arrival, r.model) for r in a] == \
+               [(r.arrival, r.model) for r in b]
+
+    def test_coherent_stream_repeats_scenes(self):
+        reqs = generate_arrivals(
+            make_traffic(coherence=0.9, duration=1.0), lambda m: 0.1
+        )
+        scenes = [r.scene for r in reqs]
+        assert len(set(scenes)) < len(scenes)  # repeats exist
+        # scenes are still dense: 0..max with no gaps
+        assert set(scenes) == set(range(max(scenes) + 1))
+
+    def test_coherence_deterministic(self):
+        a = generate_arrivals(make_traffic(coherence=0.7), lambda m: 0.1)
+        b = generate_arrivals(make_traffic(coherence=0.7), lambda m: 0.1)
+        assert [r.to_json() for r in a] == [r.to_json() for r in b]
+
+    def test_scene_in_request_json(self):
+        reqs = generate_arrivals(make_traffic(), lambda m: 0.1)
+        assert "scene" in reqs[0].to_json()
+
+    def test_coherence_validation(self):
+        with pytest.raises(ValueError):
+            make_traffic(coherence=1.0)
+        with pytest.raises(ValueError):
+            make_traffic(coherence=-0.1)
+
+
+class TestSteadyStateServing:
+    def test_default_campaign_reports_disabled(self):
+        report, _, _ = campaign()
+        assert not report.steady_state
+        assert report.warm_dispatches == 0 and report.cold_dispatches == 0
+        blob = report.to_json()
+        assert blob["steady_state"] == {
+            "enabled": False, "warm_dispatches": 0,
+            "cold_dispatches": 0, "warm_fraction": 0.0,
+        }
+
+    def test_steady_state_counts_warm_dispatches(self):
+        report, reg, _ = campaign(
+            config=make_config(steady_state=True),
+            traffic=make_traffic(coherence=0.8, duration=1.0),
+        )
+        assert report.steady_state
+        assert report.warm_dispatches > 0
+        assert report.cold_dispatches > 0
+        total = report.warm_dispatches + report.cold_dispatches
+        assert report.warm_fraction == report.warm_dispatches / total
+        s = reg.scalars()
+        assert s["serve.mapcache{result=warm}"] == report.warm_dispatches
+        assert s["serve.mapcache{result=cold}"] == report.cold_dispatches
+
+    def test_incoherent_stream_stays_cold(self):
+        # every request is a fresh scene: first sight of each frame on
+        # each device is cold, and no (model, scene) pair repeats
+        report, _, _ = campaign(config=make_config(steady_state=True))
+        assert report.warm_dispatches == 0
+        assert report.cold_dispatches > 0
+
+    def test_steady_state_deterministic(self):
+        runs = [
+            campaign(
+                config=make_config(steady_state=True),
+                traffic=make_traffic(coherence=0.8),
+            )[0].to_json()
+            for _ in range(2)
+        ]
+        assert json.dumps(runs[0]) == json.dumps(runs[1])
+
+    def test_warm_dispatch_is_not_slower(self):
+        """With synthetic latency overrides warm == cold pricing, so the
+        steady-state campaign must not change outcomes — only count."""
+        base, _, _ = campaign(traffic=make_traffic(coherence=0.8))
+        steady, _, _ = campaign(
+            config=make_config(steady_state=True),
+            traffic=make_traffic(coherence=0.8),
+        )
+        assert steady.total == base.total
+        assert steady.outcomes == base.outcomes
