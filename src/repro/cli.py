@@ -511,6 +511,8 @@ def cmd_serve(args) -> int:
         scale=args.scale,
         seed=args.seed,
         steady_state=args.steady_state,
+        slo_window=args.slo_window,
+        slo_target=args.slo_target,
     )
     try:
         traffic = TrafficConfig(
@@ -522,9 +524,16 @@ def cmd_serve(args) -> int:
         )
     except ValueError as e:
         raise SystemExit(str(e))
+    recorder = None
+    if args.events or args.trace:
+        from repro.obs.timeline import TimelineRecorder
+
+        recorder = TimelineRecorder()
     t0 = time.time()
     with use_registry(MetricsRegistry()) as reg:
-        report = run_serve_campaign(config, traffic, injector=injector)
+        report = run_serve_campaign(
+            config, traffic, injector=injector, recorder=recorder
+        )
     rows = [
         [
             label,
@@ -558,14 +567,59 @@ def cmd_serve(args) -> int:
         f"terminal states: {'all' if report.all_terminal else 'INCOMPLETE'} | "
         f"fault shots {shots} | host wall {time.time() - t0:.1f}s"
     )
+    if args.slo_window is not None:
+        series = report.slo_series()
+        worst = report.worst_window_burn
+        busiest = max(series, key=lambda w: w.total, default=None)
+        print(
+            f"SLO windows ({args.slo_window:.3f}s x {len(series)}, target "
+            f"{args.slo_target:.2%}): worst burn {worst:.2f}x"
+            + (
+                f" | busiest window [{busiest.start:.3f}, {busiest.end:.3f}) "
+                f"{busiest.total} finished, miss {busiest.miss_rate:.1%}, "
+                f"p99 {busiest.p99 * 1e3:.2f} ms"
+                if busiest is not None
+                else ""
+            )
+        )
     if args.metrics:
         reg.dump_jsonl(args.metrics)
         print(f"metrics JSONL written to {args.metrics}")
+    if args.prom:
+        from repro.obs.exposition import write_prometheus
+
+        write_prometheus(reg, args.prom)
+        print(f"prometheus exposition written to {args.prom}")
+    if recorder is not None:
+        from repro.obs.timeline import EVENTS_SCHEMA, validate_journal
+        from repro.profiling.trace import write_serve_trace
+
+        problems = validate_journal(recorder.header(), recorder.events)
+        if problems:
+            for p in problems[:10]:
+                print(f"journal invariant violated: {p}", file=sys.stderr)
+            raise SystemExit("flight-recorder journal failed validation")
+        if args.events:
+            recorder.write(args.events)
+            print(
+                f"event journal written to {args.events} "
+                f"({len(recorder.events)} events, schema {EVENTS_SCHEMA})"
+            )
+        if args.trace:
+            write_serve_trace(recorder.header(), recorder.events, args.trace)
+            print(
+                f"campaign trace written to {args.trace} (open in Perfetto)"
+            )
     if args.json:
         write_snapshot(report.to_json(), args.json)
         print(f"serve report written to {args.json}")
     ok = report.passed and report.slo_attainment >= args.slo_floor
-    if not ok:
+    burn_ok = (
+        args.burn_ceiling is None
+        or args.slo_window is None
+        or report.worst_window_burn <= args.burn_ceiling
+    )
+    if not ok or not burn_ok:
         if not report.all_terminal:
             print("FAIL: non-terminal requests at campaign end")
         elif report.corrupted_completions:
@@ -573,12 +627,89 @@ def cmd_serve(args) -> int:
                 f"FAIL: {report.corrupted_completions} corrupted results "
                 "shipped as completed (silent-data-corruption hole)"
             )
-        else:
+        elif report.slo_attainment < args.slo_floor:
             print(
                 f"FAIL: slo_attainment {report.slo_attainment:.3f} < floor "
                 f"{args.slo_floor:.3f}"
             )
-    return 0 if ok else 1
+        else:
+            print(
+                f"FAIL: worst-window burn {report.worst_window_burn:.2f}x > "
+                f"ceiling {args.burn_ceiling:.2f}x"
+            )
+    return 0 if ok and burn_ok else 1
+
+
+def cmd_timeline(args) -> int:
+    """Inspect, validate, and convert a flight-recorder event journal."""
+    from collections import Counter as TallyCounter
+
+    from repro.obs.timeline import (
+        load_journal,
+        request_timeline,
+        validate_journal,
+    )
+    from repro.profiling.trace import write_serve_trace
+
+    try:
+        header, events = load_journal(args.events)
+    except ValueError as e:
+        raise SystemExit(str(e))
+    problems = validate_journal(header, events)
+    requests = {
+        e["request"] for e in events if e.get("request") is not None
+    }
+    kinds = TallyCounter(e["kind"] for e in events)
+    terminal_states = TallyCounter(
+        e["attrs"]["state"] for e in events if e["kind"] == "terminal"
+    )
+    print(
+        f"journal {args.events}: schema {header['schema']}, seed "
+        f"{header.get('seed')}, {len(events)} events, "
+        f"{len(requests)} requests, devices: "
+        f"{', '.join(header.get('devices', [])) or '-'}"
+    )
+    print(
+        "events: "
+        + ", ".join(f"{k} x{v}" for k, v in sorted(kinds.items()))
+    )
+    print(
+        "outcomes: "
+        + (
+            ", ".join(
+                f"{k} x{v}" for k, v in sorted(terminal_states.items())
+            )
+            or "none"
+        )
+    )
+    if args.request is not None:
+        rows = request_timeline(events, args.request)
+        if not rows:
+            raise SystemExit(f"no events for request {args.request}")
+        print(f"\ncausal timeline of request {args.request}:")
+        for e in rows:
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in sorted(e.get("attrs", {}).items())
+            )
+            slack = e.get("slack")
+            print(
+                f"  t={e['t'] * 1e3:9.3f} ms  {e['kind']:16s} "
+                f"dev={e.get('device') or '-':12s} "
+                f"depth={e['queue_depth']:3d}  "
+                f"slack={'-' if slack is None else f'{slack * 1e3:.3f} ms':>12s}"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+    if args.trace:
+        write_serve_trace(header, events, args.trace)
+        print(f"campaign trace written to {args.trace} (open in Perfetto)")
+    if problems:
+        print(f"\nINVALID: {len(problems)} lifecycle violations:")
+        for p in problems[:20]:
+            print(f"  {p}")
+        return 1
+    print("lifecycle: valid (every request one terminal state, "
+          "monotonic sim clock, causal retry/hedge links)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -765,6 +896,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="write the campaign report (schema repro-bench.serve/1)",
     )
+    p_serve.add_argument(
+        "--events", metavar="PATH",
+        help="flight recorder: write the per-request causal event "
+        "journal as JSONL (schema repro-bench.events/1)",
+    )
+    p_serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write the campaign as a Chrome/Perfetto trace "
+        "(per-device tracks, retry/hedge flow arrows, queue counter)",
+    )
+    p_serve.add_argument(
+        "--slo-window", type=float, default=None, metavar="SECONDS",
+        help="windowed SLO monitor: sim-clock window width for "
+        "deadline-miss / error-budget burn series (off by default)",
+    )
+    p_serve.add_argument(
+        "--slo-target", type=float, default=0.99,
+        help="SLO objective the burn rate is measured against "
+        "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--burn-ceiling", type=float, default=None, metavar="RATE",
+        help="exit nonzero when any window's error-budget burn rate "
+        "exceeds this (needs --slo-window)",
+    )
+    p_serve.add_argument(
+        "--prom", metavar="PATH",
+        help="write the campaign's metrics registry in Prometheus "
+        "text exposition format",
+    )
+
+    p_timeline = sub.add_parser(
+        "timeline",
+        help="inspect / validate / convert a flight-recorder journal "
+        "written by serve --events",
+    )
+    p_timeline.add_argument(
+        "--events", required=True, metavar="PATH",
+        help="event journal (JSONL, schema repro-bench.events/1)",
+    )
+    p_timeline.add_argument(
+        "--request", type=int, default=None, metavar="ID",
+        help="print one request's full causal timeline",
+    )
+    p_timeline.add_argument(
+        "--trace", metavar="PATH",
+        help="convert the journal to a Chrome/Perfetto trace offline",
+    )
 
     p_int = sub.add_parser(
         "integrity",
@@ -814,6 +993,7 @@ def main(argv: list[str] | None = None) -> int:
         "regress": cmd_regress,
         "chaos": cmd_chaos,
         "serve": cmd_serve,
+        "timeline": cmd_timeline,
         "integrity": cmd_integrity,
     }[args.command](args)
 

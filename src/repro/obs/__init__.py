@@ -16,8 +16,16 @@ subsystem hooks into:
 * :mod:`repro.obs.regress` — snapshot a benchmark run (modeled latency,
   stage times, flattened metrics) to JSON and diff a later run against
   it with configurable tolerances; backs ``repro-bench regress``.
+* :mod:`repro.obs.timeline` — the serve-campaign flight recorder: a
+  typed, schema-versioned causal event journal
+  (``repro-bench.events/1``) stamped with the simulated clock, plus
+  journal validation and the windowed SLO monitor (exact percentiles,
+  error-budget burn rate); backs ``repro-bench timeline``.
+* :mod:`repro.obs.exposition` — Prometheus text exposition of the
+  metrics registry.
 """
 
+from repro.obs.exposition import to_prometheus, write_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,9 +37,27 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.regress import Drift, compare_snapshots, snapshot
+from repro.obs.timeline import (
+    EVENTS_SCHEMA,
+    SLOWindow,
+    TimelineRecorder,
+    load_journal,
+    validate_journal,
+    windowed_slo,
+    worst_burn,
+)
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "EVENTS_SCHEMA",
+    "SLOWindow",
+    "TimelineRecorder",
+    "load_journal",
+    "validate_journal",
+    "windowed_slo",
+    "worst_burn",
+    "to_prometheus",
+    "write_prometheus",
     "Counter",
     "Gauge",
     "Histogram",

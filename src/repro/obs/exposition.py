@@ -1,0 +1,130 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+Renders the process-wide metrics registry in the Prometheus text
+format (version 0.0.4): counters as ``*_total``, gauges verbatim, and
+histograms as cumulative ``*_bucket{le=...}`` series plus ``*_sum`` /
+``*_count`` — so a campaign's metrics can be scraped, diffed, or
+pushed to any Prometheus-compatible stack without bespoke tooling::
+
+    from repro.obs.exposition import to_prometheus
+    text = to_prometheus(get_registry())
+
+Output is deterministic: metric families sorted by name, label sets
+sorted within a family, stable number formatting.  Metric names are
+sanitized to the Prometheus grammar (dots and other invalid characters
+become underscores) and prefixed with a namespace (default ``repro``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize a dotted metric name into the Prometheus grammar."""
+    flat = _NAME_BAD.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _label_name(name: str) -> str:
+    flat = _LABEL_BAD.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat or "_"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _fmt(value: float) -> str:
+    """Stable sample formatting: integers bare, floats via repr."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(labels: dict, extra: dict | None = None) -> str:
+    merged = {**{_label_name(k): v for k, v in labels.items()},
+              **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    # family name -> (prom type, [(sorted label key, lines)])
+    families: dict = {}
+    for (name, label_key), metric in registry._metrics.items():
+        labels = dict(label_key)
+        if isinstance(metric, Counter):
+            fam = prometheus_name(name, namespace) + "_total"
+            lines = [f"{fam}{_labels(labels)} {_fmt(metric.value)}"]
+            kind = "counter"
+        elif isinstance(metric, Gauge):
+            fam = prometheus_name(name, namespace)
+            lines = [f"{fam}{_labels(labels)} {_fmt(metric.value)}"]
+            kind = "gauge"
+        elif isinstance(metric, Histogram):
+            fam = prometheus_name(name, namespace)
+            lines = []
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(
+                    f"{fam}_bucket"
+                    f"{_labels(labels, {'le': _fmt(bound)})} {cumulative}"
+                )
+            lines.append(
+                f"{fam}_bucket{_labels(labels, {'le': '+Inf'})} "
+                f"{metric.count}"
+            )
+            lines.append(f"{fam}_sum{_labels(labels)} {_fmt(metric.total)}")
+            lines.append(f"{fam}_count{_labels(labels)} {metric.count}")
+            kind = "histogram"
+        else:  # pragma: no cover — registry only holds the three kinds
+            continue
+        entry = families.setdefault(fam, (kind, []))
+        if entry[0] != kind:
+            raise ValueError(
+                f"metric family {fam!r} rendered as both {entry[0]} and "
+                f"{kind}"
+            )
+        entry[1].append((tuple(sorted(labels.items())), lines))
+    out: list = []
+    for fam in sorted(families):
+        kind, series = families[fam]
+        out.append(f"# TYPE {fam} {kind}")
+        for _, lines in sorted(series):
+            out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str, namespace: str = "repro"
+) -> None:
+    """Serialize :func:`to_prometheus` to a file."""
+    with open(path, "w") as f:
+        f.write(to_prometheus(registry, namespace))

@@ -103,11 +103,18 @@ class Histogram:
         return 0.0 if self.count == 0 else self.total / self.count
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: upper bound of the bucket holding it."""
+        """Approximate quantile: upper bound of the bucket holding it.
+
+        The extremes are exact: ``q=0`` returns the observed minimum
+        (not the first nonempty bucket's upper bound) and ``q=1``
+        resolves to the observed maximum.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return float(self.min)
         target = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):

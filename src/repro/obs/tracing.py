@@ -22,14 +22,24 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 
 @dataclass(frozen=True)
 class Span:
-    """One opened span: its full path and the attributes it carries."""
+    """One opened span: its full path and the attributes it carries.
+
+    ``attrs`` is frozen at open time: the dict is copied and wrapped in
+    a read-only view, so post-hoc mutation through a kept reference (or
+    the yielded span itself) cannot retroactively corrupt
+    :meth:`Tracer.attrs_by_path` reports.
+    """
 
     path: tuple
     attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attrs", MappingProxyType(dict(self.attrs)))
 
     @property
     def name(self) -> str:

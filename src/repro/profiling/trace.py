@@ -1,4 +1,4 @@
-"""Chrome-trace export of execution profiles.
+"""Chrome-trace export of execution profiles and serve campaigns.
 
 Serializes a :class:`~repro.gpu.timeline.Profile` into the Trace Event
 Format consumed by ``chrome://tracing`` / Perfetto.  The model is a
@@ -10,6 +10,16 @@ way a real Nsight timeline nests NVTX ranges over kernels.
 
 Untraced profiles (no span paths) degrade gracefully to a flat
 back-to-back kernel track.
+
+**Serve mode** (:func:`to_serve_trace`) renders a whole serving
+campaign from its flight-recorder journal
+(:mod:`repro.obs.timeline`): one track per fleet device with attempts
+as duration slices, retries and hedges linked to their parent attempt
+by flow arrows, breaker/quarantine transitions and mapping-cache
+warm/cold dispatches as instant events, a request-outcome track, and
+an admission-queue-depth counter track.  The trace is a pure function
+of the journal, so ``repro-bench timeline --trace`` can convert a
+journal offline and two same-seed campaigns render identically.
 """
 
 from __future__ import annotations
@@ -128,3 +138,233 @@ def write_chrome_trace(profile: Profile, path: str, **kwargs) -> None:
     """Serialize :func:`to_chrome_trace` to a JSON file."""
     with open(path, "w") as f:
         json.dump(to_chrome_trace(profile, **kwargs), f)
+
+
+# -- serve-campaign traces -------------------------------------------------
+
+#: Pseudo-thread carrying per-request terminal-state instants.
+REQUESTS_TID = 2
+
+#: First device track; device ``i`` renders on ``DEVICE_TID_BASE + i``.
+DEVICE_TID_BASE = 10
+
+
+def _us(t: float) -> float:
+    return round(t * 1e6, 3)
+
+
+def to_serve_trace(
+    header: dict, events: list, process_name: str = "serve-campaign"
+) -> dict:
+    """Render a flight-recorder journal as a Perfetto-loadable trace.
+
+    Track layout (one process):
+
+    * one thread per fleet device — every attempt (primary / retry /
+      hedge / probe) is an ``X`` duration slice from its ``dispatch``
+      to its ``attempt_finish``, named by its dispatch kind with the
+      outcome in ``args``;
+    * flow arrows (``s``/``f`` pairs) link every retry and hedge
+      dispatch back to its causal parent attempt;
+    * ``quarantine`` / ``readmit`` / ``device_dead`` and (steady-state)
+      mapping-cache warm/cold dispatches render as instant events on
+      the device that produced them;
+    * a ``requests`` thread carries one instant per terminal state;
+    * a ``queue depth`` counter tracks the admission queue over the
+      campaign.
+    """
+    devices = list(header.get("devices") or [])
+    for e in events:
+        dev = e.get("device")
+        if dev is not None and dev not in devices:
+            devices.append(dev)
+    tid_of = {label: DEVICE_TID_BASE + i for i, label in enumerate(devices)}
+    trace_events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": REQUESTS_TID,
+            "args": {"name": "requests"},
+        },
+    ]
+    for label, tid in tid_of.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+
+    # first pass: attempt intervals (dispatch -> attempt_finish)
+    dispatches: dict = {}  # attempt -> dispatch event
+    finishes: dict = {}    # attempt -> attempt_finish event
+    for e in events:
+        if e["kind"] == "dispatch":
+            dispatches[e["attempt"]] = e
+        elif e["kind"] == "attempt_finish":
+            finishes[e["attempt"]] = e
+
+    flow_id = 0
+    last_depth = None
+    for e in events:
+        kind, t = e["kind"], e["t"]
+        depth = e.get("queue_depth")
+        if depth is not None and depth != last_depth:
+            trace_events.append(
+                {
+                    "name": "queue depth",
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": _us(t),
+                    "args": {"depth": depth},
+                }
+            )
+            last_depth = depth
+        if kind == "dispatch":
+            attempt = e["attempt"]
+            tid = tid_of[e["device"]]
+            finish = finishes.get(attempt)
+            end_t = finish["t"] if finish is not None else t
+            attrs = e.get("attrs", {})
+            dkind = attrs.get("kind", "primary")
+            args = {
+                "attempt": attempt,
+                "request": e.get("request"),
+                "outcome": (finish or {}).get("attrs", {}).get("outcome"),
+                "slack": e.get("slack"),
+            }
+            for key in ("model", "scene", "warm"):
+                if key in attrs:
+                    args[key] = attrs[key]
+            trace_events.append(
+                {
+                    "name": dkind,
+                    "cat": "attempt",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": _us(t),
+                    "dur": round(_us(end_t) - _us(t), 3),
+                    "args": args,
+                }
+            )
+            if "warm" in attrs:
+                trace_events.append(
+                    {
+                        "name": "mapcache:%s"
+                        % ("warm" if attrs["warm"] else "cold"),
+                        "cat": "mapcache",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": _us(t),
+                    }
+                )
+            parent = attrs.get("parent")
+            if parent is not None and parent in dispatches:
+                parent_tid = tid_of[dispatches[parent]["device"]]
+                parent_finish = finishes.get(parent)
+                # a retry's parent already finished (arrow leaves the
+                # end of the failed slice); a hedge's parent is still
+                # running (arrow leaves at the fork instant)
+                s_t = (
+                    parent_finish["t"]
+                    if parent_finish is not None and parent_finish["t"] <= t
+                    else t
+                )
+                flow_id += 1
+                common = {
+                    "cat": dkind,
+                    "name": dkind,
+                    "id": flow_id,
+                    "pid": 1,
+                }
+                trace_events.append(
+                    {**common, "ph": "s", "tid": parent_tid, "ts": _us(s_t)}
+                )
+                trace_events.append(
+                    {**common, "ph": "f", "bp": "e", "tid": tid, "ts": _us(t)}
+                )
+        elif kind in ("quarantine", "readmit", "device_dead"):
+            trace_events.append(
+                {
+                    "name": kind,
+                    "cat": "health",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid_of[e["device"]],
+                    "ts": _us(t),
+                }
+            )
+        elif kind == "terminal":
+            attrs = e.get("attrs", {})
+            args = {"request": e.get("request")}
+            for key in ("reason", "error", "latency"):
+                if key in attrs:
+                    args[key] = attrs[key]
+            trace_events.append(
+                {
+                    "name": attrs.get("state", "terminal"),
+                    "cat": "terminal",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": REQUESTS_TID,
+                    "ts": _us(t),
+                    "args": args,
+                }
+            )
+        elif kind == "hedge_skip":
+            trace_events.append(
+                {
+                    "name": "hedge_skip",
+                    "cat": "hedge",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": REQUESTS_TID,
+                    "ts": _us(t),
+                    "args": {"request": e.get("request")},
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def flow_events(trace: dict) -> list:
+    """The flow (``s``/``f``) events of a serve trace."""
+    return [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+
+
+def attempt_events(trace: dict) -> list:
+    """The attempt ``X`` slices of a serve trace."""
+    return [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "attempt"
+    ]
+
+
+def write_serve_trace(
+    header: dict, events: list, path: str, **kwargs
+) -> None:
+    """Serialize :func:`to_serve_trace` to a JSON file (deterministic:
+    sorted keys, compact separators)."""
+    with open(path, "w") as f:
+        json.dump(
+            to_serve_trace(header, events, **kwargs),
+            f,
+            sort_keys=True,
+            separators=(",", ":"),
+        )

@@ -21,12 +21,20 @@ from repro.serve.request import QUEUED, SHED, Request
 
 
 class AdmissionQueue:
-    """FIFO of admitted-but-not-yet-dispatched requests."""
+    """FIFO of admitted-but-not-yet-dispatched requests.
 
-    def __init__(self, capacity: int) -> None:
+    ``on_shed`` is an optional observer called as
+    ``on_shed(request, reason, now)`` *after* a request is shed — the
+    server's flight recorder hooks in here so queue-internal terminal
+    transitions (``queue_full``, ``expired``) reach the event journal
+    without the queue knowing about journals.
+    """
+
+    def __init__(self, capacity: int, on_shed=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.on_shed = on_shed
         self._q: deque = deque()
         #: requests shed by this queue, in shed order
         self.shed: list = []
@@ -43,6 +51,8 @@ class AdmissionQueue:
         req.resolve(SHED, now)
         self.shed.append(req)
         get_registry().counter("serve.shed", reason=reason).inc()
+        if self.on_shed is not None:
+            self.on_shed(req, reason, now)
 
     def shed_expired(self, now: float) -> list:
         """Drop queued requests past their deadline, oldest first."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.timeline import windowed_slo, worst_burn
 from repro.profiling.report import percentile
 from repro.serve.request import (
     COMPLETED,
@@ -50,6 +51,11 @@ class ServeReport:
     duration: float = 0.0
     #: sim time the last event fired at
     end_time: float = 0.0
+    #: sim-clock window (seconds) of the SLO monitor; ``None`` disables
+    #: the windowed series
+    slo_window: float | None = None
+    #: SLO objective the error-budget burn rate is measured against
+    slo_target: float = 0.99
 
     # -- terminal-state taxonomy -------------------------------------------
 
@@ -103,6 +109,35 @@ class ServeReport:
 
     # -- hedging -------------------------------------------------------------
 
+    # -- windowed SLO monitor ------------------------------------------------
+
+    def slo_series(self, window: float | None = None) -> list:
+        """Per-window deadline-miss / burn-rate series over the sim
+        clock (see :func:`repro.obs.timeline.windowed_slo`).
+
+        Every terminal request contributes one sample at its finish
+        time; anything that did not resolve ``completed`` (late,
+        failed, shed) burns error budget.  Percentiles are exact
+        nearest-rank values over each window's finished latencies.
+        """
+        width = window if window is not None else self.slo_window
+        if width is None:
+            return []
+        samples = [
+            (r.finish, r.state == COMPLETED, r.latency)
+            for r in self.requests
+            if r.finish is not None
+        ]
+        return windowed_slo(
+            samples, width, target=self.slo_target, end=self.end_time
+        )
+
+    @property
+    def worst_window_burn(self) -> float:
+        """The worst window's error-budget burn rate (0.0 when the
+        monitor is disabled or the campaign is empty)."""
+        return worst_burn(self.slo_series())
+
     @property
     def hedge_effectiveness(self) -> float:
         """Fraction of launched hedges whose duplicate produced the
@@ -152,6 +187,13 @@ class ServeReport:
                 "verify": self.verify_integrity,
                 "failures": self.integrity_failures,
                 "corrupted_completions": self.corrupted_completions,
+            },
+            "slo": {
+                "enabled": self.slo_window is not None,
+                "window": self.slo_window,
+                "target": self.slo_target,
+                "series": [w.to_json() for w in self.slo_series()],
+                "worst_window_burn": self.worst_window_burn,
             },
             "steady_state": {
                 "enabled": self.steady_state,

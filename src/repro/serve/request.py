@@ -49,6 +49,10 @@ class Request:
     #: voxelize to the same coordinates (temporal coherence), so a
     #: device that already served the scene has its mapping cached
     scene: int = 0
+    #: campaign-unique causal-trace id, assigned by the server's flight
+    #: recorder at arrival (``{seed:08x}-{id:06d}``); empty when the
+    #: campaign runs without a recorder
+    trace_id: str = ""
     state: str = QUEUED
     #: retries consumed (primary dispatch not counted)
     retries: int = 0
@@ -97,6 +101,7 @@ class Request:
             "arrival": self.arrival,
             "deadline": self.deadline,
             "scene": self.scene,
+            "trace_id": self.trace_id,
             "state": self.state,
             "retries": self.retries,
             "hedged": self.hedged,

@@ -98,6 +98,12 @@ class ServeConfig:
     seed: int = 0
     #: model key -> seconds, bypassing the engine (tests/synthetic runs)
     latency_overrides: dict | None = None
+    #: sim-clock window (seconds) of the SLO monitor; ``None`` disables
+    #: the per-window deadline-miss / burn-rate series in the report
+    slo_window: float | None = None
+    #: SLO objective the burn rate is measured against (0.99 = 1%
+    #: error budget)
+    slo_target: float = 0.99
     #: per-device persistent mapping reuse: a device that already
     #: served a (model, scene) pair serves repeats at the *warm* base
     #: latency (mapping stage collapsed by the content-addressed
@@ -117,6 +123,10 @@ class ServeConfig:
             raise ValueError("deadline_factor must be positive")
         if self.noise_sigma < 0:
             raise ValueError("noise_sigma must be >= 0")
+        if self.slo_window is not None and self.slo_window <= 0:
+            raise ValueError("slo_window must be positive")
+        if not 0.0 < self.slo_target < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
 
 
 @dataclass
@@ -137,9 +147,22 @@ class Attempt:
 
 
 class Server:
-    """Event loop over one fleet; see the module docstring."""
+    """Event loop over one fleet; see the module docstring.
 
-    def __init__(self, config: ServeConfig, oracle: LatencyOracle) -> None:
+    Pass a :class:`~repro.obs.timeline.TimelineRecorder` to flight-
+    record the campaign: every lifecycle transition (arrival, admit,
+    shed, dequeue, dispatch, crash, integrity failure, retry, hedge,
+    probe, quarantine, terminal state) is journaled as a typed event
+    stamped with the sim clock, device label, queue depth, and the
+    request's remaining deadline slack at that instant.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        oracle: LatencyOracle,
+        recorder=None,
+    ) -> None:
         self.config = config
         self.oracle = oracle
         self.labels = device_labels(config.devices)
@@ -152,7 +175,18 @@ class Server:
             threshold=config.breaker_threshold,
             max_probes=config.max_probes,
         )
-        self.queue = AdmissionQueue(config.queue_capacity)
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.meta.update(
+                seed=config.seed,
+                preset=config.preset,
+                devices=list(self.labels),
+                verify_integrity=config.verify_integrity,
+                steady_state=config.steady_state,
+            )
+        self.queue = AdmissionQueue(
+            config.queue_capacity, on_shed=self._on_queue_shed
+        )
         self.rng = np.random.default_rng(config.seed + 1)
         self.tracer = Tracer()
         self.now = 0.0
@@ -161,6 +195,9 @@ class Server:
         self._attempts: dict = {}
         #: request id -> in-flight attempt ids
         self._live: dict = {}
+        #: request id -> id of its most recently failed attempt (the
+        #: causal parent a later retry dispatch links back to)
+        self._last_failed: dict = {}
         self._service_samples: list = []
         self._requests: list = []
         self._probe_model = ""
@@ -186,6 +223,38 @@ class Server:
     def _push(self, when: float, kind: str, ref) -> None:
         heapq.heappush(self._heap, (when, self._seq, kind, ref))
         self._seq += 1
+
+    def _emit(
+        self,
+        kind: str,
+        req: Request | None = None,
+        /,
+        *,
+        attempt: int | None = None,
+        device: str | None = None,
+        **attrs,
+    ) -> None:
+        """Journal one lifecycle event (no-op without a recorder).
+
+        Queue depth is sampled at emission time; slack is the request's
+        remaining deadline budget at this instant.
+        """
+        if self.recorder is None:
+            return
+        self.recorder.emit(
+            kind,
+            self.now,
+            request=None if req is None else req.id,
+            attempt=attempt,
+            device=device,
+            queue_depth=self.queue.depth,
+            slack=None if req is None else req.deadline - self.now,
+            **attrs,
+        )
+
+    def _on_queue_shed(self, req: Request, reason: str, now: float) -> None:
+        """Queue-internal shed (reject-on-full / expiry) -> terminal."""
+        self._emit("terminal", req, state=SHED, reason=reason)
 
     def _noise(self) -> float:
         sigma = self.config.noise_sigma
@@ -256,7 +325,15 @@ class Server:
     def _on_arrival(self, req_id: int) -> None:
         req = self._req(req_id)
         get_registry().counter("serve.arrivals").inc()
+        if self.recorder is not None and not req.trace_id:
+            req.trace_id = f"{self.config.seed & 0xFFFFFFFF:08x}-{req.id:06d}"
+        self._emit(
+            "arrival", req,
+            model=req.model, scene=req.scene, deadline=req.deadline,
+            trace=req.trace_id,
+        )
         if self.queue.offer(req, self.now):
+            self._emit("admit", req, retries=req.retries)
             self._pump()
 
     def _pump(self) -> None:
@@ -271,12 +348,20 @@ class Server:
             req = self.queue.pop(self.now)
             if req is None:
                 return
+            self._emit("dequeue", req, wait=self.now - req.arrival)
             d = least_loaded(
                 [w.busy_time for w in self.workers], eligible
             )
-            self._dispatch(req, d, "retry" if req.retries else "primary")
+            kind = "retry" if req.retries else "primary"
+            self._dispatch(
+                req, d, kind,
+                parent=self._last_failed.get(req.id)
+                if kind == "retry" else None,
+            )
 
-    def _dispatch(self, req: Request, d: int, kind: str) -> None:
+    def _dispatch(
+        self, req: Request, d: int, kind: str, parent: int | None = None
+    ) -> None:
         w = self.workers[d]
         reg = get_registry()
         if kind == "primary":
@@ -318,6 +403,15 @@ class Server:
         self._live.setdefault(req.id, []).append(attempt.id)
         w.start(attempt.id)
         reg.counter("serve.dispatches", kind=kind).inc()
+        dispatch_attrs = {"kind": kind, "model": req.model, "scene": req.scene}
+        if self.config.steady_state:
+            dispatch_attrs["warm"] = warm
+        if parent is not None:
+            dispatch_attrs["parent"] = parent
+        self._emit(
+            "dispatch", req,
+            attempt=attempt.id, device=w.label, **dispatch_attrs,
+        )
         with self.tracer.span(
             "serve.dispatch", request=req.id, device=w.label, kind=kind
         ):
@@ -344,6 +438,7 @@ class Server:
         ]
         if not any(eligible):
             reg.counter("serve.hedges", outcome="skipped").inc()
+            self._emit("hedge_skip", req, reason="no_device")
             return
         d = least_loaded([w.busy_time for w in self.workers], eligible)
         req.hedged = True
@@ -353,7 +448,7 @@ class Server:
             "serve.hedge", request=req.id, device=self.labels[d]
         ):
             pass
-        self._dispatch(req, d, "hedge")
+        self._dispatch(req, d, "hedge", parent=a.id)
 
     def _on_complete(self, attempt_id: int) -> None:
         a = self._attempts[attempt_id]
@@ -384,6 +479,11 @@ class Server:
         reg.counter("serve.crashes", device=w.label).inc()
         with self.tracer.span("serve.crash", request=req.id, device=w.label):
             pass
+        self._last_failed[req.id] = a.id
+        self._emit(
+            "attempt_finish", req,
+            attempt=a.id, device=w.label, outcome="crash",
+        )
         self._fail_attempt(req, w, "every attempt crashed")
 
     def _attempt_corrupted(
@@ -404,12 +504,18 @@ class Server:
             "serve.integrity_failure", request=req.id, device=w.label
         ):
             pass
+        self._last_failed[req.id] = a.id
+        self._emit(
+            "attempt_finish", req,
+            attempt=a.id, device=w.label, outcome="integrity_fail",
+        )
         self._fail_attempt(req, w, "result failed integrity verification")
 
     def _fail_attempt(self, req: Request, w: DeviceWorker, reason: str) -> None:
         """Shared crash/corruption tail: breaker, retry budget, verdict."""
         reg = get_registry()
         if self.health.record_failure(w.label, self.now):
+            self._emit("quarantine", device=w.label)
             self._push(self.now + self._probe_cooldown, "probe", w.index)
         if req.terminal:
             return
@@ -424,11 +530,14 @@ class Server:
                 req.state = QUEUED
                 self.retries += 1
                 reg.counter("serve.retries").inc()
+                self._emit("retry_scheduled", req, retry=req.retries,
+                           delay=delay)
                 self._push(self.now + delay, "retry", req.id)
                 return
         req.error = reason
         req.resolve(FAILED, self.now)
         reg.counter("serve.failed").inc()
+        self._emit("terminal", req, state=FAILED, error=reason)
 
     def _attempt_succeeded(
         self, a: Attempt, req: Request, w: DeviceWorker
@@ -439,6 +548,11 @@ class Server:
         service = self.now - a.start
         self._service_samples.append(service)
         reg.histogram("serve.service_ms").observe(service * 1e3)
+        self._emit(
+            "attempt_finish", req,
+            attempt=a.id, device=w.label, outcome="ok",
+            corrupted=bool(a.will_corrupt),
+        )
         # first result wins: cancel any twin and reclaim its device now
         for sid in list(self._live[req.id]):
             twin = self._attempts[sid]
@@ -448,6 +562,11 @@ class Server:
             req.in_flight -= 1
             self.hedges_cancelled += 1
             reg.counter("serve.hedges", outcome="cancelled").inc()
+            self._emit(
+                "attempt_finish", req,
+                attempt=twin.id, device=self.workers[twin.device].label,
+                outcome="cancelled",
+            )
         if a.kind == "hedge":
             req.hedge_won = True
             self.hedges_won += 1
@@ -459,9 +578,13 @@ class Server:
         if self.now <= req.deadline:
             req.resolve(COMPLETED, self.now)
             reg.counter("serve.completed").inc()
+            self._emit("terminal", req, state=COMPLETED,
+                       latency=req.latency, corrupted=req.corrupted)
         else:
             req.resolve(DEADLINE_EXCEEDED, self.now)
             reg.counter("serve.deadline_exceeded").inc()
+            self._emit("terminal", req, state=DEADLINE_EXCEEDED,
+                       latency=req.latency)
         reg.histogram("serve.latency_ms").observe(req.latency * 1e3)
 
     def _on_retry(self, req_id: int) -> None:
@@ -469,6 +592,7 @@ class Server:
         if req.terminal:
             return
         if self.queue.offer(req, self.now):
+            self._emit("admit", req, retries=req.retries)
             self._pump()
 
     def _on_probe(self, d: int) -> None:
@@ -495,6 +619,9 @@ class Server:
         w.start(attempt.id)
         with self.tracer.span("serve.probe", device=w.label):
             pass
+        self._emit(
+            "dispatch", attempt=attempt.id, device=w.label, kind="probe"
+        )
         self._push(attempt.finish, "complete", attempt.id)
 
     def _finish_probe(self, a: Attempt) -> None:
@@ -502,10 +629,22 @@ class Server:
         ok = not a.will_fail and not (
             a.will_corrupt and self.config.verify_integrity
         )
+        if a.will_fail:
+            outcome = "crash"
+        elif a.will_corrupt and self.config.verify_integrity:
+            outcome = "integrity_fail"
+        else:
+            outcome = "ok"
+        self._emit(
+            "attempt_finish", attempt=a.id, device=w.label, outcome=outcome
+        )
         if self.health.probe_result(w.label, ok, self.now):
+            self._emit("readmit", device=w.label)
             self._pump()
         elif self.health[w.label].state == QUARANTINED:
             self._push(self.now + self._probe_cooldown, "probe", w.index)
+        elif self.health[w.label].state == DEAD:
+            self._emit("device_dead", device=w.label)
 
     def _final_sweep(self) -> None:
         """Force every survivor into a terminal state (liveness)."""
@@ -514,11 +653,13 @@ class Server:
             req.shed_reason = "no_capacity"
             req.resolve(SHED, self.now)
             reg.counter("serve.shed", reason="no_capacity").inc()
+            self._emit("terminal", req, state=SHED, reason="no_capacity")
         for req in self._requests:
             if not req.terminal:
                 req.error = req.error or "stranded at campaign end"
                 req.resolve(FAILED, self.now)
                 reg.counter("serve.failed").inc()
+                self._emit("terminal", req, state=FAILED, error=req.error)
 
     # -- report --------------------------------------------------------------
 
@@ -544,6 +685,8 @@ class Server:
             cold_dispatches=self.cold_dispatches,
             seed=self.config.seed,
             end_time=self.now,
+            slo_window=self.config.slo_window,
+            slo_target=self.config.slo_target,
         )
 
 
@@ -551,12 +694,17 @@ def run_serve_campaign(
     config: ServeConfig,
     traffic: TrafficConfig,
     injector: FaultInjector | None = None,
+    recorder=None,
 ) -> ServeReport:
     """Generate traffic, serve it, and report — one deterministic run.
 
     Base latencies are warmed *before* the injector is installed so the
     oracle's engine runs can never trip pipeline fault sites; serve
     campaigns exercise exactly the fleet-level kinds.
+
+    Pass a :class:`~repro.obs.timeline.TimelineRecorder` as
+    ``recorder`` to journal every lifecycle transition (the flight
+    recorder backing ``repro-bench serve --events``).
     """
     engine = BaseEngine(config=PRESET_FACTORIES[config.preset]())
     oracle = LatencyOracle(
@@ -565,7 +713,14 @@ def run_serve_campaign(
         seed=config.seed,
         overrides=config.latency_overrides,
     )
-    server = Server(config, oracle)
+    server = Server(config, oracle, recorder=recorder)
+    if recorder is not None:
+        recorder.meta.update(
+            rate=traffic.rate,
+            duration=traffic.duration,
+            models=list(traffic.models),
+            coherence=traffic.coherence,
+        )
     for model in traffic.models:
         for w in server.workers:
             oracle.base_latency(model, w.spec)

@@ -280,3 +280,87 @@ class TestSteadyStateCli:
         with pytest.raises(SystemExit, match="coherence"):
             main(["serve", "--scale", "0.1", "--rate", "100",
                   "--duration", "0.2", "--coherence", "1.5"])
+
+
+class TestFlightRecorderCli:
+    SERVE = ["serve", "--scale", "0.1", "--rate", "300", "--duration", "0.3",
+             "--seed", "3", "--faults", "device_crash,device_stall"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.events is None and args.trace is None
+        assert args.slo_window is None and args.slo_target == 0.99
+        assert args.burn_ceiling is None and args.prom is None
+
+    def test_events_and_trace_artifacts(self, tmp_path, capsys):
+        ev = tmp_path / "events.jsonl"
+        tr = tmp_path / "trace.json"
+        rc = main([*self.SERVE, "--events", str(ev), "--trace", str(tr)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "event journal written" in out
+        from repro.obs.timeline import load_journal, validate_journal
+
+        header, events = load_journal(str(ev))
+        assert header["seed"] == 3
+        assert validate_journal(header, events) == []
+        trace = json.loads(tr.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_same_seed_journal_bit_for_bit(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        ta, tb = tmp_path / "ta.json", tmp_path / "tb.json"
+        assert main([*self.SERVE, "--events", str(a), "--trace", str(ta)]) == 0
+        assert main([*self.SERVE, "--events", str(b), "--trace", str(tb)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert ta.read_bytes() == tb.read_bytes()
+
+    def test_slo_window_summary_and_burn_gate(self, capsys):
+        rc = main([*self.SERVE, "--slo-window", "0.1"])
+        assert rc == 0
+        assert "SLO windows" in capsys.readouterr().out
+        # an impossible ceiling flips the exit code
+        rc = main([*self.SERVE, "--slo-window", "0.1",
+                   "--burn-ceiling", "-1.0"])
+        assert rc == 1
+        assert "FAIL: worst-window burn" in capsys.readouterr().out
+
+    def test_prometheus_exposition_artifact(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main([*self.SERVE, "--prom", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_serve_arrivals_total counter" in text
+        assert "repro_serve_latency_ms_bucket" in text
+
+    def test_timeline_subcommand_validates(self, tmp_path, capsys):
+        ev = tmp_path / "events.jsonl"
+        tr = tmp_path / "offline.json"
+        assert main([*self.SERVE, "--events", str(ev)]) == 0
+        capsys.readouterr()
+        rc = main(["timeline", "--events", str(ev), "--request", "0",
+                   "--trace", str(tr)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schema repro-bench.events/1" in out
+        assert "causal timeline of request 0" in out
+        assert "lifecycle: valid" in out
+        assert json.loads(tr.read_text())["traceEvents"]
+
+    def test_timeline_flags_corrupt_journal(self, tmp_path, capsys):
+        ev = tmp_path / "events.jsonl"
+        assert main([*self.SERVE, "--events", str(ev)]) == 0
+        lines = ev.read_text().splitlines()
+        # drop a terminal event: the lifecycle is no longer closed
+        cut = next(i for i, l in enumerate(lines) if '"kind":"terminal"' in l)
+        ev.write_text("\n".join(lines[:cut] + lines[cut + 1:]) + "\n")
+        capsys.readouterr()
+        rc = main(["timeline", "--events", str(ev)])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_timeline_rejects_non_journal(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "repro-bench.serve/1"}\n')
+        with pytest.raises(SystemExit, match="not an event journal"):
+            main(["timeline", "--events", str(bad)])

@@ -56,6 +56,19 @@ class TestTracer:
                 raise RuntimeError("boom")
         assert t.current_path == ()
 
+    def test_span_attrs_frozen_at_open(self):
+        t = Tracer()
+        caller_attrs = {"x": 1}
+        with t.span("a", **caller_attrs):
+            pass
+        span = t.spans[0]
+        with pytest.raises(TypeError):
+            span.attrs["x"] = 99
+        # mutating the caller's dict cannot corrupt the recorded span
+        caller_attrs["x"] = 99
+        assert span.attrs["x"] == 1
+        assert t.attrs_by_path()[("a",)]["x"] == 1
+
     def test_reset_requires_closed_spans(self):
         t = Tracer()
         with t.span("a"):
@@ -102,6 +115,17 @@ class TestMetrics:
             h.observe(v)
         assert h.quantile(0.5) == 1.0
         assert h.quantile(1.0) == 8.0
+
+    def test_histogram_quantile_zero_is_observed_min(self):
+        # q=0 must return the observed minimum, not the first nonempty
+        # bucket's upper bound
+        h = Histogram(buckets=(1, 2, 4, 8))
+        h.observe(0.3)
+        h.observe(5)
+        assert h.quantile(0.0) == 0.3
+        h2 = Histogram(buckets=(1, 2))
+        h2.observe(1.7)
+        assert h2.quantile(0.0) == 1.7  # bucket bound would say 2.0
 
     def test_registry_keys_by_name_and_labels(self):
         reg = MetricsRegistry()
