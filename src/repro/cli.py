@@ -500,6 +500,14 @@ def cmd_serve(args) -> int:
             specs.append(FaultSpec(kind=kind, count=max(1, args.crashes // 2)))
     injector = FaultInjector(seed=args.seed, specs=specs) if specs else None
 
+    brownout = None
+    if args.brownout and not args.no_brownout:
+        from repro.robust.brownout import BrownoutConfig
+
+        brownout = BrownoutConfig(
+            interval=args.brownout_interval,
+            max_level=args.brownout_max_level,
+        )
     config = ServeConfig(
         devices=tuple(devices),
         preset=args.preset,
@@ -513,6 +521,7 @@ def cmd_serve(args) -> int:
         steady_state=args.steady_state,
         slo_window=args.slo_window,
         slo_target=args.slo_target,
+        brownout=brownout,
     )
     try:
         traffic = TrafficConfig(
@@ -521,6 +530,8 @@ def cmd_serve(args) -> int:
             models=tuple(models),
             seed=args.seed,
             coherence=args.coherence,
+            shape=args.traffic_shape,
+            peak_factor=args.peak_factor,
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -561,6 +572,12 @@ def cmd_serve(args) -> int:
             f"{report.cold_dispatches} cold dispatches "
             f"({report.warm_fraction:.1%} warm, "
             f"coherence {args.coherence:.2f})"
+        )
+    if report.brownout:
+        steps = " -> ".join(["full"] + [c["rung"] for c in report.qos_changes])
+        print(
+            f"brownout: {len(report.qos_changes)} level changes ({steps}) | "
+            f"{report.degraded_fraction:.1%} of served requests degraded"
         )
     shots = injector.shots if injector else 0
     print(
@@ -887,6 +904,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--coherence", type=float, default=0.0,
         help="probability a request repeats its model's current scene "
         "(temporal coherence of the traffic; default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--traffic-shape", default="poisson",
+        choices=("poisson", "diurnal", "flash", "tenants"),
+        help="arrival shape: homogeneous poisson, diurnal ramp, flash "
+        "crowd, or multi-tenant model-mix drift (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--peak-factor", type=float, default=4.0,
+        help="flash-crowd rate multiplier for --traffic-shape flash "
+        "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--brownout", action="store_true",
+        help="engage the load-adaptive brownout controller: under queue "
+        "or burn-rate pressure the fleet steps down the QoS ladder "
+        "(int8 compute, then half-resolution voxels) instead of "
+        "shedding or missing deadlines",
+    )
+    p_serve.add_argument(
+        "--no-brownout", action="store_true",
+        help="explicitly serve everything at full quality (the default; "
+        "the baseline arm of brownout ablations)",
+    )
+    p_serve.add_argument(
+        "--brownout-interval", type=float, default=None, metavar="SECONDS",
+        help="brownout controller tick period (default: the SLO window "
+        "when set, else 8x the traffic mix's mean base latency)",
+    )
+    p_serve.add_argument(
+        "--brownout-max-level", type=int, default=None, metavar="LEVEL",
+        help="deepest QoS level the controller may engage "
+        "(default: the ladder floor)",
     )
     p_serve.add_argument(
         "--metrics", metavar="PATH",

@@ -19,13 +19,18 @@ from repro.datasets.configs import (
 )
 from repro.datasets.lidar import LidarConfig, scan
 from repro.datasets.scenes import Scene, make_outdoor_scene
-from repro.datasets.voxelize import sparse_quantize, to_sparse_tensor
+from repro.datasets.voxelize import (
+    coarsen_sparse_tensor,
+    sparse_quantize,
+    to_sparse_tensor,
+)
 
 __all__ = [
     "Scene",
     "make_outdoor_scene",
     "LidarConfig",
     "scan",
+    "coarsen_sparse_tensor",
     "sparse_quantize",
     "to_sparse_tensor",
     "DatasetConfig",

@@ -74,6 +74,21 @@ class DatasetConfig:
 
         return replace(self, z_crop=(z_min, z_max))
 
+    def coarsened(self, factor: int) -> "DatasetConfig":
+        """The same dataset voxelized ``factor``x coarser (brownout's
+        resolution rung)."""
+        from dataclasses import replace
+
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if factor == 1:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-vox{factor}x",
+            voxel_size=self.voxel_size * factor,
+        )
+
 
 def semantic_kitti_like() -> DatasetConfig:
     """64-beam close-range segmentation dataset, 5 cm voxels."""

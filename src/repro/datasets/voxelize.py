@@ -87,6 +87,43 @@ def to_sparse_tensor(
     return SparseTensor(coords, feats)
 
 
+def coarsen_sparse_tensor(tensor: SparseTensor, factor: int) -> SparseTensor:
+    """Requantize a voxelized tensor onto a ``factor``x coarser grid.
+
+    The resolution lever of the serving layer's brownout ladder: integer-
+    dividing the voxel coordinates merges every ``factor^3`` block of fine
+    voxels into one coarse voxel (features averaged, same dedup/averaging
+    scheme as :func:`sparse_quantize`), which is exactly what voxelizing
+    the original cloud at ``factor x voxel_size`` would produce up to the
+    grid origin.  Working from the already-voxelized tensor means the
+    latency oracle can reprice a model at reduced resolution without
+    re-reading the dataset.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return tensor
+    coords = np.asarray(tensor.coords, dtype=np.int64)
+    features = np.asarray(tensor.feats, dtype=np.float64)
+    if coords.shape[0] == 0:
+        return tensor
+    coarse = coords.copy()
+    coarse[:, 1:] //= factor
+    keys = pack_coords(coarse)
+    uniq, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    feats = np.zeros((uniq.shape[0], features.shape[1]), dtype=np.float64)
+    np.add.at(feats, inverse, features)
+    feats /= counts[:, None]
+    order = np.argsort(inverse, kind="stable")
+    pos = np.searchsorted(inverse[order], np.arange(uniq.shape[0]))
+    first = order[pos]
+    return SparseTensor(
+        coarse[first].astype(np.int32), feats.astype(np.float32)
+    )
+
+
 def voxel_labels(
     cloud: PointCloud, voxel_size: float, num_classes: int
 ) -> np.ndarray:

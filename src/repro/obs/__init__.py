@@ -42,6 +42,7 @@ from repro.obs.timeline import (
     SLOWindow,
     TimelineRecorder,
     load_journal,
+    replay_qos_mix,
     validate_journal,
     windowed_slo,
     worst_burn,
@@ -53,6 +54,7 @@ __all__ = [
     "SLOWindow",
     "TimelineRecorder",
     "load_journal",
+    "replay_qos_mix",
     "validate_journal",
     "windowed_slo",
     "worst_burn",

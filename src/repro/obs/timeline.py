@@ -57,7 +57,14 @@ DEVICE_EVENT_KINDS = (
     "device_dead",      # probe budget exhausted; device never returns
 )
 
-EVENT_KINDS = frozenset(REQUEST_EVENT_KINDS + DEVICE_EVENT_KINDS)
+#: Fleet-scoped control-plane transitions.
+FLEET_EVENT_KINDS = (
+    "qos_change",       # brownout controller stepped the fleet QoS level
+)
+
+EVENT_KINDS = frozenset(
+    REQUEST_EVENT_KINDS + DEVICE_EVENT_KINDS + FLEET_EVENT_KINDS
+)
 
 #: Attempt outcomes carried by ``attempt_finish`` events.
 ATTEMPT_OUTCOMES = ("ok", "crash", "integrity_fail", "cancelled")
@@ -183,7 +190,10 @@ def validate_journal(header: dict, events: list) -> list:
       device with a known outcome;
     * every retry/hedge dispatch carries a ``parent`` attempt id that
       belongs to an earlier dispatch of the same request (the causal
-      link the trace renders as a flow arrow).
+      link the trace renders as a flow arrow);
+    * every ``qos_change`` carries a valid level/rung/direction and
+      steps the level by exactly one from the previous change (the
+      brownout controller never jumps rungs).
     """
     problems: list = []
     if header.get("schema") != EVENTS_SCHEMA:
@@ -191,6 +201,7 @@ def validate_journal(header: dict, events: list) -> list:
             f"header schema {header.get('schema')!r} != {EVENTS_SCHEMA!r}"
         )
     last_t = None
+    qos_level = 0
     arrivals: dict = {}
     terminals: dict = {}
     attempt_open: dict = {}    # attempt id -> (request, device, seq)
@@ -260,6 +271,29 @@ def validate_journal(header: dict, events: list) -> list:
                         f"event {i}: {dkind} parent {parent} is not an "
                         f"earlier attempt of request {req}"
                     )
+        elif kind == "qos_change":
+            attrs = e.get("attrs", {})
+            level = attrs.get("level")
+            direction = attrs.get("direction")
+            if not isinstance(level, int) or level < 0:
+                problems.append(
+                    f"event {i}: qos_change with invalid level {level!r}"
+                )
+            elif direction not in ("up", "down"):
+                problems.append(
+                    f"event {i}: qos_change with unknown direction "
+                    f"{direction!r}"
+                )
+            else:
+                expected = qos_level + (1 if direction == "down" else -1)
+                if level != expected:
+                    problems.append(
+                        f"event {i}: qos_change to level {level} skips "
+                        f"rungs (previous level {qos_level}, {direction})"
+                    )
+                qos_level = level
+            if not attrs.get("rung"):
+                problems.append(f"event {i}: qos_change without a rung name")
         elif kind == "attempt_finish":
             attempt = e.get("attempt")
             if attempt not in attempt_open:
@@ -299,6 +333,32 @@ def validate_journal(header: dict, events: list) -> list:
 def request_timeline(events: list, request: int) -> list:
     """Every event of one request, in journal order."""
     return [e for e in events if e.get("request") == request]
+
+
+def replay_qos_mix(events: list) -> dict:
+    """Reconstruct the served QoS mix purely from the journal.
+
+    Walks the events in order, tracking the fleet QoS rung through
+    ``qos_change`` events, and credits every dispatched request to the
+    rung of its *last* dispatch (a retry or hedge restamps — the final
+    result is what was served at).  Dispatch events that carry an
+    explicit ``qos`` attr use it directly; older journals fall back to
+    the tracked fleet rung.  The result must equal the campaign
+    report's ``qos_mix`` for the served requests — the replay check the
+    brownout acceptance gate runs.
+    """
+    current = "full"
+    served: dict = {}
+    for e in events:
+        kind = e.get("kind")
+        if kind == "qos_change":
+            current = e.get("attrs", {}).get("rung") or current
+        elif kind == "dispatch" and e.get("request") is not None:
+            served[e["request"]] = e.get("attrs", {}).get("qos", current)
+    mix: dict = {}
+    for rung in served.values():
+        mix[rung] = mix.get(rung, 0) + 1
+    return mix
 
 
 # -- windowed SLO monitor --------------------------------------------------

@@ -145,6 +145,9 @@ def write_chrome_trace(profile: Profile, path: str, **kwargs) -> None:
 #: Pseudo-thread carrying per-request terminal-state instants.
 REQUESTS_TID = 2
 
+#: Pseudo-thread carrying brownout QoS level changes.
+QOS_TID = 3
+
 #: First device track; device ``i`` renders on ``DEVICE_TID_BASE + i``.
 DEVICE_TID_BASE = 10
 
@@ -171,7 +174,10 @@ def to_serve_trace(
       the device that produced them;
     * a ``requests`` thread carries one instant per terminal state;
     * a ``queue depth`` counter tracks the admission queue over the
-      campaign.
+      campaign;
+    * brownout campaigns add a ``qos`` thread (one instant per
+      controller level change, named by the engaged rung) and a ``qos
+      level`` counter track following the fleet's quality level.
     """
     devices = list(header.get("devices") or [])
     for e in events:
@@ -194,6 +200,29 @@ def to_serve_trace(
             "args": {"name": "requests"},
         },
     ]
+    has_qos = bool(header.get("brownout")) or any(
+        e["kind"] == "qos_change" for e in events
+    )
+    if has_qos:
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": QOS_TID,
+                "args": {"name": "qos"},
+            }
+        )
+        # anchor the counter at full quality from t=0
+        trace_events.append(
+            {
+                "name": "qos level",
+                "ph": "C",
+                "pid": 1,
+                "ts": 0.0,
+                "args": {"level": 0},
+            }
+        )
     for label, tid in tid_of.items():
         trace_events.append(
             {
@@ -243,7 +272,7 @@ def to_serve_trace(
                 "outcome": (finish or {}).get("attrs", {}).get("outcome"),
                 "slack": e.get("slack"),
             }
-            for key in ("model", "scene", "warm"):
+            for key in ("model", "scene", "warm", "qos"):
                 if key in attrs:
                     args[key] = attrs[key]
             trace_events.append(
@@ -324,6 +353,33 @@ def to_serve_trace(
                     "tid": REQUESTS_TID,
                     "ts": _us(t),
                     "args": args,
+                }
+            )
+        elif kind == "qos_change":
+            attrs = e.get("attrs", {})
+            trace_events.append(
+                {
+                    "name": attrs.get("rung", "qos"),
+                    "cat": "qos",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": 1,
+                    "tid": QOS_TID,
+                    "ts": _us(t),
+                    "args": {
+                        "level": attrs.get("level"),
+                        "direction": attrs.get("direction"),
+                        "burn": attrs.get("burn"),
+                    },
+                }
+            )
+            trace_events.append(
+                {
+                    "name": "qos level",
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": _us(t),
+                    "args": {"level": attrs.get("level")},
                 }
             )
         elif kind == "hedge_skip":

@@ -9,7 +9,10 @@ Four pieces (see DESIGN.md, "Robustness"):
 * :mod:`repro.robust.faults`   — deterministic seeded fault injection
   threaded through the engine, tables, and dataflow;
 * :mod:`repro.robust.degrade`  — the graceful-degradation ladder and
-  per-layer circuit breakers the engine retries faults down;
+  per-layer circuit breakers the engine retries faults down, plus the
+  independent quality (QoS) ladder the serving layer browns out on;
+* :mod:`repro.robust.brownout` — the load-adaptive hysteresis
+  controller stepping the fleet's QoS level under overload;
 * :mod:`repro.robust.tolerance` — the shared numeric tolerance
   envelopes (test comparisons and ABFT residual bounds);
 * :mod:`repro.robust.integrity` — ABFT checksum verification of the
@@ -48,10 +51,17 @@ from repro.robust.integrity import (
     IntegrityReport,
     run_integrity_campaign,
 )
+from repro.robust.brownout import BrownoutConfig, BrownoutController
 from repro.robust.degrade import (
     DEFAULT_LADDER,
+    DEFAULT_QOS_LADDER,
+    FULL_QUALITY,
+    QUALITY_RUNGS,
     CircuitBreaker,
     DegradationLadder,
+    QoSLadder,
+    QualityConfig,
+    QualityRung,
     RobustConfig,
     Rung,
 )
@@ -71,6 +81,11 @@ __all__ = [
     "SERVE_FAULT_KINDS",
     "POLICIES",
     "DEFAULT_LADDER",
+    "DEFAULT_QOS_LADDER",
+    "FULL_QUALITY",
+    "QUALITY_RUNGS",
+    "BrownoutConfig",
+    "BrownoutController",
     "CircuitBreaker",
     "DegradationExhaustedError",
     "DegradationLadder",
@@ -84,6 +99,9 @@ __all__ = [
     "IntegrityReport",
     "KernelMapCorruptionError",
     "NumericFaultError",
+    "QoSLadder",
+    "QualityConfig",
+    "QualityRung",
     "RobustConfig",
     "RobustnessError",
     "Rung",

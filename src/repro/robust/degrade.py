@@ -21,6 +21,21 @@ recovered rung so later inputs skip the known-bad fast path entirely.
 
 Every retry, fallback and pin is recorded as spans and counters in the
 active :mod:`repro.obs` registry by the engine.
+
+**Quality rungs** (:class:`QualityRung`, :class:`QoSLadder`) are the
+second, independent ladder: they trade model *quality* for *latency
+under load* (INT8 compute, coarser voxelization) and are engaged by the
+serving layer's brownout controller (:mod:`repro.robust.brownout`),
+never by the engine's fault-retry loop.  The two ladders deliberately
+own disjoint state: fault rungs rewrite :class:`EngineConfig` fields
+through ``overrides`` tuples and are pinned by circuit breakers;
+quality rungs carry typed knobs (``dtype``, ``voxel_scale``) consumed
+by the latency-pricing layer, and the fleet-wide QoS level lives in the
+brownout controller.  Composition order is fixed — quality first
+(chooses the base configuration a request is priced at), fault ladder
+second — so a breaker-pinned ``fp32-scalar`` recovery always wins over
+a brownout-selected INT8 dtype and the two can never flap against each
+other.
 """
 
 from __future__ import annotations
@@ -99,6 +114,125 @@ class DegradationLadder:
 
 
 DEFAULT_LADDER = DegradationLadder()
+
+
+@dataclass(frozen=True)
+class QualityRung:
+    """One brownout step: trades model quality for latency under load.
+
+    Unlike a fault :class:`Rung`, a quality rung never carries
+    :class:`EngineConfig` override tuples — its knobs are typed fields
+    the serving layer's latency pricing consumes directly, so the
+    brownout controller and the per-layer circuit breakers can never
+    fight over the same configuration state.
+
+    Attributes:
+        name: display name of the rung (the report's QoS mix keys).
+        dtype: feature storage dtype this rung computes in (``None``
+            keeps the preset's dtype).
+        voxel_scale: integer factor multiplying the dataset voxel size
+            — a coarser input grid with correspondingly fewer active
+            sites (SPIRA's resolution lever).
+        speedup: modeled latency factor used **only** when latency
+            overrides bypass the engine (synthetic campaigns, unit
+            tests); engine-priced campaigns measure the real thing.
+    """
+
+    name: str
+    dtype: DType | None = None
+    voxel_scale: int = 1
+    speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.voxel_scale < 1:
+            raise ValueError("voxel_scale must be >= 1")
+        if self.speedup < 1.0:
+            raise ValueError("speedup must be >= 1 (a rung never slows down)")
+
+
+#: The default brownout ladder: INT8 feature storage first (cheap
+#: accuracy hit, moderate speedup — the §4.3.1 ablation), then halved
+#: voxel resolution (large speedup, visible accuracy hit).
+QUALITY_RUNGS = (
+    QualityRung("int8", dtype=DType.INT8, speedup=1.25),
+    QualityRung("half-res", voxel_scale=2, speedup=2.5),
+)
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Cumulative quality state at one QoS level (identity at level 0)."""
+
+    dtype: DType | None = None
+    voxel_scale: int = 1
+    speedup: float = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.dtype is not None or self.voxel_scale != 1
+
+
+FULL_QUALITY = QualityConfig()
+
+
+@dataclass(frozen=True)
+class QoSLadder:
+    """Cumulative sequence of quality degradations (brownout levels).
+
+    Level ``L`` applies the first ``L`` quality rungs; level 0 is full
+    quality, ``len(rungs)`` the floor.  Mirrors
+    :class:`DegradationLadder`'s level algebra but owns none of its
+    state: no stages, no breakers, no ``EngineConfig`` overrides.
+    """
+
+    rungs: tuple = QUALITY_RUNGS
+
+    @property
+    def floor(self) -> int:
+        return len(self.rungs)
+
+    def rung_name(self, level: int) -> str:
+        """Display name of a level (its deepest applied rung)."""
+        if level <= 0:
+            return "full"
+        return self.rungs[min(level, self.floor) - 1].name
+
+    def rung_names(self) -> tuple:
+        """Name per level, index 0 = full quality."""
+        return ("full",) + tuple(r.name for r in self.rungs)
+
+    def quality_at(self, level: int) -> QualityConfig:
+        """Cumulative quality state at ``level`` (idempotent per level)."""
+        if level < 0 or level > self.floor:
+            raise ValueError(f"level must be in [0, {self.floor}], got {level}")
+        dtype = None
+        voxel_scale = 1
+        speedup = 1.0
+        for rung in self.rungs[:level]:
+            if rung.dtype is not None:
+                dtype = rung.dtype
+            voxel_scale *= rung.voxel_scale
+            speedup *= rung.speedup
+        return QualityConfig(
+            dtype=dtype, voxel_scale=voxel_scale, speedup=speedup
+        )
+
+    def config_at(self, config, level: int):
+        """The engine config priced at ``level`` (quality dtype applied).
+
+        Only the storage dtype crosses into :class:`EngineConfig`; the
+        voxel scale is an *input-side* knob the pricing layer applies
+        when it voxelizes.  Fault-rung overrides applied afterwards
+        (``DEFAULT_LADDER.config_at``) always win — quality is the base
+        a degraded retry starts from, never the other way around.
+        """
+        quality = self.quality_at(level)
+        if quality.dtype is None:
+            return config
+        return replace(config, dtype=quality.dtype)
+
+
+DEFAULT_QOS_LADDER = QoSLadder()
 
 
 @dataclass

@@ -53,7 +53,7 @@ from repro.serve.server import (
     Server,
     run_serve_campaign,
 )
-from repro.serve.traffic import TrafficConfig, generate_arrivals
+from repro.serve.traffic import TRAFFIC_SHAPES, TrafficConfig, generate_arrivals
 
 __all__ = [
     "AdmissionQueue",
@@ -76,6 +76,7 @@ __all__ = [
     "RetryPolicy",
     "SERVE_SCHEMA",
     "SHED",
+    "TRAFFIC_SHAPES",
     "ServeConfig",
     "ServeReport",
     "Server",

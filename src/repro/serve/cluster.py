@@ -11,12 +11,14 @@ log-normal noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.engine import BaseEngine, ExecutionContext
+from repro.datasets.voxelize import coarsen_sparse_tensor
 from repro.gpu.device import GPUSpec
 from repro.mapping.cache import MappingCache
 from repro.models import MODEL_ZOO
+from repro.robust.degrade import FULL_QUALITY, QualityConfig
 
 
 @dataclass
@@ -73,6 +75,10 @@ class LatencyOracle:
         self._latency: dict = {}
         self._models: dict = {}
         self._inputs: dict = {}
+        #: (model_key, voxel_scale) -> requantized coarse input
+        self._coarse_inputs: dict = {}
+        #: dtype -> engine repriced at that storage dtype (QoS rungs)
+        self._engines: dict = {}
         #: spec -> MappingCache — the per-device persistent mapping
         #: cache of the steady-state serving path
         self._mapcaches: dict = {}
@@ -90,8 +96,35 @@ class LatencyOracle:
             cache = self._mapcaches[spec] = MappingCache()
         return cache
 
+    def _engine_for(self, quality: QualityConfig) -> BaseEngine:
+        """The engine repriced at the rung's storage dtype (memoized)."""
+        if quality.dtype is None:
+            return self.engine
+        engine = self._engines.get(quality.dtype)
+        if engine is None:
+            engine = self._engines[quality.dtype] = BaseEngine(
+                config=replace(self.engine.config, dtype=quality.dtype)
+            )
+        return engine
+
+    def _input_for(self, model_key: str, quality: QualityConfig):
+        """The model's fixed sample input at the rung's voxel scale."""
+        if quality.voxel_scale == 1:
+            return self._inputs[model_key]
+        key = (model_key, quality.voxel_scale)
+        x = self._coarse_inputs.get(key)
+        if x is None:
+            x = self._coarse_inputs[key] = coarsen_sparse_tensor(
+                self._inputs[model_key], quality.voxel_scale
+            )
+        return x
+
     def base_latency(
-        self, model_key: str, spec: GPUSpec, warm: bool = False
+        self,
+        model_key: str,
+        spec: GPUSpec,
+        warm: bool = False,
+        quality: QualityConfig | None = None,
     ) -> float:
         """Modeled latency of one frame.
 
@@ -101,10 +134,18 @@ class LatencyOracle:
         persistent :class:`~repro.mapping.cache.MappingCache` and the
         mapping stage collapses to (modeled) zero.  Latency overrides
         bypass the engine for both temperatures.
+
+        ``quality`` prices a browned-out frame
+        (:class:`~repro.robust.degrade.QualityConfig`): the engine runs
+        at the rung's storage dtype over the input requantized at the
+        rung's voxel scale, so the QoS speedup comes out of the same
+        cost model as everything else.  On the overrides path (no
+        engine) the rung's modeled ``speedup`` divides the override.
         """
+        quality = FULL_QUALITY if quality is None else quality
         if model_key in self.overrides:
-            return float(self.overrides[model_key])
-        memo_key = (model_key, spec, bool(warm))
+            return float(self.overrides[model_key]) / quality.speedup
+        memo_key = (model_key, spec, bool(warm), quality)
         if memo_key not in self._latency:
             entry = self._entry(model_key)
             if model_key not in self._models:
@@ -112,20 +153,22 @@ class LatencyOracle:
                 self._inputs[model_key] = entry.make_dataset().sample_tensor(
                     seed=self.seed, scale=self.scale
                 )
-            model, x = self._models[model_key], self._inputs[model_key]
+            model = self._models[model_key]
+            x = self._input_for(model_key, quality)
+            engine = self._engine_for(quality)
             if warm:
                 # populate the device cache (the cold frame), then price
                 # a second frame of the same scene through it
                 cache = self.mapcache(spec)
                 warmup = ExecutionContext(
-                    engine=self.engine, device=spec, mapcache=cache
+                    engine=engine, device=spec, mapcache=cache
                 )
                 model(x, warmup)
                 ctx = ExecutionContext(
-                    engine=self.engine, device=spec, mapcache=cache
+                    engine=engine, device=spec, mapcache=cache
                 )
             else:
-                ctx = ExecutionContext(engine=self.engine, device=spec)
+                ctx = ExecutionContext(engine=engine, device=spec)
             model(x, ctx)
             self._latency[memo_key] = ctx.profile.total_time
         return self._latency[memo_key]

@@ -56,6 +56,12 @@ class ServeReport:
     slo_window: float | None = None
     #: SLO objective the error-budget burn rate is measured against
     slo_target: float = 0.99
+    #: whether the load-adaptive brownout controller was engaged
+    brownout: bool = False
+    #: QoS rung name per level, index 0 = full quality
+    qos_rungs: tuple = ("full",)
+    #: the controller's level-change records, in sim-time order
+    qos_changes: list = field(default_factory=list)
 
     # -- terminal-state taxonomy -------------------------------------------
 
@@ -138,6 +144,63 @@ class ServeReport:
         monitor is disabled or the campaign is empty)."""
         return worst_burn(self.slo_series())
 
+    # -- quality of service ---------------------------------------------------
+
+    def _served(self) -> list:
+        """Requests that reached a device at least once (sheds never
+        carry a quality level — they were refused, not degraded)."""
+        return [r for r in self.requests if r.devices]
+
+    @property
+    def qos_mix(self) -> dict:
+        """rung name -> requests served at that quality rung."""
+        mix = {name: 0 for name in self.qos_rungs}
+        for r in self._served():
+            mix[r.qos_rung] = mix.get(r.qos_rung, 0) + 1
+        return mix
+
+    @property
+    def fault_mix(self) -> dict:
+        """fault rung name -> served requests recovered at it (the
+        integrity path's fp32-scalar recompute vs. full)."""
+        mix: dict = {}
+        for r in self._served():
+            mix[r.fault_rung] = mix.get(r.fault_rung, 0) + 1
+        return mix
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of served requests browned out below full quality."""
+        served = self._served()
+        if not served:
+            return 0.0
+        return sum(r.qos_level > 0 for r in served) / len(served)
+
+    def qos_series(self, window: float | None = None) -> list:
+        """Per-window QoS mix of served requests (finish-stamped), on
+        the same tumbling sim-clock windows as :meth:`slo_series`."""
+        width = window if window is not None else self.slo_window
+        if width is None:
+            return []
+        import math
+
+        n = (
+            max(1, int(math.ceil(self.end_time / width)))
+            if self.end_time > 0
+            else 1
+        )
+        series = []
+        for i in range(n):
+            lo, hi = i * width, (i + 1) * width
+            mix = {name: 0 for name in self.qos_rungs}
+            for r in self._served():
+                if r.finish is None:
+                    continue
+                if lo <= r.finish < hi or (i == n - 1 and r.finish == hi):
+                    mix[r.qos_rung] = mix.get(r.qos_rung, 0) + 1
+            series.append({"start": lo, "end": hi, "mix": mix})
+        return series
+
     @property
     def hedge_effectiveness(self) -> float:
         """Fraction of launched hedges whose duplicate produced the
@@ -201,6 +264,17 @@ class ServeReport:
                 "cold_dispatches": self.cold_dispatches,
                 "warm_fraction": self.warm_fraction,
             },
+            "qos": {
+                "enabled": self.brownout,
+                "rungs": list(self.qos_rungs),
+                "mix": self.qos_mix,
+                "degraded_fraction": self.degraded_fraction,
+                "changes": list(self.qos_changes),
+                "series": self.qos_series(),
+            },
+            "degradation": {
+                "mix": self.fault_mix,
+            },
             "hedges": {
                 "launched": self.hedges_launched,
                 "won": self.hedges_won,
@@ -216,7 +290,7 @@ class ServeReport:
 def format_serve_summary(report: ServeReport) -> str:
     """One-paragraph human summary (the CLI's footer line)."""
     o = report.outcomes
-    return (
+    text = (
         f"{report.total} requests: {o[COMPLETED]} completed, "
         f"{o[SHED]} shed, {o[DEADLINE_EXCEEDED]} late, "
         f"{o[FAILED]} failed | "
@@ -228,3 +302,11 @@ def format_serve_summary(report: ServeReport) -> str:
         f"integrity {report.integrity_failures} caught / "
         f"{report.corrupted_completions} shipped"
     )
+    if report.brownout:
+        mix = " ".join(f"{k}:{v}" for k, v in report.qos_mix.items())
+        text += (
+            f" | qos {mix} "
+            f"({len(report.qos_changes)} changes, "
+            f"{report.degraded_fraction:.1%} degraded)"
+        )
+    return text

@@ -72,10 +72,27 @@ class Request:
     #: a corrupted result was *delivered* — only possible with fleet
     #: verification off (the silent-data-corruption hole)
     corrupted: bool = False
+    #: QoS level/rung this request was served at (stamped from the
+    #: brownout controller at its final dispatch); 0/"full" when the
+    #: campaign runs without brownout
+    qos_level: int = 0
+    qos_rung: str = "full"
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def fault_rung(self) -> str:
+        """Fault-ladder rung that produced the delivered result.
+
+        In the serve simulation the only per-request fault degradation
+        is the integrity path: a caught corruption recomputes at the
+        numeric rung (``fp32-scalar``), everything else serves at full.
+        Reported next to ``qos_rung`` so the fault-degradation mix and
+        the brownout QoS mix sit side by side.
+        """
+        return "fp32-scalar" if self.integrity_failures else "full"
 
     @property
     def latency(self) -> float | None:
@@ -113,6 +130,9 @@ class Request:
             "devices": list(self.devices),
             "integrity_failures": self.integrity_failures,
             "corrupted": self.corrupted,
+            "qos_level": self.qos_level,
+            "qos_rung": self.qos_rung,
+            "fault_rung": self.fault_rung,
         }
 
 

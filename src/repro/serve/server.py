@@ -35,6 +35,7 @@ from repro.gpu.device import GPUSpec
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
 from repro.profiling.parallel import device_labels, least_loaded
+from repro.robust.brownout import BrownoutConfig, BrownoutController
 from repro.robust.faults import (
     FaultInjector,
     inject_faults,
@@ -110,6 +111,12 @@ class ServeConfig:
     #: :class:`~repro.mapping.cache.MappingCache`).  Off (default)
     #: keeps every dispatch cold — bit-exact with pre-cache campaigns.
     steady_state: bool = False
+    #: load-adaptive brownout: a hysteresis controller stepping the
+    #: fleet's QoS level (INT8 compute, coarser voxels) on queue depth
+    #: and error-budget burn (:class:`~repro.robust.brownout
+    #: .BrownoutConfig`).  ``None`` (default) serves everything at full
+    #: quality — bit-exact with pre-brownout campaigns.
+    brownout: BrownoutConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -183,6 +190,7 @@ class Server:
                 devices=list(self.labels),
                 verify_integrity=config.verify_integrity,
                 steady_state=config.steady_state,
+                brownout=config.brownout is not None,
             )
         self.queue = AdmissionQueue(
             config.queue_capacity, on_shed=self._on_queue_shed
@@ -204,6 +212,15 @@ class Server:
         # time constants resolved in run()
         self._backoff_base = 0.0
         self._probe_cooldown = 0.0
+        #: the brownout controller (built in run(), where the tick
+        #: interval resolves against the traffic mix's mean latency)
+        self.brownout: BrownoutController | None = None
+        self._qos_interval = 0.0
+        #: cumulative QualityConfig per ladder level (index 0 = full)
+        self._qualities: list = []
+        # terminal tallies of the current controller window
+        self._qos_finished = 0
+        self._qos_misses = 0
         #: per-device (model, scene) pairs already dispatched — a
         #: repeat on the same device is a warm frame for its mapping
         #: cache.  Marked at dispatch: the mapping stage runs first, so
@@ -254,7 +271,14 @@ class Server:
 
     def _on_queue_shed(self, req: Request, reason: str, now: float) -> None:
         """Queue-internal shed (reject-on-full / expiry) -> terminal."""
+        self._note_terminal(completed=False)
         self._emit("terminal", req, state=SHED, reason=reason)
+
+    def _note_terminal(self, completed: bool) -> None:
+        """Tally a terminal outcome into the brownout signal window."""
+        self._qos_finished += 1
+        if not completed:
+            self._qos_misses += 1
 
     def _noise(self) -> float:
         sigma = self.config.noise_sigma
@@ -263,9 +287,15 @@ class Server:
         return float(np.exp(self.rng.normal(0.0, sigma)))
 
     def _service_time(
-        self, model: str, worker: DeviceWorker, warm: bool = False
+        self,
+        model: str,
+        worker: DeviceWorker,
+        warm: bool = False,
+        quality=None,
     ) -> float:
-        base = self.oracle.base_latency(model, worker.spec, warm=warm)
+        base = self.oracle.base_latency(
+            model, worker.spec, warm=warm, quality=quality
+        )
         return base * stall_factor(worker.label) * self._noise()
 
     def deadline_for(self, model: str) -> float:
@@ -300,15 +330,33 @@ class Server:
         self._probe_cooldown = (
             cfg.probe_cooldown if cfg.probe_cooldown is not None else 4.0 * mean
         )
+        if cfg.brownout is not None:
+            b = cfg.brownout
+            self._qos_interval = (
+                b.interval
+                if b.interval is not None
+                else (cfg.slo_window if cfg.slo_window is not None else 8.0 * mean)
+            )
+            dwell = b.dwell if b.dwell is not None else 4.0 * self._qos_interval
+            self.brownout = BrownoutController(
+                b, target=cfg.slo_target, dwell=dwell
+            )
+            self._qualities = [
+                b.ladder.quality_at(level) for level in range(b.ladder.floor + 1)
+            ]
+            get_registry().gauge("serve.qos_level").set(0)
         with self.tracer.span("serve.campaign", requests=len(requests)):
             for req in requests:
                 self._push(req.arrival, "arrival", req.id)
+            if self.brownout is not None and requests:
+                self._push(self._qos_interval, "qos", None)
             handlers = {
                 "arrival": self._on_arrival,
                 "complete": self._on_complete,
                 "retry": self._on_retry,
                 "hedge": self._on_hedge,
                 "probe": self._on_probe,
+                "qos": self._on_qos_tick,
             }
             while self._heap:
                 when, _, kind, ref = heapq.heappop(self._heap)
@@ -380,7 +428,15 @@ class Server:
             reg.counter(
                 "serve.mapcache", result="warm" if warm else "cold"
             ).inc()
-        service = self._service_time(req.model, w, warm=warm)
+        quality = None
+        if self.brownout is not None:
+            # the fleet's current rung; restamped per dispatch so the
+            # request reports the level that produced its final result
+            quality = self._qualities[self.brownout.level]
+            req.qos_level = self.brownout.level
+            req.qos_rung = self.brownout.rung
+            reg.counter("serve.qos_dispatches", rung=req.qos_rung).inc()
+        service = self._service_time(req.model, w, warm=warm, quality=quality)
         will_fail = maybe_crash_device(w.label)
         # an SDC attempt runs its *full* service time: nothing crashes,
         # the corruption is only discoverable once the result exists
@@ -406,6 +462,8 @@ class Server:
         dispatch_attrs = {"kind": kind, "model": req.model, "scene": req.scene}
         if self.config.steady_state:
             dispatch_attrs["warm"] = warm
+        if self.brownout is not None:
+            dispatch_attrs["qos"] = req.qos_rung
         if parent is not None:
             dispatch_attrs["parent"] = parent
         self._emit(
@@ -537,6 +595,7 @@ class Server:
         req.error = reason
         req.resolve(FAILED, self.now)
         reg.counter("serve.failed").inc()
+        self._note_terminal(completed=False)
         self._emit("terminal", req, state=FAILED, error=reason)
 
     def _attempt_succeeded(
@@ -578,14 +637,51 @@ class Server:
         if self.now <= req.deadline:
             req.resolve(COMPLETED, self.now)
             reg.counter("serve.completed").inc()
+            self._note_terminal(completed=True)
             self._emit("terminal", req, state=COMPLETED,
                        latency=req.latency, corrupted=req.corrupted)
         else:
             req.resolve(DEADLINE_EXCEEDED, self.now)
             reg.counter("serve.deadline_exceeded").inc()
+            self._note_terminal(completed=False)
             self._emit("terminal", req, state=DEADLINE_EXCEEDED,
                        latency=req.latency)
         reg.histogram("serve.latency_ms").observe(req.latency * 1e3)
+
+    def _on_qos_tick(self, _ref) -> None:
+        """One brownout-controller tick: observe the window, maybe step.
+
+        The next tick is scheduled only while other events remain — a
+        tick never keeps the heap alive on its own, so a campaign still
+        terminates the instant its last request resolves.
+        """
+        ctl = self.brownout
+        misses, finished = self._qos_misses, self._qos_finished
+        self._qos_misses = 0
+        self._qos_finished = 0
+        change = ctl.observe(
+            self.now,
+            queue_depth=self.queue.depth,
+            misses=misses,
+            finished=finished,
+        )
+        if change is not None:
+            reg = get_registry()
+            reg.gauge("serve.qos_level").set(ctl.level)
+            reg.counter("serve.qos_changes", direction=change["direction"]).inc()
+            with self.tracer.span(
+                "serve.qos_change", level=ctl.level, rung=ctl.rung
+            ):
+                pass
+            self._emit(
+                "qos_change",
+                level=change["level"],
+                rung=change["rung"],
+                direction=change["direction"],
+                burn=change["burn"],
+            )
+        if self._heap:
+            self._push(self.now + self._qos_interval, "qos", None)
 
     def _on_retry(self, req_id: int) -> None:
         req = self._req(req_id)
@@ -687,6 +783,17 @@ class Server:
             end_time=self.now,
             slo_window=self.config.slo_window,
             slo_target=self.config.slo_target,
+            brownout=self.brownout is not None,
+            qos_rungs=(
+                self.brownout.config.ladder.rung_names()
+                if self.brownout is not None
+                else ("full",)
+            ),
+            qos_changes=(
+                list(self.brownout.changes)
+                if self.brownout is not None
+                else []
+            ),
         )
 
 
@@ -721,11 +828,21 @@ def run_serve_campaign(
             models=list(traffic.models),
             coherence=traffic.coherence,
         )
+    qualities = []
+    if config.brownout is not None:
+        ladder = config.brownout.ladder
+        qualities = [
+            ladder.quality_at(level) for level in range(1, ladder.floor + 1)
+        ]
     for model in traffic.models:
         for w in server.workers:
             oracle.base_latency(model, w.spec)
             if config.steady_state:
                 oracle.base_latency(model, w.spec, warm=True)
+            for q in qualities:
+                oracle.base_latency(model, w.spec, quality=q)
+                if config.steady_state:
+                    oracle.base_latency(model, w.spec, warm=True, quality=q)
     ctx = inject_faults(injector) if injector is not None else nullcontext()
     with ctx:
         requests = generate_arrivals(traffic, server.deadline_for)

@@ -5,6 +5,27 @@ seeded exponential inter-arrival process, independent of how the fleet
 keeps up — overload therefore manifests as queue growth and shedding,
 exactly the regime admission control exists for.
 
+Beyond the homogeneous ``"poisson"`` default, three non-stationary
+shapes exercise the brownout controller:
+
+==============  ==========================================================
+shape           arrival process
+==============  ==========================================================
+``"poisson"``   homogeneous rate (bit-exact with pre-shape campaigns)
+``"diurnal"``   sinusoidal ramp over the duration — quiet at the edges,
+                ``(1 + amplitude)x`` the mean at the midpoint
+``"flash"``     flash crowd: ``peak_factor``x the base rate inside the
+                ``[flash_start, flash_start + flash_width)`` fraction of
+                the duration, base rate outside
+``"tenants"``   homogeneous rate, but the *model mix* drifts — each
+                tenant's weight swings sinusoidally with a per-tenant
+                phase offset, so load composition changes over time
+==============  ==========================================================
+
+Non-homogeneous shapes are sampled by thinning (candidates drawn at the
+peak rate, accepted with probability ``rate_at(t) / peak``), which keeps
+the whole schedule a deterministic function of the seed.
+
 The ``queue_spike`` fault site lives here: when armed, a burst of extra
 requests lands at a single arrival instant, modeling a traffic spike.
 Because generation is seeded, the full arrival schedule (bursts
@@ -13,12 +34,16 @@ included) is reproducible bit for bit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.robust.faults import queue_spike_burst
 from repro.serve.request import Request
+
+#: The supported arrival shapes (see the module docstring).
+TRAFFIC_SHAPES = ("poisson", "diurnal", "flash", "tenants")
 
 
 @dataclass(frozen=True)
@@ -38,7 +63,17 @@ class TrafficConfig:
             frames voxelize to the same sparsity pattern.  ``0``
             (default) keeps every request a fresh scene and draws
             nothing extra from the RNG, so existing seeded arrival
-            schedules stay bit-exact.
+            schedules stay bit-exact; ``1`` is a fully scene-coherent
+            stream (every request after the first rides the same scene
+            — the warm-cache limit).
+        shape: arrival shape (see the module docstring);
+            ``"poisson"`` keeps the exact pre-shape RNG draw sequence.
+        peak_factor: flash-crowd rate multiplier (``"flash"``).
+        flash_start: flash onset as a fraction of the duration.
+        flash_width: flash length as a fraction of the duration.
+        amplitude: swing fraction — the diurnal rate swing around the
+            mean (``"diurnal"``) or each tenant's weight swing
+            (``"tenants"``).
     """
 
     rate: float
@@ -47,6 +82,11 @@ class TrafficConfig:
     weights: tuple | None = None
     seed: int = 0
     coherence: float = 0.0
+    shape: str = "poisson"
+    peak_factor: float = 4.0
+    flash_start: float = 0.4
+    flash_width: float = 0.2
+    amplitude: float = 0.8
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -55,8 +95,65 @@ class TrafficConfig:
             raise ValueError("need at least one model in the mix")
         if self.weights is not None and len(self.weights) != len(self.models):
             raise ValueError("weights must match models")
-        if not 0.0 <= self.coherence < 1.0:
-            raise ValueError("coherence must be in [0, 1)")
+        if not 0.0 <= self.coherence <= 1.0:
+            raise ValueError("coherence must be in [0, 1]")
+        if self.shape not in TRAFFIC_SHAPES:
+            raise ValueError(
+                f"unknown shape {self.shape!r}; expected one of {TRAFFIC_SHAPES}"
+            )
+        if self.peak_factor < 1.0:
+            raise ValueError("peak_factor must be >= 1")
+        if not 0.0 <= self.flash_start < 1.0 or not 0.0 < self.flash_width <= 1.0:
+            raise ValueError(
+                "flash_start must be in [0, 1) and flash_width in (0, 1]"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    # -- the arrival intensity ----------------------------------------------
+
+    @property
+    def peak_rate(self) -> float:
+        """The thinning envelope: max of ``rate_at`` over the duration."""
+        if self.shape == "flash":
+            return self.rate * self.peak_factor
+        if self.shape == "diurnal":
+            return self.rate * (1.0 + self.amplitude)
+        return self.rate
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at sim time ``t``."""
+        if self.shape == "diurnal":
+            # quiet at the edges, (1 + amplitude)x at the midpoint;
+            # integrates to rate * duration, so the mean load is shape-
+            # independent and campaigns stay comparable across shapes
+            phase = 2.0 * math.pi * t / self.duration
+            return self.rate * (1.0 - self.amplitude * math.cos(phase))
+        if self.shape == "flash":
+            frac = t / self.duration
+            lo = self.flash_start
+            if lo <= frac < lo + self.flash_width:
+                return self.rate * self.peak_factor
+            return self.rate
+        return self.rate
+
+    def weights_at(self, t: float) -> list | None:
+        """Per-model pick probabilities at ``t`` (the tenant drift)."""
+        base = (
+            [1.0 / len(self.models)] * len(self.models)
+            if self.weights is None
+            else [w / float(sum(self.weights)) for w in self.weights]
+        )
+        if self.shape != "tenants" or len(self.models) < 2:
+            return None if self.weights is None else base
+        phase = 2.0 * math.pi * t / self.duration
+        offset = 2.0 * math.pi / len(self.models)
+        drifted = [
+            b * (1.0 + self.amplitude * math.sin(phase + i * offset))
+            for i, b in enumerate(base)
+        ]
+        total = sum(drifted)
+        return [d / total for d in drifted]
 
 
 def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
@@ -71,13 +168,9 @@ def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
         Requests sorted by arrival time, ids dense from 0.
     """
     rng = np.random.default_rng(cfg.seed)
-    weights = None
-    if cfg.weights is not None:
-        total = float(sum(cfg.weights))
-        weights = [w / total for w in cfg.weights]
 
-    def pick_model() -> str:
-        i = int(rng.choice(len(cfg.models), p=weights))
+    def pick_model(t: float) -> str:
+        i = int(rng.choice(len(cfg.models), p=cfg.weights_at(t)))
         return cfg.models[i]
 
     # per-model scene process: with probability ``coherence`` a request
@@ -99,15 +192,23 @@ def generate_arrivals(cfg: TrafficConfig, deadline_for) -> list:
             next_scene[model] = current_scene[model] + 1
         return current_scene[model]
 
+    # non-homogeneous shapes sample by thinning: candidates at the peak
+    # rate, accepted with probability rate_at(t)/peak.  The homogeneous
+    # "poisson" shape takes the exact pre-shape draw sequence (peak ==
+    # rate, no acceptance draw), keeping seeded schedules bit-exact.
+    thinned = cfg.shape in ("diurnal", "flash")
+    peak = cfg.peak_rate
     requests: list = []
     t = 0.0
     while True:
-        t += float(rng.exponential(1.0 / cfg.rate))
+        t += float(rng.exponential(1.0 / peak))
         if t >= cfg.duration:
             break
+        if thinned and float(rng.random()) * peak >= cfg.rate_at(t):
+            continue
         burst = 1 + queue_spike_burst(site=f"traffic.t{len(requests)}")
         for _ in range(burst):
-            model = pick_model()
+            model = pick_model(t)
             requests.append(
                 Request(
                     id=len(requests),

@@ -608,10 +608,17 @@ class TestTemporalCoherence:
         assert "scene" in reqs[0].to_json()
 
     def test_coherence_validation(self):
+        # 1.0 is legal: a fully scene-coherent stream (warm-cache limit)
+        make_traffic(coherence=1.0)
         with pytest.raises(ValueError):
-            make_traffic(coherence=1.0)
+            make_traffic(coherence=1.1)
         with pytest.raises(ValueError):
             make_traffic(coherence=-0.1)
+
+    def test_fully_coherent_stream_rides_one_scene(self):
+        reqs = generate_arrivals(make_traffic(coherence=1.0), lambda m: 0.1)
+        assert len(reqs) > 1
+        assert {r.scene for r in reqs} == {0}
 
 
 class TestSteadyStateServing:
