@@ -1,0 +1,129 @@
+"""Ablation: warm replacement of DEAD devices from the durable store.
+
+Runs the same seeded steady-state campaign — a sticky crash kills one
+card, a spare takes its slot — two ways: with and without the shared
+on-disk artifact store.  Without the store, the spare arrives with an
+empty mapping cache and re-maps every scene cold; with it, the spare
+warm-starts from the frames the dead fleet already persisted.  The
+claim under test: the store measurably lowers the replacement's
+cold-start tail (p99 of requests the spare served), and the whole
+campaign stays byte-for-bit reproducible at a fixed seed.
+
+Real engine latencies (no ``latency_overrides``) at a small scale, so
+warm and cold dispatches genuinely price differently.
+"""
+
+import json
+import tempfile
+
+from repro.gpu.device import RTX_2080TI, RTX_3090
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.profiling import format_table
+from repro.robust.faults import FaultInjector, FaultSpec
+from repro.serve import ServeConfig, TrafficConfig, run_serve_campaign
+
+from conftest import emit, emit_json
+
+SEED = 7
+MODEL = "minkunet_0.5x_kitti"
+DEAD_SLOT = "RTX 2080Ti #0"
+
+
+def replacement_campaign(store_dir):
+    """One campaign whose first card dies and is replaced by a spare."""
+    config = ServeConfig(
+        devices=(RTX_2080TI, RTX_2080TI, RTX_3090),
+        seed=SEED,
+        scale=0.12,
+        steady_state=True,
+        max_probes=2,
+        spares=1,
+        store_dir=store_dir,
+    )
+    traffic = TrafficConfig(
+        rate=200.0,
+        duration=1.2,
+        models=(MODEL,),
+        seed=SEED,
+        coherence=0.6,
+    )
+    injector = FaultInjector(
+        seed=SEED,
+        specs=[FaultSpec(kind="device_crash", site=DEAD_SLOT, count=-1)],
+    )
+    with use_registry(MetricsRegistry()):
+        return run_serve_campaign(config, traffic, injector=injector)
+
+
+def summarize(report):
+    rec = report.replacements[0]
+    return {
+        "slot": rec["slot"],
+        "spare": rec["device"],
+        "warm_start": rec["warm_start"],
+        "inherited_frames": rec["inherited_frames"],
+        "spare_served": len(report._replacement_latencies()),
+        "spare_p50_ms": round(report.replacement_p50 * 1e3, 4),
+        "spare_p99_ms": round(report.replacement_p99 * 1e3, 4),
+        "campaign_p99_ms": round(report.p99 * 1e3, 4),
+        "warm_fraction": round(report.warm_fraction, 4),
+    }
+
+
+class TestStoreWarmReplacement:
+    def test_store_lowers_replacement_cold_start_p99(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cold = replacement_campaign(store_dir=None)
+            warm = replacement_campaign(store_dir=f"{tmp}/store")
+            # same seed, different store dirs: the campaign itself must
+            # not depend on where (or whether twice) the store lives
+            again = replacement_campaign(store_dir=f"{tmp}/store2")
+
+        for report in (cold, warm, again):
+            assert report.all_terminal
+            assert report.fleet[DEAD_SLOT]["state"] == "dead"
+            assert len(report.replacements) == 1
+
+        r_cold, r_warm = summarize(cold), summarize(warm)
+        # the no-store spare starts empty; the store-backed one inherits
+        assert r_cold["warm_start"] is False
+        assert r_cold["inherited_frames"] == 0
+        assert r_warm["warm_start"] is True
+        assert r_warm["inherited_frames"] > 0
+        # the measured claim: warm replacement trims the spare's tail
+        # (p50 is not asserted — the two arms route different request
+        # populations onto the spare, so only the tail is comparable)
+        assert r_warm["spare_p99_ms"] < r_cold["spare_p99_ms"]
+        # byte-for-bit reproducibility at fixed seed
+        assert json.dumps(warm.to_json(), sort_keys=True) == json.dumps(
+            again.to_json(), sort_keys=True
+        )
+
+        speedup = r_cold["spare_p99_ms"] / r_warm["spare_p99_ms"]
+        rows = [
+            [arm, r["warm_start"], r["inherited_frames"],
+             r["spare_served"], f"{r['spare_p50_ms']:.3f}",
+             f"{r['spare_p99_ms']:.3f}", f"{r['warm_fraction']:.1%}"]
+            for arm, r in [("no-store", r_cold), ("store", r_warm)]
+        ]
+        text = format_table(
+            ["arm", "warm_start", "inherited", "spare reqs",
+             "spare p50 (ms)", "spare p99 (ms)", "warm frac"],
+            rows,
+        ) + (
+            f"\nwarm replacement cuts the spare's cold-start p99 "
+            f"{speedup:.2f}x (seed {SEED}, {MODEL}, sticky crash on "
+            f"{DEAD_SLOT}, 1 spare)"
+        )
+        emit("ablation_store", text)
+        emit_json(
+            "store",
+            {
+                "seed": SEED,
+                "model": MODEL,
+                "dead_slot": DEAD_SLOT,
+                "arms": {"no-store": r_cold, "store": r_warm},
+                "spare_p99_speedup": round(speedup, 4),
+                "deterministic": True,
+            },
+        )

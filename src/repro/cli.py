@@ -10,6 +10,8 @@ Subcommands::
     repro-bench chaos --seeds 3 --json chaos.json
     repro-bench serve --faults device_crash,device_stall --json serve.json
     repro-bench integrity --seeds 3 --json integrity.json
+    repro-bench store stats --dir fleet-store
+    repro-bench store scrub --dir fleet-store
 
 ``bench`` can export observability artifacts: ``--trace`` writes a
 nested-span Chrome trace (open in Perfetto), ``--metrics`` a JSONL
@@ -27,7 +29,12 @@ the seeded silent-data-corruption campaign against the ABFT verifier
 (:mod:`repro.robust.integrity`): bit flips in feature/weight buffers
 crossed with storage dtypes, measuring detection recall and
 false-positive rate, plus clean control runs asserting that verified
-output is bit-exact with the unverified engine.
+output is bit-exact with the unverified engine.  ``store`` manages a
+durable artifact store (:mod:`repro.persist`): ``stats`` snapshots it,
+``verify`` re-checksums every entry (exit 1 on corruption), ``scrub``
+evicts anything unverifiable and compacts the manifest, ``purge``
+empties it; ``serve --store DIR --spares N`` runs a fleet whose DEAD
+devices are replaced by spares warm-started from the shared store.
 
 All latencies are modeled on the selected device spec (see
 ``repro.gpu``); wall-clock on the host is reported separately.
@@ -289,6 +296,15 @@ def cmd_tune(args) -> int:
     with open(args.out, "w") as f:
         f.write(book.dumps())
     print(f"tuned {len(book.layers)} layers; strategies written to {args.out}")
+    if getattr(args, "store", None):
+        from repro.persist import ArtifactStore
+
+        store = ArtifactStore(args.store)
+        key = book.save_to_store(store, args.model)
+        print(
+            f"strategy book persisted to store {args.store} "
+            f"(key {key}, device {book.device_name!r})"
+        )
     tuned = run_model(model, xs, BaseEngine(tuned_engine_config(book)), device)
     plain = run_model(model, xs, TorchSparseEngine(), device)
     print(
@@ -488,7 +504,11 @@ def cmd_serve(args) -> int:
         if kind in SDC_FAULT_KINDS:
             specs.append(FaultSpec(kind=kind, count=args.crashes))
         elif kind == "device_crash":
-            specs.append(FaultSpec(kind=kind, count=args.crashes))
+            specs.append(
+                FaultSpec(
+                    kind=kind, site=args.crash_site, count=args.crashes
+                )
+            )
         elif kind == "device_stall":
             # pin the sticky stall to the last fleet slot: one genuine
             # straggler card, not a uniform fleet-wide slowdown
@@ -519,9 +539,12 @@ def cmd_serve(args) -> int:
         scale=args.scale,
         seed=args.seed,
         steady_state=args.steady_state,
+        max_probes=args.max_probes,
         slo_window=args.slo_window,
         slo_target=args.slo_target,
         brownout=brownout,
+        spares=args.spares,
+        store_dir=args.store,
     )
     try:
         traffic = TrafficConfig(
@@ -579,6 +602,26 @@ def cmd_serve(args) -> int:
             f"brownout: {len(report.qos_changes)} level changes ({steps}) | "
             f"{report.degraded_fraction:.1%} of served requests degraded"
         )
+    if report.spares or report.replacements:
+        if report.replacements:
+            for rec in report.replacements:
+                print(
+                    f"replacement: {rec['device']} filled slot "
+                    f"{rec['slot']} at t={rec['t'] * 1e3:.1f} ms "
+                    + (
+                        f"(warm-started, {rec['inherited_frames']} frames "
+                        "inherited from the store)"
+                        if rec["warm_start"]
+                        else "(cold start)"
+                    )
+                )
+            print(
+                f"spare-served requests: "
+                f"p50 {report.replacement_p50 * 1e3:.2f} ms, "
+                f"p99 {report.replacement_p99 * 1e3:.2f} ms"
+            )
+        else:
+            print(f"spares: {report.spares} armed, none needed")
     shots = injector.shots if injector else 0
     print(
         f"terminal states: {'all' if report.all_terminal else 'INCOMPLETE'} | "
@@ -729,6 +772,81 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    """Inspect and maintain a durable artifact store."""
+    from repro.persist import ArtifactStore
+    from repro.robust.errors import StoreCorruptionError
+
+    if not os.path.isdir(args.dir):
+        raise SystemExit(f"store directory {args.dir!r} does not exist")
+    try:
+        store = ArtifactStore(args.dir, create=False)
+    except StoreCorruptionError as e:
+        print(f"CORRUPT MANIFEST: {e}")
+        return 1
+
+    def show(payload: dict) -> None:
+        # path-free, key-sorted output: two same-seed runs over
+        # identical stores must print identical snapshots
+        if args.json:
+            write_snapshot(payload, args.json)
+            print(f"store snapshot written to {args.json}")
+        for k in sorted(payload):
+            v = payload[k]
+            if isinstance(v, dict):
+                v = (
+                    ", ".join(f"{kk}={vv}" for kk, vv in sorted(v.items()))
+                    or "-"
+                )
+            elif isinstance(v, list):
+                v = ", ".join(str(x) for x in v) or "-"
+            print(f"  {k}: {v}")
+
+    if args.action == "stats":
+        print(f"store stats ({len(store.entries)} entries)")
+        show(store.stats())
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(
+            f"store verify: {report['ok']}/{report['checked']} entries ok, "
+            f"{len(report['corrupt'])} corrupt"
+        )
+        show(
+            {
+                "checked": report["checked"],
+                "ok": report["ok"],
+                "corrupt": [
+                    f"{c['kind']}:{c['key']}:{c['reason']}"
+                    for c in report["corrupt"]
+                ],
+                "recovery": report["recovery"],
+            }
+        )
+        return 1 if report["corrupt"] else 0
+    if args.action == "scrub":
+        result = store.scrub()
+        print(
+            f"store scrub: evicted {len(result['evicted'])}, "
+            f"removed {result['orphans']} orphan blobs and "
+            f"{result['tmp_files']} temp files"
+        )
+        show(
+            {
+                "evicted": sorted(result["evicted"]),
+                "orphans": result["orphans"],
+                "tmp_files": result["tmp_files"],
+                **{"stats": store.stats()},
+            }
+        )
+        return 0
+    # purge
+    count = store.purge()
+    print(f"store purge: dropped {count} entries")
+    show(store.stats())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -785,6 +903,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="Algorithm 5 offline strategy search")
     common(p_tune)
     p_tune.add_argument("--out", default="strategies.json")
+    p_tune.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="also persist the tuned book into this durable artifact "
+        "store (keyed by model + device), for fleet warm-starts",
+    )
 
     p_reg = sub.add_parser(
         "regress", help="gate a bench run against a snapshot baseline"
@@ -892,6 +1015,17 @@ def build_parser() -> argparse.ArgumentParser:
         "queue_spike bursts arm at half this",
     )
     p_serve.add_argument(
+        "--crash-site", default="", metavar="LABEL",
+        help="pin device_crash to one device label substring "
+        "(default: any device); with --crashes -1 this kills the "
+        "device, which is how to demo spare replacement",
+    )
+    p_serve.add_argument(
+        "--max-probes", type=int, default=8,
+        help="failed readmission probes before a quarantined device "
+        "is declared DEAD (default %(default)s)",
+    )
+    p_serve.add_argument(
         "--slo-floor", type=float, default=0.0,
         help="exit nonzero when SLO attainment falls below this",
     )
@@ -976,6 +1110,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign's metrics registry in Prometheus "
         "text exposition format",
     )
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable artifact store backing the fleet: with "
+        "--steady-state, dispatched frames persist as durable markers "
+        "and replacement devices warm-start from them",
+    )
+    p_serve.add_argument(
+        "--spares", type=int, default=0,
+        help="spare-device pool: a DEAD device is replaced by a fresh "
+        "worker with the same GPU spec (default %(default)s)",
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect / maintain a durable artifact store "
+        "(stats, verify, scrub, purge)",
+    )
+    p_store.add_argument(
+        "action", choices=("stats", "verify", "scrub", "purge"),
+        help="stats: snapshot; verify: re-checksum every entry (exit 1 "
+        "on corruption); scrub: evict unverifiable entries, drop orphan "
+        "blobs, compact the manifest; purge: drop everything",
+    )
+    p_store.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="store directory (as passed to serve --store / tune --store)",
+    )
+    p_store.add_argument(
+        "--json", metavar="PATH",
+        help="write the action's result as a JSON snapshot",
+    )
 
     p_timeline = sub.add_parser(
         "timeline",
@@ -1045,6 +1210,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "timeline": cmd_timeline,
         "integrity": cmd_integrity,
+        "store": cmd_store,
     }[args.command](args)
 
 

@@ -141,6 +141,50 @@ class StrategyBook:
                 ) from e
         return book
 
+    def save_to_store(self, store, name: str) -> str:
+        """Persist this book into an artifact store under ``name``.
+
+        Books are keyed by ``(name, device_name)`` — the tuned
+        ``(epsilon, S)`` grid is hardware-specific (Table 1), so two
+        devices' books for the same model must not collide.  Returns
+        the store key so callers can journal it.
+        """
+        from repro.persist import book_key, encode_artifact
+
+        key = book_key(name, self.device_name)
+        store.save(key, "book", encode_artifact("book", self))
+        return key
+
+    @classmethod
+    def load_from_store(
+        cls, store, name: str, device_name: str = "", fallback: bool = False
+    ) -> "StrategyBook | None":
+        """Load a book from an artifact store (verified + decoded).
+
+        With ``fallback=True`` a missing or unverifiable entry returns
+        ``None`` — mirroring :func:`load_strategy_book` — so warm-start
+        paths degrade to the default strategy instead of failing.
+        """
+        from repro.persist import book_key, decode_artifact
+        from repro.robust.errors import StoreCorruptionError
+
+        key = book_key(name, device_name)
+        data = store.load(key)
+        if data is not None:
+            try:
+                kind, book = decode_artifact(data)
+                if kind == "book":
+                    return book
+                store.quarantine(key, reason="kind_mismatch")
+            except StoreCorruptionError:
+                store.quarantine(key, reason="decode")
+        if fallback:
+            return None
+        raise StrategyBookError(
+            f"strategy book {name!r} for device {device_name!r} is not in "
+            f"the store (or failed verification)"
+        )
+
 
 def load_strategy_book(path, fallback: bool = False) -> StrategyBook | None:
     """Load a strategy book from ``path``.

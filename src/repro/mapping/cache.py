@@ -353,3 +353,18 @@ def get_mapping_cache() -> MappingCache:
     if _DEFAULT is None:
         _DEFAULT = MappingCache()
     return _DEFAULT
+
+
+def reset_mapping_cache() -> None:
+    """Discard the process-level cache (test isolation).
+
+    The default cache is process-global and was never reset, so test
+    suites could order-depend on another test's warm entries.  Clearing
+    before dropping the reference also zeroes the ``mapcache.*`` gauges
+    in whatever registry is current, so a fresh test does not inherit a
+    stale resident-bytes reading either.
+    """
+    global _DEFAULT
+    if _DEFAULT is not None:
+        _DEFAULT.clear()
+    _DEFAULT = None

@@ -55,6 +55,8 @@ DEVICE_EVENT_KINDS = (
     "quarantine",       # breaker opened; device pulled from placement
     "readmit",          # probe succeeded; device rejoined the fleet
     "device_dead",      # probe budget exhausted; device never returns
+    "device_replaced",  # spare admitted into a dead device's slot
+    "store_warmstart",  # a worker primed its caches from the artifact store
 )
 
 #: Fleet-scoped control-plane transitions.
@@ -193,7 +195,14 @@ def validate_journal(header: dict, events: list) -> list:
       link the trace renders as a flow arrow);
     * every ``qos_change`` carries a valid level/rung/direction and
       steps the level by exactly one from the previous change (the
-      brownout controller never jumps rungs).
+      brownout controller never jumps rungs);
+    * every ``device_replaced`` names a replacement device and a
+      ``slot`` for which a ``device_dead`` event was already journaled
+      — a spare may only ever fill a slot the fleet actually lost —
+      and no slot is filled twice;
+    * every ``store_warmstart`` names its device and carries a
+      non-negative integer ``frames`` count (how many cached frames
+      the worker inherited from the artifact store).
     """
     problems: list = []
     if header.get("schema") != EVENTS_SCHEMA:
@@ -207,6 +216,8 @@ def validate_journal(header: dict, events: list) -> list:
     attempt_open: dict = {}    # attempt id -> (request, device, seq)
     attempt_closed: set = set()
     attempts_of: dict = {}     # request id -> [attempt ids]
+    dead_slots: set = set()    # device labels with a journaled device_dead
+    filled_slots: set = set()  # dead slots already taken by a replacement
     for i, e in enumerate(events):
         seq, kind, t = e.get("seq"), e.get("kind"), e.get("t")
         if seq != i:
@@ -294,6 +305,46 @@ def validate_journal(header: dict, events: list) -> list:
                 qos_level = level
             if not attrs.get("rung"):
                 problems.append(f"event {i}: qos_change without a rung name")
+        elif kind == "device_dead":
+            if e.get("device") is not None:
+                dead_slots.add(e["device"])
+        elif kind == "device_replaced":
+            attrs = e.get("attrs", {})
+            slot = attrs.get("slot")
+            if e.get("device") is None:
+                problems.append(
+                    f"event {i}: device_replaced without a replacement device"
+                )
+            if slot is None:
+                problems.append(
+                    f"event {i}: device_replaced without a slot"
+                )
+            elif slot not in dead_slots:
+                problems.append(
+                    f"event {i}: device_replaced for slot {slot!r} with no "
+                    f"prior device_dead event"
+                )
+            elif slot in filled_slots:
+                problems.append(
+                    f"event {i}: slot {slot!r} replaced twice"
+                )
+            else:
+                filled_slots.add(slot)
+        elif kind == "store_warmstart":
+            frames = e.get("attrs", {}).get("frames")
+            if e.get("device") is None:
+                problems.append(
+                    f"event {i}: store_warmstart without a device"
+                )
+            if (
+                not isinstance(frames, int)
+                or isinstance(frames, bool)
+                or frames < 0
+            ):
+                problems.append(
+                    f"event {i}: store_warmstart with invalid frames "
+                    f"{frames!r}"
+                )
         elif kind == "attempt_finish":
             attempt = e.get("attempt")
             if attempt not in attempt_open:

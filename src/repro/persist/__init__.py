@@ -1,0 +1,40 @@
+"""Durable artifact store: crash-consistent, verified, content-addressed.
+
+See :mod:`repro.persist.store` for the on-disk protocol,
+:mod:`repro.persist.blob` for the artifact encoding, and
+:mod:`repro.persist.tier` for the store-backed :class:`MappingCache`
+tier the serve layer hands to replacement devices.
+"""
+
+from .blob import (
+    ARTIFACT_KINDS,
+    artifact_nbytes,
+    decode_artifact,
+    encode_artifact,
+)
+from .store import (
+    MANIFEST_NAME,
+    STORE_SCHEMA,
+    ArtifactStore,
+    book_key,
+    content_checksum,
+    frame_key,
+    store_key,
+)
+from .tier import PERSISTED_KINDS, StoreBackedMappingCache
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "MANIFEST_NAME",
+    "PERSISTED_KINDS",
+    "STORE_SCHEMA",
+    "ArtifactStore",
+    "StoreBackedMappingCache",
+    "artifact_nbytes",
+    "book_key",
+    "content_checksum",
+    "decode_artifact",
+    "encode_artifact",
+    "frame_key",
+    "store_key",
+]

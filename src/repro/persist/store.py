@@ -1,0 +1,501 @@
+"""Crash-consistent, content-addressed artifact store.
+
+The :class:`ArtifactStore` is the durable tier under the in-memory
+:class:`~repro.mapping.cache.MappingCache`: kernel maps, coordinate
+indices, downsampled coordinates, tuned strategy books, and serve-layer
+frame markers live on disk, keyed by the same BLAKE2b content
+fingerprints the memory tier uses, and survive process crashes and
+DEAD-device replacement.
+
+Layout::
+
+    <root>/
+        MANIFEST.jsonl          append-only journal (header + records)
+        objects/<kk>/<key>.bin  one blob per artifact, sharded by prefix
+        quarantine/<key>.bin    blobs that failed verification
+
+Crash-consistency protocol — every write follows the same ladder:
+
+1. blob bytes are written to ``<key>.bin.tmp`` in the final directory,
+   flushed, and ``fsync``\\ ed;
+2. the temp file is atomically renamed over the final name
+   (``os.replace``), then the *directory* is fsynced so the rename
+   itself is durable;
+3. only then is a ``put`` record appended to the manifest (write +
+   flush + fsync).
+
+A crash between any two steps leaves either (a) a stray ``.tmp`` file
+(invisible to readers, removed by :meth:`scrub`), or (b) a fully
+written blob with no manifest record (invisible, removed by scrub) —
+never a manifest record pointing at partial bytes.  The manifest is
+replayed on open; a torn final line (crash mid-append) is tolerated and
+counted, damaged interior lines are skipped and counted, and a manifest
+whose *header* is unreadable raises
+:class:`~repro.robust.errors.StoreCorruptionError` — that store needs
+operator attention (``repro-bench store scrub`` cannot guess a schema).
+
+Verification is mandatory, not advisory: :meth:`save` records the
+BLAKE2b checksum of the bytes it *intended* to write, and :meth:`load`
+re-hashes the bytes it actually read on **every** call.  Any mismatch —
+torn write, bit rot, a stale file left by a failed replace — moves the
+blob to ``quarantine/`` and returns a miss so the caller rebuilds from
+scratch.  A corrupted artifact is never served.
+
+Determinism: records carry no timestamps, sequence numbers or pids, and
+keys/fingerprints are pure content hashes, so two same-seed campaigns
+writing the same artifacts produce byte-identical manifests and object
+trees (the CI ``store-smoke`` job diffs them).
+
+The seeded disk-fault sites (``store_torn_write``, ``store_bitrot``,
+``store_manifest_corrupt``, ``store_stale_entry``) are threaded through
+:meth:`save` and the manifest append via the
+:mod:`repro.robust.faults` helpers; with no injector armed they are
+zero-cost no-ops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+
+from repro.obs.metrics import get_registry
+from repro.robust.errors import StoreCorruptionError
+from repro.robust.faults import (
+    maybe_bitrot,
+    maybe_corrupt_manifest_line,
+    maybe_stale_entry,
+    maybe_torn_write,
+)
+
+from .blob import ARTIFACT_KINDS
+
+#: Manifest header schema tag; bump on incompatible layout changes.
+STORE_SCHEMA = "repro-store/1"
+
+MANIFEST_NAME = "MANIFEST.jsonl"
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_checksum(data: bytes) -> str:
+    """BLAKE2b-128 hex digest of a blob's bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def store_key(key) -> str:
+    """Stable store key for a mapping-cache key.
+
+    The cache keys are frozen dataclasses whose ``repr`` is a pure
+    function of their content (fingerprints + layer parameters), so
+    hashing ``ClassName:repr`` gives a collision-resistant, process-
+    independent identity without inventing a second serialization.
+    """
+    text = f"{type(key).__name__}:{key!r}"
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def book_key(name: str, device_name: str = "") -> str:
+    """Store key for a tuned strategy book."""
+    text = f"StrategyBook:{name}:{device_name}"
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def frame_key(model: str, scene: str) -> str:
+    """Store key for a serve-layer ``(model, scene)`` frame marker."""
+    text = f"Frame:{model}:{scene}"
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class ArtifactStore:
+    """On-disk, cross-process artifact store with verified loads.
+
+    Args:
+        root: store directory (created when ``create`` is true).
+        create: create the directory tree and manifest header if absent.
+
+    Attributes:
+        entries: ``key -> record`` dict replayed from the manifest;
+            each record holds ``kind``, ``checksum``, ``nbytes`` and
+            sorted content ``fps``.
+        recovery: counters of what manifest replay had to tolerate —
+            ``torn_tail``, ``damaged_records``, ``missing_objects``.
+    """
+
+    def __init__(self, root: str, create: bool = True):
+        self.root = str(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        self.entries: dict = {}
+        self.recovery = {"torn_tail": 0, "damaged_records": 0, "missing_objects": 0}
+        if create:
+            os.makedirs(self.objects_dir, exist_ok=True)
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+        elif not os.path.isdir(self.root):
+            raise StoreCorruptionError(f"store root {self.root} does not exist")
+        if os.path.exists(self.manifest_path):
+            self._replay()
+        elif create:
+            self._write_header()
+        else:
+            raise StoreCorruptionError(
+                f"store at {self.root} has no manifest"
+            )
+        self._gauges()
+
+    # -- manifest -----------------------------------------------------------
+
+    def _write_header(self) -> None:
+        # The header is written directly (never through the
+        # store_manifest_corrupt site): a store that cannot even record
+        # its schema is not a recoverable-journal scenario but a mkdir
+        # race, and letting chaos eat the header would turn every
+        # one-shot manifest fault into an unopenable store.
+        with open(self.manifest_path, "w", encoding="utf-8") as fh:
+            fh.write(_dumps({"schema": STORE_SCHEMA}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fsync_dir(self.root)
+
+    def _replay(self) -> None:
+        with open(self.manifest_path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            raise StoreCorruptionError("store manifest is empty")
+        try:
+            header = json.loads(lines[0])
+            schema = header.get("schema")
+        except (json.JSONDecodeError, AttributeError):
+            schema = None
+        if schema != STORE_SCHEMA:
+            raise StoreCorruptionError(
+                f"store manifest header is unreadable or has wrong schema "
+                f"(want {STORE_SCHEMA!r})"
+            )
+        last = len(lines) - 1
+        for i, line in enumerate(lines[1:], start=1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                op = rec["op"]
+                key = rec["key"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                # A damaged *final* line is the expected signature of a
+                # crash mid-append; a damaged interior line is bit rot
+                # on the journal itself.  Both are skipped — the blobs
+                # they described either verify on load or get scrubbed.
+                if i == last:
+                    self.recovery["torn_tail"] += 1
+                else:
+                    self.recovery["damaged_records"] += 1
+                continue
+            if op == "put":
+                if (
+                    rec.get("kind") not in ARTIFACT_KINDS
+                    or not isinstance(rec.get("checksum"), str)
+                    or not isinstance(rec.get("nbytes"), int)
+                ):
+                    if i == last:
+                        self.recovery["torn_tail"] += 1
+                    else:
+                        self.recovery["damaged_records"] += 1
+                    continue
+                self.entries[key] = {
+                    "kind": rec["kind"],
+                    "checksum": rec["checksum"],
+                    "nbytes": rec["nbytes"],
+                    "fps": list(rec.get("fps", [])),
+                }
+            elif op == "evict":
+                self.entries.pop(key, None)
+            else:
+                self.recovery["damaged_records"] += 1
+        # A put record whose blob never survived the crash is dropped
+        # here so load() never even stats a missing file.
+        missing = [k for k in self.entries if not os.path.exists(self._path(k))]
+        for k in missing:
+            del self.entries[k]
+            self.recovery["missing_objects"] += 1
+
+    def _append(self, record: dict, op: str) -> None:
+        line = _dumps(record)
+        line = maybe_corrupt_manifest_line(line, site=f"store.manifest.{op}")
+        with open(self.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _rewrite_manifest(self) -> None:
+        """Atomically compact the manifest to the live entry set.
+
+        Used by :meth:`scrub`/:meth:`purge`; deliberately *not* routed
+        through the manifest fault site — scrub is the recovery tool,
+        and a recovery pass that re-poisons the journal it is repairing
+        cannot make progress.
+        """
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_dumps({"schema": STORE_SCHEMA}) + "\n")
+            for key in sorted(self.entries):
+                rec = self.entries[key]
+                fh.write(
+                    _dumps(
+                        {
+                            "op": "put",
+                            "key": key,
+                            "kind": rec["kind"],
+                            "checksum": rec["checksum"],
+                            "nbytes": rec["nbytes"],
+                            "fps": sorted(rec["fps"]),
+                        }
+                    )
+                    + "\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+        _fsync_dir(self.root)
+
+    # -- paths & gauges ------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key[:2], f"{key}.bin")
+
+    def _gauges(self) -> None:
+        reg = get_registry()
+        reg.gauge("persist.entries").set(float(len(self.entries)))
+        reg.gauge("persist.bytes").set(
+            float(sum(rec["nbytes"] for rec in self.entries.values()))
+        )
+
+    # -- the protocol --------------------------------------------------------
+
+    def save(self, key: str, kind: str, data: bytes, fingerprints=()) -> None:
+        """Durably persist one encoded blob under ``key``.
+
+        The checksum recorded in the manifest is of the bytes the
+        caller *intended* — computed before the write ladder — so any
+        damage the disk (or an armed fault injector) inflicts on the
+        way down is caught by the next :meth:`load`, not silently
+        laundered into the record.
+        """
+        if kind not in ARTIFACT_KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        checksum = content_checksum(data)
+        nbytes = len(data)
+        site = f"store.save.{kind}"
+        written = maybe_torn_write(data, site=site)
+        written = maybe_bitrot(written, site=site)
+        final = self._path(key)
+        os.makedirs(os.path.dirname(final), exist_ok=True)
+        if maybe_stale_entry(site=site):
+            # Model a lost write: the rename never happened, so the old
+            # file (or, for a first write, an empty stub the next load
+            # will reject by size) is what readers see.
+            if not os.path.exists(final):
+                with open(final, "wb") as fh:
+                    fh.write(b"")
+        else:
+            tmp = final + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(written)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+            _fsync_dir(os.path.dirname(final))
+        record = {
+            "op": "put",
+            "key": key,
+            "kind": kind,
+            "checksum": checksum,
+            "nbytes": nbytes,
+            "fps": sorted(fingerprints),
+        }
+        self._append(record, op="put")
+        self.entries[key] = {
+            "kind": kind,
+            "checksum": checksum,
+            "nbytes": nbytes,
+            "fps": sorted(fingerprints),
+        }
+        get_registry().counter("persist.saves", kind=kind).inc()
+        self._gauges()
+
+    def load(self, key: str):
+        """The verified blob bytes for ``key``, or ``None``.
+
+        Every load re-checks size and checksum against the manifest
+        record; a mismatch quarantines the blob and reports a miss so
+        the caller rebuilds.  There is no unverified fast path.
+        """
+        rec = self.entries.get(key)
+        reg = get_registry()
+        if rec is None:
+            reg.counter("persist.loads", result="miss").inc()
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                data = fh.read()
+        except OSError:
+            self.quarantine(key, reason="missing")
+            reg.counter("persist.loads", result="corrupt").inc()
+            return None
+        if len(data) != rec["nbytes"] or content_checksum(data) != rec["checksum"]:
+            self.quarantine(key, reason="checksum")
+            reg.counter("persist.loads", result="corrupt").inc()
+            return None
+        reg.counter("persist.loads", result="hit").inc()
+        return data
+
+    def quarantine(self, key: str, reason: str = "checksum") -> None:
+        """Evict ``key``, moving its blob (if any) to ``quarantine/``."""
+        path = self._path(key)
+        if os.path.exists(path):
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            try:
+                shutil.move(path, os.path.join(self.quarantine_dir, f"{key}.bin"))
+            except OSError:
+                pass
+        if key in self.entries:
+            del self.entries[key]
+            self._append({"op": "evict", "key": key}, op="evict")
+        reg = get_registry()
+        reg.counter("persist.quarantined", reason=reason).inc()
+        reg.counter("persist.evictions").inc()
+        self._gauges()
+
+    def evict_fingerprints(self, fingerprints) -> int:
+        """Drop every entry referencing any of ``fingerprints``.
+
+        Mirrors :meth:`MappingCache.purge`: when the robustness layer
+        decides a fault may have poisoned artifacts built from given
+        coordinates, the durable copies must go too — otherwise the
+        next process warm-starts from exactly the state the purge was
+        meant to destroy.
+        """
+        fps = set(fingerprints)
+        if not fps:
+            return 0
+        victims = [
+            key
+            for key, rec in self.entries.items()
+            if any(fp in fps for fp in rec["fps"])
+        ]
+        for key in victims:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            del self.entries[key]
+            self._append({"op": "evict", "key": key}, op="evict")
+        if victims:
+            get_registry().counter("persist.evictions").inc(len(victims))
+            self._gauges()
+        return len(victims)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def verify(self) -> dict:
+        """Read-only integrity sweep over every live entry.
+
+        Returns ``{"checked", "ok", "corrupt": [{key, kind, reason}],
+        "recovery"}`` — deterministic (keys sorted) so CLI snapshots
+        diff cleanly.  Does not modify the store; :meth:`scrub` acts.
+        """
+        corrupt = []
+        for key in sorted(self.entries):
+            rec = self.entries[key]
+            reason = None
+            try:
+                with open(self._path(key), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                reason = "missing"
+            else:
+                if len(data) != rec["nbytes"]:
+                    reason = "size"
+                elif content_checksum(data) != rec["checksum"]:
+                    reason = "checksum"
+            if reason is not None:
+                corrupt.append({"key": key, "kind": rec["kind"], "reason": reason})
+        return {
+            "checked": len(self.entries),
+            "ok": len(self.entries) - len(corrupt),
+            "corrupt": corrupt,
+            "recovery": dict(self.recovery),
+        }
+
+    def scrub(self) -> dict:
+        """Offline repair pass: evict every unverifiable entry, delete
+        orphan blobs and stray temp files, and compact the manifest.
+
+        Idempotent — a second scrub of an untouched store finds nothing.
+        Returns ``{"evicted": [...], "orphans", "tmp_files"}``.
+        """
+        report = self.verify()
+        for item in report["corrupt"]:
+            self.quarantine(item["key"], reason=item["reason"])
+        orphans = 0
+        tmp_files = 0
+        live = {self._path(key) for key in self.entries}
+        for dirpath, _, filenames in os.walk(self.objects_dir):
+            for fn in filenames:
+                path = os.path.join(dirpath, fn)
+                if fn.endswith(".tmp"):
+                    os.remove(path)
+                    tmp_files += 1
+                elif path not in live:
+                    os.remove(path)
+                    orphans += 1
+        self._rewrite_manifest()
+        self.recovery = {k: 0 for k in self.recovery}
+        self._gauges()
+        return {
+            "evicted": [item["key"] for item in report["corrupt"]],
+            "orphans": orphans,
+            "tmp_files": tmp_files,
+        }
+
+    def purge(self) -> int:
+        """Drop every entry and blob; the store stays openable."""
+        count = len(self.entries)
+        self.entries = {}
+        shutil.rmtree(self.objects_dir, ignore_errors=True)
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self._rewrite_manifest()
+        self._gauges()
+        return count
+
+    def stats(self) -> dict:
+        """Deterministic store snapshot for the CLI."""
+        by_kind: dict = {}
+        for rec in self.entries.values():
+            by_kind[rec["kind"]] = by_kind.get(rec["kind"], 0) + 1
+        quarantined = 0
+        if os.path.isdir(self.quarantine_dir):
+            quarantined = sum(
+                1 for f in os.listdir(self.quarantine_dir) if f.endswith(".bin")
+            )
+        return {
+            "schema": STORE_SCHEMA,
+            "entries": len(self.entries),
+            "bytes": sum(rec["nbytes"] for rec in self.entries.values()),
+            "by_kind": dict(sorted(by_kind.items())),
+            "quarantined": quarantined,
+            "recovery": dict(self.recovery),
+        }

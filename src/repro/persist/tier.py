@@ -1,0 +1,89 @@
+"""Store-backed tier behind the in-memory :class:`MappingCache`.
+
+:class:`StoreBackedMappingCache` is a drop-in ``MappingCache`` whose
+misses fall through to a shared :class:`~repro.persist.store.ArtifactStore`
+and whose inserts write through to it.  The engine keeps talking to the
+plain ``get``/``put``/``purge`` protocol; durability is a property of
+the instance handed to :class:`~repro.core.engine.ExecutionContext`,
+not a new code path inside the engine.
+
+Tier semantics:
+
+* ``get`` — memory first; on miss, a **verified** store load (checksum
+  re-checked by the store, structure re-checked by the blob decoder).
+  A store hit is promoted into memory at the same byte price the
+  engine would have charged for a fresh build, so LRU pressure treats
+  warm-started entries like any other.  Anything that fails decoding
+  or arrives with the wrong kind is quarantined and reported as a
+  miss — a corrupted artifact is never served.
+* ``put`` — memory insert as usual; on success, persisted kinds
+  (coords/index/kmap) are encoded and written through with the key's
+  content fingerprints attached, so fault-driven purges can find them.
+* ``purge`` — both tiers: the robustness layer's poisoned-fingerprint
+  purge must also destroy the durable copies, or the next process
+  warm-starts from exactly the state the purge was meant to kill.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.cache import MappingCache
+from repro.obs.metrics import get_registry
+from repro.robust.errors import StoreCorruptionError
+
+from .blob import artifact_nbytes, decode_artifact, encode_artifact
+from .store import ArtifactStore, store_key
+
+#: Mapping-cache entry kinds that write through to the durable tier.
+PERSISTED_KINDS = ("coords", "index", "kmap")
+
+
+class StoreBackedMappingCache(MappingCache):
+    """A :class:`MappingCache` with a durable second tier."""
+
+    def __init__(self, store: ArtifactStore, max_bytes: int | None = None):
+        if max_bytes is None:
+            super().__init__()
+        else:
+            super().__init__(max_bytes=max_bytes)
+        self.store = store
+
+    def get(self, key):
+        value = super().get(key)
+        if value is not None:
+            return value
+        if key.kind not in PERSISTED_KINDS:
+            return None
+        skey = store_key(key)
+        data = self.store.load(skey)
+        if data is None:
+            return None
+        try:
+            kind, value = decode_artifact(data)
+        except StoreCorruptionError:
+            # Checksum passed but the structure didn't — a writer bug
+            # or a collision-grade anomaly; same policy either way.
+            self.store.quarantine(skey, reason="decode")
+            return None
+        if kind != key.kind:
+            self.store.quarantine(skey, reason="kind_mismatch")
+            return None
+        MappingCache.put(self, key, value, artifact_nbytes(kind, value))
+        get_registry().counter("persist.tier", result="warm").inc()
+        return value
+
+    def put(self, key, value, nbytes: int) -> bool:
+        ok = super().put(key, value, nbytes)
+        if ok and key.kind in PERSISTED_KINDS:
+            data = encode_artifact(key.kind, value)
+            self.store.save(
+                store_key(key),
+                key.kind,
+                data,
+                fingerprints=key.fingerprints,
+            )
+        return ok
+
+    def purge(self, fingerprints) -> int:
+        count = super().purge(fingerprints)
+        self.store.evict_fingerprints(fingerprints)
+        return count

@@ -44,6 +44,7 @@ from repro.robust.errors import RobustnessError
 from repro.robust.faults import (
     PIPELINE_FAULT_KINDS,
     STICKY_KINDS,
+    STORE_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
     inject_faults,
@@ -249,10 +250,116 @@ def _replay(
     return model(x, ctx)
 
 
+def _run_store_trial(
+    kind: str, preset: str, seed: int, degrade: bool
+) -> ChaosTrial:
+    """One disk-fault trial against the durable artifact store.
+
+    The trial models the full life of a store under a seeded disk
+    fault: a clean no-store run establishes the reference output; then,
+    with the injector armed, a store-backed run populates the durable
+    tier (the fault lands on a blob write or manifest append), a
+    *second* store instance over the same root simulates the post-crash
+    process (manifest replay + recovery, every load verified), and a
+    :meth:`~repro.persist.store.ArtifactStore.scrub` pass repairs the
+    store offline.
+
+    Acceptance per trial: both store-backed runs produce the clean
+    output bit for bit (a poisoned artifact was never *served* — the
+    verified load path rebuilt instead), every fired shot was visible
+    and detected (quarantine counters + replay recovery), and the
+    scrubbed store verifies clean.
+    """
+    import shutil
+    import tempfile
+
+    from repro.persist import ArtifactStore, StoreBackedMappingCache
+
+    trial = ChaosTrial(kind=kind, preset=preset, seed=seed, degrade=degrade)
+    registry = MetricsRegistry()
+    coords, feats = _make_cloud(seed, kind)
+    model = _make_model(seed)
+    config = _trial_config(preset, _make_book(model), degrade)
+    injector = FaultInjector(seed=seed, specs=_specs_for(kind))
+    root = tempfile.mkdtemp(prefix="repro-chaos-store-")
+    recovered = {}
+    leftover: dict = {"corrupt": []}
+    outs: list = []
+    try:
+        with use_registry(registry):
+            policy = "repair" if degrade else "strict"
+            x = SparseTensor.sanitized(coords, feats, policy=policy)
+            clean = model(x, ExecutionContext(engine=BaseEngine(config=config)))
+            try:
+                with inject_faults(injector):
+                    # process 1 populates the store; the fault lands
+                    # somewhere on its write path
+                    store = ArtifactStore(root)
+                    outs.append(
+                        model(
+                            x,
+                            ExecutionContext(
+                                engine=BaseEngine(config=config),
+                                mapcache=StoreBackedMappingCache(store),
+                            ),
+                        )
+                    )
+                    # process 2 opens the same root cold: manifest
+                    # replay tolerates the damage, loads re-verify
+                    store2 = ArtifactStore(root)
+                    recovered = dict(store2.recovery)
+                    outs.append(
+                        model(
+                            x,
+                            ExecutionContext(
+                                engine=BaseEngine(config=config),
+                                mapcache=StoreBackedMappingCache(store2),
+                            ),
+                        )
+                    )
+                    store2.scrub()
+                    leftover = store2.verify()
+                trial.survived = True
+            except RobustnessError as e:
+                trial.error = str(e)
+                trial.error_kind = e.kind
+            except Exception as e:  # untyped crash: always a failure
+                trial.error = f"{type(e).__name__}: {e}"
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    trial.shots = injector.shots
+    scalars = registry.scalars()
+    injected = sum(
+        v for k, v in scalars.items() if k.startswith("faults.injected")
+    )
+    trial.visible = trial.shots == 0 or injected >= trial.shots
+    trial.detected = int(
+        sum(
+            v
+            for k, v in scalars.items()
+            if k.startswith("persist.quarantined")
+        )
+        + sum(recovered.values())
+    )
+    if trial.survived:
+        trial.bitexact = bool(
+            all(
+                np.array_equal(out.coords, clean.coords)
+                and np.array_equal(out.feats, clean.feats)
+                for out in outs
+            )
+            and not leftover["corrupt"]
+        )
+    return trial
+
+
 def run_trial(
     kind: str, preset: str, seed: int, degrade: bool = True
 ) -> ChaosTrial:
     """Run one end-to-end trial under a fresh metrics registry."""
+    if kind in STORE_FAULT_KINDS:
+        return _run_store_trial(kind, preset, seed, degrade)
     trial = ChaosTrial(kind=kind, preset=preset, seed=seed, degrade=degrade)
     registry = MetricsRegistry()
     coords, feats = _make_cloud(seed, kind)

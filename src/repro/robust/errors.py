@@ -84,6 +84,22 @@ class StrategyBookError(RobustnessError, ValueError):
     stage = "matmul"
 
 
+class StoreCorruptionError(RobustnessError):
+    """A durable artifact (or the store manifest) failed verification.
+
+    Raised by the persistent artifact store (:mod:`repro.persist`) when
+    a blob's size/checksum disagrees with its manifest record, a blob
+    fails structural decoding, or the manifest header itself is
+    unreadable.  Deliberately **not** in :data:`FAULT_ERRORS`: store
+    corruption is handled inside the store (quarantine the entry,
+    rebuild from scratch) — the engine's retry ladder must never
+    "recover" by re-reading the same poisoned bytes.
+    """
+
+    kind = "store_corrupt"
+    stage = "mapping"
+
+
 class DegradationExhaustedError(RobustnessError):
     """Every ladder rung failed; the layer cannot be salvaged."""
 

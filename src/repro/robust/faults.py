@@ -44,6 +44,12 @@ Serving-layer sites (fleet-level failures, see :mod:`repro.serve`):
 * ``queue_spike``    — a burst of extra arrivals lands on the admission
   queue at once, modeling a traffic spike.
 
+Disk-fault sites of the durable artifact store (see
+:data:`STORE_FAULT_KINDS` and :mod:`repro.persist`): ``store_torn_write``,
+``store_bitrot``, ``store_manifest_corrupt``, ``store_stale_entry`` —
+all fired inside the store's write paths, all required to be caught by
+manifest recovery or mandatory load-time verification.
+
 Every shot is recorded on the injector (``fired``) and counted in the
 current metrics registry as ``faults.injected{kind=...}``.
 """
@@ -58,8 +64,27 @@ import numpy as np
 from repro.obs.metrics import get_registry
 from repro.robust.errors import GridMemoryError
 
+#: Disk faults inside the durable artifact store (:mod:`repro.persist`):
+#:
+#: * ``store_torn_write``      — power loss mid-write: only a prefix of
+#:   the artifact's bytes reaches the durable file;
+#: * ``store_bitrot``          — media decay: random bytes of the
+#:   durable file flip after the write committed;
+#: * ``store_manifest_corrupt`` — the appended manifest journal record
+#:   is truncated mid-line (the classic torn-append crash signature);
+#: * ``store_stale_entry``     — the manifest records a new checksum but
+#:   the object file still holds the previous (or no) content.
+STORE_FAULT_KINDS = (
+    "store_torn_write",
+    "store_bitrot",
+    "store_manifest_corrupt",
+    "store_stale_entry",
+)
+
 #: Faults inside the single-request sparse-conv pipeline; the chaos
-#: harness crosses exactly these with presets and seeds.
+#: harness crosses exactly these with presets and seeds.  The store
+#: kinds are included: a poisoned cached mapping is a pipeline fault
+#: even though the injection site lives on disk.
 PIPELINE_FAULT_KINDS = (
     "kmap_corrupt",
     "hash_overflow",
@@ -70,7 +95,7 @@ PIPELINE_FAULT_KINDS = (
     "bitflip_feature",
     "bitflip_weight",
     "checksum_mismatch",
-)
+) + STORE_FAULT_KINDS
 
 #: The silent-data-corruption subset: these sites never crash or emit
 #: NaN, so only the ABFT integrity layer can see them.  The serving
@@ -378,6 +403,76 @@ def queue_spike_burst(site: str = "traffic") -> int:
     if spec is None:
         return 0
     return max(1, int(round(100.0 * spec.severity)))
+
+
+def maybe_torn_write(data: bytes, site: str = "") -> bytes:
+    """Truncate the durable bytes of one artifact write.
+
+    Models power loss between ``write()`` and the completed flush: only
+    a prefix of the intended content reaches the object file.  The
+    manifest record (written afterwards, with its own fsync) carries the
+    checksum of the *intended* content, so load-time verification must
+    catch the mismatch.
+    """
+    inj = _CURRENT
+    if inj is None or len(data) < 2:
+        return data
+    spec = inj.fire("store_torn_write", site)
+    if spec is None:
+        return data
+    cut = max(1, int(len(data) * float(inj.rng.uniform(0.25, 0.75))))
+    return data[:cut]
+
+
+def maybe_bitrot(data: bytes, site: str = "") -> bytes:
+    """Flip one bit in ``severity`` of an artifact's durable bytes.
+
+    Models media decay after a committed write: the file length is
+    right, the content is not — the corruption class only a content
+    checksum (never a size check) can see.
+    """
+    inj = _CURRENT
+    if inj is None or not data:
+        return data
+    spec = inj.fire("store_bitrot", site)
+    if spec is None:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8).copy()
+    hits = max(1, int(arr.size * spec.severity))
+    where = inj.rng.choice(arr.size, size=min(hits, arr.size), replace=False)
+    arr[where] ^= np.uint8(1 << int(inj.rng.integers(8)))
+    return arr.tobytes()
+
+
+def maybe_corrupt_manifest_line(line: str, site: str = "") -> str:
+    """Truncate one manifest journal record mid-line (torn append).
+
+    The append-only manifest's crash signature: the process died between
+    ``write()`` and the fsync, leaving a partial JSON line.  Recovery on
+    open must drop the damaged record and keep every earlier one.
+    """
+    inj = _CURRENT
+    if inj is None or len(line) < 2:
+        return line
+    spec = inj.fire("store_manifest_corrupt", site)
+    if spec is None:
+        return line
+    cut = max(1, int(len(line) * float(inj.rng.uniform(0.2, 0.8))))
+    return line[:cut]
+
+
+def maybe_stale_entry(site: str = "") -> bool:
+    """True when this save's object write should be silently dropped.
+
+    Models a reordered/absorbed write: the manifest records the new
+    checksum but the object file keeps its previous content (or, for a
+    first write, an empty stub) — a *stale entry* that only mandatory
+    load-time verification can refuse to serve.
+    """
+    inj = _CURRENT
+    if inj is None:
+        return False
+    return inj.fire("store_stale_entry", site) is not None
 
 
 def maybe_corrupt_cloud(

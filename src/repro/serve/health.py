@@ -57,6 +57,7 @@ class FleetHealth:
     ) -> None:
         if threshold < 1 or max_probes < 1:
             raise ValueError("threshold >= 1 and max_probes >= 1 required")
+        self.threshold = threshold
         self.max_probes = max_probes
         self.devices = {
             label: DeviceHealth(
@@ -64,6 +65,21 @@ class FleetHealth:
             )
             for label in labels
         }
+
+    def add_device(self, label: str) -> DeviceHealth:
+        """Admit a replacement device to the fleet, healthy.
+
+        Used by the serve layer's spare pool when a DEAD device is
+        replaced: the spare gets a fresh breaker (same threshold as the
+        rest of the fleet), not the dead device's exhausted one.
+        """
+        if label in self.devices:
+            raise ValueError(f"device {label!r} already tracked")
+        dev = DeviceHealth(
+            label=label, breaker=CircuitBreaker(threshold=self.threshold)
+        )
+        self.devices[label] = dev
+        return dev
 
     def __getitem__(self, label: str) -> DeviceHealth:
         return self.devices[label]

@@ -47,6 +47,13 @@ class ServeReport:
     #: the device) vs. cold — both zero when ``steady_state`` is off
     warm_dispatches: int = 0
     cold_dispatches: int = 0
+    #: size of the spare-device pool the campaign ran with
+    spares: int = 0
+    #: whether a durable artifact store backed the fleet
+    store_enabled: bool = False
+    #: one record per admitted spare: {slot, device, t, warm_start,
+    #: inherited_frames}
+    replacements: list = field(default_factory=list)
     seed: int = 0
     duration: float = 0.0
     #: sim time the last event fired at
@@ -217,6 +224,34 @@ class ServeReport:
         total = self.warm_dispatches + self.cold_dispatches
         return 0.0 if total == 0 else self.warm_dispatches / total
 
+    # -- replacements --------------------------------------------------------
+
+    def _replacement_latencies(self) -> list:
+        """Finished latencies of requests resolved on a spare device —
+        the cold-start population the store warm-start is measured on."""
+        labels = {rec["device"] for rec in self.replacements}
+        if not labels:
+            return []
+        return [
+            r.latency
+            for r in self.requests
+            if r.state in (COMPLETED, DEADLINE_EXCEEDED)
+            and r.latency is not None
+            and r.devices
+            and r.devices[-1] in labels
+        ]
+
+    def replacement_percentile(self, q: float) -> float:
+        return percentile(self._replacement_latencies(), q)
+
+    @property
+    def replacement_p50(self) -> float:
+        return self.replacement_percentile(50.0)
+
+    @property
+    def replacement_p99(self) -> float:
+        return self.replacement_percentile(99.0)
+
     @property
     def corrupted_completions(self) -> int:
         """Requests that *delivered* a corrupted result — the silent-
@@ -264,6 +299,15 @@ class ServeReport:
                 "cold_dispatches": self.cold_dispatches,
                 "warm_fraction": self.warm_fraction,
             },
+            "replacements": {
+                "spares": self.spares,
+                "store": self.store_enabled,
+                "count": len(self.replacements),
+                "records": list(self.replacements),
+                "served": len(self._replacement_latencies()),
+                "p50": self.replacement_p50,
+                "p99": self.replacement_p99,
+            },
             "qos": {
                 "enabled": self.brownout,
                 "rungs": list(self.qos_rungs),
@@ -308,5 +352,12 @@ def format_serve_summary(report: ServeReport) -> str:
             f" | qos {mix} "
             f"({len(report.qos_changes)} changes, "
             f"{report.degraded_fraction:.1%} degraded)"
+        )
+    if report.replacements:
+        warm = sum(rec["warm_start"] for rec in report.replacements)
+        text += (
+            f" | replacements {len(report.replacements)} "
+            f"({warm} warm-started, "
+            f"spare p99 {report.replacement_p99 * 1e3:.2f} ms)"
         )
     return text

@@ -117,10 +117,23 @@ class ServeConfig:
     #: .BrownoutConfig`).  ``None`` (default) serves everything at full
     #: quality — bit-exact with pre-brownout campaigns.
     brownout: BrownoutConfig | None = None
+    #: spare-device pool: when a device is declared DEAD, up to this
+    #: many replacements are admitted (same GPU spec as the dead slot,
+    #: fresh breaker).  0 (default) keeps the pre-spares fleet: a dead
+    #: device just shrinks capacity.
+    spares: int = 0
+    #: path of a shared :class:`~repro.persist.store.ArtifactStore`.
+    #: With ``steady_state`` on, dispatched (model, scene) frames are
+    #: persisted as durable markers and a replacement device
+    #: *warm-starts* from them instead of re-mapping the whole world
+    #: cold.  ``None`` (default) keeps everything process-local.
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not self.devices:
             raise ValueError("need at least one device")
+        if self.spares < 0:
+            raise ValueError("spares must be >= 0")
         if self.preset not in PRESET_FACTORIES:
             raise ValueError(
                 f"unknown preset {self.preset!r}; expected one of "
@@ -182,6 +195,19 @@ class Server:
             threshold=config.breaker_threshold,
             max_probes=config.max_probes,
         )
+        self.store = None
+        if config.store_dir is not None:
+            from repro.persist import ArtifactStore
+
+            self.store = ArtifactStore(config.store_dir)
+        self._spares_left = config.spares
+        #: replacement records: {"slot", "device", "t", "warm_start",
+        #: "inherited_frames"} per admitted spare
+        self.replacements: list = []
+        #: (model, scene) frames durably persisted this campaign (plus
+        #: those recovered from the store on startup) — what a
+        #: replacement device inherits instead of an empty cache
+        self._fleet_seen: set = set()
         self.recorder = recorder
         if recorder is not None:
             recorder.meta.update(
@@ -191,6 +217,8 @@ class Server:
                 verify_integrity=config.verify_integrity,
                 steady_state=config.steady_state,
                 brownout=config.brownout is not None,
+                spares=config.spares,
+                store=config.store_dir is not None,
             )
         self.queue = AdmissionQueue(
             config.queue_capacity, on_shed=self._on_queue_shed
@@ -345,6 +373,7 @@ class Server:
                 b.ladder.quality_at(level) for level in range(b.ladder.floor + 1)
             ]
             get_registry().gauge("serve.qos_level").set(0)
+        self._warmstart_fleet()
         with self.tracer.span("serve.campaign", requests=len(requests)):
             for req in requests:
                 self._push(req.arrival, "arrival", req.id)
@@ -428,6 +457,9 @@ class Server:
             reg.counter(
                 "serve.mapcache", result="warm" if warm else "cold"
             ).inc()
+            if self.store is not None and frame not in self._fleet_seen:
+                self._fleet_seen.add(frame)
+                self._persist_frame(frame)
         quality = None
         if self.brownout is not None:
             # the fleet's current rung; restamped per dispatch so the
@@ -720,6 +752,108 @@ class Server:
         )
         self._push(attempt.finish, "complete", attempt.id)
 
+    # -- the durable tier ----------------------------------------------------
+
+    def _persist_frame(self, frame: tuple) -> None:
+        """Durably record that the fleet has mapped ``frame``."""
+        from repro.persist import encode_artifact, frame_key
+
+        model, scene = frame
+        value = {"model": model, "scene": scene}
+        self.store.save(
+            frame_key(model, scene), "frame", encode_artifact("frame", value)
+        )
+
+    def _warmstart_fleet(self) -> None:
+        """Prime every worker's seen-set from the shared store.
+
+        Every stored frame marker is loaded through the verified path
+        (checksum + structural decode — a corrupt marker quarantines
+        and is simply not inherited).  The recovered frames seed both
+        the fleet-wide set replacements inherit *and* each initial
+        worker, so a second same-store campaign starts warm.
+        """
+        if self.store is None or not self.config.steady_state:
+            return
+        from repro.persist import decode_artifact
+        from repro.robust.errors import StoreCorruptionError
+
+        for key in sorted(self.store.entries):
+            if self.store.entries[key]["kind"] != "frame":
+                continue
+            data = self.store.load(key)
+            if data is None:
+                continue
+            try:
+                kind, value = decode_artifact(data)
+            except StoreCorruptionError:
+                self.store.quarantine(key, reason="decode")
+                continue
+            if kind != "frame":
+                self.store.quarantine(key, reason="kind_mismatch")
+                continue
+            self._fleet_seen.add((value["model"], value["scene"]))
+        if not self._fleet_seen:
+            return
+        frames = len(self._fleet_seen)
+        reg = get_registry()
+        for w in self.workers:
+            self._seen[w.index] |= self._fleet_seen
+            reg.counter("persist.warmstarts").inc()
+            reg.counter("persist.warmstart_frames").inc(frames)
+            self._emit("store_warmstart", device=w.label, frames=frames)
+
+    def _replace_device(self, dead: DeviceWorker) -> None:
+        """Admit a spare into a dead device's slot.
+
+        The spare shares the dead slot's GPU spec but gets its own
+        label (``spare<n>`` — deliberately *not* derived from the dead
+        label, so a sticky fault pinned to the dead device by substring
+        site-matching cannot follow the replacement in), a fresh
+        breaker, and — when the durable store is on — a seen-set
+        warm-started from every frame the fleet has persisted, instead
+        of an empty cache that re-maps the whole world cold.
+        """
+        if self._spares_left <= 0:
+            return
+        self._spares_left -= 1
+        label = f"spare{len(self.replacements) + 1}"
+        spare = DeviceWorker(
+            index=len(self.workers), label=label, spec=dead.spec
+        )
+        self.workers.append(spare)
+        self.labels.append(label)
+        self.health.add_device(label)
+        warm_start = self.store is not None and self.config.steady_state
+        inherited = set(self._fleet_seen) if warm_start else set()
+        self._seen.append(inherited)
+        reg = get_registry()
+        reg.counter("serve.replacements", device=dead.label).inc()
+        self._emit(
+            "device_replaced",
+            device=label,
+            slot=dead.label,
+            spec=dead.spec.name,
+        )
+        if warm_start:
+            reg.counter("persist.warmstarts").inc()
+            reg.counter("persist.warmstart_frames").inc(len(inherited))
+            self._emit("store_warmstart", device=label, frames=len(inherited))
+        self.replacements.append(
+            {
+                "slot": dead.label,
+                "device": label,
+                "t": self.now,
+                "warm_start": warm_start,
+                "inherited_frames": len(inherited),
+            }
+        )
+        with self.tracer.span(
+            "serve.device_replaced", slot=dead.label, device=label
+        ):
+            pass
+        self._pump()
+
     def _finish_probe(self, a: Attempt) -> None:
         w = self.workers[a.device]
         ok = not a.will_fail and not (
@@ -741,6 +875,7 @@ class Server:
             self._push(self.now + self._probe_cooldown, "probe", w.index)
         elif self.health[w.label].state == DEAD:
             self._emit("device_dead", device=w.label)
+            self._replace_device(w)
 
     def _final_sweep(self) -> None:
         """Force every survivor into a terminal state (liveness)."""
@@ -779,6 +914,9 @@ class Server:
             steady_state=self.config.steady_state,
             warm_dispatches=self.warm_dispatches,
             cold_dispatches=self.cold_dispatches,
+            spares=self.config.spares,
+            store_enabled=self.store is not None,
+            replacements=list(self.replacements),
             seed=self.config.seed,
             end_time=self.now,
             slo_window=self.config.slo_window,

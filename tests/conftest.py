@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite.
+
+The process-level mapping cache (``repro.mapping.cache._DEFAULT``) is
+module state that survives across tests: a test that warms it via
+``get_mapping_cache()`` would otherwise leak hits, gauges, and byte
+accounting into whichever test runs next.  The autouse fixture below
+resets it around every test so ordering can never change outcomes.
+"""
+
+import pytest
+
+from repro.mapping.cache import reset_mapping_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_mapping_cache():
+    """Guarantee every test starts and ends with no process cache."""
+    reset_mapping_cache()
+    yield
+    reset_mapping_cache()

@@ -129,3 +129,37 @@ class TestChaosCli:
     def test_cli_rejects_unknown_kind(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--kinds", "bogus"])
+
+
+# -- durable-store fault sites ----------------------------------------------
+
+
+class TestStoreChaos:
+    def test_store_kinds_in_pipeline_sweep(self):
+        from repro.robust.faults import STORE_FAULT_KINDS
+
+        for kind in STORE_FAULT_KINDS:
+            assert kind in PIPELINE_FAULT_KINDS
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "store_torn_write",
+            "store_bitrot",
+            "store_manifest_corrupt",
+            "store_stale_entry",
+        ],
+    )
+    def test_store_trial_survives_detects_bitexact(self, kind):
+        t = run_trial(kind, "torchsparse", seed=0)
+        assert t.ok, t.to_json()
+        assert t.survived and t.visible
+        assert t.detected >= 1
+        # the repaired store never served damaged bytes: outputs match
+        # the clean run bit for bit
+        assert t.bitexact is True
+
+    def test_store_trial_deterministic(self):
+        a = run_trial("store_bitrot", "torchsparse", seed=5).to_json()
+        b = run_trial("store_bitrot", "torchsparse", seed=5).to_json()
+        assert a == b

@@ -364,3 +364,113 @@ class TestFlightRecorderCli:
         bad.write_text('{"schema": "repro-bench.serve/1"}\n')
         with pytest.raises(SystemExit, match="not an event journal"):
             main(["timeline", "--events", str(bad)])
+
+
+class TestStoreCli:
+    def populate(self, tmp_path, seed="5"):
+        """A store filled by a short steady-state serve campaign."""
+        root = tmp_path / "store"
+        rc = main([
+            "serve", "--scale", "0.1", "--rate", "200", "--duration",
+            "0.3", "--seed", seed, "--steady-state", "--coherence",
+            "0.8", "--store", str(root),
+        ])
+        assert rc == 0
+        return root
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["store", "stats", "--dir", "x"])
+        assert args.command == "store"
+        assert args.action == "stats"
+        args = build_parser().parse_args(["serve"])
+        assert args.store is None
+        assert args.spares == 0
+
+    def test_stats_verify_scrub_pass(self, tmp_path, capsys):
+        root = self.populate(tmp_path)
+        assert main(["store", "stats", "--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "store stats" in out and "frame=" in out
+        assert main(["store", "verify", "--dir", str(root)]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        assert main(["store", "scrub", "--dir", str(root)]) == 0
+
+    def test_snapshot_deterministic_across_same_seed_runs(
+        self, tmp_path, capsys
+    ):
+        """Two same-seed campaigns into two stores must produce
+        byte-identical `store stats` snapshots (and manifests)."""
+        ra = self.populate(tmp_path / "a")
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", str(ra)]) == 0
+        out_a = capsys.readouterr().out.replace(str(ra), "<dir>")
+        rb = self.populate(tmp_path / "b")
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", str(rb)]) == 0
+        out_b = capsys.readouterr().out.replace(str(rb), "<dir>")
+        assert out_a == out_b
+        assert (ra / "MANIFEST.jsonl").read_bytes() == (
+            rb / "MANIFEST.jsonl"
+        ).read_bytes()
+
+    def test_stats_json_snapshot(self, tmp_path, capsys):
+        root = self.populate(tmp_path)
+        snap = tmp_path / "store.json"
+        assert main(
+            ["store", "stats", "--dir", str(root), "--json", str(snap)]
+        ) == 0
+        d = json.loads(snap.read_text())
+        assert d["schema"] == "repro-store/1"
+        assert d["entries"] > 0
+
+    def test_verify_exits_1_on_corrupt_entry(self, tmp_path, capsys):
+        root = self.populate(tmp_path)
+        # rot one blob on disk
+        import os
+        for dirpath, _, files in os.walk(root / "objects"):
+            for fn in files:
+                path = os.path.join(dirpath, fn)
+                with open(path, "r+b") as fh:
+                    raw = bytearray(fh.read())
+                    raw[len(raw) // 2] ^= 0xFF
+                    fh.seek(0)
+                    fh.write(bytes(raw))
+                break
+            else:
+                continue
+            break
+        assert main(["store", "verify", "--dir", str(root)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        # scrub repairs; verify passes again
+        assert main(["store", "scrub", "--dir", str(root)]) == 0
+        assert main(["store", "verify", "--dir", str(root)]) == 0
+
+    def test_corrupt_manifest_exits_1(self, tmp_path, capsys):
+        root = self.populate(tmp_path)
+        (root / "MANIFEST.jsonl").write_text('{"schema": "bogus/9"}\n')
+        assert main(["store", "stats", "--dir", str(root)]) == 1
+        assert "CORRUPT MANIFEST" in capsys.readouterr().out
+
+    def test_missing_dir_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "stats", "--dir", str(tmp_path / "nope")])
+
+    def test_purge_empties(self, tmp_path, capsys):
+        root = self.populate(tmp_path)
+        assert main(["store", "purge", "--dir", str(root)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", str(root)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_serve_with_spares_prints_replacement(self, capsys, tmp_path):
+        rc = main([
+            "serve", "--scale", "0.1", "--rate", "200", "--duration",
+            "0.4", "--seed", "7", "--steady-state", "--coherence",
+            "0.9", "--store", str(tmp_path / "store"), "--spares", "1",
+            "--max-probes", "2", "--faults", "device_crash",
+            "--crashes", "-1", "--crash-site", "RTX 2080Ti #0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replacement: spare1 filled slot RTX 2080Ti #0" in out
+        assert "warm-started" in out

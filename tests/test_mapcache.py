@@ -363,3 +363,149 @@ class TestChaosPurge:
                                    layer_name="conv")
             key = next(k for k in warm.kmap_cache if k.kind == "kmap")
             assert warm.kmap_cache[key] is not cache.get(key)
+
+
+# -- the process-level default and its reset hook ----------------------------
+
+
+class TestProcessCacheReset:
+    def test_reset_clears_and_drops(self):
+        from repro.mapping.cache import (
+            get_mapping_cache,
+            reset_mapping_cache,
+        )
+
+        with use_registry(MetricsRegistry()) as reg:
+            cache = get_mapping_cache()
+            assert get_mapping_cache() is cache
+            key = CoordsKey("fp", (1, 1, 1), (1, 1, 1))
+            cache.put(key, object(), 512)
+            assert len(cache) == 1
+            reset_mapping_cache()
+            # the old instance was emptied (anyone holding a reference
+            # sees no stale entries) and gauges went to zero
+            assert len(cache) == 0
+            scalars = reg.scalars()
+            assert scalars["mapcache.entries"] == 0
+            assert scalars["mapcache.bytes"] == 0
+            # and the next accessor gets a fresh instance
+            assert get_mapping_cache() is not cache
+
+    def test_autouse_fixture_isolates_tests(self):
+        """The conftest fixture must hand every test an empty default
+        cache — this test warms it; its sibling below asserts empty.
+        Together they fail (in either order) without the fixture."""
+        from repro.mapping.cache import get_mapping_cache
+
+        with use_registry(MetricsRegistry()):
+            cache = get_mapping_cache()
+            assert len(cache) == 0
+            cache.put(CoordsKey("fp", (1, 1, 1), (1, 1, 1)), object(), 256)
+            assert len(cache) == 1
+
+    def test_autouse_fixture_isolates_tests_sibling(self):
+        from repro.mapping.cache import get_mapping_cache
+
+        with use_registry(MetricsRegistry()):
+            assert len(get_mapping_cache()) == 0
+
+
+# -- concurrency: gauge accounting under contention (property test) ----------
+
+
+class TestThreadedAccounting:
+    def test_gauges_match_recount_after_concurrent_churn(self):
+        """Hammer one cache from several threads with interleaved
+        put/get/purge/oversize traffic, then verify the byte and entry
+        gauges equal a from-scratch recount of what actually survived.
+
+        The invariant under test: accounting is transactional with the
+        entry map — no lost updates, no drift from evictions racing
+        inserts, and oversize rejections leave state untouched.
+        """
+        import threading as _threading
+
+        budget = 64 * 1024
+        with use_registry(MetricsRegistry()) as reg:
+            cache = MappingCache(max_bytes=budget)
+            errors = []
+
+            def worker(tid):
+                try:
+                    rng = np.random.default_rng(tid)
+                    for i in range(200):
+                        fp = f"fp{tid}_{i % 17}"
+                        key = CoordsKey(fp, (1, 1, 1), (int(tid), 1, 1))
+                        op = rng.integers(0, 10)
+                        if op < 6:
+                            nbytes = int(rng.integers(128, 4096))
+                            cache.put(key, (tid, i), nbytes)
+                        elif op < 8:
+                            cache.get(key)
+                        elif op == 8:
+                            cache.purge([fp])
+                        else:
+                            # over-budget insert: must be rejected
+                            # without disturbing resident state
+                            assert not cache.put(
+                                key, (tid, i), budget + 1
+                            )
+                except Exception as e:  # pragma: no cover
+                    errors.append(e)
+
+            threads = [
+                _threading.Thread(target=worker, args=(t,))
+                for t in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+
+            # recount ground truth from the survivors
+            with cache._lock:
+                true_bytes = sum(n for _, n in cache._entries.values())
+                true_entries = len(cache._entries)
+            assert cache.bytes == true_bytes
+            assert true_bytes <= budget
+            stats = cache.stats()
+            assert stats["bytes"] == true_bytes
+            assert stats["entries"] == true_entries
+            scalars = reg.scalars()
+            assert scalars["mapcache.bytes"] == float(true_bytes)
+            assert scalars["mapcache.entries"] == float(true_entries)
+            # every oversize attempt was counted and none was admitted
+            assert scalars["mapcache.evictions{reason=oversize}"] > 0
+
+    def test_concurrent_store_tier_stays_consistent(self, tmp_path):
+        """Same churn through the store-backed tier: the durable tier's
+        entry map must agree with its manifest on reopen."""
+        import threading as _threading
+
+        from repro.persist import ArtifactStore, StoreBackedMappingCache
+
+        with use_registry(MetricsRegistry()):
+            store = ArtifactStore(tmp_path / "store")
+            cache = StoreBackedMappingCache(store)
+            coords = [make_cloud(seed=s).coords for s in range(4)]
+
+            def worker(tid):
+                key = CoordsKey(
+                    f"fp{tid}", (2, 2, 2), (1, 1, 1)
+                )
+                for _ in range(25):
+                    cache.put(key, coords[tid % 4], 2048)
+                    cache.get(key)
+
+            threads = [
+                _threading.Thread(target=worker, args=(t,))
+                for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            live = store.stats()["entries"]
+            reopened = ArtifactStore(tmp_path / "store")
+            assert len(reopened.entries) == live

@@ -673,3 +673,125 @@ class TestSteadyStateServing:
         )
         assert steady.total == base.total
         assert steady.outcomes == base.outcomes
+
+
+# -- spare-pool replacement of DEAD devices ----------------------------------
+
+
+def store_campaign(tmp, specs=(), spares=1, seed=7, store=True,
+                   coherence=0.9, recorder=None):
+    """A steady-state campaign with a sticky crash that kills one slot."""
+    config = make_config(
+        max_probes=2,
+        steady_state=True,
+        spares=spares,
+        store_dir=str(tmp) if store else None,
+    )
+    traffic = make_traffic(coherence=coherence, seed=seed)
+    injector = FaultInjector(seed=seed, specs=list(specs)) if specs else None
+    with use_registry(MetricsRegistry()) as reg:
+        report = run_serve_campaign(
+            config, traffic, injector=injector, recorder=recorder,
+        )
+    return report, reg
+
+
+STICKY = [FaultSpec(kind="device_crash", site="RTX 2080Ti #0", count=-1)]
+
+
+class TestSpareReplacement:
+    def test_dead_slot_replaced_and_spare_serves(self, tmp_path):
+        from repro.obs.timeline import TimelineRecorder, validate_journal
+
+        rec = TimelineRecorder()
+        report, reg = store_campaign(
+            tmp_path / "store", specs=STICKY, recorder=rec
+        )
+        assert report.all_terminal
+        assert report.fleet["RTX 2080Ti #0"]["state"] == DEAD
+        assert len(report.replacements) == 1
+        record = report.replacements[0]
+        assert record["slot"] == "RTX 2080Ti #0"
+        assert record["device"] == "spare1"
+        assert record["warm_start"] is True
+        assert record["inherited_frames"] > 0
+        # the spare took real traffic
+        assert report.utilization["spare1"]["completed"] > 0
+        assert report.fleet["spare1"]["state"] == HEALTHY
+        # and the whole causal story validates: dead -> replaced ->
+        # warm-started, in order, exactly once
+        assert validate_journal(rec.header(), rec.events) == []
+        kinds = [e["kind"] for e in rec.events]
+        assert kinds.count("device_dead") == 1
+        assert kinds.count("device_replaced") == 1
+        assert kinds.count("store_warmstart") == 1
+        scal = reg.scalars()
+        assert scal["serve.replacements{device=RTX 2080Ti #0}"] == 1.0
+        assert scal["persist.warmstarts"] == 1.0
+
+    def test_no_spares_leaves_slot_dead(self, tmp_path):
+        report, _ = store_campaign(
+            tmp_path / "store", specs=STICKY, spares=0
+        )
+        assert report.fleet["RTX 2080Ti #0"]["state"] == DEAD
+        assert report.replacements == []
+        assert "spare1" not in report.fleet
+
+    def test_replacement_without_store_is_cold(self, tmp_path):
+        report, _ = store_campaign(
+            tmp_path / "unused", specs=STICKY, store=False
+        )
+        assert len(report.replacements) == 1
+        record = report.replacements[0]
+        assert record["warm_start"] is False
+        assert record["inherited_frames"] == 0
+
+    def test_spares_never_needed_stay_armed(self, tmp_path):
+        report, _ = store_campaign(tmp_path / "store", specs=())
+        assert report.replacements == []
+        assert report.spares == 1
+        assert "spare1" not in report.fleet
+
+    def test_report_json_carries_replacements(self, tmp_path):
+        report, _ = store_campaign(tmp_path / "store", specs=STICKY)
+        blob = json.loads(json.dumps(report.to_json()))
+        rep = blob["replacements"]
+        assert rep["spares"] == 1 and rep["store"] is True
+        assert rep["count"] == 1
+        assert rep["records"][0]["device"] == "spare1"
+        assert rep["served"] > 0
+        assert rep["p99"] >= rep["p50"] > 0
+        assert "replacements 1 (1 warm-started" in format_serve_summary(
+            report
+        )
+
+    def test_second_campaign_warm_starts_whole_fleet(self, tmp_path):
+        from repro.obs.timeline import TimelineRecorder
+
+        store = tmp_path / "store"
+        first, _ = store_campaign(store, specs=())
+        rec = TimelineRecorder()
+        second, reg = store_campaign(store, specs=(), recorder=rec)
+        warmstarts = [
+            e for e in rec.events if e["kind"] == "store_warmstart"
+        ]
+        # every initial worker primed itself from the shared store
+        assert len(warmstarts) == 3
+        assert all(e["attrs"]["frames"] > 0 for e in warmstarts)
+        # and the primed fleet serves warmer than the cold first run
+        assert second.warm_fraction > first.warm_fraction
+
+    def test_same_seed_store_campaigns_bit_identical(self, tmp_path):
+        a, _ = store_campaign(tmp_path / "a", specs=STICKY, seed=7)
+        b, _ = store_campaign(tmp_path / "b", specs=STICKY, seed=7)
+        assert json.dumps(a.to_json(), sort_keys=True) == json.dumps(
+            b.to_json(), sort_keys=True
+        )
+        # the two stores themselves are byte-identical artifacts
+        ma = (tmp_path / "a" / "MANIFEST.jsonl").read_bytes()
+        mb = (tmp_path / "b" / "MANIFEST.jsonl").read_bytes()
+        assert ma == mb
+
+    def test_spares_validated(self):
+        with pytest.raises(ValueError):
+            make_config(spares=-1)

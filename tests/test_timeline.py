@@ -525,3 +525,54 @@ def test_request_timeline_filters_one_request():
         "terminal",
     ]
     assert all(e["request"] == 0 for e in rows)
+
+
+# -- replacement / warm-start causal rules -----------------------------------
+
+
+class TestReplacementValidation:
+    def replacement_rec(self):
+        rec = minimal_events()
+        rec.emit("device_dead", 0.004, device="d")
+        rec.emit("device_replaced", 0.004, device="spare1", slot="d",
+                 spec="RTX 3090")
+        rec.emit("store_warmstart", 0.004, device="spare1", frames=3)
+        return rec
+
+    def test_replacement_lifecycle_valid(self):
+        rec = self.replacement_rec()
+        assert validate_journal(rec.header(), rec.events) == []
+
+    def test_warmstart_zero_frames_valid(self):
+        rec = minimal_events()
+        rec.emit("store_warmstart", 0.004, device="d", frames=0)
+        assert validate_journal(rec.header(), rec.events) == []
+
+    def test_replacement_without_death_flagged(self):
+        rec = minimal_events()
+        rec.emit("device_replaced", 0.004, device="spare1", slot="d",
+                 spec="RTX 3090")
+        probs = validate_journal(rec.header(), rec.events)
+        assert any("no prior device_dead" in p for p in probs)
+
+    def test_slot_filled_twice_flagged(self):
+        rec = self.replacement_rec()
+        rec.emit("device_replaced", 0.005, device="spare2", slot="d",
+                 spec="RTX 3090")
+        probs = validate_journal(rec.header(), rec.events)
+        assert any("replaced twice" in p for p in probs)
+
+    def test_replacement_missing_fields_flagged(self):
+        rec = minimal_events()
+        rec.emit("device_dead", 0.004, device="d")
+        rec.emit("device_replaced", 0.004)
+        probs = validate_journal(rec.header(), rec.events)
+        assert any("without a replacement device" in p for p in probs)
+        assert any("without a slot" in p for p in probs)
+
+    def test_warmstart_bad_frames_flagged(self):
+        for frames in (-1, True, "three", None):
+            rec = minimal_events()
+            rec.emit("store_warmstart", 0.004, device="d", frames=frames)
+            probs = validate_journal(rec.header(), rec.events)
+            assert any("invalid frames" in p for p in probs), frames
