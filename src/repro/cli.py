@@ -464,6 +464,7 @@ def cmd_integrity(args) -> int:
 def cmd_serve(args) -> int:
     from repro.gpu.device import GPU_REGISTRY
     from repro.robust.faults import (
+        DOMAIN_FAULT_KINDS,
         SDC_FAULT_KINDS,
         SERVE_FAULT_KINDS,
         FaultInjector,
@@ -492,7 +493,7 @@ def cmd_serve(args) -> int:
     # the SDC bit-flip kinds are valid fleet faults too: a device starts
     # returning corrupted-but-finished results (checksum_mismatch has no
     # serving-layer site — it lives inside the pipeline verifier)
-    serve_kinds = SERVE_FAULT_KINDS + SDC_FAULT_KINDS[:2]
+    serve_kinds = SERVE_FAULT_KINDS + SDC_FAULT_KINDS[:2] + DOMAIN_FAULT_KINDS
     kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
     specs = []
     for kind in kinds:
@@ -501,7 +502,14 @@ def cmd_serve(args) -> int:
                 f"unknown serve fault {kind!r}; expected one of "
                 f"{serve_kinds}"
             )
-        if kind in SDC_FAULT_KINDS:
+        if kind in DOMAIN_FAULT_KINDS:
+            specs.append(
+                FaultSpec(
+                    kind=kind, site=args.outage_domain, count=1,
+                    severity=args.outage_severity,
+                )
+            )
+        elif kind in SDC_FAULT_KINDS:
             specs.append(FaultSpec(kind=kind, count=args.crashes))
         elif kind == "device_crash":
             specs.append(
@@ -528,24 +536,42 @@ def cmd_serve(args) -> int:
             interval=args.brownout_interval,
             max_level=args.brownout_max_level,
         )
-    config = ServeConfig(
-        devices=tuple(devices),
-        preset=args.preset,
-        queue_capacity=args.queue_capacity,
-        deadline_factor=args.deadline_factor,
-        retry=RetryPolicy(max_retries=args.max_retries),
-        hedge=HedgePolicy(enabled=not args.no_hedge),
-        verify_integrity=not args.no_verify,
-        scale=args.scale,
-        seed=args.seed,
-        steady_state=args.steady_state,
-        max_probes=args.max_probes,
-        slo_window=args.slo_window,
-        slo_target=args.slo_target,
-        brownout=brownout,
-        spares=args.spares,
-        store_dir=args.store,
-    )
+    domains = tuple(
+        d.strip() for d in args.domains.split(",") if d.strip()
+    ) or None
+    storm = None
+    if args.storm:
+        from repro.robust.domains import StormConfig
+
+        storm = StormConfig(
+            retry_budget=args.retry_budget,
+            retry_refill=args.retry_refill,
+        )
+    try:
+        config = ServeConfig(
+            devices=tuple(devices),
+            preset=args.preset,
+            queue_capacity=args.queue_capacity,
+            deadline_factor=args.deadline_factor,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            hedge=HedgePolicy(enabled=not args.no_hedge),
+            verify_integrity=not args.no_verify,
+            scale=args.scale,
+            seed=args.seed,
+            steady_state=args.steady_state,
+            max_probes=args.max_probes,
+            slo_window=args.slo_window,
+            slo_target=args.slo_target,
+            brownout=brownout,
+            spares=args.spares,
+            store_dir=args.store,
+            domains=domains,
+            storm=storm,
+            domain_defense=not args.no_domain_defense,
+            breaker_threshold=args.breaker_threshold,
+        )
+    except ValueError as e:
+        raise SystemExit(str(e))
     try:
         traffic = TrafficConfig(
             rate=args.rate,
@@ -622,6 +648,24 @@ def cmd_serve(args) -> int:
             )
         else:
             print(f"spares: {report.spares} armed, none needed")
+    if report.domain_summary:
+        for name in sorted(report.domain_summary):
+            d = report.domain_summary[name]
+            print(
+                f"domain {name}: {d['members']} devices, "
+                f"{d['outages']} outages, "
+                f"{d['mass_quarantined']} mass-quarantined, "
+                f"availability {d['availability']:.1%}"
+            )
+    if report.storm:
+        print(
+            f"storm defense: amplification {report.amplification:.2f}x "
+            f"({report.attempts} attempts / {report.total} arrivals) | "
+            f"{report.retries_denied} retries denied "
+            f"(budget {report.retry_denied.get('budget', 0)}, "
+            f"deadline {report.retry_denied.get('deadline', 0)}) | "
+            f"{report.hedges_suppressed} hedges suppressed"
+        )
     shots = injector.shots if injector else 0
     print(
         f"terminal states: {'all' if report.all_terminal else 'INCOMPLETE'} | "
@@ -1002,7 +1046,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default="",
         help="comma-separated serve fault kinds to inject "
         "(device_crash, device_stall, queue_spike, bitflip_feature, "
-        "bitflip_weight)",
+        "bitflip_weight, domain_outage, domain_degrade)",
+    )
+    p_serve.add_argument(
+        "--domains", default="", metavar="D0,D1,...",
+        help="comma-separated failure-domain label per device, aligned "
+        "with --devices (e.g. rack0,rack0,rack1); empty keeps every "
+        "device its own singleton domain",
+    )
+    p_serve.add_argument(
+        "--outage-domain", default="", metavar="DOMAIN",
+        help="pin domain_outage/domain_degrade windows to one domain "
+        "label substring (default: any domain)",
+    )
+    p_serve.add_argument(
+        "--outage-severity", type=float, default=0.05,
+        help="severity of armed domain fault windows — scales the "
+        "outage duration / degrade factor (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-domain-defense", action="store_true",
+        help="keep the correlated fault surface but react with only "
+        "the flat per-device machinery (the undefended ablation arm)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=2,
+        help="per-device failures before the device breaker "
+        "quarantines it (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--storm", action="store_true",
+        help="engage the metastability defense: fleet-wide retry token "
+        "bucket, deadline-aware retry admission, and hedge suppression "
+        "while a domain breaker is open",
+    )
+    p_serve.add_argument(
+        "--retry-budget", type=float, default=8.0,
+        help="initial tokens in the storm defense's retry bucket "
+        "(default %(default)s; needs --storm)",
+    )
+    p_serve.add_argument(
+        "--retry-refill", type=float, default=0.1,
+        help="retry tokens credited per successful completion "
+        "(default %(default)s; needs --storm)",
     )
     p_serve.add_argument(
         "--no-verify", action="store_true",

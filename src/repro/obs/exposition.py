@@ -44,6 +44,14 @@ def _label_name(name: str) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the 0.0.4 text format.
+
+    Backslash first — escaping it last would re-escape the backslashes
+    introduced for ``\\n`` and ``\\"``.  Covers domain-style labels
+    like ``rack/0`` (no-op) and hostile ones carrying quotes, literal
+    backslashes, or newlines (each of which would otherwise break the
+    line-oriented exposition).
+    """
     return (
         str(value)
         .replace("\\", "\\\\")
@@ -53,8 +61,19 @@ def _escape(value: str) -> str:
 
 
 def _fmt(value: float) -> str:
-    """Stable sample formatting: integers bare, floats via repr."""
+    """Stable sample formatting: integers bare, floats via repr.
+
+    Non-finite samples use the canonical 0.0.4 spellings (``NaN``,
+    ``+Inf``, ``-Inf``) — ``repr`` would produce ``nan``/``inf``, which
+    Prometheus parsers reject, and ``int()`` on them raises.
+    """
     value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

@@ -46,6 +46,7 @@ REQUEST_EVENT_KINDS = (
     "dispatch",         # attempt started on a device
     "attempt_finish",   # attempt left its device (ok/crash/... in attrs)
     "retry_scheduled",  # backoff timer armed after a failed attempt
+    "retry_denied",     # storm defense refused a retry (attrs["reason"])
     "hedge_skip",       # hedge wanted but no eligible device
     "terminal",         # exactly-once terminal state (attrs["state"])
 )
@@ -61,7 +62,9 @@ DEVICE_EVENT_KINDS = (
 
 #: Fleet-scoped control-plane transitions.
 FLEET_EVENT_KINDS = (
-    "qos_change",       # brownout controller stepped the fleet QoS level
+    "qos_change",        # brownout controller stepped the fleet QoS level
+    "domain_outage",     # a domain breaker opened (attrs["domain"])
+    "domain_recovered",  # a member probe readmission closed the breaker
 )
 
 EVENT_KINDS = frozenset(
@@ -77,6 +80,11 @@ TERMINAL_EVENT_STATES = ("completed", "shed", "deadline_exceeded", "failed")
 
 #: Dispatch kinds whose events must carry a causal ``parent`` attempt.
 LINKED_DISPATCH_KINDS = ("retry", "hedge")
+
+#: Reasons a ``retry_denied`` event may carry: the fleet retry token
+#: bucket ran dry, or the remaining deadline slack could not fit the
+#: best healthy device's expected service time.
+RETRY_DENIAL_REASONS = ("budget", "deadline")
 
 
 def _dumps(obj: dict) -> str:
@@ -202,7 +210,13 @@ def validate_journal(header: dict, events: list) -> list:
       and no slot is filled twice;
     * every ``store_warmstart`` names its device and carries a
       non-negative integer ``frames`` count (how many cached frames
-      the worker inherited from the artifact store).
+      the worker inherited from the artifact store);
+    * every ``retry_denied`` carries a known reason (``budget`` /
+      ``deadline``);
+    * every ``domain_outage`` names a domain whose breaker is not
+      already open, and every ``domain_recovered`` closes a breaker a
+      prior ``domain_outage`` opened — outages and recoveries alternate
+      per domain.
     """
     problems: list = []
     if header.get("schema") != EVENTS_SCHEMA:
@@ -218,6 +232,7 @@ def validate_journal(header: dict, events: list) -> list:
     attempts_of: dict = {}     # request id -> [attempt ids]
     dead_slots: set = set()    # device labels with a journaled device_dead
     filled_slots: set = set()  # dead slots already taken by a replacement
+    open_domains: set = set()  # domains with an unrecovered domain_outage
     for i, e in enumerate(events):
         seq, kind, t = e.get("seq"), e.get("kind"), e.get("t")
         if seq != i:
@@ -345,6 +360,35 @@ def validate_journal(header: dict, events: list) -> list:
                     f"event {i}: store_warmstart with invalid frames "
                     f"{frames!r}"
                 )
+        elif kind == "retry_denied":
+            reason = e.get("attrs", {}).get("reason")
+            if reason not in RETRY_DENIAL_REASONS:
+                problems.append(
+                    f"event {i}: retry_denied with unknown reason "
+                    f"{reason!r}"
+                )
+        elif kind == "domain_outage":
+            domain = e.get("attrs", {}).get("domain")
+            if not domain:
+                problems.append(
+                    f"event {i}: domain_outage without a domain"
+                )
+            elif domain in open_domains:
+                problems.append(
+                    f"event {i}: domain_outage for {domain!r} while its "
+                    f"breaker is already open"
+                )
+            else:
+                open_domains.add(domain)
+        elif kind == "domain_recovered":
+            domain = e.get("attrs", {}).get("domain")
+            if domain not in open_domains:
+                problems.append(
+                    f"event {i}: domain_recovered for {domain!r} with no "
+                    f"open domain_outage"
+                )
+            else:
+                open_domains.discard(domain)
         elif kind == "attempt_finish":
             attempt = e.get("attempt")
             if attempt not in attempt_open:

@@ -148,6 +148,9 @@ REQUESTS_TID = 2
 #: Pseudo-thread carrying brownout QoS level changes.
 QOS_TID = 3
 
+#: Pseudo-thread carrying failure-domain breaker transitions.
+DOMAINS_TID = 4
+
 #: First device track; device ``i`` renders on ``DEVICE_TID_BASE + i``.
 DEVICE_TID_BASE = 10
 
@@ -177,7 +180,12 @@ def to_serve_trace(
       campaign;
     * brownout campaigns add a ``qos`` thread (one instant per
       controller level change, named by the engaged rung) and a ``qos
-      level`` counter track following the fleet's quality level.
+      level`` counter track following the fleet's quality level;
+    * campaigns with a non-trivial failure-domain topology add a
+      ``domains`` thread (one instant per ``domain_outage`` /
+      ``domain_recovered`` breaker transition, plus one per storm-
+      defense ``retry_denied``) and a ``domains down`` counter tracking
+      how many domain breakers are open.
     """
     devices = list(header.get("devices") or [])
     for e in events:
@@ -221,6 +229,31 @@ def to_serve_trace(
                 "pid": 1,
                 "ts": 0.0,
                 "args": {"level": 0},
+            }
+        )
+    has_domains = bool(header.get("domains")) or any(
+        e["kind"] in ("domain_outage", "domain_recovered", "retry_denied")
+        for e in events
+    )
+    domains_down = 0
+    if has_domains:
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": DOMAINS_TID,
+                "args": {"name": "domains"},
+            }
+        )
+        # anchor the breaker counter at all-closed from t=0
+        trace_events.append(
+            {
+                "name": "domains down",
+                "ph": "C",
+                "pid": 1,
+                "ts": 0.0,
+                "args": {"down": 0},
             }
         )
     for label, tid in tid_of.items():
@@ -392,7 +425,53 @@ def to_serve_trace(
                     "pid": 1,
                     "tid": REQUESTS_TID,
                     "ts": _us(t),
-                    "args": {"request": e.get("request")},
+                    "args": {
+                        "request": e.get("request"),
+                        "reason": e.get("attrs", {}).get("reason"),
+                    },
+                }
+            )
+        elif kind in ("domain_outage", "domain_recovered"):
+            attrs = e.get("attrs", {})
+            domains_down += 1 if kind == "domain_outage" else -1
+            trace_events.append(
+                {
+                    "name": f"{kind}:{attrs.get('domain')}",
+                    "cat": "domain",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": 1,
+                    "tid": DOMAINS_TID,
+                    "ts": _us(t),
+                    "args": {
+                        "domain": attrs.get("domain"),
+                        "swept": attrs.get("swept"),
+                    },
+                }
+            )
+            trace_events.append(
+                {
+                    "name": "domains down",
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": _us(t),
+                    "args": {"down": domains_down},
+                }
+            )
+        elif kind == "retry_denied":
+            trace_events.append(
+                {
+                    "name": "retry_denied",
+                    "cat": "storm",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": DOMAINS_TID,
+                    "ts": _us(t),
+                    "args": {
+                        "request": e.get("request"),
+                        "reason": e.get("attrs", {}).get("reason"),
+                    },
                 }
             )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -13,6 +13,8 @@ Four pieces (see DESIGN.md, "Robustness"):
   independent quality (QoS) ladder the serving layer browns out on;
 * :mod:`repro.robust.brownout` — the load-adaptive hysteresis
   controller stepping the fleet's QoS level under overload;
+* :mod:`repro.robust.domains`  — failure-domain topology and the
+  metastable-failure (retry storm) defense the serving layer runs on;
 * :mod:`repro.robust.tolerance` — the shared numeric tolerance
   envelopes (test comparisons and ABFT residual bounds);
 * :mod:`repro.robust.integrity` — ABFT checksum verification of the
@@ -22,8 +24,10 @@ The chaos harness (:mod:`repro.robust.chaos`) is imported on demand —
 it pulls in the whole engine stack and backs ``repro-bench chaos``.
 """
 
+from repro.robust.domains import DomainTopology, RetryBudget, StormConfig
 from repro.robust.errors import (
     FAULT_ERRORS,
+    ConfigError,
     DegradationExhaustedError,
     GridMemoryError,
     InputValidationError,
@@ -35,6 +39,7 @@ from repro.robust.errors import (
     TableOverflowError,
 )
 from repro.robust.faults import (
+    DOMAIN_FAULT_KINDS,
     FAULT_KINDS,
     PIPELINE_FAULT_KINDS,
     SDC_FAULT_KINDS,
@@ -73,6 +78,7 @@ from repro.robust.validate import (
 )
 
 __all__ = [
+    "DOMAIN_FAULT_KINDS",
     "FAULT_ERRORS",
     "FAULT_KINDS",
     "INTEGRITY_SCHEMA",
@@ -87,8 +93,10 @@ __all__ = [
     "BrownoutConfig",
     "BrownoutController",
     "CircuitBreaker",
+    "ConfigError",
     "DegradationExhaustedError",
     "DegradationLadder",
+    "DomainTopology",
     "FaultInjector",
     "FaultSpec",
     "GridMemoryError",
@@ -102,9 +110,11 @@ __all__ = [
     "QoSLadder",
     "QualityConfig",
     "QualityRung",
+    "RetryBudget",
     "RobustConfig",
     "RobustnessError",
     "Rung",
+    "StormConfig",
     "StrategyBookError",
     "TableOverflowError",
     "ValidationReport",

@@ -17,6 +17,12 @@ crossed with engine presets and seeds) and checks, per trial:
   :class:`~repro.robust.errors.RobustnessError` subclasses — never as
   bare ``IndexError``/``AssertionError`` crashes.
 
+Store kinds (``blob_corrupt`` & co.) run against the durable artifact
+store, and the correlated domain kinds (``domain_outage`` /
+``domain_degrade``) against a mini two-domain serving fleet — each
+with its own survival / visibility / bit-exactness criteria (see
+:func:`_run_store_trial` and :func:`_run_domain_trial`).
+
 A per-preset reference probe additionally checks the hardened engine
 against :func:`repro.core.reference.sparse_conv_reference` on a clean
 input (tolerance scaled to the preset's dtype), guarding against the
@@ -42,6 +48,7 @@ from repro.robust.integrity import IntegrityConfig
 from repro.robust.tolerance import envelope
 from repro.robust.errors import RobustnessError
 from repro.robust.faults import (
+    DOMAIN_FAULT_KINDS,
     PIPELINE_FAULT_KINDS,
     STICKY_KINDS,
     STORE_FAULT_KINDS,
@@ -354,12 +361,96 @@ def _run_store_trial(
     return trial
 
 
+def _run_domain_trial(
+    kind: str, preset: str, seed: int, degrade: bool
+) -> ChaosTrial:
+    """One correlated-failure trial against a mini serve fleet.
+
+    Domain kinds have no site in the single-request pipeline — the
+    trial runs a small seeded serving campaign (latency overrides, no
+    engine) over a two-domain fleet with the injector armed, twice with
+    the same seed.
+
+    Acceptance per trial: the campaign survives (every request reaches
+    a terminal state — the serve loop's liveness invariant — with the
+    storm defense engaged when ``degrade`` is on), every fired window
+    is visible (``faults.injected`` plus the domain breaker / degraded-
+    dispatch activity it caused), and the two same-seed reports are
+    JSON-identical (bit-exactness extends through the correlated-fault
+    path).
+    """
+    import json
+
+    from repro.robust.domains import StormConfig
+
+    trial = ChaosTrial(kind=kind, preset=preset, seed=seed, degrade=degrade)
+
+    def one_run():
+        from repro.gpu.device import RTX_2080TI, RTX_3090
+        from repro.serve.server import ServeConfig, run_serve_campaign
+        from repro.serve.traffic import TrafficConfig
+
+        registry = MetricsRegistry()
+        config = ServeConfig(
+            devices=(RTX_2080TI, RTX_2080TI, RTX_3090, RTX_3090),
+            domains=("rack0", "rack0", "rack1", "rack1"),
+            preset=preset,
+            latency_overrides={"m": 0.004},
+            seed=seed,
+            storm=StormConfig() if degrade else None,
+        )
+        traffic = TrafficConfig(
+            rate=400.0, duration=0.5, models=("m",), seed=seed
+        )
+        injector = FaultInjector(seed=seed, specs=_specs_for(kind))
+        with use_registry(registry):
+            report = run_serve_campaign(config, traffic, injector=injector)
+        return report, injector, registry
+
+    try:
+        report, injector, registry = one_run()
+        replay, _, _ = one_run()
+        trial.survived = report.all_terminal
+        trial.bitexact = json.dumps(
+            report.to_json(), sort_keys=True
+        ) == json.dumps(replay.to_json(), sort_keys=True)
+    except RobustnessError as e:
+        trial.error = str(e)
+        trial.error_kind = e.kind
+        return trial
+    except Exception as e:  # untyped crash: always a failure
+        trial.error = f"{type(e).__name__}: {e}"
+        return trial
+
+    trial.shots = injector.shots
+    scalars = registry.scalars()
+    injected = sum(
+        v for k, v in scalars.items() if k.startswith("faults.injected")
+    )
+    trial.visible = trial.shots == 0 or injected >= trial.shots
+    # what the fleet *noticed*: breaker openings for outages, inflated-
+    # service activity shows up as quarantines/retries for degrades
+    trial.detected = int(
+        sum(
+            v
+            for k, v in scalars.items()
+            if k.startswith("serve.domain_outages")
+            or k.startswith("serve.mass_quarantines")
+            or k.startswith("serve.quarantines")
+            or k.startswith("serve.retries")
+        )
+    )
+    return trial
+
+
 def run_trial(
     kind: str, preset: str, seed: int, degrade: bool = True
 ) -> ChaosTrial:
     """Run one end-to-end trial under a fresh metrics registry."""
     if kind in STORE_FAULT_KINDS:
         return _run_store_trial(kind, preset, seed, degrade)
+    if kind in DOMAIN_FAULT_KINDS:
+        return _run_domain_trial(kind, preset, seed, degrade)
     trial = ChaosTrial(kind=kind, preset=preset, seed=seed, degrade=degrade)
     registry = MetricsRegistry()
     coords, feats = _make_cloud(seed, kind)

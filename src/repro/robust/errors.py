@@ -84,6 +84,21 @@ class StrategyBookError(RobustnessError, ValueError):
     stage = "matmul"
 
 
+class ConfigError(RobustnessError, ValueError):
+    """A configuration dataclass was built with nonsensical values.
+
+    Raised at *construction* time (``__post_init__``) by the serving
+    and robustness config objects — negative spare pools, retry counts
+    below zero, hedge quantiles outside their domain, duplicate device
+    labels — so a bad campaign fails loudly before any event runs
+    instead of misbehaving downstream.  Inherits ``ValueError`` so
+    pre-audit callers catching that keep working.
+    """
+
+    kind = "config"
+    stage = "input"
+
+
 class StoreCorruptionError(RobustnessError):
     """A durable artifact (or the store manifest) failed verification.
 

@@ -44,6 +44,12 @@ Serving-layer sites (fleet-level failures, see :mod:`repro.serve`):
 * ``queue_spike``    — a burst of extra arrivals lands on the admission
   queue at once, modeling a traffic spike.
 
+Correlated failure-domain sites (see :data:`DOMAIN_FAULT_KINDS` and
+:mod:`repro.robust.domains`): ``domain_outage`` and ``domain_degrade``
+take out (or slow down) *every* device sharing a failure domain at once
+for a seeded drawn window — the rack/PDU/driver-rollout failure class
+the per-device sites cannot model.
+
 Disk-fault sites of the durable artifact store (see
 :data:`STORE_FAULT_KINDS` and :mod:`repro.persist`): ``store_torn_write``,
 ``store_bitrot``, ``store_manifest_corrupt``, ``store_stale_entry`` —
@@ -81,10 +87,26 @@ STORE_FAULT_KINDS = (
     "store_stale_entry",
 )
 
+#: Correlated failure-domain faults (see :mod:`repro.robust.domains`):
+#:
+#: * ``domain_outage``  — every device in one failure domain crash-
+#:   fails together for a seeded drawn duration (PDU drop, driver
+#:   rollout); in-flight attempts die at the outage instant and every
+#:   dispatch into the domain crashes until the window closes;
+#: * ``domain_degrade`` — a domain's service times inflate by a
+#:   severity-derived factor for a drawn window (thermal event, shared-
+#:   interconnect congestion) without any attempt failing outright.
+DOMAIN_FAULT_KINDS = (
+    "domain_outage",
+    "domain_degrade",
+)
+
 #: Faults inside the single-request sparse-conv pipeline; the chaos
 #: harness crosses exactly these with presets and seeds.  The store
 #: kinds are included: a poisoned cached mapping is a pipeline fault
-#: even though the injection site lives on disk.
+#: even though the injection site lives on disk.  The domain kinds are
+#: included too — they are fleet-level, so the chaos harness sweeps
+#: them through a dedicated mini serve campaign per trial.
 PIPELINE_FAULT_KINDS = (
     "kmap_corrupt",
     "hash_overflow",
@@ -95,7 +117,7 @@ PIPELINE_FAULT_KINDS = (
     "bitflip_feature",
     "bitflip_weight",
     "checksum_mismatch",
-) + STORE_FAULT_KINDS
+) + STORE_FAULT_KINDS + DOMAIN_FAULT_KINDS
 
 #: The silent-data-corruption subset: these sites never crash or emit
 #: NaN, so only the ABFT integrity layer can see them.  The serving
@@ -388,6 +410,62 @@ def stall_factor(device_label: str) -> float:
     if spec is None:
         return 1.0
     return 1.0 + 40.0 * spec.severity
+
+
+def draw_domain_windows(domains, horizon: float) -> list:
+    """Seeded correlated-fault windows for armed domain kinds.
+
+    Asked once per campaign by the serve loop, *before* any event runs.
+    For each domain (in topology order) and each kind in
+    :data:`DOMAIN_FAULT_KINDS`, an armed matching spec fires one window
+    ``{kind, domain, start, end, severity}``:
+
+    * ``start`` is drawn uniformly from the campaign's first half
+      (``[0.15, 0.45) x horizon``), so the fleet is warm when the
+      domain drops and there is room to observe the recovery;
+    * the duration is ``(4 x severity + U[0, 0.1)) x horizon`` — the
+      default severity (0.05) takes the domain out for ~20-30% of the
+      campaign, long enough to open the domain breaker and exhaust
+      naive retry budgets.
+
+    A spec with ``count=1`` hits the first matching domain only; a
+    sticky spec (``count=-1``) hits every domain — a full-fleet event.
+    Both draws come from the injector's seeded RNG in a deterministic
+    (domain-order) sequence, so same-seed campaigns reproduce the same
+    outage schedule bit for bit.  No-op (empty list, zero RNG consumed)
+    when no injector is installed or nothing matching is armed.
+    """
+    inj = _CURRENT
+    if inj is None or horizon <= 0:
+        return []
+    windows = []
+    for domain in domains:
+        for kind in DOMAIN_FAULT_KINDS:
+            spec = inj.fire(kind, site=domain)
+            if spec is None:
+                continue
+            start = float(inj.rng.uniform(0.15, 0.45)) * horizon
+            frac = 4.0 * spec.severity + float(inj.rng.uniform(0.0, 0.1))
+            windows.append(
+                {
+                    "kind": kind,
+                    "domain": domain,
+                    "start": start,
+                    "end": start + min(0.8, frac) * horizon,
+                    "severity": spec.severity,
+                }
+            )
+    return windows
+
+
+def domain_degrade_factor(severity: float) -> float:
+    """Service-time multiplier inside a ``domain_degrade`` window.
+
+    ``1 + 20 x severity`` — the default severity (0.05) doubles every
+    member's service time: enough to trip hedging and deadline pressure
+    without any attempt failing outright.
+    """
+    return 1.0 + 20.0 * severity
 
 
 def queue_spike_burst(site: str = "traffic") -> int:

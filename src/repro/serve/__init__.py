@@ -15,8 +15,14 @@ a :class:`~repro.gpu.device.GPUSpec` fleet with:
 * per-device health — crash-fed circuit breakers, quarantine, and
   probed re-admission (:mod:`repro.serve.health`), reusing the breaker
   machinery from :mod:`repro.robust.degrade`;
+* failure-domain awareness — correlated outage/degrade fault windows,
+  domain breakers with mass quarantine, domain-diverse retry/hedge
+  placement, and the metastable-failure defense (retry token bucket,
+  deadline-aware retry admission, hedge suppression) configured via
+  :class:`~repro.robust.domains.StormConfig`;
 * fleet-level fault sites (``device_crash``, ``device_stall``,
-  ``queue_spike``) from :mod:`repro.robust.faults`.
+  ``queue_spike``, ``domain_outage``, ``domain_degrade``) from
+  :mod:`repro.robust.faults`.
 
 Every request ends in exactly one terminal state (completed / shed /
 deadline_exceeded / failed), surfaced as ``serve.*`` metrics and spans
@@ -47,6 +53,7 @@ from repro.serve.request import (
     Request,
     RetryPolicy,
 )
+from repro.robust.domains import DomainTopology, RetryBudget, StormConfig
 from repro.serve.server import (
     Attempt,
     ServeConfig,
@@ -63,6 +70,7 @@ __all__ = [
     "DEADLINE_EXCEEDED",
     "DeviceHealth",
     "DeviceWorker",
+    "DomainTopology",
     "FAILED",
     "FleetHealth",
     "HEALTHY",
@@ -73,6 +81,7 @@ __all__ = [
     "QUEUED",
     "RUNNING",
     "Request",
+    "RetryBudget",
     "RetryPolicy",
     "SERVE_SCHEMA",
     "SHED",
@@ -80,6 +89,7 @@ __all__ = [
     "ServeConfig",
     "ServeReport",
     "Server",
+    "StormConfig",
     "TERMINAL_STATES",
     "TrafficConfig",
     "format_serve_summary",

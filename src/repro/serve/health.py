@@ -9,6 +9,14 @@ succeeds and the breaker is reset.
 A device that keeps failing probes is eventually declared **dead**
 (``max_probes`` exhausted) so a sticky crash fault cannot spin the
 probe loop forever; dead devices never rejoin the fleet.
+
+With a non-trivial :class:`~repro.robust.domains.DomainTopology` the
+fleet additionally tracks **domain breakers**: when at least
+``domain_threshold`` of a domain's members fail within
+``domain_window`` sim-seconds, the whole domain is declared out — the
+remaining healthy members are *mass-quarantined* in one step instead
+of being discovered one crash (and one wasted dispatch) at a time.
+The breaker closes when any member passes a readmission probe.
 """
 
 from __future__ import annotations
@@ -50,21 +58,52 @@ class FleetHealth:
             :func:`repro.profiling.parallel.device_labels`).
         threshold: breaker failures before quarantine.
         max_probes: failed probes before a device is declared dead.
+        topology: failure-domain assignment
+            (:class:`~repro.robust.domains.DomainTopology`); ``None``
+            or a trivial topology disables all domain-level state.
+        domain_threshold: fraction of a domain's members that must fail
+            within ``domain_window`` for its breaker to open.
+        domain_window: the correlation window, sim seconds (the serve
+            loop resolves its scale-invariant default before running).
     """
 
     def __init__(
-        self, labels, threshold: int = 2, max_probes: int = 8
+        self,
+        labels,
+        threshold: int = 2,
+        max_probes: int = 8,
+        topology=None,
+        domain_threshold: float = 0.5,
+        domain_window: float = 1.0,
     ) -> None:
         if threshold < 1 or max_probes < 1:
             raise ValueError("threshold >= 1 and max_probes >= 1 required")
         self.threshold = threshold
         self.max_probes = max_probes
+        self.topology = topology
+        self.domain_threshold = domain_threshold
+        self.domain_window = domain_window
         self.devices = {
             label: DeviceHealth(
                 label=label, breaker=CircuitBreaker(threshold=threshold)
             )
             for label in labels
         }
+        #: domain -> {label: last failure time} inside the window
+        self._domain_failures: dict = {}
+        #: domain -> breaker state (only for correlated, 2+ -member
+        #: domains — singletons are already covered by device breakers)
+        self.domain_state: dict = {}
+        if topology is not None and not topology.trivial:
+            for name in topology.names:
+                if len(topology.members(name)) > 1:
+                    self.domain_state[name] = {
+                        "open": False,
+                        "opened_at": 0.0,
+                        "outages": 0,
+                        "mass_quarantined": 0,
+                        "down_time": 0.0,
+                    }
 
     def add_device(self, label: str) -> DeviceHealth:
         """Admit a replacement device to the fleet, healthy.
@@ -101,6 +140,112 @@ class FleetHealth:
             return True
         return False
 
+    def record_domain_failure(self, label: str, now: float):
+        """Feed a device failure to its domain breaker.
+
+        Prunes failure stamps older than ``domain_window``, then — when
+        at least ``domain_threshold`` of the domain's members have
+        failed inside the window (or are already out of service) —
+        opens the domain breaker and mass-quarantines the remaining
+        HEALTHY members in one step.
+
+        Returns ``(domain, mass_quarantined_labels)`` when this failure
+        opened the breaker, ``None`` otherwise (including every call on
+        a trivial topology or a singleton domain).
+        """
+        if self.topology is None:
+            return None
+        domain = self.topology.domain_of(label)
+        state = self.domain_state.get(domain)
+        if state is None or state["open"]:
+            return None
+        stamps = self._domain_failures.setdefault(domain, {})
+        stamps[label] = now
+        cutoff = now - self.domain_window
+        for other in [k for k, t in stamps.items() if t < cutoff]:
+            del stamps[other]
+        members = self.topology.members(domain)
+        failing = sum(
+            1
+            for m in members
+            if m in stamps or self.devices[m].state != HEALTHY
+        )
+        if failing / len(members) < self.domain_threshold:
+            return None
+        state["open"] = True
+        state["opened_at"] = now
+        state["outages"] += 1
+        reg = get_registry()
+        reg.counter("serve.domain_outages", domain=domain).inc()
+        swept = []
+        for m in members:
+            dev = self.devices[m]
+            if dev.state == HEALTHY:
+                dev.state = QUARANTINED
+                dev.quarantined_at = now
+                dev.quarantines += 1
+                state["mass_quarantined"] += 1
+                reg.counter("serve.quarantines", device=m).inc()
+                reg.counter(
+                    "serve.mass_quarantines", domain=domain
+                ).inc()
+                swept.append(m)
+        return domain, swept
+
+    def maybe_close_domain(self, label: str, now: float):
+        """Close ``label``'s domain breaker after a readmission.
+
+        A member passing its health probe is the evidence the domain's
+        fault has cleared.  Returns the domain name when this readmit
+        closed an open breaker, ``None`` otherwise.
+        """
+        if self.topology is None:
+            return None
+        domain = self.topology.domain_of(label)
+        state = self.domain_state.get(domain)
+        if state is None or not state["open"]:
+            return None
+        state["open"] = False
+        state["down_time"] += now - state["opened_at"]
+        self._domain_failures.pop(domain, None)
+        get_registry().counter(
+            "serve.domain_recoveries", domain=domain
+        ).inc()
+        return domain
+
+    @property
+    def any_domain_open(self) -> bool:
+        return any(s["open"] for s in self.domain_state.values())
+
+    def domain_open(self, label: str) -> bool:
+        """Is ``label``'s domain breaker currently open?"""
+        if self.topology is None:
+            return False
+        state = self.domain_state.get(self.topology.domain_of(label))
+        return bool(state and state["open"])
+
+    def domain_summary(self, end_time: float) -> dict:
+        """domain -> outage/availability summary (for reports).
+
+        Open breakers are closed out at ``end_time`` so availability
+        reflects the full campaign horizon.
+        """
+        out = {}
+        for domain, state in self.domain_state.items():
+            down = state["down_time"]
+            if state["open"]:
+                down += end_time - state["opened_at"]
+            out[domain] = {
+                "members": len(self.topology.members(domain)),
+                "outages": state["outages"],
+                "mass_quarantined": state["mass_quarantined"],
+                "down_time": down,
+                "availability": (
+                    1.0 - down / end_time if end_time > 0 else 1.0
+                ),
+            }
+        return out
+
     def record_success(self, label: str) -> None:
         dev = self.devices[label]
         if dev.state == HEALTHY:
@@ -115,8 +260,17 @@ class FleetHealth:
         dev.state = PROBING
         dev.probes += 1
 
-    def probe_result(self, label: str, ok: bool, now: float) -> bool:
-        """Apply a probe outcome; True when the device was readmitted."""
+    def probe_result(
+        self, label: str, ok: bool, now: float, forgive: bool = False
+    ) -> bool:
+        """Apply a probe outcome; True when the device was readmitted.
+
+        With ``forgive`` a *failed* probe does not count toward the
+        ``max_probes`` death sentence: the serve loop sets it while the
+        device's domain breaker is open, where the probe is expected to
+        fail for the domain-wide reason — a correlated outage must not
+        probe its victims to death one by one.
+        """
         dev = self.devices[label]
         reg = get_registry()
         reg.counter(
@@ -129,6 +283,11 @@ class FleetHealth:
             dev.breaker.pinned = 0
             reg.counter("serve.readmissions", device=label).inc()
             return True
+        if forgive:
+            dev.probes -= 1
+            dev.state = QUARANTINED
+            dev.quarantined_at = now
+            return False
         if dev.probes >= self.max_probes:
             dev.state = DEAD
             reg.counter("serve.dead_devices", device=label).inc()

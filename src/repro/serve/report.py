@@ -35,7 +35,21 @@ class ServeReport:
     hedges_launched: int = 0
     hedges_won: int = 0
     hedges_cancelled: int = 0
+    #: hedges withheld while a domain breaker was open (storm defense)
+    hedges_suppressed: int = 0
     retries: int = 0
+    #: request attempts dispatched (primary + retry + hedge) — the
+    #: numerator of :attr:`amplification`
+    attempts: int = 0
+    #: denial reason -> retries the storm defense refused
+    retry_denied: dict = field(default_factory=dict)
+    #: whether the metastability defense was engaged
+    storm: bool = False
+    #: device label -> failure domain (empty for trivial topologies)
+    domains: dict = field(default_factory=dict)
+    #: domain -> {members, outages, mass_quarantined, down_time,
+    #: availability} for every correlated (2+ member) domain
+    domain_summary: dict = field(default_factory=dict)
     #: finished attempts that failed ABFT verification (each handled
     #: like a crash: breaker + retry budget)
     integrity_failures: int = 0
@@ -209,6 +223,20 @@ class ServeReport:
         return series
 
     @property
+    def amplification(self) -> float:
+        """Storm amplification factor: dispatched attempts / arrivals.
+
+        1.0 means every arrival cost exactly one attempt; a correlated
+        outage drives it up through retries and hedges — the quantity
+        the metastability defense exists to bound.
+        """
+        return 0.0 if not self.requests else self.attempts / self.total
+
+    @property
+    def retries_denied(self) -> int:
+        return sum(self.retry_denied.values())
+
+    @property
     def hedge_effectiveness(self) -> float:
         """Fraction of launched hedges whose duplicate produced the
         result (0.0 when hedging never fired)."""
@@ -323,7 +351,22 @@ class ServeReport:
                 "launched": self.hedges_launched,
                 "won": self.hedges_won,
                 "cancelled": self.hedges_cancelled,
+                "suppressed": self.hedges_suppressed,
                 "effectiveness": self.hedge_effectiveness,
+            },
+            "storm": {
+                "enabled": self.storm,
+                "attempts": self.attempts,
+                "amplification": self.amplification,
+                "retry_denied": dict(self.retry_denied),
+                "hedges_suppressed": self.hedges_suppressed,
+            },
+            "domains": {
+                "enabled": bool(self.domains),
+                "assignment": dict(self.domains),
+                "summary": {
+                    d: dict(s) for d, s in self.domain_summary.items()
+                },
             },
             "fleet": dict(self.fleet),
             "utilization": dict(self.utilization),
@@ -359,5 +402,26 @@ def format_serve_summary(report: ServeReport) -> str:
             f" | replacements {len(report.replacements)} "
             f"({warm} warm-started, "
             f"spare p99 {report.replacement_p99 * 1e3:.2f} ms)"
+        )
+    if report.domains:
+        worst = (
+            min(
+                s["availability"] for s in report.domain_summary.values()
+            )
+            if report.domain_summary
+            else 1.0
+        )
+        outages = sum(
+            s["outages"] for s in report.domain_summary.values()
+        )
+        text += (
+            f" | domains {len(set(report.domains.values()))} "
+            f"({outages} outages, worst availability {worst:.1%})"
+        )
+    if report.storm:
+        text += (
+            f" | storm amp {report.amplification:.2f}x "
+            f"({report.retries_denied} retries denied, "
+            f"{report.hedges_suppressed} hedges suppressed)"
         )
     return text

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.robust.errors import ConfigError
+
 # transient
 QUEUED = "queued"
 RUNNING = "running"
@@ -152,12 +154,23 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base is not None and self.backoff_base <= 0:
+            raise ConfigError("backoff_base must be positive")
+        if self.backoff_mult < 1.0:
+            raise ConfigError("backoff_mult must be >= 1")
         if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError("jitter must be in [0, 1]")
+            raise ConfigError("jitter must be in [0, 1]")
 
     def delay(self, retry: int, base: float, rng) -> float:
-        """Backoff before retry number ``retry`` (0-indexed)."""
+        """Backoff before retry number ``retry`` (0-indexed).
+
+        The jitter draw comes from ``rng`` — the *server's* seeded
+        stream, consumed in event order — never module-level
+        ``random``, so same-seed campaigns replay bit for bit.
+        """
         d = base * self.backoff_mult**retry
         if self.jitter:
             d *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
@@ -182,6 +195,8 @@ class HedgePolicy:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.quantile <= 100.0:
-            raise ValueError("quantile must be in (0, 100]")
+            raise ConfigError(
+                f"quantile must be in (0, 100], got {self.quantile}"
+            )
         if self.min_samples < 1 or self.bootstrap_factor <= 0:
-            raise ValueError("min_samples >= 1 and bootstrap_factor > 0")
+            raise ConfigError("min_samples >= 1 and bootstrap_factor > 0")

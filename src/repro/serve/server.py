@@ -36,8 +36,12 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer
 from repro.profiling.parallel import device_labels, least_loaded
 from repro.robust.brownout import BrownoutConfig, BrownoutController
+from repro.robust.domains import DomainTopology, RetryBudget, StormConfig
+from repro.robust.errors import ConfigError
 from repro.robust.faults import (
     FaultInjector,
+    domain_degrade_factor,
+    draw_domain_windows,
     inject_faults,
     maybe_crash_device,
     maybe_silent_corruption,
@@ -128,25 +132,82 @@ class ServeConfig:
     #: *warm-starts* from them instead of re-mapping the whole world
     #: cold.  ``None`` (default) keeps everything process-local.
     store_dir: str | None = None
+    #: explicit device labels aligned with ``devices`` (``None`` derives
+    #: them from the GPU specs).  Must be unique: labels key health
+    #: state, fault sites, and domain membership.
+    labels: tuple | None = None
+    #: failure-domain label per device (rack / power / driver zone),
+    #: aligned with ``devices``.  ``None`` (default) gives every device
+    #: its own singleton domain — the trivial topology — so all
+    #: domain-aware machinery stays dormant and campaigns are bit-exact
+    #: with pre-domain behavior.
+    domains: tuple | None = None
+    #: metastability defense (fleet-wide retry token bucket,
+    #: deadline-aware retry admission, hedge suppression while a domain
+    #: breaker is open).  ``None`` (default) grants every retry and
+    #: hedge unconditionally — the pre-storm fleet.
+    storm: StormConfig | None = None
+    #: fraction of a domain's members that must fail within
+    #: ``domain_window`` for the domain breaker to open
+    domain_threshold: float = 0.5
+    #: the domain breaker's correlation window, sim seconds; ``None``
+    #: resolves to 4x the traffic mix's mean base latency
+    domain_window: float | None = None
+    #: master switch of the domain-aware defense: domain breakers with
+    #: mass quarantine, probe forgiveness during an open breaker, and
+    #: domain-diverse retry/hedge/spare placement.  ``False`` keeps the
+    #: correlated fault *surface* — ``domain_outage``/``domain_degrade``
+    #: windows still fire over the configured topology — but the fleet
+    #: reacts with only the flat per-device machinery.  This is the
+    #: undefended arm of the storm ablation.
+    domain_defense: bool = True
 
     def __post_init__(self) -> None:
         if not self.devices:
-            raise ValueError("need at least one device")
+            raise ConfigError("need at least one device")
         if self.spares < 0:
-            raise ValueError("spares must be >= 0")
+            raise ConfigError(
+                f"spares must be >= 0, got {self.spares}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
         if self.preset not in PRESET_FACTORIES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown preset {self.preset!r}; expected one of "
                 f"{tuple(PRESET_FACTORIES)}"
             )
         if self.deadline_factor <= 0:
-            raise ValueError("deadline_factor must be positive")
+            raise ConfigError("deadline_factor must be positive")
         if self.noise_sigma < 0:
-            raise ValueError("noise_sigma must be >= 0")
+            raise ConfigError("noise_sigma must be >= 0")
         if self.slo_window is not None and self.slo_window <= 0:
-            raise ValueError("slo_window must be positive")
+            raise ConfigError("slo_window must be positive")
         if not 0.0 < self.slo_target < 1.0:
-            raise ValueError("slo_target must be in (0, 1)")
+            raise ConfigError("slo_target must be in (0, 1)")
+        if self.labels is not None:
+            if len(self.labels) != len(self.devices):
+                raise ConfigError(
+                    f"labels ({len(self.labels)}) must align with "
+                    f"devices ({len(self.devices)})"
+                )
+            seen = set()
+            for label in self.labels:
+                if label in seen:
+                    raise ConfigError(f"duplicate device label {label!r}")
+                seen.add(label)
+        if self.domains is not None and len(self.domains) != len(
+            self.devices
+        ):
+            raise ConfigError(
+                f"domains ({len(self.domains)}) must align with "
+                f"devices ({len(self.devices)})"
+            )
+        if not 0.0 < self.domain_threshold <= 1.0:
+            raise ConfigError("domain_threshold must be in (0, 1]")
+        if self.domain_window is not None and self.domain_window <= 0:
+            raise ConfigError("domain_window must be positive")
 
 
 @dataclass
@@ -185,16 +246,37 @@ class Server:
     ) -> None:
         self.config = config
         self.oracle = oracle
-        self.labels = device_labels(config.devices)
+        self.labels = (
+            list(config.labels)
+            if config.labels is not None
+            else device_labels(config.devices)
+        )
         self.workers = [
             DeviceWorker(index=i, label=label, spec=spec)
             for i, (label, spec) in enumerate(zip(self.labels, config.devices))
         ]
+        self._index_of = {w.label: w.index for w in self.workers}
+        self.topology = DomainTopology(
+            self.labels,
+            list(config.domains) if config.domains is not None else None,
+        )
+        #: domain-aware placement and health engage only when the
+        #: topology is real AND the defense is on; the correlated fault
+        #: windows fire over the topology either way
+        self._defended = config.domain_defense and not self.topology.trivial
         self.health = FleetHealth(
             self.labels,
             threshold=config.breaker_threshold,
             max_probes=config.max_probes,
+            topology=self.topology if config.domain_defense else None,
+            domain_threshold=config.domain_threshold,
         )
+        self.storm = config.storm
+        self.retry_budget = (
+            RetryBudget(config.storm) if config.storm is not None else None
+        )
+        #: correlated fault windows drawn in run() (pre-event-loop)
+        self._domain_windows: list = []
         self.store = None
         if config.store_dir is not None:
             from repro.persist import ArtifactStore
@@ -219,6 +301,13 @@ class Server:
                 brownout=config.brownout is not None,
                 spares=config.spares,
                 store=config.store_dir is not None,
+                domains=(
+                    self.topology.to_json()
+                    if not self.topology.trivial
+                    else None
+                ),
+                storm=config.storm is not None,
+                domain_defense=config.domain_defense,
             )
         self.queue = AdmissionQueue(
             config.queue_capacity, on_shed=self._on_queue_shed
@@ -259,9 +348,14 @@ class Server:
         self.hedges_launched = 0
         self.hedges_won = 0
         self.hedges_cancelled = 0
+        self.hedges_suppressed = 0
         self.integrity_failures = 0
         self.warm_dispatches = 0
         self.cold_dispatches = 0
+        #: request attempts dispatched (primary + retry + hedge, not
+        #: probes) — the numerator of the storm amplification factor
+        self.attempts_dispatched = 0
+        self.retry_denied = {"budget": 0, "deadline": 0}
 
     # -- event plumbing ------------------------------------------------------
 
@@ -358,6 +452,9 @@ class Server:
         self._probe_cooldown = (
             cfg.probe_cooldown if cfg.probe_cooldown is not None else 4.0 * mean
         )
+        self.health.domain_window = (
+            cfg.domain_window if cfg.domain_window is not None else 4.0 * mean
+        )
         if cfg.brownout is not None:
             b = cfg.brownout
             self._qos_interval = (
@@ -374,9 +471,19 @@ class Server:
             ]
             get_registry().gauge("serve.qos_level").set(0)
         self._warmstart_fleet()
+        # correlated fault windows are drawn once, pre-event-loop, from
+        # the injector's RNG — zero draws when no domain kind is armed,
+        # so unfaulted campaigns keep their exact event-order RNG stream
+        horizon = max((r.arrival for r in requests), default=0.0)
+        self._domain_windows = draw_domain_windows(
+            self.topology.names, horizon
+        )
         with self.tracer.span("serve.campaign", requests=len(requests)):
             for req in requests:
                 self._push(req.arrival, "arrival", req.id)
+            for win in self._domain_windows:
+                if win["kind"] == "domain_outage":
+                    self._push(win["start"], "domain_down", win)
             if self.brownout is not None and requests:
                 self._push(self._qos_interval, "qos", None)
             handlers = {
@@ -386,6 +493,7 @@ class Server:
                 "hedge": self._on_hedge,
                 "probe": self._on_probe,
                 "qos": self._on_qos_tick,
+                "domain_down": self._on_domain_down,
             }
             while self._heap:
                 when, _, kind, ref = heapq.heappop(self._heap)
@@ -426,15 +534,71 @@ class Server:
             if req is None:
                 return
             self._emit("dequeue", req, wait=self.now - req.arrival)
-            d = least_loaded(
-                [w.busy_time for w in self.workers], eligible
-            )
             kind = "retry" if req.retries else "primary"
-            self._dispatch(
-                req, d, kind,
-                parent=self._last_failed.get(req.id)
-                if kind == "retry" else None,
+            parent = (
+                self._last_failed.get(req.id) if kind == "retry" else None
             )
+            d = self._place(eligible, parent)
+            self._dispatch(req, d, kind, parent=parent)
+
+    def _place(self, eligible: list, parent: int | None) -> int:
+        """Least-loaded eligible device, domain-diverse after a failure.
+
+        A retry whose causal parent crashed in domain D prefers any
+        eligible device *outside* D — a correlated fault should not eat
+        the retry too.  Falls back to the flat choice when no other
+        domain has capacity (or the topology is trivial, where "another
+        domain" would just mean "another device", which placement
+        cannot always honor).
+        """
+        busy = [w.busy_time for w in self.workers]
+        if parent is not None and self._defended:
+            failed = self.topology.domain_of(
+                self.workers[self._attempts[parent].device].label
+            )
+            diverse = [
+                e and self.topology.domain_of(w.label) != failed
+                for e, w in zip(eligible, self.workers)
+            ]
+            if any(diverse):
+                return least_loaded(busy, diverse)
+        return least_loaded(busy, eligible)
+
+    def _domain_fault(self, label: str, kind: str):
+        """The active correlated fault window covering ``label``."""
+        if not self._domain_windows:
+            return None
+        domain = self.topology.domain_of(label)
+        for win in self._domain_windows:
+            if (
+                win["kind"] == kind
+                and win["domain"] == domain
+                and win["start"] <= self.now < win["end"]
+            ):
+                return win
+        return None
+
+    def _on_domain_down(self, win: dict) -> None:
+        """A correlated outage window opens: crash-fail the domain.
+
+        Every in-flight attempt on a member device fails *now* (its
+        original completion event later no-ops via the ``done`` guard);
+        dispatches and probes landing inside the window crash-fail at
+        dispatch time via :meth:`_domain_fault`.  Recovery is organic:
+        probes keep failing (forgiven while the domain breaker is open,
+        so members cannot be probed to death by the shared fault) until
+        the window closes, and the first readmission closes the breaker.
+        """
+        members = set(self.topology.members(win["domain"]))
+        for a in list(self._attempts.values()):
+            if a.done or a.cancelled:
+                continue
+            if self.workers[a.device].label not in members:
+                continue
+            a.will_fail = True
+            a.will_corrupt = False
+            a.finish = self.now
+            self._push(self.now, "complete", a.id)
 
     def _dispatch(
         self, req: Request, d: int, kind: str, parent: int | None = None
@@ -469,7 +633,12 @@ class Server:
             req.qos_rung = self.brownout.rung
             reg.counter("serve.qos_dispatches", rung=req.qos_rung).inc()
         service = self._service_time(req.model, w, warm=warm, quality=quality)
+        degrade = self._domain_fault(w.label, "domain_degrade")
+        if degrade is not None:
+            service *= domain_degrade_factor(degrade["severity"])
         will_fail = maybe_crash_device(w.label)
+        if not will_fail and self._domain_fault(w.label, "domain_outage"):
+            will_fail = True
         # an SDC attempt runs its *full* service time: nothing crashes,
         # the corruption is only discoverable once the result exists
         will_corrupt = not will_fail and maybe_silent_corruption(w.label)
@@ -490,6 +659,7 @@ class Server:
         self._attempts[attempt.id] = attempt
         self._live.setdefault(req.id, []).append(attempt.id)
         w.start(attempt.id)
+        self.attempts_dispatched += 1
         reg.counter("serve.dispatches", kind=kind).inc()
         dispatch_attrs = {"kind": kind, "model": req.model, "scene": req.scene}
         if self.config.steady_state:
@@ -520,6 +690,17 @@ class Server:
         reg = get_registry()
         if a.done or a.cancelled or req.terminal or req.hedged:
             return
+        if (
+            self.storm is not None
+            and self.storm.suppress_hedges
+            and self.health.any_domain_open
+        ):
+            # a mass outage makes p95-triggered duplicates pure load
+            # amplification onto the surviving domains
+            self.hedges_suppressed += 1
+            reg.counter("serve.hedges", outcome="suppressed").inc()
+            self._emit("hedge_skip", req, reason="domain_breaker")
+            return
         eligible = [
             not w.busy
             and self.health[w.label].available
@@ -530,6 +711,19 @@ class Server:
             reg.counter("serve.hedges", outcome="skipped").inc()
             self._emit("hedge_skip", req, reason="no_device")
             return
+        if self._defended:
+            primary = self.topology.domain_of(self.workers[a.device].label)
+            diverse = [
+                e and self.topology.domain_of(w.label) != primary
+                for e, w in zip(eligible, self.workers)
+            ]
+            if not any(diverse):
+                # a same-domain hedge shares the primary's failure
+                # domain — it hedges nothing worth hedging
+                reg.counter("serve.hedges", outcome="skipped").inc()
+                self._emit("hedge_skip", req, reason="no_cross_domain")
+                return
+            eligible = diverse
         d = least_loaded([w.busy_time for w in self.workers], eligible)
         req.hedged = True
         self.hedges_launched += 1
@@ -607,6 +801,21 @@ class Server:
         if self.health.record_failure(w.label, self.now):
             self._emit("quarantine", device=w.label)
             self._push(self.now + self._probe_cooldown, "probe", w.index)
+        opened = self.health.record_domain_failure(w.label, self.now)
+        if opened is not None:
+            domain, swept = opened
+            self._emit("domain_outage", domain=domain, swept=len(swept))
+            with self.tracer.span(
+                "serve.domain_outage", domain=domain, swept=len(swept)
+            ):
+                pass
+            for label in swept:
+                self._emit("quarantine", device=label)
+                self._push(
+                    self.now + self._probe_cooldown,
+                    "probe",
+                    self._index_of[label],
+                )
         if req.terminal:
             return
         if req.in_flight > 0:
@@ -614,27 +823,81 @@ class Server:
             return
         retry = self.config.retry
         if req.retries < retry.max_retries:
+            # the backoff draw happens *before* storm gating, so the RNG
+            # stream stays aligned between defended and undefended arms
+            # of a same-seed ablation
             delay = retry.delay(req.retries, self._backoff_base, self.rng)
             if self.now + delay < req.deadline:
-                req.retries += 1
-                req.state = QUEUED
-                self.retries += 1
-                reg.counter("serve.retries").inc()
-                self._emit("retry_scheduled", req, retry=req.retries,
-                           delay=delay)
-                self._push(self.now + delay, "retry", req.id)
-                return
+                denial = self._storm_denies_retry(req, delay)
+                if denial is None:
+                    req.retries += 1
+                    req.state = QUEUED
+                    self.retries += 1
+                    reg.counter("serve.retries").inc()
+                    self._emit("retry_scheduled", req, retry=req.retries,
+                               delay=delay)
+                    self._push(self.now + delay, "retry", req.id)
+                    return
+                self.retry_denied[denial] += 1
+                reg.counter("serve.retry_denied", reason=denial).inc()
+                self._emit("retry_denied", req, reason=denial)
+                if denial == "deadline":
+                    # a doomed retry is a deadline miss we already know
+                    # about — resolve it now instead of burning a slot
+                    req.error = "retry denied: insufficient deadline slack"
+                    req.resolve(DEADLINE_EXCEEDED, self.now)
+                    reg.counter("serve.deadline_exceeded").inc()
+                    self._note_terminal(completed=False)
+                    self._emit("terminal", req, state=DEADLINE_EXCEEDED,
+                               error=req.error)
+                    return
+                # budget denial falls through to FAILED
         req.error = reason
         req.resolve(FAILED, self.now)
         reg.counter("serve.failed").inc()
         self._note_terminal(completed=False)
         self._emit("terminal", req, state=FAILED, error=reason)
 
+    def _storm_denies_retry(self, req: Request, delay: float):
+        """``None`` to admit the retry, else the denial reason.
+
+        Deadline admission runs first — a retry that cannot finish in
+        time should not spend a budget token on the way to missing.
+        """
+        if self.storm is None:
+            return None
+        if self.storm.deadline_aware:
+            best = self._best_healthy_service(req.model)
+            if best is not None and self.now + delay + best > req.deadline:
+                return "deadline"
+        if not self.retry_budget.take():
+            return "budget"
+        get_registry().gauge("serve.retry_budget_tokens").set(
+            self.retry_budget.tokens
+        )
+        return None
+
+    def _best_healthy_service(self, model: str):
+        """Expected service time on the best available device."""
+        times = [
+            self.oracle.base_latency(model, w.spec)
+            for w in self.workers
+            if self.health[w.label].available
+        ]
+        return min(times) if times else None
+
     def _attempt_succeeded(
         self, a: Attempt, req: Request, w: DeviceWorker
     ) -> None:
         reg = get_registry()
         self.health.record_success(w.label)
+        if self.retry_budget is not None:
+            # goodput refills the storm budget: retry traffic stays a
+            # bounded fraction of what actually succeeds
+            self.retry_budget.credit()
+            reg.gauge("serve.retry_budget_tokens").set(
+                self.retry_budget.tokens
+            )
         w.completed += 1
         service = self.now - a.start
         self._service_samples.append(service)
@@ -726,11 +989,22 @@ class Server:
     def _on_probe(self, d: int) -> None:
         w = self.workers[d]
         dev = self.health[w.label]
-        if dev.state in (HEALTHY, DEAD) or w.busy:
+        if dev.state in (HEALTHY, DEAD):
+            return
+        if w.busy:
+            # mass quarantine can catch a device mid-attempt; probe it
+            # once the in-flight work drains instead of dropping the
+            # probe (and the device) forever
+            self._push(self.now + self._probe_cooldown, "probe", d)
             return
         self.health.begin_probe(w.label)
         service = self._service_time(self._probe_model, w)
+        degrade = self._domain_fault(w.label, "domain_degrade")
+        if degrade is not None:
+            service *= domain_degrade_factor(degrade["severity"])
         will_fail = maybe_crash_device(w.label)
+        if not will_fail and self._domain_fault(w.label, "domain_outage"):
+            will_fail = True
         will_corrupt = not will_fail and maybe_silent_corruption(w.label)
         dur = 0.5 * service if will_fail else service
         attempt = Attempt(
@@ -823,6 +1097,22 @@ class Server:
         )
         self.workers.append(spare)
         self.labels.append(label)
+        self._index_of[label] = spare.index
+        # the spare joins the least-impacted domain (fewest unavailable
+        # members; ties break in topology order) — backfilling the
+        # outage's own domain would stack the replacement under the
+        # same correlated fault.  Trivial topologies keep the spare a
+        # singleton so they stay trivial.
+        domain = label
+        if self._defended:
+            domain = min(
+                self.topology.names,
+                key=lambda name: sum(
+                    not self.health[m].available
+                    for m in self.topology.members(name)
+                ),
+            )
+        self.topology.assign(label, domain)
         self.health.add_device(label)
         warm_start = self.store is not None and self.config.steady_state
         inherited = set(self._fleet_seen) if warm_start else set()
@@ -834,6 +1124,7 @@ class Server:
             device=label,
             slot=dead.label,
             spec=dead.spec.name,
+            domain=domain,
         )
         if warm_start:
             reg.counter("persist.warmstarts").inc()
@@ -846,6 +1137,7 @@ class Server:
                 "t": self.now,
                 "warm_start": warm_start,
                 "inherited_frames": len(inherited),
+                "domain": domain,
             }
         )
         with self.tracer.span(
@@ -868,8 +1160,18 @@ class Server:
         self._emit(
             "attempt_finish", attempt=a.id, device=w.label, outcome=outcome
         )
-        if self.health.probe_result(w.label, ok, self.now):
+        forgive = not ok and self.health.domain_open(w.label)
+        if self.health.probe_result(w.label, ok, self.now, forgive=forgive):
             self._emit("readmit", device=w.label)
+            closed = self.health.maybe_close_domain(w.label, self.now)
+            if closed is not None:
+                # one member passing its probe is the evidence the
+                # domain-wide fault has cleared
+                self._emit("domain_recovered", domain=closed)
+                with self.tracer.span(
+                    "serve.domain_recovered", domain=closed
+                ):
+                    pass
             self._pump()
         elif self.health[w.label].state == QUARANTINED:
             self._push(self.now + self._probe_cooldown, "probe", w.index)
@@ -908,7 +1210,17 @@ class Server:
             hedges_launched=self.hedges_launched,
             hedges_won=self.hedges_won,
             hedges_cancelled=self.hedges_cancelled,
+            hedges_suppressed=self.hedges_suppressed,
             retries=self.retries,
+            attempts=self.attempts_dispatched,
+            retry_denied=dict(self.retry_denied),
+            storm=self.storm is not None,
+            domains=(
+                self.topology.to_json()
+                if not self.topology.trivial
+                else {}
+            ),
+            domain_summary=self.health.domain_summary(self.now),
             integrity_failures=self.integrity_failures,
             verify_integrity=self.config.verify_integrity,
             steady_state=self.config.steady_state,

@@ -163,3 +163,33 @@ class TestStoreChaos:
         a = run_trial("store_bitrot", "torchsparse", seed=5).to_json()
         b = run_trial("store_bitrot", "torchsparse", seed=5).to_json()
         assert a == b
+
+
+# -- correlated failure-domain fault sites -----------------------------------
+
+
+class TestDomainChaos:
+    def test_domain_kinds_in_pipeline_sweep(self):
+        from repro.robust.faults import DOMAIN_FAULT_KINDS
+
+        for kind in DOMAIN_FAULT_KINDS:
+            assert kind in PIPELINE_FAULT_KINDS
+
+    @pytest.mark.parametrize("kind", ["domain_outage", "domain_degrade"])
+    @pytest.mark.parametrize("degrade", [True, False])
+    def test_domain_trial_survives_and_reproduces(self, kind, degrade):
+        t = run_trial(kind, "torchsparse", seed=0, degrade=degrade)
+        assert t.ok, t.to_json()
+        assert t.survived and t.visible
+        # two same-seed campaigns under the same correlated fault
+        # schedule produce identical serve reports
+        assert t.bitexact is True
+
+    def test_domain_outage_detected_by_fleet_machinery(self):
+        t = run_trial("domain_outage", "torchsparse", seed=0)
+        assert t.detected >= 1
+
+    def test_domain_trial_deterministic(self):
+        a = run_trial("domain_outage", "torchsparse", seed=5).to_json()
+        b = run_trial("domain_outage", "torchsparse", seed=5).to_json()
+        assert a == b

@@ -1,0 +1,630 @@
+"""Tests for failure domains and the metastable-failure defense.
+
+Covers :mod:`repro.robust.domains` (topology, storm knobs, the retry
+token bucket), the domain breakers in :mod:`repro.serve.health`, the
+correlated fault windows in :mod:`repro.robust.faults`, and the serve
+loop's domain-aware placement + storm defense end to end — including
+the same-seed bit-exactness the whole mechanism is built on.
+"""
+
+import json
+
+import pytest
+
+from repro.gpu.device import RTX_2080TI, RTX_3090
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.timeline import TimelineRecorder, validate_journal
+from repro.robust.domains import DomainTopology, RetryBudget, StormConfig
+from repro.robust.errors import ConfigError
+from repro.robust.faults import (
+    DOMAIN_FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    domain_degrade_factor,
+    draw_domain_windows,
+    inject_faults,
+)
+from repro.serve import (
+    DEAD,
+    HEALTHY,
+    QUARANTINED,
+    FleetHealth,
+    HedgePolicy,
+    RetryPolicy,
+    ServeConfig,
+    TrafficConfig,
+    run_serve_campaign,
+)
+
+LAT = {"m": 0.004}
+
+#: four devices on two racks — the smallest fleet where a correlated
+#: outage leaves a survivor domain to fail over to
+RACKS = ("rack0", "rack0", "rack1", "rack1")
+
+
+def make_config(**kw):
+    defaults = dict(
+        devices=(RTX_2080TI, RTX_2080TI, RTX_3090, RTX_3090),
+        domains=RACKS,
+        latency_overrides=LAT,
+        seed=7,
+    )
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def make_traffic(**kw):
+    defaults = dict(rate=300.0, duration=0.4, models=("m",), seed=7)
+    defaults.update(kw)
+    return TrafficConfig(**defaults)
+
+
+def campaign(config=None, traffic=None, specs=(), seed=7, recorder=None):
+    injector = FaultInjector(seed=seed, specs=list(specs)) if specs else None
+    with use_registry(MetricsRegistry()) as reg:
+        report = run_serve_campaign(
+            config or make_config(), traffic or make_traffic(),
+            injector=injector, recorder=recorder,
+        )
+    return report, reg
+
+
+OUTAGE = [FaultSpec(kind="domain_outage", count=1)]
+
+
+# -- DomainTopology -----------------------------------------------------------
+
+
+class TestDomainTopology:
+    def test_default_is_trivial_singletons(self):
+        topo = DomainTopology(["a", "b", "c"])
+        assert topo.trivial
+        assert topo.domain_of("b") == "b"
+        assert topo.names == ["a", "b", "c"]
+
+    def test_explicit_assignment(self):
+        topo = DomainTopology(["a", "b", "c"], ["r0", "r0", "r1"])
+        assert not topo.trivial
+        assert topo.members("r0") == ["a", "b"]
+        assert topo.names == ["r0", "r1"]  # first-appearance order
+        assert topo.to_json() == {"a": "r0", "b": "r0", "c": "r1"}
+
+    def test_misaligned_domains_rejected(self):
+        with pytest.raises(ConfigError):
+            DomainTopology(["a", "b"], ["r0"])
+
+    def test_empty_domain_label_rejected(self):
+        with pytest.raises(ConfigError):
+            DomainTopology(["a", "b"], ["r0", ""])
+
+    def test_duplicate_device_rejected(self):
+        topo = DomainTopology(["a"], ["r0"])
+        with pytest.raises(ConfigError):
+            topo.assign("a", "r1")
+
+    def test_spare_joins_mid_campaign(self):
+        topo = DomainTopology(["a", "b"], ["r0", "r0"])
+        topo.assign("spare1", "r0")
+        assert topo.members("r0") == ["a", "b", "spare1"]
+
+
+# -- StormConfig / RetryBudget ------------------------------------------------
+
+
+class TestStormConfig:
+    def test_defaults_valid(self):
+        cfg = StormConfig()
+        assert cfg.retry_budget == 8.0 and cfg.deadline_aware
+
+    @pytest.mark.parametrize("kw", [
+        dict(retry_budget=-1.0),
+        dict(retry_refill=1.5),
+        dict(retry_refill=-0.1),
+        dict(retry_budget=8.0, retry_cap=4.0),
+    ])
+    def test_invalid_knobs_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            StormConfig(**kw)
+
+
+class TestRetryBudget:
+    def test_take_spends_whole_tokens(self):
+        b = RetryBudget(StormConfig(retry_budget=2.0))
+        assert b.take() and b.take()
+        assert not b.take()
+        assert b.taken == 2 and b.denied == 1
+
+    def test_credit_refills_fractionally_and_caps(self):
+        b = RetryBudget(StormConfig(
+            retry_budget=0.0, retry_refill=0.5, retry_cap=1.0
+        ))
+        assert not b.take()
+        b.credit()
+        assert not b.take()  # 0.5 < 1 whole token
+        b.credit()
+        assert b.take()
+        for _ in range(10):
+            b.credit()
+        assert b.tokens <= 1.0  # capped
+
+    def test_long_run_ratio_bounded_by_refill(self):
+        b = RetryBudget(StormConfig(retry_budget=0.0, retry_refill=0.1))
+        granted = 0
+        for _ in range(1000):
+            b.credit()
+            if b.take():
+                granted += 1
+        # bounded by refill x successes (fp accumulation may round a
+        # grant or two down, never up)
+        assert 95 <= granted <= 100
+
+
+# -- typed config validation (satellite 1) ------------------------------------
+
+
+class TestConfigValidation:
+    def test_config_error_is_value_error(self):
+        # callers' existing ``except ValueError`` handling keeps working
+        assert issubclass(ConfigError, ValueError)
+
+    @pytest.mark.parametrize("kw", [
+        dict(spares=-1),
+        dict(queue_capacity=0),
+        dict(deadline_factor=0.0),
+        dict(labels=("a", "a", "b", "b")),               # duplicate labels
+        dict(domains=("rack0", "rack1")),                # misaligned
+        dict(domain_threshold=0.0),
+        dict(domain_threshold=1.5),
+        dict(domain_window=0.0),
+    ])
+    def test_serve_config_rejects(self, kw):
+        with pytest.raises(ConfigError):
+            make_config(**kw)
+
+    @pytest.mark.parametrize("kw", [
+        dict(max_retries=-1),
+        dict(backoff_base=0.0),
+        dict(backoff_mult=0.5),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+    ])
+    def test_retry_policy_rejects(self, kw):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kw)
+
+    @pytest.mark.parametrize("q", [0.0, -0.5, 150.0])
+    def test_hedge_quantile_range(self, q):
+        # the quantile is a percentage: (0, 100]
+        with pytest.raises(ConfigError):
+            HedgePolicy(quantile=q)
+
+
+# -- correlated fault windows -------------------------------------------------
+
+
+class TestDomainWindows:
+    def test_no_injector_draws_nothing(self):
+        assert draw_domain_windows(["r0", "r1"], horizon=1.0) == []
+
+    def test_armed_spec_fires_one_window(self):
+        inj = FaultInjector(seed=3, specs=OUTAGE)
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            wins = draw_domain_windows(["r0", "r1"], horizon=1.0)
+        assert len(wins) == 1
+        (w,) = wins
+        assert w["kind"] == "domain_outage" and w["domain"] == "r0"
+        assert 0.15 <= w["start"] < 0.45
+        assert w["start"] < w["end"] <= w["start"] + 0.8
+
+    def test_sticky_spec_hits_every_domain(self):
+        inj = FaultInjector(
+            seed=3,
+            specs=[FaultSpec(kind="domain_degrade", count=-1)],
+        )
+        with use_registry(MetricsRegistry()), inject_faults(inj):
+            wins = draw_domain_windows(["r0", "r1"], horizon=1.0)
+        assert [w["domain"] for w in wins] == ["r0", "r1"]
+
+    def test_windows_are_seed_deterministic(self):
+        def draw():
+            inj = FaultInjector(seed=11, specs=[
+                FaultSpec(kind=k, count=-1) for k in DOMAIN_FAULT_KINDS
+            ])
+            with use_registry(MetricsRegistry()), inject_faults(inj):
+                return draw_domain_windows(["r0", "r1"], horizon=2.0)
+
+        assert draw() == draw()
+
+    def test_degrade_factor_scales_with_severity(self):
+        assert domain_degrade_factor(0.0) == 1.0
+        assert domain_degrade_factor(0.05) == pytest.approx(2.0)
+        assert domain_degrade_factor(0.1) > domain_degrade_factor(0.05)
+
+
+# -- domain breakers in FleetHealth -------------------------------------------
+
+
+def rack_health(**kw):
+    labels = ["a0", "a1", "b0", "b1"]
+    topo = DomainTopology(labels, ["A", "A", "B", "B"])
+    # 0.75 on 2-member domains: both members must fail (the default
+    # 0.5 would open on the first failure)
+    defaults = dict(
+        threshold=2, topology=topo, domain_window=1.0,
+        domain_threshold=0.75,
+    )
+    defaults.update(kw)
+    return FleetHealth(labels, **defaults)
+
+
+class TestDomainBreakers:
+    def test_opens_at_threshold_and_mass_quarantines(self):
+        with use_registry(MetricsRegistry()) as reg:
+            h = rack_health()
+            assert h.record_domain_failure("a0", 0.1) is None
+            opened = h.record_domain_failure("a1", 0.2)
+        assert opened == ("A", ["a0", "a1"])  # both still HEALTHY -> swept
+        assert h["a0"].state == QUARANTINED
+        assert h["a1"].state == QUARANTINED
+        assert h["b0"].state == HEALTHY
+        assert h.any_domain_open and h.domain_open("a0")
+        assert not h.domain_open("b0")
+        scal = reg.scalars()
+        assert scal["serve.domain_outages{domain=A}"] == 1.0
+        assert scal["serve.mass_quarantines{domain=A}"] == 2.0
+
+    def test_stale_failures_pruned_outside_window(self):
+        with use_registry(MetricsRegistry()):
+            h = rack_health(domain_window=0.5)
+            assert h.record_domain_failure("a0", 0.0) is None
+            # a0 recovered in the meantime; its stamp is stale
+            assert h.record_domain_failure("a1", 2.0) is None
+        assert not h.any_domain_open
+
+    def test_already_failed_members_count(self):
+        with use_registry(MetricsRegistry()):
+            h = rack_health()
+            h["a0"].state = QUARANTINED  # out of service pre-window
+            opened = h.record_domain_failure("a1", 0.1)
+        assert opened == ("A", ["a1"])  # only a1 left to sweep
+
+    def test_readmit_closes_and_accumulates_downtime(self):
+        with use_registry(MetricsRegistry()) as reg:
+            h = rack_health()
+            h.record_domain_failure("a0", 0.1)
+            h.record_domain_failure("a1", 0.2)
+            assert h.maybe_close_domain("a0", 0.7) == "A"
+            assert h.maybe_close_domain("a0", 0.8) is None  # already closed
+        assert not h.any_domain_open
+        summary = h.domain_summary(end_time=1.0)
+        assert summary["A"]["down_time"] == pytest.approx(0.5)
+        assert summary["A"]["availability"] == pytest.approx(0.5)
+        assert summary["B"]["availability"] == 1.0
+        assert reg.scalars()["serve.domain_recoveries{domain=A}"] == 1.0
+
+    def test_open_breaker_closed_out_at_horizon(self):
+        with use_registry(MetricsRegistry()):
+            h = rack_health()
+            h.record_domain_failure("a0", 0.1)
+            h.record_domain_failure("a1", 0.2)
+        s = h.domain_summary(end_time=1.2)
+        assert s["A"]["down_time"] == pytest.approx(1.0)
+
+    def test_forgiven_probe_does_not_count_toward_death(self):
+        with use_registry(MetricsRegistry()):
+            h = rack_health(max_probes=2)
+            h.record_domain_failure("a0", 0.1)
+            h.record_domain_failure("a1", 0.2)
+            for _ in range(5):  # would be DEAD after 2 without forgive
+                h.begin_probe("a0")
+                assert not h.probe_result("a0", False, 0.5, forgive=True)
+            assert h["a0"].state == QUARANTINED
+            h.begin_probe("a0")
+            h.probe_result("a0", False, 0.6)
+            h.begin_probe("a0")
+            h.probe_result("a0", False, 0.7)
+        assert h["a0"].state == DEAD
+
+    def test_trivial_topology_has_no_domain_state(self):
+        with use_registry(MetricsRegistry()):
+            h = FleetHealth(
+                ["a", "b"], topology=DomainTopology(["a", "b"])
+            )
+            assert h.domain_state == {}
+            assert h.record_domain_failure("a", 0.1) is None
+            assert not h.any_domain_open
+
+
+# -- domain-aware campaigns ---------------------------------------------------
+
+
+class TestDomainCampaign:
+    def test_outage_journaled_and_validates(self):
+        rec = TimelineRecorder()
+        report, reg = campaign(specs=OUTAGE, recorder=rec)
+        assert report.all_terminal
+        assert validate_journal(rec.header(), rec.events) == []
+        kinds = [e["kind"] for e in rec.events]
+        assert "domain_outage" in kinds and "domain_recovered" in kinds
+        outage = next(e for e in rec.events if e["kind"] == "domain_outage")
+        assert outage["attrs"]["domain"] == "rack0"
+        assert outage["attrs"]["swept"] >= 1
+        # the journal header records the topology
+        assert rec.header()["domains"]["RTX 2080Ti #0"] == "rack0"
+
+    def test_outage_dents_availability(self):
+        report, _ = campaign(specs=OUTAGE)
+        summary = report.domain_summary
+        assert set(summary) == {"rack0", "rack1"}
+        assert summary["rack0"]["outages"] == 1
+        assert summary["rack0"]["availability"] < 1.0
+        assert summary["rack1"]["availability"] == 1.0
+        # the fleet as a whole rode through it
+        assert report.slo_attainment > 0.9
+
+    def test_degrade_inflates_latency(self):
+        base, _ = campaign()
+        slow, _ = campaign(specs=[
+            FaultSpec(kind="domain_degrade", count=-1, severity=0.1)
+        ])
+        assert slow.all_terminal
+        assert slow.p99 > base.p99
+
+    def test_retries_prefer_another_domain(self):
+        # every retry dispatch must land outside the failed attempt's
+        # domain while a healthy cross-domain device exists
+        rec = TimelineRecorder()
+        report, _ = campaign(specs=OUTAGE, recorder=rec)
+        topo = rec.header()["domains"]
+        by_attempt = {
+            e["attempt"]: e for e in rec.events if e["kind"] == "dispatch"
+        }
+        retries = [
+            e for e in rec.events
+            if e["kind"] == "dispatch" and e["attrs"]["kind"] == "retry"
+        ]
+        assert retries, "outage campaign produced no retries"
+        for e in retries:
+            parent = by_attempt[e["attrs"]["parent"]]
+            assert topo[e["device"]] != topo[parent["device"]]
+
+    def test_hedges_land_cross_domain_or_skip(self):
+        rec = TimelineRecorder()
+        campaign(specs=OUTAGE, recorder=rec)
+        topo = rec.header()["domains"]
+        by_attempt = {
+            e["attempt"]: e for e in rec.events if e["kind"] == "dispatch"
+        }
+        for e in rec.events:
+            if e["kind"] == "dispatch" and e["attrs"]["kind"] == "hedge":
+                parent = by_attempt[e["attrs"]["parent"]]
+                assert topo[e["device"]] != topo[parent["device"]]
+            if e["kind"] == "hedge_skip":
+                assert e["attrs"]["reason"] in (
+                    "no_device", "no_cross_domain", "domain_breaker"
+                )
+
+    def test_trivial_topology_matches_no_topology(self):
+        # domains=None and explicit singletons are the same campaign
+        flat, _ = campaign(make_config(domains=None))
+        singles, _ = campaign(make_config(
+            domains=("d0", "d1", "d2", "d3")
+        ))
+        assert flat.to_json()["requests"] == singles.to_json()["requests"]
+        assert singles.domains == {}  # trivial -> dormant, unreported
+
+    def test_same_seed_bit_exact_reports_and_journals(self):
+        def run():
+            rec = TimelineRecorder()
+            report, _ = campaign(
+                make_config(storm=StormConfig()),
+                specs=OUTAGE, recorder=rec,
+            )
+            return (
+                json.dumps(report.to_json(), sort_keys=True),
+                rec.to_jsonl(),
+            )
+
+        assert run() == run()
+
+
+# -- the metastability defense ------------------------------------------------
+
+
+class TestStormDefense:
+    def test_hedges_suppressed_while_breaker_open(self):
+        rec = TimelineRecorder()
+        report, reg = campaign(
+            make_config(storm=StormConfig()), specs=OUTAGE, recorder=rec,
+        )
+        assert report.storm
+        assert report.hedges_suppressed >= 1
+        skips = [
+            e["attrs"]["reason"]
+            for e in rec.events if e["kind"] == "hedge_skip"
+        ]
+        assert "domain_breaker" in skips
+        scal = reg.scalars()
+        assert scal["serve.hedges{outcome=suppressed}"] == float(
+            report.hedges_suppressed
+        )
+
+    def test_broke_budget_denies_retries(self):
+        rec = TimelineRecorder()
+        report, reg = campaign(
+            make_config(
+                storm=StormConfig(retry_budget=0.0, retry_refill=0.0),
+                deadline_factor=50.0,  # slack is never the binding limit
+            ),
+            specs=OUTAGE, recorder=rec,
+        )
+        assert report.all_terminal
+        assert report.retry_denied["budget"] >= 1
+        denied = [e for e in rec.events if e["kind"] == "retry_denied"]
+        assert denied and all(
+            e["attrs"]["reason"] == "budget" for e in denied
+        )
+        assert validate_journal(rec.header(), rec.events) == []
+        scal = reg.scalars()
+        assert scal["serve.retry_denied{reason=budget}"] == float(
+            report.retry_denied["budget"]
+        )
+
+    def test_deadline_aware_admission_fails_fast(self):
+        report, _ = campaign(
+            make_config(
+                storm=StormConfig(),
+                deadline_factor=1.5,  # slack fits the backoff but not
+                # backoff + the best healthy device's service time
+                hedge=HedgePolicy(enabled=False),
+            ),
+            specs=OUTAGE,
+        )
+        assert report.all_terminal
+        assert report.retry_denied["deadline"] >= 1
+
+    def test_amplification_reported(self):
+        report, _ = campaign(
+            make_config(storm=StormConfig()), specs=OUTAGE,
+        )
+        assert report.attempts >= report.total
+        assert report.amplification == pytest.approx(
+            report.attempts / report.total
+        )
+        blob = report.to_json()["storm"]
+        assert blob["enabled"] is True
+        assert blob["amplification"] == report.amplification
+        assert blob["retry_denied"] == report.retry_denied
+
+    def test_defense_off_by_default(self):
+        report, _ = campaign(specs=OUTAGE)
+        assert not report.storm
+        assert report.retries_denied == 0
+        assert report.to_json()["storm"]["enabled"] is False
+
+    def test_domain_defense_off_keeps_fault_surface(self):
+        # the undefended ablation arm: correlated windows still fire
+        # over the topology, but no domain breaker ever opens and no
+        # mass quarantine sweeps — only flat per-device machinery
+        rec = TimelineRecorder()
+        report, reg = campaign(
+            make_config(domain_defense=False), specs=OUTAGE, recorder=rec,
+        )
+        assert report.all_terminal
+        assert report.domain_summary == {}  # no domain state tracked
+        kinds = {e["kind"] for e in rec.events}
+        assert "domain_outage" not in kinds
+        # the fault still bit: devices crashed and were quarantined
+        # one discovery at a time
+        scal = reg.scalars()
+        assert "serve.domain_outages{domain=rack0}" not in scal
+        assert any(k.startswith("serve.quarantines{") for k in scal)
+        assert validate_journal(rec.header(), rec.events) == []
+
+
+# -- spare placement under a topology -----------------------------------------
+
+
+class TestSpareDomainPlacement:
+    def test_spare_joins_least_impacted_domain(self, tmp_path):
+        rec = TimelineRecorder()
+        config = make_config(
+            max_probes=2, steady_state=True, spares=1,
+            store_dir=str(tmp_path / "store"),
+        )
+        sticky = [FaultSpec(
+            kind="device_crash", site="RTX 2080Ti #0", count=-1
+        )]
+        report, _ = campaign(
+            config, make_traffic(coherence=0.9), specs=sticky, recorder=rec,
+        )
+        assert report.fleet["RTX 2080Ti #0"]["state"] == DEAD
+        (record,) = report.replacements
+        # rack0 lost a member; the spare backfills the weakened domain
+        # (least unavailable members after the death: still rack0's
+        # replacement slot) — and the event journal records the choice
+        replaced = next(
+            e for e in rec.events if e["kind"] == "device_replaced"
+        )
+        assert replaced["attrs"]["domain"] == record["domain"]
+        assert record["domain"] in ("rack0", "rack1")
+        assert validate_journal(rec.header(), rec.events) == []
+
+
+# -- validator negative cases -------------------------------------------------
+
+
+def _journal(events):
+    rec = TimelineRecorder(meta={"seed": 7})
+    for kind, t, kw in events:
+        rec.emit(kind, t, **kw)
+    return rec
+
+
+class TestValidatorDomainInvariants:
+    def test_double_open_rejected(self):
+        rec = _journal([
+            ("domain_outage", 0.1, dict(domain="r0")),
+            ("domain_outage", 0.2, dict(domain="r0")),
+        ])
+        problems = validate_journal(rec.header(), rec.events)
+        assert any("r0" in p for p in problems)
+
+    def test_recovery_without_outage_rejected(self):
+        rec = _journal([("domain_recovered", 0.1, dict(domain="r0"))])
+        assert validate_journal(rec.header(), rec.events)
+
+    def test_outage_requires_domain_attr(self):
+        rec = _journal([("domain_outage", 0.1, {})])
+        assert validate_journal(rec.header(), rec.events)
+
+    def test_retry_denied_requires_known_reason(self):
+        rec = _journal([
+            ("arrival", 0.0, dict(request=0)),
+            ("retry_denied", 0.1, dict(request=0, reason="vibes")),
+            ("terminal", 0.2, dict(request=0, state="failed")),
+        ])
+        problems = validate_journal(rec.header(), rec.events)
+        assert any("reason" in p for p in problems)
+
+    def test_open_close_pairing_accepted(self):
+        rec = _journal([
+            ("domain_outage", 0.1, dict(domain="r0")),
+            ("domain_recovered", 0.2, dict(domain="r0")),
+            ("domain_outage", 0.3, dict(domain="r0")),
+        ])
+        assert validate_journal(rec.header(), rec.events) == []
+
+
+# -- Perfetto domains track ---------------------------------------------------
+
+
+class TestDomainsTrace:
+    def test_domain_events_land_on_domains_track(self, tmp_path):
+        from repro.profiling.trace import DOMAINS_TID, write_serve_trace
+
+        rec = TimelineRecorder()
+        campaign(
+            make_config(storm=StormConfig(retry_budget=0.0,
+                                          retry_refill=0.0),
+                        deadline_factor=50.0),
+            specs=OUTAGE, recorder=rec,
+        )
+        path = tmp_path / "trace.json"
+        write_serve_trace(rec.header(), rec.events, str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        domain_instants = [
+            e for e in events
+            if e.get("tid") == DOMAINS_TID and e["ph"] == "i"
+        ]
+        names = {e["name"] for e in domain_instants}
+        assert "domain_outage:rack0" in names
+        assert "domain_recovered:rack0" in names
+        assert any(n.startswith("retry_denied") for n in names)
+        counters = [
+            e for e in events
+            if e["ph"] == "C" and e["name"] == "domains down"
+        ]
+        values = [e["args"]["down"] for e in counters]
+        assert values[0] == 0 and max(values) >= 1 and values[-1] == 0

@@ -379,6 +379,52 @@ class TestServeCampaign:
         assert report.hedges_launched == 0
         assert "serve.hedges{outcome=launched}" not in reg.scalars()
 
+    def test_hedge_timer_after_terminal_is_noop(self):
+        from repro.core.engine import BaseEngine
+        from repro.serve.cluster import LatencyOracle
+        from repro.serve.server import Server
+
+        oracle = LatencyOracle(BaseEngine(), overrides=LAT)
+        with use_registry(MetricsRegistry()) as reg:
+            server = Server(make_config(), oracle)
+            req = Request(id=0, model="m", arrival=0.0, deadline=1.0)
+            server._requests = [req]
+            server._dispatch(req, 0, "primary")
+            (aid,) = server._attempts
+            # the request resolves before its hedge timer fires — the
+            # stale timer must not launch (or count) anything
+            req.resolve(COMPLETED, 0.001)
+            server._on_hedge(aid)
+        assert server.hedges_launched == 0
+        assert not req.hedged
+        assert "serve.hedges{outcome=launched}" not in reg.scalars()
+
+    def test_hedge_cancel_counter_algebra(self):
+        # every launched hedge pair resolves exactly one cancellation
+        # (loser cancelled, winner kept), whichever side wins — and the
+        # registry counters agree with the report tallies
+        specs = [FaultSpec(kind="device_stall", site="RTX 3090", count=-1,
+                           severity=0.2)]
+        report, reg, _ = campaign(specs=specs)
+        assert report.hedges_launched > 0
+        assert report.hedges_cancelled == report.hedges_launched
+        assert 0 < report.hedges_won <= report.hedges_launched
+        scal = reg.scalars()
+        assert scal["serve.hedges{outcome=launched}"] == (
+            report.hedges_launched
+        )
+        assert scal["serve.hedges{outcome=won}"] == report.hedges_won
+        assert scal["serve.hedges{outcome=cancelled}"] == (
+            report.hedges_cancelled
+        )
+        # cancelled attempts reclaim their device slot: total dispatched
+        # attempts = per-request attempt counts, nothing leaks
+        dispatched = sum(
+            v for k, v in scal.items()
+            if k.startswith("serve.dispatches{")
+        )
+        assert dispatched == report.attempts
+
     def test_heterogeneous_fleet_supported(self):
         config = make_config(devices=(GTX_1080TI, RTX_3090))
         report, _, _ = campaign(config=config)
@@ -392,6 +438,55 @@ class TestServeCampaign:
                          "serve.completed", "serve.latency_ms.count",
                          "serve.wait_ms.count", "serve.queue_depth.count"):
             assert any(k.startswith(required) for k in names), required
+
+
+class TestBackoffJitter:
+    """Satellite audit: retry backoff randomness comes from the
+    server's seeded RNG — never the module-level ``random`` (which
+    would silently break same-seed bit-exactness)."""
+
+    CRASHES = [FaultSpec(kind="device_crash", count=4)]
+
+    def test_module_level_random_untouched(self):
+        import random
+
+        random.seed(1234)
+        state = random.getstate()
+        report, _, _ = campaign(specs=self.CRASHES)
+        assert report.retries > 0  # the jitter path actually ran
+        assert random.getstate() == state
+
+    def test_same_seed_backoff_delays_bit_exact(self):
+        from repro.obs.timeline import TimelineRecorder
+
+        def delays():
+            rec = TimelineRecorder()
+            injector = FaultInjector(seed=7, specs=list(self.CRASHES))
+            with use_registry(MetricsRegistry()):
+                run_serve_campaign(
+                    make_config(), make_traffic(),
+                    injector=injector, recorder=rec,
+                )
+            out = [
+                e["attrs"]["delay"] for e in rec.events
+                if e["kind"] == "retry_scheduled"
+            ]
+            assert out
+            return out
+
+        assert delays() == delays()
+
+    def test_delay_uses_only_the_passed_rng(self):
+        import numpy as np
+
+        policy = RetryPolicy(max_retries=3, backoff_base=0.01)
+        a = [policy.delay(i, 0.01, np.random.default_rng(5))
+             for i in range(3)]
+        b = [policy.delay(i, 0.01, np.random.default_rng(5))
+             for i in range(3)]
+        assert a == b
+        # exponential growth under the jittered envelope
+        assert all(d > 0 for d in a)
 
 
 class TestServeSpans:

@@ -512,6 +512,45 @@ class TestExposition:
             "weird_metric_"
         )
 
+    def test_label_value_escaping_round_trips(self):
+        # 0.0.4 escaping: backslash, then newline, then quote — a value
+        # carrying all three survives, and the parseable form decodes
+        # back to the original
+        reg = MetricsRegistry()
+        hostile = 'rack"0\\zone\nA'
+        reg.counter("serve.quarantines", device=hostile).inc()
+        reg.counter("serve.domain_outages", domain="rack/0").inc(2)
+        text = to_prometheus(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert "\n" not in text.split("repro_serve_quarantines_total")[1] \
+            .split("\n")[0].replace("\\n", "")
+        # slash in a domain label needs no escaping — emitted verbatim
+        assert 'domain="rack/0"' in text
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_serve_quarantines_total")
+        )
+        raw = line.split('device="', 1)[1].rsplit('"} ', 1)[0]
+        decoded = (
+            raw.replace("\\\\", "\x00")
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\x00", "\\")
+        )
+        assert decoded == hostile
+
+    def test_nonfinite_samples_render_canonically(self):
+        reg = MetricsRegistry()
+        reg.gauge("a.nan").set(float("nan"))
+        reg.gauge("a.pos").set(float("inf"))
+        reg.gauge("a.neg").set(float("-inf"))
+        text = to_prometheus(reg)
+        assert "repro_a_nan NaN" in text
+        assert "repro_a_pos +Inf" in text
+        assert "repro_a_neg -Inf" in text
+        # the lowercase repr() spellings parsers reject never appear
+        assert "nan\n" not in text and " inf" not in text
+
 
 # -- request_timeline ------------------------------------------------------
 
