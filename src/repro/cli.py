@@ -547,6 +547,14 @@ def cmd_serve(args) -> int:
             retry_budget=args.retry_budget,
             retry_refill=args.retry_refill,
         )
+    batching = None
+    if args.batching:
+        from repro.serve import BatchingConfig
+
+        try:
+            batching = BatchingConfig(max_batch=args.max_batch)
+        except ValueError as e:
+            raise SystemExit(str(e))
     try:
         config = ServeConfig(
             devices=tuple(devices),
@@ -569,6 +577,7 @@ def cmd_serve(args) -> int:
             storm=storm,
             domain_defense=not args.no_domain_defense,
             breaker_threshold=args.breaker_threshold,
+            batching=batching,
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -621,6 +630,17 @@ def cmd_serve(args) -> int:
             f"{report.cold_dispatches} cold dispatches "
             f"({report.warm_fraction:.1%} warm, "
             f"coherence {args.coherence:.2f})"
+        )
+    if report.batching:
+        mix = " ".join(
+            f"x{n}:{c}" for n, c in sorted(report.batch_mix.items())
+        )
+        print(
+            f"batching: {report.batches_dispatched} batched attempts "
+            f"(<= {report.max_batch}) carrying {report.batched_members} "
+            f"requests | mean size {report.mean_batch_size:.2f}, "
+            f"occupancy {report.batch_occupancy:.1%}"
+            + (f" | mix {mix}" if mix else "")
         )
     if report.brownout:
         steps = " -> ".join(["full"] + [c["rung"] for c in report.qos_changes])
@@ -1119,6 +1139,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--steady-state", action="store_true",
         help="per-device persistent mapping reuse: repeats of a "
         "(model, scene) pair on a device serve at the warm base latency",
+    )
+    p_serve.add_argument(
+        "--batching", action="store_true",
+        help="deadline-aware dynamic batching: an idle device coalesces "
+        "queued same-model requests into one batched attempt, closing "
+        "the batch when the oldest member's slack minus the modeled "
+        "batch service time hits zero (off by default)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=4,
+        help="largest batch the scheduler may coalesce "
+        "(needs --batching; default %(default)s)",
     )
     p_serve.add_argument(
         "--coherence", type=float, default=0.0,

@@ -20,22 +20,40 @@ def batch_collate(tensors: list[SparseTensor]) -> SparseTensor:
     voxelization); sample ``i`` is assigned batch index ``i``.
 
     Raises:
-        ValueError: on empty input, mismatched channel counts or
-            strides, or inputs that already span multiple batches.
+        ValueError: (as :class:`~repro.robust.errors
+            .InputValidationError`) on empty input, mismatched channel
+            counts, feature dtypes, or strides, or inputs that already
+            carry a nonzero batch index.  ``np.concatenate`` would
+            otherwise silently upcast a mixed-dtype batch to the widest
+            input, changing every member's numerics.
     """
+    from repro.robust.errors import InputValidationError
+
     if not tensors:
-        raise ValueError("need at least one tensor to collate")
+        raise InputValidationError("need at least one tensor to collate")
     c = tensors[0].num_channels
+    dtype = tensors[0].feats.dtype
     stride = tensors[0].stride
     coords_list = []
     feats_list = []
     for i, t in enumerate(tensors):
         if t.num_channels != c:
-            raise ValueError("all tensors must share a channel count")
+            raise InputValidationError(
+                f"all tensors must share a channel count; tensor {i} has "
+                f"{t.num_channels} channels, tensor 0 has {c}"
+            )
+        if t.feats.dtype != dtype:
+            raise InputValidationError(
+                f"all tensors must share a feature dtype; tensor {i} is "
+                f"{t.feats.dtype}, tensor 0 is {dtype} — concatenation "
+                "would silently upcast the batch"
+            )
         if t.stride != stride:
-            raise ValueError("all tensors must share a stride")
-        if t.num_points and t.coords[:, 0].max() > 0:
-            raise ValueError(f"tensor {i} already carries batch indices")
+            raise InputValidationError("all tensors must share a stride")
+        if t.num_points and (t.coords[:, 0] != 0).any():
+            raise InputValidationError(
+                f"tensor {i} already carries batch indices"
+            )
         coords = t.coords.copy()
         coords[:, 0] = i
         coords_list.append(coords)

@@ -48,6 +48,10 @@ REQUEST_EVENT_KINDS = (
     "retry_scheduled",  # backoff timer armed after a failed attempt
     "retry_denied",     # storm defense refused a retry (attrs["reason"])
     "hedge_skip",       # hedge wanted but no eligible device
+    "batch_formed",     # batching scheduler closed a batch (attrs:
+                        #   batch, size, members, reason)
+    "batch_dispatch",   # one member's slice of a batched attempt —
+                        #   members of a batch share the attempt id
     "terminal",         # exactly-once terminal state (attrs["state"])
 )
 
@@ -85,6 +89,13 @@ LINKED_DISPATCH_KINDS = ("retry", "hedge")
 #: bucket ran dry, or the remaining deadline slack could not fit the
 #: best healthy device's expected service time.
 RETRY_DENIAL_REASONS = ("budget", "deadline")
+
+#: Reasons a ``batch_formed`` event may carry: the batch hit
+#: ``max_batch`` (``full``), the oldest member's slack minus the
+#: modeled batch service time hit zero (``deadline``), or the same
+#: close rule fired on a single member that no batch could absorb
+#: (``solo`` — the member dispatches alone).
+BATCH_CLOSE_REASONS = ("full", "deadline", "solo", "starved")
 
 
 def _dumps(obj: dict) -> str:
@@ -201,6 +212,17 @@ def validate_journal(header: dict, events: list) -> list:
     * every retry/hedge dispatch carries a ``parent`` attempt id that
       belongs to an earlier dispatch of the same request (the causal
       link the trace renders as a flow arrow);
+    * every ``batch_formed`` names a fresh batch id, a known close
+      reason, and a member list matching its ``size`` — and every
+      member was *admitted* before the batch formed (a batch can only
+      coalesce requests the admission queue accepted) and is not yet
+      terminal;
+    * every ``batch_dispatch`` references a formed batch it is a member
+      of; the members of one batched attempt share the attempt id (one
+      slice per member, each on the same device) and each slice is
+      closed by exactly one ``attempt_finish`` for that member on that
+      device — one batched attempt fans back out to one terminal per
+      member, which the per-request terminal rule then enforces;
     * every ``qos_change`` carries a valid level/rung/direction and
       steps the level by exactly one from the previous change (the
       brownout controller never jumps rungs);
@@ -230,6 +252,11 @@ def validate_journal(header: dict, events: list) -> list:
     attempt_open: dict = {}    # attempt id -> (request, device, seq)
     attempt_closed: set = set()
     attempts_of: dict = {}     # request id -> [attempt ids]
+    admitted: set = set()      # request ids the queue accepted
+    batch_members: dict = {}   # batch id -> set of member request ids
+    batch_attempts: dict = {}  # attempt id -> (device, batch id)
+    batch_slice_open: set = set()    # (attempt id, request id)
+    batch_slice_closed: set = set()
     dead_slots: set = set()    # device labels with a journaled device_dead
     filled_slots: set = set()  # dead slots already taken by a replacement
     open_domains: set = set()  # domains with an unrecovered domain_outage
@@ -273,13 +300,15 @@ def validate_journal(header: dict, events: list) -> list:
                         f"event {i}: terminal with unknown state {state!r}"
                     )
                 terminals[req] = i
+        if kind == "admit" and req is not None:
+            admitted.add(req)
         if kind == "dispatch":
             attempt = e.get("attempt")
             device = e.get("device")
             if attempt is None or device is None:
                 problems.append(f"event {i}: dispatch without attempt/device")
                 continue
-            if attempt in attempt_open:
+            if attempt in attempt_open or attempt in batch_attempts:
                 problems.append(f"event {i}: attempt {attempt} dispatched "
                                 "twice")
             attempt_open[attempt] = (req, device, i)
@@ -291,6 +320,99 @@ def validate_journal(header: dict, events: list) -> list:
                 if parent is None:
                     problems.append(
                         f"event {i}: {dkind} dispatch without parent attempt"
+                    )
+                elif parent not in (attempts_of.get(req) or [])[:-1]:
+                    problems.append(
+                        f"event {i}: {dkind} parent {parent} is not an "
+                        f"earlier attempt of request {req}"
+                    )
+        elif kind == "batch_formed":
+            attrs = e.get("attrs", {})
+            batch = attrs.get("batch")
+            members = attrs.get("members")
+            if not isinstance(batch, int) or isinstance(batch, bool):
+                problems.append(
+                    f"event {i}: batch_formed with invalid batch id "
+                    f"{batch!r}"
+                )
+                continue
+            if batch in batch_members:
+                problems.append(
+                    f"event {i}: batch {batch} formed twice"
+                )
+            if not isinstance(members, list) or not members:
+                problems.append(
+                    f"event {i}: batch_formed without a member list"
+                )
+                continue
+            if attrs.get("size") != len(members):
+                problems.append(
+                    f"event {i}: batch_formed size {attrs.get('size')!r} "
+                    f"!= {len(members)} members"
+                )
+            if attrs.get("reason") not in BATCH_CLOSE_REASONS:
+                problems.append(
+                    f"event {i}: batch_formed with unknown reason "
+                    f"{attrs.get('reason')!r}"
+                )
+            for m in members:
+                if m not in admitted:
+                    problems.append(
+                        f"event {i}: batch {batch} member {m} was never "
+                        f"admitted before formation"
+                    )
+                if m in terminals:
+                    problems.append(
+                        f"event {i}: batch {batch} member {m} is already "
+                        f"terminal"
+                    )
+            batch_members[batch] = set(members)
+        elif kind == "batch_dispatch":
+            attempt = e.get("attempt")
+            device = e.get("device")
+            attrs = e.get("attrs", {})
+            batch = attrs.get("batch")
+            if attempt is None or device is None:
+                problems.append(
+                    f"event {i}: batch_dispatch without attempt/device"
+                )
+                continue
+            if batch not in batch_members:
+                problems.append(
+                    f"event {i}: batch_dispatch for unformed batch "
+                    f"{batch!r}"
+                )
+            elif req not in batch_members[batch]:
+                problems.append(
+                    f"event {i}: request {req} is not a member of batch "
+                    f"{batch}"
+                )
+            if attempt in attempt_open:
+                problems.append(
+                    f"event {i}: attempt {attempt} dispatched twice"
+                )
+            prior = batch_attempts.get(attempt)
+            if prior is not None and prior != (device, batch):
+                problems.append(
+                    f"event {i}: attempt {attempt} slices disagree on "
+                    f"device/batch ({prior} vs {(device, batch)})"
+                )
+            batch_attempts[attempt] = (device, batch)
+            if (attempt, req) in batch_slice_open:
+                problems.append(
+                    f"event {i}: request {req} dispatched twice in "
+                    f"attempt {attempt}"
+                )
+            batch_slice_open.add((attempt, req))
+            if req is not None:
+                attempts_of.setdefault(req, []).append(attempt)
+            dkind = attrs.get("kind")
+            if dkind in LINKED_DISPATCH_KINDS:
+                parent = attrs.get("parent")
+                if parent is None:
+                    problems.append(
+                        f"event {i}: {dkind} batch_dispatch without parent "
+                        f"attempt"
                     )
                 elif parent not in (attempts_of.get(req) or [])[:-1]:
                     problems.append(
@@ -391,6 +513,33 @@ def validate_journal(header: dict, events: list) -> list:
                 open_domains.discard(domain)
         elif kind == "attempt_finish":
             attempt = e.get("attempt")
+            if attempt in batch_attempts:
+                # a batched attempt fans out to one finish per member
+                dev, _ = batch_attempts[attempt]
+                if e.get("device") != dev:
+                    problems.append(
+                        f"event {i}: attempt {attempt} finished on "
+                        f"{e.get('device')!r}, dispatched on {dev!r}"
+                    )
+                if (attempt, req) not in batch_slice_open:
+                    problems.append(
+                        f"event {i}: attempt_finish for request {req} "
+                        f"never dispatched in attempt {attempt}"
+                    )
+                elif (attempt, req) in batch_slice_closed:
+                    problems.append(
+                        f"event {i}: attempt {attempt} finished twice for "
+                        f"request {req}"
+                    )
+                else:
+                    batch_slice_closed.add((attempt, req))
+                outcome = e.get("attrs", {}).get("outcome")
+                if outcome not in ATTEMPT_OUTCOMES:
+                    problems.append(
+                        f"event {i}: attempt_finish with unknown outcome "
+                        f"{outcome!r}"
+                    )
+                continue
             if attempt not in attempt_open:
                 problems.append(
                     f"event {i}: attempt_finish for undispatched attempt "
@@ -422,6 +571,11 @@ def validate_journal(header: dict, events: list) -> list:
             problems.append(
                 f"attempt {attempt} (request {req}, seq {seq}) never finished"
             )
+    for attempt, req in batch_slice_open:
+        if (attempt, req) not in batch_slice_closed:
+            problems.append(
+                f"batched attempt {attempt} never finished for request {req}"
+            )
     return problems
 
 
@@ -448,7 +602,10 @@ def replay_qos_mix(events: list) -> dict:
         kind = e.get("kind")
         if kind == "qos_change":
             current = e.get("attrs", {}).get("rung") or current
-        elif kind == "dispatch" and e.get("request") is not None:
+        elif (
+            kind in ("dispatch", "batch_dispatch")
+            and e.get("request") is not None
+        ):
             served[e["request"]] = e.get("attrs", {}).get("qos", current)
     mix: dict = {}
     for rung in served.values():

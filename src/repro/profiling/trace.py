@@ -185,7 +185,14 @@ def to_serve_trace(
       ``domains`` thread (one instant per ``domain_outage`` /
       ``domain_recovered`` breaker transition, plus one per storm-
       defense ``retry_denied``) and a ``domains down`` counter tracking
-      how many domain breakers are open.
+      how many domain breakers are open;
+    * batched campaigns render each batched attempt as **one** slice on
+      its device (members share the attempt id, so the slice is deduped
+      across ``batch_dispatch`` member events), each ``batch_formed``
+      close as an instant carrying the close reason and hold time, a
+      ``batch size`` counter track stepping at every close, and one
+      flow arrow per member whose slice carries a causal parent
+      (retries and hedge duplicates inside a batch keep their arrows).
     """
     devices = list(header.get("devices") or [])
     for e in events:
@@ -231,6 +238,20 @@ def to_serve_trace(
                 "args": {"level": 0},
             }
         )
+    has_batching = bool(header.get("batching")) or any(
+        e["kind"] == "batch_formed" for e in events
+    )
+    if has_batching:
+        # anchor the counter so the track exists from t=0
+        trace_events.append(
+            {
+                "name": "batch size",
+                "ph": "C",
+                "pid": 1,
+                "ts": 0.0,
+                "args": {"size": 0},
+            }
+        )
     has_domains = bool(header.get("domains")) or any(
         e["kind"] in ("domain_outage", "domain_recovered", "retry_denied")
         for e in events
@@ -273,11 +294,16 @@ def to_serve_trace(
     for e in events:
         if e["kind"] == "dispatch":
             dispatches[e["attempt"]] = e
+        elif e["kind"] == "batch_dispatch":
+            # members share the attempt; the first slice fixes its
+            # device and start for flow-arrow sources
+            dispatches.setdefault(e["attempt"], e)
         elif e["kind"] == "attempt_finish":
             finishes[e["attempt"]] = e
 
     flow_id = 0
     last_depth = None
+    batched_drawn: set = set()  # attempt ids already given a slice
     for e in events:
         kind, t = e["kind"], e["t"]
         depth = e.get("queue_depth")
@@ -340,6 +366,91 @@ def to_serve_trace(
                 # a retry's parent already finished (arrow leaves the
                 # end of the failed slice); a hedge's parent is still
                 # running (arrow leaves at the fork instant)
+                s_t = (
+                    parent_finish["t"]
+                    if parent_finish is not None and parent_finish["t"] <= t
+                    else t
+                )
+                flow_id += 1
+                common = {
+                    "cat": dkind,
+                    "name": dkind,
+                    "id": flow_id,
+                    "pid": 1,
+                }
+                trace_events.append(
+                    {**common, "ph": "s", "tid": parent_tid, "ts": _us(s_t)}
+                )
+                trace_events.append(
+                    {**common, "ph": "f", "bp": "e", "tid": tid, "ts": _us(t)}
+                )
+        elif kind == "batch_formed":
+            attrs = e.get("attrs", {})
+            trace_events.append(
+                {
+                    "name": "batch_formed:%s" % attrs.get("reason"),
+                    "cat": "batch",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid_of[e["device"]],
+                    "ts": _us(t),
+                    "args": {
+                        "batch": attrs.get("batch"),
+                        "size": attrs.get("size"),
+                        "members": attrs.get("members"),
+                        "reason": attrs.get("reason"),
+                        "held": attrs.get("held"),
+                    },
+                }
+            )
+            trace_events.append(
+                {
+                    "name": "batch size",
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": _us(t),
+                    "args": {"size": attrs.get("size")},
+                }
+            )
+        elif kind == "batch_dispatch":
+            attempt = e["attempt"]
+            tid = tid_of[e["device"]]
+            attrs = e.get("attrs", {})
+            dkind = attrs.get("kind", "primary")
+            if attempt not in batched_drawn:
+                batched_drawn.add(attempt)
+                finish = finishes.get(attempt)
+                end_t = finish["t"] if finish is not None else t
+                args = {
+                    "attempt": attempt,
+                    "batch": attrs.get("batch"),
+                    "size": attrs.get("size"),
+                    "outcome": (finish or {}).get("attrs", {}).get("outcome"),
+                }
+                for key in ("model", "warm", "qos"):
+                    if key in attrs:
+                        args[key] = attrs[key]
+                trace_events.append(
+                    {
+                        "name": "%s x%s"
+                        % (
+                            "hedge" if dkind == "hedge" else "batch",
+                            attrs.get("size"),
+                        ),
+                        "cat": "attempt",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": _us(t),
+                        "dur": round(_us(end_t) - _us(t), 3),
+                        "args": args,
+                    }
+                )
+            parent = attrs.get("parent")
+            if parent is not None and parent in dispatches:
+                parent_tid = tid_of[dispatches[parent]["device"]]
+                parent_finish = finishes.get(parent)
                 s_t = (
                     parent_finish["t"]
                     if parent_finish is not None and parent_finish["t"] <= t

@@ -30,6 +30,7 @@ through :mod:`repro.obs`.  ``repro-bench serve`` runs campaigns from
 the command line.
 """
 
+from repro.serve.batching import BatchingConfig, FormingBatch, batch_close_time
 from repro.serve.cluster import DeviceWorker, LatencyOracle
 from repro.serve.health import (
     DEAD,
@@ -65,6 +66,7 @@ from repro.serve.traffic import TRAFFIC_SHAPES, TrafficConfig, generate_arrivals
 __all__ = [
     "AdmissionQueue",
     "Attempt",
+    "BatchingConfig",
     "COMPLETED",
     "DEAD",
     "DEADLINE_EXCEEDED",
@@ -73,6 +75,7 @@ __all__ = [
     "DomainTopology",
     "FAILED",
     "FleetHealth",
+    "FormingBatch",
     "HEALTHY",
     "HedgePolicy",
     "LatencyOracle",
@@ -92,6 +95,7 @@ __all__ = [
     "StormConfig",
     "TERMINAL_STATES",
     "TrafficConfig",
+    "batch_close_time",
     "format_serve_summary",
     "generate_arrivals",
     "run_serve_campaign",

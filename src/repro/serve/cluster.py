@@ -14,11 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.engine import BaseEngine, ExecutionContext
+from repro.datasets.collate import batch_collate
 from repro.datasets.voxelize import coarsen_sparse_tensor
 from repro.gpu.device import GPUSpec
 from repro.mapping.cache import MappingCache
 from repro.models import MODEL_ZOO
 from repro.robust.degrade import FULL_QUALITY, QualityConfig
+
+#: Modeled fixed-overhead fraction of a batched frame on the overrides
+#: path (no engine to measure): a batch of ``n`` costs
+#: ``override * (alpha + (1 - alpha) * n)`` — per-frame cost strictly
+#: decreasing in ``n``, mirroring the launch/padding amortization the
+#: engine path measures for real models.
+OVERRIDE_BATCH_ALPHA = 0.5
 
 
 @dataclass
@@ -73,6 +81,8 @@ class LatencyOracle:
         self.seed = seed
         self.overrides = dict(overrides or {})
         self._latency: dict = {}
+        #: (model_key, spec, n, warm, quality) -> batched attempt time
+        self._batch_latency: dict = {}
         self._models: dict = {}
         self._inputs: dict = {}
         #: (model_key, voxel_scale) -> requantized coarse input
@@ -172,6 +182,65 @@ class LatencyOracle:
             model(x, ctx)
             self._latency[memo_key] = ctx.profile.total_time
         return self._latency[memo_key]
+
+    def batch_latency(
+        self,
+        model_key: str,
+        spec: GPUSpec,
+        n: int,
+        warm: bool = False,
+        quality: QualityConfig | None = None,
+    ) -> float:
+        """Modeled latency of **one** batched attempt over ``n`` frames.
+
+        The engine path collates ``n`` copies of the model's fixed
+        sample input (:func:`~repro.datasets.collate.batch_collate`)
+        and runs the batch through the engine once per
+        ``(model, spec, n, warm, quality)``, memoized — so the
+        sublinear batch cost (kernel-launch and bmm-padding
+        amortization under adaptive grouping) comes out of the same
+        cost model as everything else.  ``n=1`` delegates to
+        :meth:`base_latency`, keeping single dispatches priced
+        identically whether or not batching is enabled.
+
+        On the overrides path (no engine) a batch of ``n`` is priced
+        ``override * (OVERRIDE_BATCH_ALPHA + (1 - alpha) * n)``:
+        per-frame cost strictly decreasing in ``n``, divided by the
+        QoS rung's modeled speedup like :meth:`base_latency`.
+        """
+        if n < 1:
+            raise ValueError(f"batch size must be >= 1, got {n}")
+        if n == 1:
+            return self.base_latency(model_key, spec, warm=warm, quality=quality)
+        quality = FULL_QUALITY if quality is None else quality
+        if model_key in self.overrides:
+            base = float(self.overrides[model_key]) / quality.speedup
+            return base * (
+                OVERRIDE_BATCH_ALPHA + (1.0 - OVERRIDE_BATCH_ALPHA) * n
+            )
+        memo_key = (model_key, spec, int(n), bool(warm), quality)
+        if memo_key not in self._batch_latency:
+            # ensure the model and its fixed sample input exist (and
+            # price the n=1 anchor while we are at it)
+            self.base_latency(model_key, spec, warm=warm, quality=quality)
+            model = self._models[model_key]
+            x = self._input_for(model_key, quality)
+            xb = batch_collate([x] * n)
+            engine = self._engine_for(quality)
+            if warm:
+                cache = self.mapcache(spec)
+                warmup = ExecutionContext(
+                    engine=engine, device=spec, mapcache=cache
+                )
+                model(xb, warmup)
+                ctx = ExecutionContext(
+                    engine=engine, device=spec, mapcache=cache
+                )
+            else:
+                ctx = ExecutionContext(engine=engine, device=spec)
+            model(xb, ctx)
+            self._batch_latency[memo_key] = ctx.profile.total_time
+        return self._batch_latency[memo_key]
 
     def mean_latency(self, model_keys, specs) -> float:
         """Mean base latency over a traffic mix x fleet (scale anchor

@@ -90,6 +90,34 @@ class AdmissionQueue:
         self.shed_expired(now)
         return self._q.popleft() if self._q else None
 
+    def peek(self, now: float) -> Request | None:
+        """The request ``pop`` would return, without removing it."""
+        self.shed_expired(now)
+        return self._q[0] if self._q else None
+
+    def take_matching(self, predicate, limit: int, now: float) -> list:
+        """Remove up to ``limit`` queued requests accepted by
+        ``predicate``, scanning front to back.
+
+        The batching scheduler's coalescing primitive: expired entries
+        are shed first (batch formation must not bypass the queue's
+        shedding rules), then live entries are offered to ``predicate``
+        oldest-first; rejected entries keep their relative FIFO order.
+        ``predicate`` may be stateful — the scheduler's deadline-fit
+        closure tightens as the batch it is building grows.
+        """
+        self.shed_expired(now)
+        taken: list = []
+        kept: deque = deque()
+        while self._q:
+            req = self._q.popleft()
+            if len(taken) < limit and predicate(req):
+                taken.append(req)
+            else:
+                kept.append(req)
+        self._q = kept
+        return taken
+
     def drain(self) -> list:
         """Remove and return everything still queued (campaign teardown)."""
         out = list(self._q)

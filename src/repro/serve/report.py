@@ -43,6 +43,12 @@ class ServeReport:
     attempts: int = 0
     #: denial reason -> retries the storm defense refused
     retry_denied: dict = field(default_factory=dict)
+    #: whether the deadline-aware batching scheduler was engaged
+    batching: bool = False
+    #: the scheduler's coalescing ceiling (1 when batching is off)
+    max_batch: int = 1
+    #: batch size -> batched attempts dispatched at that size
+    batch_mix: dict = field(default_factory=dict)
     #: whether the metastability defense was engaged
     storm: bool = False
     #: device label -> failure domain (empty for trivial topologies)
@@ -236,6 +242,32 @@ class ServeReport:
     def retries_denied(self) -> int:
         return sum(self.retry_denied.values())
 
+    # -- batching ------------------------------------------------------------
+
+    @property
+    def batches_dispatched(self) -> int:
+        """Batched attempts launched (all sizes, hedges included)."""
+        return sum(self.batch_mix.values())
+
+    @property
+    def batched_members(self) -> int:
+        """Request-slices carried by batched attempts."""
+        return sum(n * c for n, c in self.batch_mix.items())
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Members per batched attempt (0.0 when batching never fired)."""
+        total = self.batches_dispatched
+        return 0.0 if total == 0 else self.batched_members / total
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean batch size as a fraction of ``max_batch`` — how full
+        the coalescing window ran (1.0 = every batch closed full)."""
+        if self.max_batch <= 1:
+            return 0.0 if self.mean_batch_size == 0.0 else 1.0
+        return self.mean_batch_size / self.max_batch
+
     @property
     def hedge_effectiveness(self) -> float:
         """Fraction of launched hedges whose duplicate produced the
@@ -296,7 +328,7 @@ class ServeReport:
         return self.all_terminal and self.corrupted_completions == 0
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "schema": SERVE_SCHEMA,
             "seed": self.seed,
             "duration": self.duration,
@@ -372,6 +404,19 @@ class ServeReport:
             "utilization": dict(self.utilization),
             "requests": [r.to_json() for r in self.requests],
         }
+        # present only for batched campaigns: batching=None reports
+        # stay byte-exact with pre-batching runs
+        if self.batching:
+            out["batching"] = {
+                "enabled": True,
+                "max_batch": self.max_batch,
+                "mix": {str(n): c for n, c in sorted(self.batch_mix.items())},
+                "batches": self.batches_dispatched,
+                "batched_members": self.batched_members,
+                "mean_batch_size": self.mean_batch_size,
+                "occupancy": self.batch_occupancy,
+            }
+        return out
 
 
 def format_serve_summary(report: ServeReport) -> str:
@@ -389,6 +434,16 @@ def format_serve_summary(report: ServeReport) -> str:
         f"integrity {report.integrity_failures} caught / "
         f"{report.corrupted_completions} shipped"
     )
+    if report.batching:
+        mix = " ".join(f"x{n}:{c}" for n, c in sorted(report.batch_mix.items()))
+        text += (
+            f" | batching <= {report.max_batch} "
+            f"({report.batches_dispatched} batches, "
+            f"mean {report.mean_batch_size:.2f}, "
+            f"occupancy {report.batch_occupancy:.1%}"
+            + (f", mix {mix}" if mix else "")
+            + ")"
+        )
     if report.brownout:
         mix = " ".join(f"{k}:{v}" for k, v in report.qos_mix.items())
         text += (

@@ -68,6 +68,10 @@ class Request:
     error: str = ""
     #: device labels in dispatch order (probes excluded)
     devices: list = field(default_factory=list)
+    #: batch id per dispatched attempt, aligned with ``devices`` — the
+    #: batching scheduler stamps every attempt (hedge duplicates reuse
+    #: the primary's batch id); empty when batching is off
+    batches: list = field(default_factory=list)
     #: attempts that finished but failed ABFT verification (each counts
     #: toward the device breaker and this request's retry budget)
     integrity_failures: int = 0
@@ -114,7 +118,7 @@ class Request:
             self.finish = now
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "id": self.id,
             "model": self.model,
             "arrival": self.arrival,
@@ -136,6 +140,11 @@ class Request:
             "qos_rung": self.qos_rung,
             "fault_rung": self.fault_rung,
         }
+        # present only for batched campaigns: batching=None reports
+        # stay byte-exact with pre-batching runs
+        if self.batches:
+            out["batches"] = list(self.batches)
+        return out
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,7 @@ from repro.robust.faults import (
     maybe_silent_corruption,
     stall_factor,
 )
+from repro.serve.batching import BatchingConfig, FormingBatch, batch_close_time
 from repro.serve.cluster import DeviceWorker, LatencyOracle
 from repro.serve.health import DEAD, HEALTHY, QUARANTINED, FleetHealth
 from repro.serve.queue import AdmissionQueue
@@ -153,6 +154,15 @@ class ServeConfig:
     #: the domain breaker's correlation window, sim seconds; ``None``
     #: resolves to 4x the traffic mix's mean base latency
     domain_window: float | None = None
+    #: deadline-aware cross-request dynamic batching
+    #: (:class:`~repro.serve.batching.BatchingConfig`): an idle device
+    #: may coalesce up to ``max_batch`` queued same-model (and, in
+    #: steady-state mode, same-scene) requests into one batched attempt
+    #: priced by the oracle's sublinear
+    #: :meth:`~repro.serve.cluster.LatencyOracle.batch_latency`.
+    #: ``None`` (default) keeps the one-request-per-device pump —
+    #: bit-exact with pre-batching campaigns.
+    batching: BatchingConfig | None = None
     #: master switch of the domain-aware defense: domain breakers with
     #: mass quarantine, probe forgiveness during an open breaker, and
     #: domain-diverse retry/hedge/spare placement.  ``False`` keeps the
@@ -215,9 +225,9 @@ class Attempt:
     """One dispatch of a request (or a health probe) onto a device."""
 
     id: int
-    request: Request | None  # None for probes
+    request: Request | None  # None for probes; the lead member for batches
     device: int
-    kind: str  # "primary" | "retry" | "hedge" | "probe"
+    kind: str  # "primary" | "retry" | "hedge" | "probe" | "batch"
     start: float
     finish: float
     will_fail: bool = False
@@ -225,6 +235,13 @@ class Attempt:
     will_corrupt: bool = False
     cancelled: bool = False
     done: bool = False
+    #: every request riding this attempt (batching scheduler); ``None``
+    #: for the legacy one-request path and probes.  One batched attempt
+    #: fans back out to one terminal state per member.
+    members: tuple | None = None
+    #: id of the batch this attempt carries (hedge duplicates reuse the
+    #: primary's batch id)
+    batch_id: int | None = None
 
 
 class Server:
@@ -309,6 +326,12 @@ class Server:
                 storm=config.storm is not None,
                 domain_defense=config.domain_defense,
             )
+            if config.batching is not None:
+                # added only when batching is on: batching=None journal
+                # headers stay byte-exact with pre-batching campaigns
+                recorder.meta.update(
+                    batching=True, max_batch=config.batching.max_batch
+                )
         self.queue = AdmissionQueue(
             config.queue_capacity, on_shed=self._on_queue_shed
         )
@@ -353,9 +376,20 @@ class Server:
         self.warm_dispatches = 0
         self.cold_dispatches = 0
         #: request attempts dispatched (primary + retry + hedge, not
-        #: probes) — the numerator of the storm amplification factor
+        #: probes) — the numerator of the storm amplification factor.
+        #: A batched attempt counts once: coalescing is the point.
         self.attempts_dispatched = 0
         self.retry_denied = {"budget": 0, "deadline": 0}
+        # -- batching scheduler state (dormant when batching is None) --
+        self.batching = config.batching
+        #: device index -> FormingBatch holding that (reserved) device
+        self._forming: dict = {}
+        self._batch_count = 0
+        #: monotonically increasing token invalidating stale
+        #: ``batch_close`` heap events after a forming batch grows
+        self._close_token = 0
+        #: batch size -> batched attempts dispatched at that size
+        self.batch_mix: dict = {}
 
     # -- event plumbing ------------------------------------------------------
 
@@ -494,6 +528,7 @@ class Server:
                 "probe": self._on_probe,
                 "qos": self._on_qos_tick,
                 "domain_down": self._on_domain_down,
+                "batch_close": self._on_batch_close,
             }
             while self._heap:
                 when, _, kind, ref = heapq.heappop(self._heap)
@@ -522,7 +557,16 @@ class Server:
             self._pump()
 
     def _pump(self) -> None:
-        """Dispatch queued requests while idle healthy devices exist."""
+        """Dispatch queued requests while idle healthy devices exist.
+
+        With batching enabled the batched pump runs instead; the legacy
+        one-request-per-device loop below is kept verbatim so
+        ``batching=None`` campaigns replay bit for bit against
+        pre-batching builds.
+        """
+        if self.batching is not None:
+            self._pump_batched()
+            return
         while True:
             eligible = [
                 not w.busy and self.health[w.label].available
@@ -540,6 +584,320 @@ class Server:
             )
             d = self._place(eligible, parent)
             self._dispatch(req, d, kind, parent=parent)
+
+    # -- the batching scheduler ----------------------------------------------
+
+    def _pump_batched(self) -> None:
+        """The coalescing pump: feed held batches, then open new ones.
+
+        Queued requests first top up any batch still forming (a new
+        arrival joining a held batch is the whole point of holding);
+        then, while an idle healthy *unreserved* device exists, the
+        oldest queued request leads a new batch on the least-loaded
+        such device.  Devices reserved by a forming batch are invisible
+        to placement — the hold is the reservation.
+        """
+        self._feed_forming()
+        while True:
+            eligible = [
+                not w.busy
+                and self.health[w.label].available
+                and w.index not in self._forming
+                for w in self.workers
+            ]
+            if not any(eligible):
+                if self._starve_close():
+                    continue
+                return
+            req = self.queue.pop(self.now)
+            if req is None:
+                return
+            self._emit("dequeue", req, wait=self.now - req.arrival)
+            parent = (
+                self._last_failed.get(req.id) if req.retries else None
+            )
+            d = self._place(eligible, parent)
+            self._open_batch(req, d)
+
+    def _batch_estimate(self, model: str, w: DeviceWorker, n: int) -> float:
+        """Deterministic modeled service time of an ``n``-frame batch.
+
+        Formation decisions price the *plan* — oracle batch latency
+        only, no stall factor and no noise draw (drawing here would
+        perturb the RNG stream with scheduling lookahead).  The
+        dispatch prices the reality.
+        """
+        return self.oracle.batch_latency(model, w.spec, n)
+
+    def _open_batch(self, lead: Request, d: int) -> None:
+        """Start forming a batch led by ``lead`` on (reserved) device ``d``."""
+        self._batch_count += 1
+        fb = FormingBatch(
+            id=self._batch_count,
+            device=d,
+            model=lead.model,
+            # steady-state batches are scene-pure so the whole attempt
+            # has one mapping-cache temperature; otherwise scenes mix
+            scene=lead.scene if self.config.steady_state else None,
+            members=[lead],
+            opened=self.now,
+        )
+        self._forming[d] = fb
+        self._scoop(fb)
+        self._settle(fb)
+
+    def _scoop(self, fb: FormingBatch) -> None:
+        """Coalesce queued requests into ``fb`` (deadline-aware).
+
+        A candidate joins only if the batch *including it* could still
+        dispatch right now without pushing any member — itself
+        included — past its deadline at the grown batch's modeled
+        service time.  A request too tight to survive the larger batch
+        stays queued and will lead its own (likely solo) batch.
+        """
+        limit = self.batching.max_batch - len(fb.members)
+        if limit <= 0:
+            return
+        w = self.workers[fb.device]
+
+        def fits(req: Request) -> bool:
+            if req.model != fb.model:
+                return False
+            if fb.scene is not None and req.scene != fb.scene:
+                return False
+            est = self._batch_estimate(fb.model, w, len(fb.members) + 1)
+            worst = min(m.deadline for m in fb.members)
+            if min(worst, req.deadline) - est < self.now:
+                return False
+            fb.members.append(req)
+            return True
+
+        for req in self.queue.take_matching(fits, limit, self.now):
+            self._emit("dequeue", req, wait=self.now - req.arrival)
+
+    def _settle(self, fb: FormingBatch) -> None:
+        """Close ``fb`` now, or arm its deadline-driven close timer.
+
+        The batch closes the instant the oldest member's slack minus
+        the modeled batch service time hits zero — dispatch any later
+        and that member misses.  Until then the device stays reserved,
+        waiting for joiners; every growth re-arms the timer (a bigger
+        batch is slower, so the close time only moves earlier).
+        """
+        n = len(fb.members)
+        if n >= self.batching.max_batch:
+            self._close_batch(fb, "full")
+            return
+        est = self._batch_estimate(fb.model, self.workers[fb.device], n)
+        close_at = batch_close_time(fb.members, est)
+        if close_at <= self.now:
+            self._close_batch(fb, "deadline" if n > 1 else "solo")
+            return
+        fb.close_at = close_at
+        self._close_token += 1
+        fb.token = self._close_token
+        self._push(close_at, "batch_close", (fb.device, fb.token))
+
+    def _would_fit(self, fb: FormingBatch, req: Request) -> bool:
+        """Whether ``req`` could join ``fb`` right now (no mutation)."""
+        if len(fb.members) >= self.batching.max_batch:
+            return False
+        if req.model != fb.model:
+            return False
+        if fb.scene is not None and req.scene != fb.scene:
+            return False
+        w = self.workers[fb.device]
+        est = self._batch_estimate(fb.model, w, len(fb.members) + 1)
+        worst = min(m.deadline for m in fb.members)
+        return min(worst, req.deadline) - est >= self.now
+
+    def _starve_close(self) -> bool:
+        """Work-conserving escape hatch: never idle-hold past a backlog.
+
+        The hold is worth it only while the next queued request could
+        still join a forming batch.  When the queue's head fits no held
+        batch (wrong model, wrong scene, or too tight) and every device
+        is busy or reserved, waiting buys nothing — the head is starved
+        behind an idle reservation.  Close the earliest-closing held
+        batch immediately so its device starts real work and frees up a
+        full hold earlier.  Returns True if a batch was closed.
+        """
+        if not self._forming:
+            return False
+        head = self.queue.peek(self.now)
+        if head is None:
+            return False
+        if any(self._would_fit(fb, head) for fb in self._forming.values()):
+            return False
+        d = min(self._forming, key=lambda i: (self._forming[i].close_at, i))
+        self._close_batch(self._forming[d], "starved")
+        return True
+
+    def _feed_forming(self) -> None:
+        """Offer queued requests to every batch still forming."""
+        for d in sorted(self._forming):
+            fb = self._forming.get(d)
+            if fb is None:
+                continue
+            before = len(fb.members)
+            self._scoop(fb)
+            if len(fb.members) != before:
+                self._settle(fb)
+
+    def _on_batch_close(self, ref: tuple) -> None:
+        """The hold expired: dispatch at the last viable instant.
+
+        Stale timers — the batch grew (token bumped) or already closed
+        (device released) — are ignored.
+        """
+        d, token = ref
+        fb = self._forming.get(d)
+        if fb is None or fb.token != token:
+            return
+        self._close_batch(fb, "deadline" if len(fb.members) > 1 else "solo")
+
+    def _close_batch(self, fb: FormingBatch, reason: str) -> None:
+        """Release the reservation and dispatch ``fb`` as one attempt."""
+        self._forming.pop(fb.device, None)
+        members = list(fb.members)
+        self._emit(
+            "batch_formed", members[0],
+            device=self.workers[fb.device].label,
+            batch=fb.id,
+            size=len(members),
+            model=fb.model,
+            members=[m.id for m in members],
+            reason=reason,
+            held=self.now - fb.opened,
+        )
+        get_registry().counter("serve.batches", reason=reason).inc()
+        self._dispatch_batch(members, fb.device, fb.id, "batch")
+
+    def _dispatch_batch(
+        self,
+        members: list,
+        d: int,
+        batch_id: int,
+        kind: str,
+        parent: int | None = None,
+    ) -> None:
+        """Start one batched attempt carrying ``members`` on device ``d``.
+
+        One attempt, one service draw, one crash/corruption draw — the
+        batch lives and dies together on this device.  ``kind`` is
+        ``"batch"`` for a scheduler close and ``"hedge"`` for a
+        straggler duplicate of the whole member set (``parent`` = the
+        hedged attempt).  Every member gets its own ``batch_dispatch``
+        journal slice sharing the attempt id.
+        """
+        w = self.workers[d]
+        reg = get_registry()
+        n = len(members)
+        if kind != "hedge":
+            for m in members:
+                if not m.retries:
+                    reg.histogram("serve.wait_ms").observe(
+                        (self.now - m.arrival) * 1e3
+                    )
+        warm = False
+        if self.config.steady_state:
+            # scene-pure by construction, so one frame keys the batch
+            frame = (members[0].model, members[0].scene)
+            warm = frame in self._seen[d]
+            self._seen[d].add(frame)
+            if warm:
+                self.warm_dispatches += 1
+            else:
+                self.cold_dispatches += 1
+            reg.counter(
+                "serve.mapcache", result="warm" if warm else "cold"
+            ).inc()
+            if self.store is not None and frame not in self._fleet_seen:
+                self._fleet_seen.add(frame)
+                self._persist_frame(frame)
+        quality = None
+        if self.brownout is not None:
+            quality = self._qualities[self.brownout.level]
+            for m in members:
+                m.qos_level = self.brownout.level
+                m.qos_rung = self.brownout.rung
+            reg.counter(
+                "serve.qos_dispatches", rung=self.brownout.rung
+            ).inc(n)
+        base = self.oracle.batch_latency(
+            members[0].model, w.spec, n, warm=warm, quality=quality
+        )
+        service = base * stall_factor(w.label) * self._noise()
+        degrade = self._domain_fault(w.label, "domain_degrade")
+        if degrade is not None:
+            service *= domain_degrade_factor(degrade["severity"])
+        will_fail = maybe_crash_device(w.label)
+        if not will_fail and self._domain_fault(w.label, "domain_outage"):
+            will_fail = True
+        will_corrupt = not will_fail and maybe_silent_corruption(w.label)
+        dur = 0.5 * service if will_fail else service
+        attempt = Attempt(
+            id=len(self._attempts),
+            request=members[0],
+            device=d,
+            kind=kind,
+            start=self.now,
+            finish=self.now + dur,
+            will_fail=will_fail,
+            will_corrupt=will_corrupt,
+            members=tuple(members),
+            batch_id=batch_id,
+        )
+        self._attempts[attempt.id] = attempt
+        for m in members:
+            m.state = RUNNING
+            m.in_flight += 1
+            m.devices.append(w.label)
+            m.batches.append(batch_id)
+            self._live.setdefault(m.id, []).append(attempt.id)
+        w.start(attempt.id)
+        self.attempts_dispatched += 1
+        self.batch_mix[n] = self.batch_mix.get(n, 0) + 1
+        reg.counter("serve.dispatches", kind=kind).inc()
+        reg.histogram("serve.batch_size").observe(n)
+        for m in members:
+            attrs = {
+                "batch": batch_id,
+                "size": n,
+                "kind": (
+                    "hedge" if kind == "hedge"
+                    else ("retry" if m.retries else "primary")
+                ),
+                "model": m.model,
+                "scene": m.scene,
+            }
+            if self.config.steady_state:
+                attrs["warm"] = warm
+            if self.brownout is not None:
+                attrs["qos"] = m.qos_rung
+            mparent = (
+                parent
+                if kind == "hedge"
+                else (self._last_failed.get(m.id) if m.retries else None)
+            )
+            if mparent is not None:
+                attrs["parent"] = mparent
+            self._emit(
+                "batch_dispatch", m,
+                attempt=attempt.id, device=w.label, **attrs,
+            )
+        with self.tracer.span(
+            "serve.batch_dispatch",
+            batch=batch_id, size=n, device=w.label, kind=kind,
+        ):
+            pass
+        self._push(attempt.finish, "complete", attempt.id)
+        if self.config.hedge.enabled and kind != "hedge":
+            self._push(
+                self.now + self._hedge_delay(members[0].model, w.spec),
+                "hedge",
+                attempt.id,
+            )
 
     def _place(self, eligible: list, parent: int | None) -> int:
         """Least-loaded eligible device, domain-diverse after a failure.
@@ -686,6 +1044,9 @@ class Server:
 
     def _on_hedge(self, attempt_id: int) -> None:
         a = self._attempts[attempt_id]
+        if a.members is not None:
+            self._on_batch_hedge(a)
+            return
         req = a.request
         reg = get_registry()
         if a.done or a.cancelled or req.terminal or req.hedged:
@@ -734,6 +1095,63 @@ class Server:
             pass
         self._dispatch(req, d, "hedge", parent=a.id)
 
+    def _on_batch_hedge(self, a: Attempt) -> None:
+        """Hedge a straggling batched attempt: duplicate the whole set.
+
+        Same policy as the single-request hedge — p95 trigger, storm
+        suppression, domain-diverse placement — but the duplicate
+        carries the exact member set under the same batch id, so
+        first-result-wins cancellation stays attempt-level.  Devices
+        reserved by a forming batch are not stolen for hedges.
+        """
+        lead = a.request
+        reg = get_registry()
+        if a.done or a.cancelled or lead.terminal or lead.hedged:
+            return
+        if (
+            self.storm is not None
+            and self.storm.suppress_hedges
+            and self.health.any_domain_open
+        ):
+            self.hedges_suppressed += 1
+            reg.counter("serve.hedges", outcome="suppressed").inc()
+            self._emit("hedge_skip", lead, reason="domain_breaker")
+            return
+        eligible = [
+            not w.busy
+            and self.health[w.label].available
+            and w.index != a.device
+            and w.index not in self._forming
+            for w in self.workers
+        ]
+        if not any(eligible):
+            reg.counter("serve.hedges", outcome="skipped").inc()
+            self._emit("hedge_skip", lead, reason="no_device")
+            return
+        if self._defended:
+            primary = self.topology.domain_of(self.workers[a.device].label)
+            diverse = [
+                e and self.topology.domain_of(w.label) != primary
+                for e, w in zip(eligible, self.workers)
+            ]
+            if not any(diverse):
+                reg.counter("serve.hedges", outcome="skipped").inc()
+                self._emit("hedge_skip", lead, reason="no_cross_domain")
+                return
+            eligible = diverse
+        d = least_loaded([w.busy_time for w in self.workers], eligible)
+        for m in a.members:
+            m.hedged = True
+        self.hedges_launched += 1
+        reg.counter("serve.hedges", outcome="launched").inc()
+        with self.tracer.span(
+            "serve.hedge", request=lead.id, device=self.labels[d]
+        ):
+            pass
+        self._dispatch_batch(
+            list(a.members), d, a.batch_id, "hedge", parent=a.id
+        )
+
     def _on_complete(self, attempt_id: int) -> None:
         a = self._attempts[attempt_id]
         if a.done:
@@ -746,6 +1164,10 @@ class Server:
         w.release(self.now - a.start)
         if a.kind == "probe":
             self._finish_probe(a)
+            return
+        if a.members is not None:
+            self._complete_batch(a, w)
+            self._pump()
             return
         req = a.request
         req.in_flight -= 1
@@ -795,9 +1217,136 @@ class Server:
         )
         self._fail_attempt(req, w, "result failed integrity verification")
 
+    def _complete_batch(self, a: Attempt, w: DeviceWorker) -> None:
+        """A batched attempt left its device: fan out to every member."""
+        members = list(a.members)
+        for m in members:
+            m.in_flight -= 1
+            self._live[m.id].remove(a.id)
+        if a.will_fail:
+            self._batch_failed(a, members, w, "crash")
+        elif a.will_corrupt and self.config.verify_integrity:
+            self._batch_failed(a, members, w, "integrity_fail")
+        else:
+            self._batch_succeeded(a, members, w)
+
+    def _batch_failed(
+        self, a: Attempt, members: list, w: DeviceWorker, outcome: str
+    ) -> None:
+        """One batched attempt crashed/corrupted: everyone rode it down.
+
+        The device breaker hears about *one* failure (one attempt, one
+        fault), but every member's retry/terminal verdict runs
+        independently in member order — each backoff draw comes from
+        the shared RNG in that deterministic order.
+        """
+        reg = get_registry()
+        if outcome == "crash":
+            reg.counter("serve.crashes", device=w.label).inc()
+            with self.tracer.span(
+                "serve.crash", request=members[0].id, device=w.label
+            ):
+                pass
+            reason = "every attempt crashed"
+        else:
+            self.integrity_failures += 1
+            reg.counter("serve.integrity_failures", device=w.label).inc()
+            with self.tracer.span(
+                "serve.integrity_failure",
+                request=members[0].id,
+                device=w.label,
+            ):
+                pass
+            reason = "result failed integrity verification"
+        for m in members:
+            if outcome == "integrity_fail":
+                m.integrity_failures += 1
+            self._last_failed[m.id] = a.id
+            self._emit(
+                "attempt_finish", m,
+                attempt=a.id, device=w.label, outcome=outcome,
+            )
+        self._record_device_failure(w)
+        for m in members:
+            self._member_verdict(m, reason)
+
+    def _batch_succeeded(
+        self, a: Attempt, members: list, w: DeviceWorker
+    ) -> None:
+        """One batched attempt finished: every member gets its verdict."""
+        reg = get_registry()
+        self.health.record_success(w.label)
+        if self.retry_budget is not None:
+            # n requests of goodput refill n tokens
+            for _ in members:
+                self.retry_budget.credit()
+            reg.gauge("serve.retry_budget_tokens").set(
+                self.retry_budget.tokens
+            )
+        w.completed += len(members)
+        service = self.now - a.start
+        self._service_samples.append(service)
+        reg.histogram("serve.service_ms").observe(service * 1e3)
+        for m in members:
+            self._emit(
+                "attempt_finish", m,
+                attempt=a.id, device=w.label, outcome="ok",
+                corrupted=bool(a.will_corrupt),
+            )
+        # first result wins at the attempt level: a hedge twin carries
+        # the same member set, so it is cancelled once, its device
+        # reclaimed once, and every member slice closed
+        twin_ids: set = set()
+        for m in members:
+            twin_ids.update(self._live[m.id])
+        for tid in sorted(twin_ids):
+            twin = self._attempts[tid]
+            twin.cancelled = True
+            self.workers[twin.device].release(self.now - twin.start)
+            self.hedges_cancelled += 1
+            reg.counter("serve.hedges", outcome="cancelled").inc()
+            for m in twin.members:
+                self._live[m.id].remove(tid)
+                m.in_flight -= 1
+                self._emit(
+                    "attempt_finish", m,
+                    attempt=tid,
+                    device=self.workers[twin.device].label,
+                    outcome="cancelled",
+                )
+        if a.kind == "hedge":
+            self.hedges_won += 1
+            reg.counter("serve.hedges", outcome="won").inc()
+        for m in members:
+            if a.kind == "hedge":
+                m.hedge_won = True
+            if a.will_corrupt:
+                # verification off: the SDC hole ships to every member
+                m.corrupted = True
+                reg.counter(
+                    "serve.corrupted_completions", device=w.label
+                ).inc()
+            if self.now <= m.deadline:
+                m.resolve(COMPLETED, self.now)
+                reg.counter("serve.completed").inc()
+                self._note_terminal(completed=True)
+                self._emit("terminal", m, state=COMPLETED,
+                           latency=m.latency, corrupted=m.corrupted)
+            else:
+                m.resolve(DEADLINE_EXCEEDED, self.now)
+                reg.counter("serve.deadline_exceeded").inc()
+                self._note_terminal(completed=False)
+                self._emit("terminal", m, state=DEADLINE_EXCEEDED,
+                           latency=m.latency)
+            reg.histogram("serve.latency_ms").observe(m.latency * 1e3)
+
     def _fail_attempt(self, req: Request, w: DeviceWorker, reason: str) -> None:
         """Shared crash/corruption tail: breaker, retry budget, verdict."""
-        reg = get_registry()
+        self._record_device_failure(w)
+        self._member_verdict(req, reason)
+
+    def _record_device_failure(self, w: DeviceWorker) -> None:
+        """Feed one attempt failure to the device (and domain) breaker."""
         if self.health.record_failure(w.label, self.now):
             self._emit("quarantine", device=w.label)
             self._push(self.now + self._probe_cooldown, "probe", w.index)
@@ -816,6 +1365,10 @@ class Server:
                     "probe",
                     self._index_of[label],
                 )
+
+    def _member_verdict(self, req: Request, reason: str) -> None:
+        """Retry-or-terminal decision for one request whose attempt failed."""
+        reg = get_registry()
         if req.terminal:
             return
         if req.in_flight > 0:
@@ -1214,6 +1767,13 @@ class Server:
             retries=self.retries,
             attempts=self.attempts_dispatched,
             retry_denied=dict(self.retry_denied),
+            batching=self.batching is not None,
+            max_batch=(
+                self.batching.max_batch if self.batching is not None else 1
+            ),
+            batch_mix={
+                int(k): int(v) for k, v in sorted(self.batch_mix.items())
+            },
             storm=self.storm is not None,
             domains=(
                 self.topology.to_json()
@@ -1293,6 +1853,22 @@ def run_serve_campaign(
                 oracle.base_latency(model, w.spec, quality=q)
                 if config.steady_state:
                     oracle.base_latency(model, w.spec, warm=True, quality=q)
+    if config.batching is not None:
+        # warm every batch size the scheduler may price, so formation
+        # estimates and batched dispatches never run the engine inside
+        # the injector context either
+        for model in traffic.models:
+            for w in server.workers:
+                for n in range(2, config.batching.max_batch + 1):
+                    oracle.batch_latency(model, w.spec, n)
+                    if config.steady_state:
+                        oracle.batch_latency(model, w.spec, n, warm=True)
+                    for q in qualities:
+                        oracle.batch_latency(model, w.spec, n, quality=q)
+                        if config.steady_state:
+                            oracle.batch_latency(
+                                model, w.spec, n, warm=True, quality=q
+                            )
     ctx = inject_faults(injector) if injector is not None else nullcontext()
     with ctx:
         requests = generate_arrivals(traffic, server.deadline_for)

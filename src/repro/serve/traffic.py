@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.robust.errors import ConfigError
 from repro.robust.faults import queue_spike_burst
 from repro.serve.request import Request
 
@@ -93,8 +94,23 @@ class TrafficConfig:
             raise ValueError("rate and duration must be positive")
         if not self.models:
             raise ValueError("need at least one model in the mix")
-        if self.weights is not None and len(self.weights) != len(self.models):
-            raise ValueError("weights must match models")
+        if self.weights is not None:
+            if len(self.weights) != len(self.models):
+                raise ValueError("weights must match models")
+            # a zero-sum or negative mix used to pass construction and
+            # blow up deep inside generate_arrivals (ZeroDivisionError
+            # in the weights_at normalization / np.random.choice
+            # p-error); fail at the boundary like ServeConfig does
+            if any(
+                not math.isfinite(float(w)) or w < 0 for w in self.weights
+            ):
+                raise ConfigError(
+                    f"weights must be finite and >= 0, got {self.weights}"
+                )
+            if sum(self.weights) <= 0:
+                raise ConfigError(
+                    f"weights must sum to > 0, got {self.weights}"
+                )
         if not 0.0 <= self.coherence <= 1.0:
             raise ValueError("coherence must be in [0, 1]")
         if self.shape not in TRAFFIC_SHAPES:

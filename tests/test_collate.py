@@ -51,6 +51,35 @@ class TestCollate:
         with pytest.raises(ValueError):
             batch_collate([a, b])
 
+    def test_feat_dtype_mismatch_rejected(self):
+        """float32 + float64 inputs must not silently upcast the batch."""
+        from repro.robust.errors import InputValidationError
+
+        a = make_tensor(0)
+        b = make_tensor(1)
+        wide = SparseTensor(b.coords, b.feats.astype(np.float64))
+        with pytest.raises(InputValidationError, match="dtype"):
+            batch_collate([a, wide])
+
+    def test_feat_dtype_mismatch_either_order(self):
+        from repro.robust.errors import InputValidationError
+
+        a = make_tensor(0)
+        half = SparseTensor(a.coords, a.feats.astype(np.float16))
+        with pytest.raises(InputValidationError, match="dtype"):
+            batch_collate([half, make_tensor(1)])
+
+    def test_negative_batch_index_rejected(self):
+        """A nonzero batch column is nonzero even when it is negative."""
+        from repro.robust.errors import InputValidationError
+
+        a = make_tensor(0)
+        coords = a.coords.copy()
+        coords[:, 0] = -1
+        neg = SparseTensor(coords, a.feats)
+        with pytest.raises(InputValidationError, match="batch"):
+            batch_collate([make_tensor(1), neg])
+
 
 class TestBatchedInference:
     def test_batched_equals_per_sample(self):

@@ -253,6 +253,24 @@ class TestTraffic:
             TrafficConfig(rate=1.0, duration=1.0, models=("m",),
                           weights=(0.5, 0.5))
 
+    def test_degenerate_weights_rejected_at_construction(self):
+        """Zero-sum / negative weights used to pass __post_init__ and
+        blow up deep inside generate_arrivals (ZeroDivisionError in the
+        weights_at normalization, np.random.choice p-error)."""
+        from repro.robust.errors import ConfigError
+
+        for bad in ((0.0, 0.0), (1.0, -0.5), (-1.0, -1.0),
+                    (float("nan"), 1.0), (float("inf"), 1.0)):
+            with pytest.raises(ConfigError):
+                TrafficConfig(
+                    rate=1.0, duration=1.0, models=("m", "big"), weights=bad
+                )
+        # a valid mix still constructs and generates
+        cfg = TrafficConfig(
+            rate=50.0, duration=0.2, models=("m", "big"), weights=(2.0, 1.0)
+        )
+        assert generate_arrivals(cfg, lambda m: 0.1)
+
 
 class TestServeCampaign:
     def test_clean_campaign_completes_everything(self):
